@@ -1,0 +1,65 @@
+"""Shared scale and reporting helpers for the per-figure benchmark targets.
+
+Each benchmark regenerates one figure of the paper's Section VI at a reduced
+scale (the substrate is a pure-Python simulator, not the authors' disk-based
+C++ testbed).  The absolute numbers therefore differ from the paper; what the
+benchmarks check and report is the *shape* of each figure: which algorithm
+wins, in which direction each parameter moves the cost, and by roughly what
+factor.  The printed tables are the rows/series of the corresponding figure;
+run with ``pytest benchmarks/ --benchmark-only -s`` to see them, or read the
+``extra_info`` of the saved benchmark JSON.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import ExperimentScale
+from repro.bench.experiments import ExperimentSeries
+from repro.bench.reporting import format_series_table, summarize_speedups
+
+#: Populations used by the benchmark targets.  The node count is ~1:110 of the
+#: San Francisco network, and the facility sweep covers the same facility
+#: densities (|P| / |E| from ~0.11 to ~0.9) as the paper's 25K-200K sweep, so
+#: the trends are directly comparable.  The whole ``pytest benchmarks/
+#: --benchmark-only`` run stays in the low minutes.
+BENCH_SCALE = ExperimentScale(
+    name="bench",
+    num_nodes=1600,
+    facility_counts=(230, 460, 920, 1380, 1840),
+    default_facilities=920,
+    cost_type_counts=(2, 3, 4, 5),
+    default_cost_types=4,
+    buffer_fractions=(0.0, 0.005, 0.01, 0.015, 0.02),
+    default_buffer_fraction=0.01,
+    k_values=(1, 2, 4, 8, 16),
+    default_k=4,
+    num_queries=4,
+    page_size=1024,
+    seed=7,
+)
+
+
+def report_series(benchmark, series: ExperimentSeries) -> None:
+    """Print the figure's table and attach it to the benchmark record."""
+    table = format_series_table(series)
+    speedups = summarize_speedups(series)
+    print()
+    print(table, end="")
+    if speedups:
+        print(speedups)
+    benchmark.extra_info["figure"] = series.figure
+    benchmark.extra_info["table"] = table
+    if speedups:
+        benchmark.extra_info["speedups"] = speedups
+
+
+def cea_wins_everywhere(series: ExperimentSeries) -> bool:
+    """True when CEA needs no more page reads than LSA at every sweep point."""
+    return all(
+        row.metric("cea", "mean_page_reads") <= row.metric("lsa", "mean_page_reads")
+        for row in series.rows
+    )
+
+
+def metric_curve(series: ExperimentSeries, algorithm: str, metric: str = "mean_page_reads"):
+    """The list of metric values along the sweep, in sweep order."""
+    return [row.metric(algorithm, metric) for row in series.rows]

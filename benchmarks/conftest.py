@@ -1,0 +1,9 @@
+"""Pytest configuration for the benchmark suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow ``import _common`` regardless of the directory pytest is invoked from.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

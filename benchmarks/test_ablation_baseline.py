@@ -1,0 +1,25 @@
+"""Ablation (Section IV introduction): LSA/CEA versus the straightforward baseline.
+
+The baseline performs d complete network expansions and then a conventional
+skyline; the paper dismisses it as prohibitively expensive because it reads
+the entire database d times.  This benchmark quantifies that gap on the
+default workload: both LSA and CEA must beat the baseline by a wide margin.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_SCALE, report_series
+
+from repro.bench.experiments import ablation_versus_baseline
+
+
+def test_ablation_versus_baseline(benchmark):
+    series = benchmark.pedantic(lambda: ablation_versus_baseline(BENCH_SCALE), rounds=1, iterations=1)
+    report_series(benchmark, series)
+    trial = series.rows[0].trial
+    baseline = trial.measurements["baseline"].mean_page_reads
+    lsa = trial.measurements["lsa"].mean_page_reads
+    cea = trial.measurements["cea"].mean_page_reads
+    assert cea < lsa < baseline
+    assert baseline / lsa > 2.0, "the local search should read far less than the full baseline"
+    assert baseline / cea > 4.0

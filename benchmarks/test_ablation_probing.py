@@ -1,0 +1,26 @@
+"""Ablation (Section IV-A discussion, Figure 4): expansion probing policies.
+
+The paper argues for round-robin probing because smallest-first (or
+largest-first) lets one cost type monopolise the search, delaying the first
+pin and inflating the candidate set.  This ablation regenerates that
+comparison: round-robin should need no more page reads than the
+skewed policies on the anti-correlated default workload.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_SCALE, report_series
+
+from repro.bench.experiments import ablation_probing_policy
+
+
+def test_ablation_probing_policy(benchmark):
+    series = benchmark.pedantic(lambda: ablation_probing_policy(BENCH_SCALE), rounds=1, iterations=1)
+    report_series(benchmark, series)
+    by_policy = {row.value: row for row in series.rows}
+    round_robin = by_policy["round-robin"].metric("lsa")
+    smallest = by_policy["smallest-first"].metric("lsa")
+    largest = by_policy["largest-first"].metric("lsa")
+    # Round-robin should not lose badly to either skewed policy (allow 10 % noise).
+    assert round_robin <= smallest * 1.1
+    assert round_robin <= largest * 1.1

@@ -1,0 +1,25 @@
+"""Figure 10(a): top-k processing cost versus the number of facilities |P|.
+
+Paper's shape: like the skyline case, sparse facility sets are the most
+expensive; CEA is 2-3.4x cheaper than LSA, with the gap widest on sparse
+networks where more nodes/edges are (re-)read.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_SCALE, cea_wins_everywhere, metric_curve, report_series
+
+from repro.bench.experiments import effect_of_facilities
+
+
+def test_fig10a_topk_effect_of_facilities(benchmark):
+    series = benchmark.pedantic(
+        lambda: effect_of_facilities("top-k", BENCH_SCALE), rounds=1, iterations=1
+    )
+    report_series(benchmark, series)
+    assert cea_wins_everywhere(series)
+    for algorithm in ("lsa", "cea"):
+        curve = metric_curve(series, algorithm)
+        assert curve[0] >= curve[-1], f"{algorithm}: the sparsest |P| should be the most expensive"
+    # Every sweep point returns exactly k facilities.
+    assert all(row.metric("cea", "mean_result_size") == BENCH_SCALE.default_k for row in series.rows)

@@ -1,0 +1,23 @@
+"""Figure 10(b): top-k processing cost versus the number of cost types d.
+
+Paper's shape: more cost types mean more expansions and later pinning, so the
+cost rises with d for both algorithms; CEA stays ahead and its advantage
+grows with d.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_SCALE, cea_wins_everywhere, metric_curve, report_series
+
+from repro.bench.experiments import effect_of_cost_types
+
+
+def test_fig10b_topk_effect_of_cost_types(benchmark):
+    series = benchmark.pedantic(
+        lambda: effect_of_cost_types("top-k", BENCH_SCALE), rounds=1, iterations=1
+    )
+    report_series(benchmark, series)
+    assert cea_wins_everywhere(series)
+    for algorithm in ("lsa", "cea"):
+        curve = metric_curve(series, algorithm)
+        assert curve[-1] > curve[0], f"{algorithm} should get more expensive as d grows"

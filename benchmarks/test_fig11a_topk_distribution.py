@@ -1,0 +1,23 @@
+"""Figure 11(a): top-k processing cost versus the edge-cost distribution.
+
+Paper's shape: anti-correlated is the most expensive, correlated the cheapest
+(the k pinned facilities are found close under every cost type, and the
+lower-bound pruning of candidates is very effective).  CEA wins everywhere.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_SCALE, cea_wins_everywhere, report_series
+
+from repro.bench.experiments import effect_of_distribution
+
+
+def test_fig11a_topk_effect_of_distribution(benchmark):
+    series = benchmark.pedantic(
+        lambda: effect_of_distribution("top-k", BENCH_SCALE), rounds=1, iterations=1
+    )
+    report_series(benchmark, series)
+    assert cea_wins_everywhere(series)
+    by_value = {row.value: row for row in series.rows}
+    for algorithm in ("lsa", "cea"):
+        assert by_value["anti-correlated"].metric(algorithm) >= by_value["correlated"].metric(algorithm)

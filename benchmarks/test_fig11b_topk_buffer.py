@@ -1,0 +1,22 @@
+"""Figure 11(b): top-k processing cost versus the LRU buffer size (0 %-2 %).
+
+Paper's shape: performance of both methods improves as the buffer grows;
+CEA is up to ~3.4x faster with no buffer and still ~1.8x faster at 2 %.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_SCALE, cea_wins_everywhere, metric_curve, report_series
+
+from repro.bench.experiments import effect_of_buffer
+
+
+def test_fig11b_topk_effect_of_buffer(benchmark):
+    series = benchmark.pedantic(
+        lambda: effect_of_buffer("top-k", BENCH_SCALE), rounds=1, iterations=1
+    )
+    report_series(benchmark, series)
+    assert cea_wins_everywhere(series)
+    for algorithm in ("lsa", "cea"):
+        curve = metric_curve(series, algorithm)
+        assert curve[0] >= curve[-1], f"{algorithm}: 0% buffer should cost at least as much as 2%"

@@ -1,0 +1,24 @@
+"""Figure 12: top-k processing cost versus k (1 to 16).
+
+Paper's shape: a larger k means more facilities pinned in the growing stage
+and more candidates in the shrinking stage, so both algorithms get more
+expensive; the broader expansion exacerbates LSA's multiple-read problem, so
+the gap grows to ~3.4x at k=16.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_SCALE, cea_wins_everywhere, metric_curve, report_series
+
+from repro.bench.experiments import effect_of_k
+
+
+def test_fig12_topk_effect_of_k(benchmark):
+    series = benchmark.pedantic(lambda: effect_of_k(BENCH_SCALE), rounds=1, iterations=1)
+    report_series(benchmark, series)
+    assert cea_wins_everywhere(series)
+    for algorithm in ("lsa", "cea"):
+        curve = metric_curve(series, algorithm)
+        assert curve[-1] >= curve[0], f"{algorithm}: k=16 should cost at least as much as k=1"
+    # Result sizes track k.
+    assert [row.metric("cea", "mean_result_size") for row in series.rows] == list(BENCH_SCALE.k_values)

@@ -1,0 +1,27 @@
+"""Figure 8(a): skyline processing cost versus the number of facilities |P|.
+
+Paper's shape: both algorithms get *cheaper* as the facility set grows
+(sparser facility sets force the expansions to traverse more of the network
+before the next nearest facility appears), and CEA beats LSA at every |P|
+by a factor of roughly 2-4x.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_SCALE, cea_wins_everywhere, metric_curve, report_series
+
+from repro.bench.experiments import effect_of_facilities
+
+
+def test_fig8a_skyline_effect_of_facilities(benchmark):
+    series = benchmark.pedantic(
+        lambda: effect_of_facilities("skyline", BENCH_SCALE), rounds=1, iterations=1
+    )
+    report_series(benchmark, series)
+    assert cea_wins_everywhere(series)
+    # Sparse facility sets must not be cheaper than the densest one (paper's
+    # counter-intuitive trend: small |P| means more network traversed per NN).
+    cea_curve = metric_curve(series, "cea")
+    assert cea_curve[0] >= cea_curve[-1]
+    lsa_curve = metric_curve(series, "lsa")
+    assert lsa_curve[0] >= lsa_curve[-1]

@@ -1,0 +1,26 @@
+"""Figure 8(b): skyline processing cost versus the number of cost types d.
+
+Paper's shape: cost rises with d for both algorithms (more expansions, later
+pinning, larger candidate sets) and the CEA-over-LSA advantage widens as d
+grows, because LSA re-reads each node's adjacency up to d times.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_SCALE, cea_wins_everywhere, metric_curve, report_series
+
+from repro.bench.experiments import effect_of_cost_types
+
+
+def test_fig8b_skyline_effect_of_cost_types(benchmark):
+    series = benchmark.pedantic(
+        lambda: effect_of_cost_types("skyline", BENCH_SCALE), rounds=1, iterations=1
+    )
+    report_series(benchmark, series)
+    assert cea_wins_everywhere(series)
+    for algorithm in ("lsa", "cea"):
+        curve = metric_curve(series, algorithm)
+        assert curve[-1] > curve[0], f"{algorithm} should get more expensive as d grows"
+    # The LSA/CEA gap at d=5 should be at least as large as at d=2.
+    ratios = [row.trial.speedup() for row in series.rows]
+    assert ratios[-1] >= ratios[0] * 0.9

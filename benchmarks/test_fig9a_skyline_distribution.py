@@ -1,0 +1,31 @@
+"""Figure 9(a): skyline processing cost versus the edge-cost distribution.
+
+Paper's shape: anti-correlated costs are the most expensive (facilities close
+under one cost tend to be far under the others, so fewer dominations, more
+candidates, larger skylines); correlated costs are the cheapest; independent
+sits in between.  CEA wins under every distribution.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_SCALE, cea_wins_everywhere, report_series
+
+from repro.bench.experiments import effect_of_distribution
+
+
+def test_fig9a_skyline_effect_of_distribution(benchmark):
+    series = benchmark.pedantic(
+        lambda: effect_of_distribution("skyline", BENCH_SCALE), rounds=1, iterations=1
+    )
+    report_series(benchmark, series)
+    assert cea_wins_everywhere(series)
+    by_value = {row.value: row for row in series.rows}
+    for algorithm in ("lsa", "cea"):
+        anti = by_value["anti-correlated"].metric(algorithm)
+        correlated = by_value["correlated"].metric(algorithm)
+        assert anti >= correlated, f"{algorithm}: anti-correlated should cost at least as much"
+    # Anti-correlated costs also produce the largest skylines.
+    assert (
+        by_value["anti-correlated"].metric("cea", "mean_result_size")
+        >= by_value["correlated"].metric("cea", "mean_result_size")
+    )

@@ -1,0 +1,28 @@
+"""Figure 9(b): skyline processing cost versus the LRU buffer size (0 %-2 %).
+
+Paper's shape: both algorithms benefit from a larger buffer, LSA more so
+(its repeated reads of the same pages increasingly hit the buffer), and the
+no-buffer configuration is by far the most expensive.
+"""
+
+from __future__ import annotations
+
+from _common import BENCH_SCALE, cea_wins_everywhere, metric_curve, report_series
+
+from repro.bench.experiments import effect_of_buffer
+
+
+def test_fig9b_skyline_effect_of_buffer(benchmark):
+    series = benchmark.pedantic(
+        lambda: effect_of_buffer("skyline", BENCH_SCALE), rounds=1, iterations=1
+    )
+    report_series(benchmark, series)
+    assert cea_wins_everywhere(series)
+    for algorithm in ("lsa", "cea"):
+        curve = metric_curve(series, algorithm)
+        assert curve[0] >= curve[-1], f"{algorithm}: 0% buffer should cost at least as much as 2%"
+    # LSA must benefit from the buffer at least as much as CEA in absolute terms
+    # (its multiple-read problem is what the buffer absorbs).
+    lsa_curve = metric_curve(series, "lsa")
+    cea_curve = metric_curve(series, "cea")
+    assert (lsa_curve[0] - lsa_curve[-1]) >= (cea_curve[0] - cea_curve[-1]) * 0.5

@@ -1,0 +1,82 @@
+"""Quickstart: build a small multi-cost network and ask the two preference queries.
+
+The scenario is the paper's Figure 1 in miniature: a port (the query
+location) and candidate warehouse sites (facilities), where every road
+segment has two costs — driving time and monetary cost (tolls + fuel).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import FacilitySet, MCNQueryEngine, MultiCostGraph, NetworkLocation
+
+
+def build_network() -> tuple[MultiCostGraph, FacilitySet]:
+    """A hand-crafted 9-node network with two cost types: (minutes, dollars)."""
+    graph = MultiCostGraph(num_cost_types=2)
+    # A 3x3 grid of intersections; coordinates only matter for display.
+    for node_id in range(9):
+        graph.add_node(node_id, x=(node_id % 3) * 100.0, y=(node_id // 3) * 100.0)
+
+    # Horizontal and vertical streets.  The "highway" edges (marked) are fast
+    # but tolled; the side streets are slow but free.
+    edges = [
+        (0, 1, (4.0, 0.0)),
+        (1, 2, (4.0, 0.0)),
+        (3, 4, (2.0, 1.0)),  # highway segment: fast, 1 $ toll
+        (4, 5, (2.0, 1.0)),  # highway segment
+        (6, 7, (5.0, 0.0)),
+        (7, 8, (5.0, 0.0)),
+        (0, 3, (3.0, 0.0)),
+        (3, 6, (3.0, 0.0)),
+        (1, 4, (3.0, 0.0)),
+        (4, 7, (3.0, 0.0)),
+        (2, 5, (3.0, 0.0)),
+        (5, 8, (3.0, 0.0)),
+    ]
+    for u, v, costs in edges:
+        graph.add_edge(u, v, costs)
+
+    facilities = FacilitySet(graph)
+    # Three candidate warehouse sites, each placed halfway along an edge.
+    facilities.add_on_edge(0, graph.edge_between(1, 2).edge_id, offset=2.0, attributes={"name": "North-East lot"})
+    facilities.add_on_edge(1, graph.edge_between(4, 5).edge_id, offset=1.0, attributes={"name": "Highway lot"})
+    facilities.add_on_edge(2, graph.edge_between(7, 8).edge_id, offset=2.5, attributes={"name": "South-East lot"})
+    return graph, facilities
+
+
+def main() -> None:
+    graph, facilities = build_network()
+    engine = MCNQueryEngine(graph, facilities)
+
+    # The port sits at node 3 (west side of the network).
+    port = NetworkLocation.at_node(3)
+
+    print("=== MCN skyline: warehouses that are not dominated in (time, cost) ===")
+    skyline = engine.skyline(port, algorithm="cea")
+    for member in skyline:
+        name = facilities.facility(member.facility_id).attributes.get("name", "?")
+        time_cost = ", ".join("?" if c is None else f"{c:.1f}" for c in member.costs)
+        print(f"  facility {member.facility_id} ({name}): costs = ({time_cost})")
+
+    print()
+    print("=== Top-2 under f = 0.9 * time + 0.1 * dollars (mostly time-sensitive goods) ===")
+    best = engine.top_k(port, k=2, weights=[0.9, 0.1])
+    for rank, item in enumerate(best, start=1):
+        name = facilities.facility(item.facility_id).attributes.get("name", "?")
+        print(f"  #{rank}: facility {item.facility_id} ({name}) with aggregate cost {item.score:.2f}")
+
+    print()
+    print("=== Incremental retrieval (no k fixed in advance) ===")
+    stream = engine.iter_top(port, weights=[0.5, 0.5])
+    for rank, item in enumerate(stream, start=1):
+        print(f"  next best: facility {item.facility_id} with aggregate cost {item.score:.2f}")
+        if rank == len(facilities):
+            break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Reproduce the paper's Section-VI experiment suite and print every table.
+
+This drives the same experiment registry the benchmarks use, at the "small"
+scale so that the full sweep finishes in a couple of minutes on a laptop.
+Pass ``--scale default`` for the larger (slower) configuration, or a list of
+experiment names to run a subset::
+
+    python examples/reproduce_experiments.py fig8a fig12
+    python examples/reproduce_experiments.py --scale default
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import (
+    DEFAULT_SCALE,
+    EXPERIMENTS,
+    SMALL_SCALE,
+    format_series_table,
+    run_experiment,
+    summarize_speedups,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", default=[], help="experiment names (default: all)")
+    parser.add_argument("--scale", choices=("small", "default"), default="small")
+    args = parser.parse_args()
+
+    scale = SMALL_SCALE if args.scale == "small" else DEFAULT_SCALE
+    names = args.experiments or sorted(EXPERIMENTS)
+    for name in names:
+        series = run_experiment(name, scale)
+        print(format_series_table(series))
+        speedups = summarize_speedups(series)
+        if speedups:
+            print(speedups)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim so editable installs work on environments without the wheel package."""
+
+from setuptools import setup
+
+setup()

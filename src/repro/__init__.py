@@ -1,0 +1,79 @@
+"""repro: preference queries in large multi-cost transportation networks.
+
+A from-scratch reproduction of Mouratidis, Lin & Yiu, "Preference Queries in
+Large Multi-Cost Transportation Networks" (ICDE 2010): skyline and top-k
+queries over facilities located on a road network whose edges carry multiple
+cost types, processed with the Local Search Algorithm (LSA) and the Combined
+Expansion Algorithm (CEA) over a disk-resident storage scheme.
+
+Typical usage::
+
+    from repro import MCNQueryEngine, NetworkLocation
+    from repro.datagen import WorkloadSpec, make_workload
+
+    workload = make_workload(WorkloadSpec(num_nodes=900, num_facilities=300))
+    engine = MCNQueryEngine(workload.graph, workload.facilities, use_disk=True)
+    query = workload.queries[0]
+
+    skyline = engine.skyline(query, algorithm="cea")
+    best = engine.top_k(query, k=4, weights=[0.4, 0.3, 0.2, 0.1])
+"""
+
+from repro.core.aggregates import MaxCost, WeightedLpNorm, WeightedSum
+from repro.core.engine import MCNQueryEngine
+from repro.core.incremental import IncrementalTopK
+from repro.core.maintenance import SkylineMaintainer, TopKMaintainer
+from repro.core.results import (
+    QueryStatistics,
+    RankedFacility,
+    SkylineFacility,
+    SkylineResult,
+    TopKResult,
+)
+from repro.core.skyline import ProbingPolicy
+from repro.errors import (
+    DataGenerationError,
+    FacilityError,
+    GraphError,
+    LocationError,
+    QueryError,
+    ReproError,
+    StorageError,
+)
+from repro.network.costs import CostVector
+from repro.network.facilities import Facility, FacilitySet
+from repro.network.graph import MultiCostGraph
+from repro.network.location import NetworkLocation
+from repro.storage.scheme import NetworkStorage
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostVector",
+    "DataGenerationError",
+    "Facility",
+    "FacilityError",
+    "FacilitySet",
+    "GraphError",
+    "IncrementalTopK",
+    "LocationError",
+    "MaxCost",
+    "MCNQueryEngine",
+    "MultiCostGraph",
+    "NetworkLocation",
+    "NetworkStorage",
+    "ProbingPolicy",
+    "QueryError",
+    "QueryStatistics",
+    "RankedFacility",
+    "ReproError",
+    "SkylineFacility",
+    "SkylineMaintainer",
+    "SkylineResult",
+    "StorageError",
+    "TopKMaintainer",
+    "TopKResult",
+    "WeightedLpNorm",
+    "WeightedSum",
+    "__version__",
+]

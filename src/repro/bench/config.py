@@ -1,0 +1,150 @@
+"""Experiment configurations mirroring Section VI of the paper.
+
+The paper's experiments run on the San Francisco network (about 175 K nodes)
+with facility sets of 25 K–200 K, all on a physical disk.  A pure-Python
+simulator cannot run that scale in reasonable wall-clock time, so each
+experiment is expressed relative to an :class:`ExperimentScale` that shrinks
+every population by a constant factor while keeping the *ratios* the paper
+varies (facility density, number of cost types, buffer fraction, k) intact.
+``PAPER_SCALE`` documents the original values; ``SMALL_SCALE`` and
+``DEFAULT_SCALE`` are what the test-suite benches and the full harness use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.datagen.cost_models import CostDistribution
+from repro.errors import QueryError
+
+__all__ = [
+    "ExperimentScale",
+    "ExperimentConfig",
+    "PAPER_SCALE",
+    "DEFAULT_SCALE",
+    "SMALL_SCALE",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Population sizes and sweep ranges for one scale of the experiment suite."""
+
+    name: str
+    num_nodes: int
+    facility_counts: tuple[int, ...]
+    default_facilities: int
+    cost_type_counts: tuple[int, ...]
+    default_cost_types: int
+    buffer_fractions: tuple[float, ...]
+    default_buffer_fraction: float
+    k_values: tuple[int, ...]
+    default_k: int
+    num_queries: int
+    page_size: int
+    seed: int = 7
+
+    def sweep_facilities(self) -> tuple[int, ...]:
+        return self.facility_counts
+
+    def sweep_cost_types(self) -> tuple[int, ...]:
+        return self.cost_type_counts
+
+    def sweep_buffers(self) -> tuple[float, ...]:
+        return self.buffer_fractions
+
+    def sweep_k(self) -> tuple[int, ...]:
+        return self.k_values
+
+
+#: The populations used by the paper itself (documented for reference; running
+#: them in pure Python is possible but takes hours per figure).
+PAPER_SCALE = ExperimentScale(
+    name="paper",
+    num_nodes=174_956,
+    facility_counts=(25_000, 50_000, 100_000, 150_000, 200_000),
+    default_facilities=100_000,
+    cost_type_counts=(2, 3, 4, 5),
+    default_cost_types=4,
+    buffer_fractions=(0.0, 0.005, 0.01, 0.015, 0.02),
+    default_buffer_fraction=0.01,
+    k_values=(1, 2, 4, 8, 16),
+    default_k=4,
+    num_queries=100,
+    page_size=4096,
+)
+
+#: Default scale for the full benchmark harness (~1:70 of the paper).
+DEFAULT_SCALE = ExperimentScale(
+    name="default",
+    num_nodes=2_500,
+    facility_counts=(350, 700, 1_400, 2_100, 2_800),
+    default_facilities=1_400,
+    cost_type_counts=(2, 3, 4, 5),
+    default_cost_types=4,
+    buffer_fractions=(0.0, 0.005, 0.01, 0.015, 0.02),
+    default_buffer_fraction=0.01,
+    k_values=(1, 2, 4, 8, 16),
+    default_k=4,
+    num_queries=10,
+    page_size=1024,
+)
+
+#: Small scale used by pytest-benchmark targets so the suite stays fast.
+SMALL_SCALE = ExperimentScale(
+    name="small",
+    num_nodes=900,
+    facility_counts=(120, 240, 480, 720, 960),
+    default_facilities=480,
+    cost_type_counts=(2, 3, 4, 5),
+    default_cost_types=4,
+    buffer_fractions=(0.0, 0.005, 0.01, 0.015, 0.02),
+    default_buffer_fraction=0.01,
+    k_values=(1, 2, 4, 8, 16),
+    default_k=4,
+    num_queries=4,
+    page_size=1024,
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One fully specified experimental configuration (one point of a sweep)."""
+
+    num_nodes: int = 2_500
+    num_facilities: int = 1_400
+    num_cost_types: int = 4
+    distribution: CostDistribution = CostDistribution.ANTI_CORRELATED
+    buffer_fraction: float = 0.01
+    page_size: int = 1024
+    k: int = 4
+    num_queries: int = 10
+    num_clusters: int = 10
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_cost_types < 1:
+            raise QueryError("at least one cost type is required")
+        if self.k < 1:
+            raise QueryError("k must be positive")
+        if self.num_queries < 1:
+            raise QueryError("at least one query location is required")
+
+    @classmethod
+    def defaults_for(cls, scale: ExperimentScale) -> "ExperimentConfig":
+        """The paper's default parameter setting expressed at the given scale."""
+        return cls(
+            num_nodes=scale.num_nodes,
+            num_facilities=scale.default_facilities,
+            num_cost_types=scale.default_cost_types,
+            distribution=CostDistribution.ANTI_CORRELATED,
+            buffer_fraction=scale.default_buffer_fraction,
+            page_size=scale.page_size,
+            k=scale.default_k,
+            num_queries=scale.num_queries,
+            seed=scale.seed,
+        )
+
+    def with_(self, **changes: object) -> "ExperimentConfig":
+        """A copy of the configuration with the given fields replaced."""
+        return replace(self, **changes)

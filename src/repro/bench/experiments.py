@@ -1,0 +1,216 @@
+"""Per-figure experiment drivers for Section VI of the paper.
+
+Each function sweeps the parameter of the corresponding figure, runs LSA and
+CEA over the same workload/query set at every sweep point, and returns an
+:class:`ExperimentSeries` whose rows carry the averaged metrics.  The
+benchmark targets under ``benchmarks/`` and the CLI both call into this
+module, and ``EXPERIMENTS.md`` is produced from its output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+
+from repro.bench.config import DEFAULT_SCALE, ExperimentConfig, ExperimentScale
+from repro.bench.runner import TrialResult, build_environment, run_skyline_trial, run_topk_trial
+from repro.core.skyline import ProbingPolicy
+from repro.datagen.cost_models import CostDistribution
+from repro.errors import QueryError
+
+__all__ = [
+    "ExperimentRow",
+    "ExperimentSeries",
+    "effect_of_facilities",
+    "effect_of_cost_types",
+    "effect_of_distribution",
+    "effect_of_buffer",
+    "effect_of_k",
+    "ablation_probing_policy",
+    "ablation_versus_baseline",
+    "EXPERIMENTS",
+    "run_experiment",
+]
+
+
+@dataclass
+class ExperimentRow:
+    """One sweep point: the parameter value plus the per-algorithm trial metrics."""
+
+    parameter: str
+    value: object
+    trial: TrialResult
+
+    def metric(self, algorithm: str, name: str = "mean_page_reads") -> float:
+        return getattr(self.trial.measurements[algorithm], name)
+
+
+@dataclass
+class ExperimentSeries:
+    """All sweep points of one figure."""
+
+    experiment_id: str
+    figure: str
+    query_type: str
+    parameter: str
+    rows: list[ExperimentRow] = field(default_factory=list)
+
+    def algorithms(self) -> list[str]:
+        return list(self.rows[0].trial.measurements) if self.rows else []
+
+    def series(self, algorithm: str, metric: str = "mean_page_reads") -> list[tuple[object, float]]:
+        """The ``(parameter value, metric)`` curve of one algorithm — a figure line."""
+        return [(row.value, row.metric(algorithm, metric)) for row in self.rows]
+
+
+def _sweep(
+    experiment_id: str,
+    figure: str,
+    query_type: str,
+    parameter: str,
+    values: Sequence[object],
+    make_config: Callable[[object], ExperimentConfig],
+    *,
+    algorithms: tuple[str, ...] = ("lsa", "cea"),
+    probing: ProbingPolicy = ProbingPolicy.ROUND_ROBIN,
+) -> ExperimentSeries:
+    series = ExperimentSeries(experiment_id, figure, query_type, parameter)
+    for value in values:
+        config = make_config(value)
+        if query_type == "skyline":
+            trial = run_skyline_trial(config, algorithms=algorithms, probing=probing)
+        else:
+            trial = run_topk_trial(config, algorithms=algorithms)
+        series.rows.append(ExperimentRow(parameter, value, trial))
+    return series
+
+
+def effect_of_facilities(
+    query_type: str, scale: ExperimentScale = DEFAULT_SCALE
+) -> ExperimentSeries:
+    """Figures 8(a) / 10(a): processing cost versus the number of facilities |P|."""
+    base = ExperimentConfig.defaults_for(scale)
+    figure = "Fig. 8(a)" if query_type == "skyline" else "Fig. 10(a)"
+    experiment_id = "E1" if query_type == "skyline" else "E5"
+    return _sweep(
+        experiment_id,
+        figure,
+        query_type,
+        "|P|",
+        scale.sweep_facilities(),
+        lambda count: base.with_(num_facilities=int(count)),
+    )
+
+
+def effect_of_cost_types(
+    query_type: str, scale: ExperimentScale = DEFAULT_SCALE
+) -> ExperimentSeries:
+    """Figures 8(b) / 10(b): processing cost versus the number of cost types d."""
+    base = ExperimentConfig.defaults_for(scale)
+    figure = "Fig. 8(b)" if query_type == "skyline" else "Fig. 10(b)"
+    experiment_id = "E2" if query_type == "skyline" else "E6"
+    return _sweep(
+        experiment_id,
+        figure,
+        query_type,
+        "d",
+        scale.sweep_cost_types(),
+        lambda d: base.with_(num_cost_types=int(d)),
+    )
+
+
+def effect_of_distribution(
+    query_type: str, scale: ExperimentScale = DEFAULT_SCALE
+) -> ExperimentSeries:
+    """Figures 9(a) / 11(a): processing cost versus the edge-cost distribution."""
+    base = ExperimentConfig.defaults_for(scale)
+    figure = "Fig. 9(a)" if query_type == "skyline" else "Fig. 11(a)"
+    experiment_id = "E3" if query_type == "skyline" else "E7"
+    distributions = (
+        CostDistribution.ANTI_CORRELATED,
+        CostDistribution.INDEPENDENT,
+        CostDistribution.CORRELATED,
+    )
+    return _sweep(
+        experiment_id,
+        figure,
+        query_type,
+        "distribution",
+        [d.value for d in distributions],
+        lambda name: base.with_(distribution=CostDistribution.parse(str(name))),
+    )
+
+
+def effect_of_buffer(
+    query_type: str, scale: ExperimentScale = DEFAULT_SCALE
+) -> ExperimentSeries:
+    """Figures 9(b) / 11(b): processing cost versus the LRU buffer size (0 %–2 %)."""
+    base = ExperimentConfig.defaults_for(scale)
+    figure = "Fig. 9(b)" if query_type == "skyline" else "Fig. 11(b)"
+    experiment_id = "E4" if query_type == "skyline" else "E8"
+    return _sweep(
+        experiment_id,
+        figure,
+        query_type,
+        "buffer %",
+        [fraction * 100 for fraction in scale.sweep_buffers()],
+        lambda percent: base.with_(buffer_fraction=float(percent) / 100.0),
+    )
+
+
+def effect_of_k(scale: ExperimentScale = DEFAULT_SCALE) -> ExperimentSeries:
+    """Figure 12: top-k processing cost versus k."""
+    base = ExperimentConfig.defaults_for(scale)
+    return _sweep(
+        "E9",
+        "Fig. 12",
+        "top-k",
+        "k",
+        scale.sweep_k(),
+        lambda k: base.with_(k=int(k)),
+    )
+
+
+def ablation_probing_policy(scale: ExperimentScale = DEFAULT_SCALE) -> ExperimentSeries:
+    """Extra experiment E10: round-robin versus smallest-/largest-first probing (Fig. 4 discussion)."""
+    base = ExperimentConfig.defaults_for(scale)
+    series = ExperimentSeries("E10", "Section IV-A discussion", "skyline", "probing policy")
+    environment = build_environment(base)
+    for policy in (ProbingPolicy.ROUND_ROBIN, ProbingPolicy.SMALLEST_FIRST, ProbingPolicy.LARGEST_FIRST):
+        trial = run_skyline_trial(base, algorithms=("lsa", "cea"), probing=policy, environment=environment)
+        series.rows.append(ExperimentRow("probing policy", policy.value, trial))
+    return series
+
+
+def ablation_versus_baseline(scale: ExperimentScale = DEFAULT_SCALE) -> ExperimentSeries:
+    """Extra experiment E11: LSA/CEA against the straightforward d-full-expansion baseline."""
+    base = ExperimentConfig.defaults_for(scale)
+    series = ExperimentSeries("E11", "Section IV introduction", "skyline", "algorithm set")
+    trial = run_skyline_trial(base, algorithms=("baseline", "lsa", "cea"))
+    series.rows.append(ExperimentRow("algorithm set", "baseline vs LSA vs CEA", trial))
+    return series
+
+
+#: Registry used by the CLI: experiment id -> (description, callable(scale) -> series).
+EXPERIMENTS: dict[str, tuple[str, Callable[[ExperimentScale], ExperimentSeries]]] = {
+    "fig8a": ("skyline: effect of |P|", lambda scale: effect_of_facilities("skyline", scale)),
+    "fig8b": ("skyline: effect of d", lambda scale: effect_of_cost_types("skyline", scale)),
+    "fig9a": ("skyline: effect of cost distribution", lambda scale: effect_of_distribution("skyline", scale)),
+    "fig9b": ("skyline: effect of buffer size", lambda scale: effect_of_buffer("skyline", scale)),
+    "fig10a": ("top-k: effect of |P|", lambda scale: effect_of_facilities("top-k", scale)),
+    "fig10b": ("top-k: effect of d", lambda scale: effect_of_cost_types("top-k", scale)),
+    "fig11a": ("top-k: effect of cost distribution", lambda scale: effect_of_distribution("top-k", scale)),
+    "fig11b": ("top-k: effect of buffer size", lambda scale: effect_of_buffer("top-k", scale)),
+    "fig12": ("top-k: effect of k", effect_of_k),
+    "ablation-probing": ("ablation: probing policy", ablation_probing_policy),
+    "ablation-baseline": ("ablation: LSA/CEA vs straightforward baseline", ablation_versus_baseline),
+}
+
+
+def run_experiment(name: str, scale: ExperimentScale = DEFAULT_SCALE) -> ExperimentSeries:
+    """Run one named experiment (see :data:`EXPERIMENTS` for the registry)."""
+    try:
+        _description, factory = EXPERIMENTS[name]
+    except KeyError:
+        raise QueryError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}") from None
+    return factory(scale)

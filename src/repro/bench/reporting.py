@@ -1,0 +1,73 @@
+"""Text reporting of experiment series: aligned tables and CSV export."""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Sequence
+
+from repro.bench.experiments import ExperimentSeries
+
+__all__ = ["format_series_table", "series_to_csv", "summarize_speedups"]
+
+_METRICS = (
+    ("mean_page_reads", "page reads"),
+    ("mean_elapsed_seconds", "time (s)"),
+    ("mean_result_size", "result size"),
+)
+
+
+def format_series_table(series: ExperimentSeries, *, metrics: Sequence[tuple[str, str]] = _METRICS) -> str:
+    """An aligned text table of the series, one row per sweep point per algorithm."""
+    header = [series.parameter, "algorithm"] + [label for _name, label in metrics]
+    rows: list[list[str]] = []
+    for row in series.rows:
+        for algorithm in row.trial.measurements:
+            cells = [str(row.value), algorithm]
+            for name, _label in metrics:
+                value = row.metric(algorithm, name)
+                cells.append(f"{value:.4f}" if name == "mean_elapsed_seconds" else f"{value:.1f}")
+            rows.append(cells)
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i]) for i in range(len(header))]
+    output = io.StringIO()
+    title = f"{series.experiment_id} — {series.figure} ({series.query_type}, vary {series.parameter})"
+    output.write(title + "\n")
+    output.write("-" * len(title) + "\n")
+    output.write("  ".join(header[i].ljust(widths[i]) for i in range(len(header))) + "\n")
+    for cells in rows:
+        output.write("  ".join(cells[i].ljust(widths[i]) for i in range(len(cells))) + "\n")
+    return output.getvalue()
+
+
+def series_to_csv(series: ExperimentSeries) -> str:
+    """A CSV rendering of the series (one line per sweep point per algorithm)."""
+    lines = ["experiment,figure,query_type,parameter,value,algorithm,page_reads,buffer_hits,elapsed_seconds,result_size"]
+    for row in series.rows:
+        for algorithm, measurement in row.trial.measurements.items():
+            lines.append(
+                ",".join(
+                    str(part)
+                    for part in (
+                        series.experiment_id,
+                        series.figure.replace(",", " "),
+                        series.query_type,
+                        series.parameter,
+                        row.value,
+                        algorithm,
+                        f"{measurement.mean_page_reads:.2f}",
+                        f"{measurement.mean_buffer_hits:.2f}",
+                        f"{measurement.mean_elapsed_seconds:.6f}",
+                        f"{measurement.mean_result_size:.2f}",
+                    )
+                )
+            )
+    return "\n".join(lines) + "\n"
+
+
+def summarize_speedups(series: ExperimentSeries, *, slower: str = "lsa", faster: str = "cea") -> str:
+    """One line per sweep point with the LSA/CEA page-read ratio (the paper's headline metric)."""
+    lines = []
+    for row in series.rows:
+        if slower in row.trial.measurements and faster in row.trial.measurements:
+            ratio = row.trial.speedup(slower, faster)
+            lines.append(f"{series.parameter}={row.value}: {slower}/{faster} page-read ratio = {ratio:.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,195 @@
+"""Execution of one experimental configuration: build data, run queries, average metrics.
+
+The paper reports total processing time, dominated by I/O.  In a simulated
+environment the deterministic analogue of I/O time is the number of page
+reads issued against the storage layer, so the runner records both wall-clock
+time and page reads (plus buffer hits, nearest-neighbour retrievals and
+result sizes) averaged over the configuration's query locations.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.config import ExperimentConfig
+from repro.core.aggregates import WeightedSum
+from repro.core.baseline import baseline_skyline, baseline_top_k
+from repro.core.skyline import ProbingPolicy, MCNSkylineSearch
+from repro.core.topk import MCNTopKSearch
+from repro.datagen.cost_models import CostDistribution
+from repro.datagen.workload import Workload, WorkloadSpec, make_workload
+from repro.errors import QueryError
+from repro.storage.scheme import NetworkStorage
+
+__all__ = [
+    "AlgorithmMeasurement",
+    "TrialResult",
+    "build_environment",
+    "run_skyline_trial",
+    "run_topk_trial",
+]
+
+SKYLINE_ALGORITHMS = ("lsa", "cea")
+TOPK_ALGORITHMS = ("lsa", "cea")
+
+
+@dataclass
+class AlgorithmMeasurement:
+    """Averaged metrics of one algorithm over the trial's query locations."""
+
+    algorithm: str
+    query_type: str
+    queries: int = 0
+    mean_elapsed_seconds: float = 0.0
+    mean_page_reads: float = 0.0
+    mean_buffer_hits: float = 0.0
+    mean_adjacency_requests: float = 0.0
+    mean_facility_requests: float = 0.0
+    mean_nn_retrievals: float = 0.0
+    mean_result_size: float = 0.0
+
+    def record(self, elapsed: float, statistics, result_size: int) -> None:
+        """Fold one query's metrics into the running averages."""
+        n = self.queries
+        self.mean_elapsed_seconds = (self.mean_elapsed_seconds * n + elapsed) / (n + 1)
+        self.mean_page_reads = (self.mean_page_reads * n + statistics.io.page_reads) / (n + 1)
+        self.mean_buffer_hits = (self.mean_buffer_hits * n + statistics.io.buffer_hits) / (n + 1)
+        self.mean_adjacency_requests = (
+            self.mean_adjacency_requests * n + statistics.io.adjacency_requests
+        ) / (n + 1)
+        self.mean_facility_requests = (
+            self.mean_facility_requests * n + statistics.io.facility_requests
+        ) / (n + 1)
+        self.mean_nn_retrievals = (self.mean_nn_retrievals * n + statistics.nn_retrievals) / (n + 1)
+        self.mean_result_size = (self.mean_result_size * n + result_size) / (n + 1)
+        self.queries = n + 1
+
+
+@dataclass
+class TrialResult:
+    """All measurements of one configuration (one sweep point)."""
+
+    config: ExperimentConfig
+    query_type: str
+    measurements: dict[str, AlgorithmMeasurement] = field(default_factory=dict)
+
+    def speedup(self, slower: str = "lsa", faster: str = "cea") -> float:
+        """Ratio of page reads (the paper's dominant cost) between two algorithms."""
+        slow = self.measurements[slower].mean_page_reads
+        fast = self.measurements[faster].mean_page_reads
+        return slow / fast if fast else float("inf")
+
+
+def build_environment(config: ExperimentConfig) -> tuple[Workload, NetworkStorage]:
+    """Generate the workload of a configuration and its disk-resident storage."""
+    workload = make_workload(
+        WorkloadSpec(
+            num_nodes=config.num_nodes,
+            num_facilities=config.num_facilities,
+            num_cost_types=config.num_cost_types,
+            distribution=config.distribution,
+            num_clusters=config.num_clusters,
+            num_queries=config.num_queries,
+            seed=config.seed,
+        )
+    )
+    storage = NetworkStorage.build(
+        workload.graph,
+        workload.facilities,
+        page_size=config.page_size,
+        buffer_fraction=config.buffer_fraction,
+    )
+    return workload, storage
+
+
+def _run_one_skyline(
+    algorithm: str, storage: NetworkStorage, workload: Workload, query, probing: ProbingPolicy
+):
+    if algorithm == "baseline":
+        return baseline_skyline(storage, workload.graph, query)
+    search = MCNSkylineSearch(
+        storage,
+        workload.graph,
+        query,
+        share_accesses=(algorithm == "cea"),
+        probing=probing,
+    )
+    return search.run()
+
+
+def run_skyline_trial(
+    config: ExperimentConfig,
+    *,
+    algorithms: tuple[str, ...] = SKYLINE_ALGORITHMS,
+    probing: ProbingPolicy = ProbingPolicy.ROUND_ROBIN,
+    environment: tuple[Workload, NetworkStorage] | None = None,
+) -> TrialResult:
+    """Run the skyline query of every query location with every algorithm."""
+    workload, storage = environment or build_environment(config)
+    trial = TrialResult(config=config, query_type="skyline")
+    for algorithm in algorithms:
+        trial.measurements[algorithm] = AlgorithmMeasurement(algorithm, "skyline")
+    reference: set | None = None
+    for query in workload.queries:
+        for algorithm in algorithms:
+            storage.reset_statistics(clear_buffer=True)
+            start = time.perf_counter()
+            result = _run_one_skyline(algorithm, storage, workload, query, probing)
+            elapsed = time.perf_counter() - start
+            trial.measurements[algorithm].record(elapsed, result.statistics, len(result))
+            if reference is None:
+                reference = result.facility_ids()
+            elif algorithm in ("lsa", "cea") and result.facility_ids() != reference:
+                raise QueryError(
+                    f"algorithm {algorithm} disagreed with the reference skyline for {query}"
+                )
+        reference = None
+    return trial
+
+
+def run_topk_trial(
+    config: ExperimentConfig,
+    *,
+    algorithms: tuple[str, ...] = TOPK_ALGORITHMS,
+    environment: tuple[Workload, NetworkStorage] | None = None,
+) -> TrialResult:
+    """Run the top-k query of every query location with every algorithm.
+
+    The aggregate cost function is a weighted sum with independently random
+    coefficients (re-drawn per query location, shared by all algorithms), as
+    in the paper.
+    """
+    workload, storage = environment or build_environment(config)
+    trial = TrialResult(config=config, query_type="top-k")
+    for algorithm in algorithms:
+        trial.measurements[algorithm] = AlgorithmMeasurement(algorithm, "top-k")
+    rng = random.Random(config.seed + 97)
+    for query in workload.queries:
+        weights = WeightedSum.random(config.num_cost_types, rng)
+        reference_scores: list[float] | None = None
+        for algorithm in algorithms:
+            storage.reset_statistics(clear_buffer=True)
+            start = time.perf_counter()
+            if algorithm == "baseline":
+                result = baseline_top_k(storage, workload.graph, query, weights, config.k)
+            else:
+                result = MCNTopKSearch(
+                    storage,
+                    workload.graph,
+                    query,
+                    weights,
+                    config.k,
+                    share_accesses=(algorithm == "cea"),
+                ).run()
+            elapsed = time.perf_counter() - start
+            trial.measurements[algorithm].record(elapsed, result.statistics, len(result))
+            scores = [round(score, 6) for score in result.scores()]
+            if reference_scores is None:
+                reference_scores = scores
+            elif scores != reference_scores:
+                raise QueryError(
+                    f"algorithm {algorithm} disagreed with the reference top-k for {query}"
+                )
+    return trial

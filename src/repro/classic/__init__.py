@@ -1,0 +1,21 @@
+"""Classic preference-query and Pareto-path algorithms used as baselines and oracles."""
+
+from repro.classic.mcpp import ParetoPath, pareto_paths
+from repro.classic.skyline import bnl_skyline, dc_skyline, is_skyline_member, sfs_skyline
+from repro.classic.topk import (
+    SortedCostLists,
+    no_random_access_algorithm,
+    threshold_algorithm,
+)
+
+__all__ = [
+    "ParetoPath",
+    "SortedCostLists",
+    "bnl_skyline",
+    "dc_skyline",
+    "is_skyline_member",
+    "no_random_access_algorithm",
+    "pareto_paths",
+    "sfs_skyline",
+    "threshold_algorithm",
+]

@@ -1,0 +1,101 @@
+"""Multi-criteria Pareto path computation (label-correcting).
+
+Section II-D of the paper contrasts the MCN skyline with the operations-
+research problem of computing the *Pareto set of paths* between a fixed
+source and a fixed destination: a path dominates another if none of its d
+costs is larger (and at least one is smaller).  This module implements a
+label-correcting solver for that problem — it is not needed by the MCN
+skyline/top-k algorithms, but it rounds out the related-work substrate, is
+used by one of the examples, and its results cross-check the per-cost
+shortest paths (every single-cost optimum appears among the Pareto labels).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.network.costs import CostVector, dominates, dominates_or_equal
+from repro.network.graph import MultiCostGraph, NodeId
+
+__all__ = ["ParetoPath", "pareto_paths"]
+
+
+@dataclass(frozen=True)
+class ParetoPath:
+    """One non-dominated path between the query's source and destination."""
+
+    nodes: tuple[NodeId, ...]
+    costs: CostVector
+
+
+def _insert_label(labels: list[tuple[float, ...]], candidate: tuple[float, ...]) -> bool:
+    """Add ``candidate`` to a node's label set unless (weakly) dominated.
+
+    Existing labels dominated by the candidate are pruned.  Returns whether
+    the candidate was inserted (and therefore needs to be explored further).
+    """
+    for existing in labels:
+        if dominates_or_equal(existing, candidate):
+            return False
+    labels[:] = [label for label in labels if not dominates(candidate, label)]
+    labels.append(candidate)
+    return True
+
+
+def pareto_paths(
+    graph: MultiCostGraph,
+    source: NodeId,
+    target: NodeId,
+    *,
+    max_labels_per_node: int = 512,
+) -> list[ParetoPath]:
+    """All Pareto-optimal paths from ``source`` to ``target``.
+
+    A label-correcting search maintains, per node, the set of non-dominated
+    cost vectors discovered so far; labels are explored in increasing order
+    of their cost sum.  ``max_labels_per_node`` bounds the label sets to keep
+    worst-case behaviour manageable on adversarial inputs (the bound is far
+    above what road networks produce in practice; exceeding it raises).
+
+    Paths whose cost vectors tie exactly are reported once.
+    """
+    if not graph.has_node(source):
+        raise GraphError(f"unknown node {source}")
+    if not graph.has_node(target):
+        raise GraphError(f"unknown node {target}")
+    dimensions = graph.num_cost_types
+    zero = tuple([0.0] * dimensions)
+    labels: dict[NodeId, list[tuple[float, ...]]] = {source: [zero]}
+    tiebreak = itertools.count()
+    heap: list[tuple[float, int, NodeId, tuple[float, ...], tuple[NodeId, ...]]] = [
+        (0.0, next(tiebreak), source, zero, (source,))
+    ]
+    target_paths: dict[tuple[float, ...], tuple[NodeId, ...]] = {}
+    while heap:
+        _priority, _tie, node, costs, path = heapq.heappop(heap)
+        if costs not in labels.get(node, []):
+            continue  # this label was dominated after being pushed
+        if node == target:
+            target_paths.setdefault(costs, path)
+            continue
+        for neighbor, edge in graph.neighbors(node):
+            new_costs = tuple(c + w for c, w in zip(costs, edge.costs))
+            node_labels = labels.setdefault(neighbor, [])
+            if _insert_label(node_labels, new_costs):
+                if len(node_labels) > max_labels_per_node:
+                    raise GraphError(
+                        f"Pareto label set of node {neighbor} exceeded {max_labels_per_node} entries"
+                    )
+                heapq.heappush(
+                    heap,
+                    (sum(new_costs), next(tiebreak), neighbor, new_costs, path + (neighbor,)),
+                )
+    surviving = labels.get(target, [])
+    return [
+        ParetoPath(nodes=target_paths[costs], costs=CostVector(costs))
+        for costs in surviving
+        if costs in target_paths
+    ]

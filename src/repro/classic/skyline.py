@@ -1,0 +1,134 @@
+"""Conventional skyline algorithms over fully materialised cost vectors.
+
+These are the classic main-memory/disk skyline methods the paper surveys in
+Section II-A.  They assume every tuple's attributes are directly available
+— which is exactly why they do not solve the MCN skyline problem by
+themselves, but they are the natural post-processing step of the
+straightforward baseline and the oracle used in the test suite.
+
+All functions accept a mapping ``key -> cost tuple`` and return the set of
+keys whose vectors are not dominated by any other vector.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping, Sequence
+
+from repro.errors import QueryError
+from repro.network.costs import dominates
+
+__all__ = ["bnl_skyline", "sfs_skyline", "dc_skyline", "is_skyline_member"]
+
+Key = Hashable
+
+
+def _validate(points: Mapping[Key, Sequence[float]]) -> int:
+    dimensions = None
+    for vector in points.values():
+        if dimensions is None:
+            dimensions = len(vector)
+        elif len(vector) != dimensions:
+            raise QueryError("all cost vectors must have the same dimensionality")
+    return dimensions or 0
+
+
+def bnl_skyline(points: Mapping[Key, Sequence[float]]) -> set[Key]:
+    """Block-nested-loops skyline (Börzsönyi et al.): compare against a window."""
+    _validate(points)
+    window: list[tuple[Key, tuple[float, ...]]] = []
+    for key, vector in points.items():
+        vector = tuple(vector)
+        dominated = False
+        survivors: list[tuple[Key, tuple[float, ...]]] = []
+        for other_key, other_vector in window:
+            if dominates(other_vector, vector):
+                dominated = True
+                survivors = window
+                break
+            if not dominates(vector, other_vector):
+                survivors.append((other_key, other_vector))
+        if dominated:
+            continue
+        survivors.append((key, vector))
+        window = survivors
+    return {key for key, _ in window}
+
+
+def sfs_skyline(points: Mapping[Key, Sequence[float]]) -> set[Key]:
+    """Sort-filter skyline (Chomicki et al.): presort by the sum of costs.
+
+    After sorting by a monotone scoring function, a tuple can only be
+    dominated by tuples that precede it, so a single pass with a growing
+    skyline window suffices.
+    """
+    _validate(points)
+    ordered = sorted(points.items(), key=lambda item: (sum(item[1]), tuple(item[1])))
+    skyline: list[tuple[Key, tuple[float, ...]]] = []
+    result: set[Key] = set()
+    for key, vector in ordered:
+        vector = tuple(vector)
+        if any(dominates(other, vector) for _, other in skyline):
+            continue
+        skyline.append((key, vector))
+        result.add(key)
+    return result
+
+
+def dc_skyline(points: Mapping[Key, Sequence[float]]) -> set[Key]:
+    """Divide-and-conquer skyline: split on the first attribute's median value and merge.
+
+    The split is by *value*, not by index: every point in the right half has a
+    strictly larger first attribute than every point in the left half, so the
+    left skyline is final and right-half survivors only need to be checked
+    against it.  Blocks whose first attribute is constant fall back to the
+    brute-force base case (they cannot be value-split).
+    """
+    dimensions = _validate(points)
+    items = [(key, tuple(vector)) for key, vector in points.items()]
+    if not items or dimensions == 0:
+        return set()
+
+    def brute(block: list[tuple[Key, tuple[float, ...]]]) -> list[tuple[Key, tuple[float, ...]]]:
+        keep = []
+        for key, vector in block:
+            if not any(
+                dominates(other_vector, vector)
+                for other_key, other_vector in block
+                if other_key != key
+            ):
+                keep.append((key, vector))
+        return keep
+
+    def solve(block: list[tuple[Key, tuple[float, ...]]]) -> list[tuple[Key, tuple[float, ...]]]:
+        if len(block) <= 8:
+            return brute(block)
+        block = sorted(block, key=lambda item: item[1][0])
+        pivot = block[len(block) // 2][1][0]
+        left = [item for item in block if item[1][0] < pivot]
+        right = [item for item in block if item[1][0] >= pivot]
+        if not left:
+            left = [item for item in block if item[1][0] <= pivot]
+            right = [item for item in block if item[1][0] > pivot]
+            if not right:
+                return brute(block)
+        left_skyline = solve(left)
+        right_skyline = solve(right)
+        merged = list(left_skyline)
+        for key, vector in right_skyline:
+            if not any(dominates(other_vector, vector) for _, other_vector in left_skyline):
+                merged.append((key, vector))
+        return merged
+
+    return {key for key, _ in solve(items)}
+
+
+def is_skyline_member(
+    key: Key, points: Mapping[Key, Sequence[float]]
+) -> bool:
+    """Whether the vector under ``key`` is dominated by no other vector."""
+    vector = tuple(points[key])
+    return not any(
+        dominates(tuple(other), vector)
+        for other_key, other in points.items()
+        if other_key != key
+    )

@@ -1,0 +1,151 @@
+"""Classic top-k algorithms over sorted attribute lists (Fagin et al.).
+
+The threshold algorithm (TA) and its no-random-access variant (NRA) are the
+reference point the paper positions its top-k method against (Section II-B).
+They operate on ``d`` lists, each sorted in increasing cost order, and a
+monotone aggregate function; both are implemented here over in-memory lists
+so the MCN top-k results can be cross-checked against a completely different
+computation strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Hashable, Mapping, Sequence
+
+from repro.core.aggregates import AggregateFunction
+from repro.errors import QueryError
+
+__all__ = ["SortedCostLists", "threshold_algorithm", "no_random_access_algorithm"]
+
+Key = Hashable
+
+
+@dataclass(frozen=True)
+class SortedCostLists:
+    """``d`` lists of ``(key, cost)`` pairs, each sorted by increasing cost."""
+
+    lists: tuple[tuple[tuple[Key, float], ...], ...]
+    costs: Mapping[Key, tuple[float, ...]]
+
+    @classmethod
+    def from_cost_vectors(cls, vectors: Mapping[Key, Sequence[float]]) -> "SortedCostLists":
+        """Build the sorted lists from a mapping ``key -> cost vector``."""
+        if not vectors:
+            return cls(lists=(), costs={})
+        dimensions = len(next(iter(vectors.values())))
+        lists = []
+        for index in range(dimensions):
+            ordered = tuple(
+                sorted(((key, float(vector[index])) for key, vector in vectors.items()), key=lambda p: (p[1], str(p[0])))
+            )
+            lists.append(ordered)
+        return cls(lists=tuple(lists), costs={key: tuple(v) for key, v in vectors.items()})
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.lists)
+
+    def __len__(self) -> int:
+        return len(self.costs)
+
+
+def threshold_algorithm(
+    lists: SortedCostLists, aggregate: AggregateFunction, k: int
+) -> list[tuple[Key, float]]:
+    """The threshold algorithm (TA) with random access to the full cost vectors.
+
+    Lists are popped round-robin; a popped key's exact score is computed via
+    random access.  The search stops when ``k`` results have scores no larger
+    than the threshold ``f(t_1, ..., t_d)`` built from the next list heads.
+    """
+    if k < 1:
+        raise QueryError("k must be a positive integer")
+    if len(lists) == 0:
+        return []
+    positions = [0] * lists.dimensions
+    scores: dict[Key, float] = {}
+    while True:
+        progressed = False
+        for index in range(lists.dimensions):
+            ordered = lists.lists[index]
+            if positions[index] >= len(ordered):
+                continue
+            key, _cost = ordered[positions[index]]
+            positions[index] += 1
+            progressed = True
+            if key not in scores:
+                scores[key] = aggregate(lists.costs[key])
+        best = sorted(scores.items(), key=lambda item: (item[1], str(item[0])))[:k]
+        threshold_vector = []
+        exhausted = False
+        for index in range(lists.dimensions):
+            ordered = lists.lists[index]
+            if positions[index] >= len(ordered):
+                exhausted = True
+                break
+            threshold_vector.append(ordered[positions[index]][1])
+        if len(best) >= min(k, len(lists.costs)):
+            if exhausted:
+                return best
+            threshold = aggregate(threshold_vector)
+            if best and best[-1][1] <= threshold:
+                return best
+        if not progressed:
+            return best
+
+
+def no_random_access_algorithm(
+    lists: SortedCostLists, aggregate: AggregateFunction, k: int
+) -> list[tuple[Key, float]]:
+    """The no-random-access (NRA) variant: only sequential accesses, bound-based stop.
+
+    Scores are bracketed by lower/upper bounds built from the costs seen so
+    far and the current list heads; the algorithm stops when the k best lower
+    bounds cannot be beaten by any other object's upper bound.
+    """
+    if k < 1:
+        raise QueryError("k must be a positive integer")
+    if len(lists) == 0:
+        return []
+    dimensions = lists.dimensions
+    positions = [0] * dimensions
+    seen: dict[Key, list[float | None]] = {}
+    while True:
+        progressed = False
+        heads = []
+        for index in range(dimensions):
+            ordered = lists.lists[index]
+            if positions[index] < len(ordered):
+                key, cost = ordered[positions[index]]
+                positions[index] += 1
+                progressed = True
+                seen.setdefault(key, [None] * dimensions)[index] = cost
+            heads.append(
+                ordered[positions[index]][1] if positions[index] < len(ordered) else float("inf")
+            )
+        lower_bounds = {}
+        upper_bounds = {}
+        for key, values in seen.items():
+            lower_bounds[key] = aggregate([v if v is not None else heads[i] for i, v in enumerate(values)])
+            upper = [v if v is not None else None for v in values]
+            if any(v is None for v in upper) and any(h == float("inf") for i, h in enumerate(heads) if values[i] is None):
+                upper_bounds[key] = float("inf")
+            else:
+                upper_bounds[key] = aggregate(
+                    [v if v is not None else heads[i] for i, v in enumerate(values)]
+                ) if all(v is not None for v in values) else float("inf")
+        complete = {key: aggregate([float(v) for v in values]) for key, values in seen.items() if all(v is not None for v in values)}
+        best = sorted(complete.items(), key=lambda item: (item[1], str(item[0])))[:k]
+        if len(best) >= min(k, len(lists.costs)):
+            kth = best[-1][1] if best else float("inf")
+            others_can_beat = any(
+                lower_bounds[key] < kth
+                for key in seen
+                if key not in {b[0] for b in best}
+            )
+            unseen_can_beat = aggregate(heads) < kth if all(h < float("inf") for h in heads) else False
+            if not others_can_beat and not unseen_can_beat:
+                return best
+        if not progressed:
+            return sorted(complete.items(), key=lambda item: (item[1], str(item[0])))[:k]

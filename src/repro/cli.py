@@ -1,0 +1,122 @@
+"""Command-line interface: ``repro-mcn``.
+
+Sub-commands:
+
+* ``demo`` — generate a small workload, run a skyline and a top-k query with
+  both algorithms and print the results with their I/O statistics.
+* ``experiment <name>`` — run one of the Section-VI experiments (``fig8a`` ...
+  ``fig12`` plus the two ablations) and print its table.
+* ``list`` — list the available experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.bench.config import DEFAULT_SCALE, SMALL_SCALE, ExperimentScale
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.reporting import format_series_table, series_to_csv, summarize_speedups
+from repro.core.engine import MCNQueryEngine
+from repro.datagen.workload import WorkloadSpec, make_workload
+
+__all__ = ["main", "build_parser"]
+
+_SCALES: dict[str, ExperimentScale] = {"small": SMALL_SCALE, "default": DEFAULT_SCALE}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro-mcn`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mcn",
+        description="Skyline and top-k preference queries in multi-cost transportation networks",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="run a small end-to-end demonstration")
+    demo.add_argument("--nodes", type=int, default=900, help="approximate number of network nodes")
+    demo.add_argument("--facilities", type=int, default=300, help="number of facilities")
+    demo.add_argument("--cost-types", type=int, default=3, help="number of cost types d")
+    demo.add_argument("--k", type=int, default=4, help="k of the top-k query")
+    demo.add_argument("--seed", type=int, default=7, help="random seed")
+
+    experiment = commands.add_parser("experiment", help="run one Section-VI experiment")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment / figure name")
+    experiment.add_argument("--scale", choices=sorted(_SCALES), default="small", help="population scale")
+    experiment.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+
+    commands.add_parser("list", help="list the available experiments")
+    return parser
+
+
+def _run_demo(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        num_nodes=args.nodes,
+        num_facilities=args.facilities,
+        num_cost_types=args.cost_types,
+        num_queries=1,
+        seed=args.seed,
+    )
+    workload = make_workload(spec)
+    engine = MCNQueryEngine(workload.graph, workload.facilities, use_disk=True, page_size=1024)
+    query = workload.queries[0]
+    print("workload:", workload.describe())
+    print("storage:", engine.storage.describe() if engine.storage else {})
+    print("query at", query.describe(workload.graph))
+    for algorithm in ("lsa", "cea"):
+        engine.storage.reset_statistics(clear_buffer=True)  # type: ignore[union-attr]
+        result = engine.skyline(query, algorithm=algorithm)
+        io = result.statistics.io
+        print(
+            f"[skyline/{algorithm}] {len(result)} facilities, "
+            f"{io.page_reads} page reads, {io.buffer_hits} buffer hits, "
+            f"{result.statistics.elapsed_seconds * 1000:.1f} ms"
+        )
+    weights = engine.random_weights()
+    for algorithm in ("lsa", "cea"):
+        engine.storage.reset_statistics(clear_buffer=True)  # type: ignore[union-attr]
+        result = engine.top_k(query, args.k, aggregate=weights, algorithm=algorithm)
+        io = result.statistics.io
+        ranking = ", ".join(f"p{item.facility_id} ({item.score:.1f})" for item in result)
+        print(
+            f"[top-{args.k}/{algorithm}] {ranking} | {io.page_reads} page reads, "
+            f"{result.statistics.elapsed_seconds * 1000:.1f} ms"
+        )
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    series = run_experiment(args.name, _SCALES[args.scale])
+    if args.csv:
+        print(series_to_csv(series), end="")
+    else:
+        print(format_series_table(series), end="")
+        speedups = summarize_speedups(series)
+        if speedups:
+            print()
+            print(speedups)
+    return 0
+
+
+def _run_list() -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name in sorted(EXPERIMENTS):
+        description, _factory = EXPERIMENTS[name]
+        print(f"{name.ljust(width)}  {description}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-mcn`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "demo":
+        return _run_demo(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    return _run_list()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

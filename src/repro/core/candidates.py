@@ -1,0 +1,256 @@
+"""The candidate set (CS) shared by the skyline and top-k algorithms.
+
+Every facility encountered by one of the ``d`` expansions gets a
+:class:`CandidateEntry` holding its partially-known cost vector.  A facility
+is *pinned* once all ``d`` expansions have reported it, i.e. its complete
+cost vector is known.  Dominance reasoning with unknown costs relies on the
+incremental nature of network expansion: a cost not yet computed for a
+candidate is guaranteed to be no smaller than the corresponding cost of any
+facility already pinned (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import QueryError
+from repro.network.accessor import FacilityRecord
+from repro.network.costs import dominates
+from repro.network.facilities import FacilityId
+from repro.network.graph import EdgeId
+
+__all__ = ["CandidateEntry", "CandidatePool"]
+
+
+@dataclass
+class CandidateEntry:
+    """Book-keeping for one encountered facility."""
+
+    facility_id: FacilityId
+    costs: list[float | None]
+    record: FacilityRecord
+    encounter_order: int
+    reported: bool = False
+    eliminated: bool = False
+    pin_order: int | None = None
+
+    @property
+    def is_pinned(self) -> bool:
+        """True once every cost component is known."""
+        return all(value is not None for value in self.costs)
+
+    @property
+    def is_resolved(self) -> bool:
+        """True once the entry no longer needs attention (reported or eliminated)."""
+        return self.reported or self.eliminated
+
+    @property
+    def known_costs(self) -> tuple[float, ...]:
+        """The complete cost vector, asserting that the entry is pinned."""
+        if not self.is_pinned:
+            raise QueryError(f"facility {self.facility_id} is not pinned yet")
+        return tuple(float(value) for value in self.costs)  # type: ignore[arg-type]
+
+    def cost_tuple(self) -> tuple[float | None, ...]:
+        return tuple(self.costs)
+
+    def missing_indices(self) -> list[int]:
+        return [index for index, value in enumerate(self.costs) if value is None]
+
+
+class CandidatePool:
+    """All facilities encountered so far, with pin/dominance logic."""
+
+    def __init__(self, num_cost_types: int):
+        if num_cost_types < 1:
+            raise QueryError("the candidate pool needs at least one cost type")
+        self._num_cost_types = num_cost_types
+        self._entries: dict[FacilityId, CandidateEntry] = {}
+        self._encounter_counter = 0
+        self._pin_counter = 0
+        self.dominance_checks = 0
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def observe(
+        self, facility_id: FacilityId, cost_index: int, cost: float, record: FacilityRecord
+    ) -> CandidateEntry:
+        """Record that expansion ``cost_index`` reported ``facility_id`` at ``cost``.
+
+        Creates the entry on first encounter.  Returns the (updated) entry;
+        callers check :attr:`CandidateEntry.is_pinned` afterwards.
+        """
+        entry = self._entries.get(facility_id)
+        if entry is None:
+            costs: list[float | None] = [None] * self._num_cost_types
+            entry = CandidateEntry(
+                facility_id=facility_id,
+                costs=costs,
+                record=record,
+                encounter_order=self._encounter_counter,
+            )
+            self._encounter_counter += 1
+            self._entries[facility_id] = entry
+        if entry.costs[cost_index] is None:
+            entry.costs[cost_index] = cost
+            if entry.is_pinned and entry.pin_order is None:
+                entry.pin_order = self._pin_counter
+                self._pin_counter += 1
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Queries over the pool
+    # ------------------------------------------------------------------ #
+    def __contains__(self, facility_id: FacilityId) -> bool:
+        return facility_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, facility_id: FacilityId) -> CandidateEntry:
+        try:
+            return self._entries[facility_id]
+        except KeyError:
+            raise QueryError(f"facility {facility_id} was never encountered") from None
+
+    def entries(self) -> Iterator[CandidateEntry]:
+        return iter(self._entries.values())
+
+    def unresolved(self) -> list[CandidateEntry]:
+        """Entries that are neither reported nor eliminated — the CS of the paper."""
+        return [entry for entry in self._entries.values() if not entry.is_resolved]
+
+    def unresolved_count(self) -> int:
+        return sum(1 for entry in self._entries.values() if not entry.is_resolved)
+
+    def unpinned_tracked(self) -> list[CandidateEntry]:
+        """Entries whose cost vectors are still incomplete and not eliminated.
+
+        This includes facilities already reported through the first-NN
+        shortcut: the shrinking stage keeps tracking them because, once
+        pinned, they may eliminate candidates (Section IV-A enhancement).
+        """
+        return [
+            entry
+            for entry in self._entries.values()
+            if not entry.eliminated and not entry.is_pinned
+        ]
+
+    def candidate_edges(self, entries: Iterable[CandidateEntry]) -> dict[EdgeId, list[FacilityRecord]]:
+        """Group the given entries' facility records by edge (for candidate-only expansion)."""
+        grouped: dict[EdgeId, list[FacilityRecord]] = {}
+        for entry in entries:
+            grouped.setdefault(entry.record.edge_id, []).append(entry.record)
+        return grouped
+
+    def any_unresolved_missing_cost(self, cost_index: int) -> bool:
+        """Whether some CS entry still lacks the given cost (expansion shutdown test)."""
+        return any(
+            entry.costs[cost_index] is None
+            for entry in self._entries.values()
+            if not entry.is_resolved
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dominance
+    # ------------------------------------------------------------------ #
+    def provably_dominates(self, pinned: CandidateEntry, candidate: CandidateEntry) -> bool:
+        """Whether ``pinned`` is guaranteed to dominate ``candidate``.
+
+        ``candidate`` may have unknown costs; each unknown cost is at least
+        the corresponding cost of ``pinned`` (the expansion that would reveal
+        it has already advanced past ``pinned``).  Dominance is therefore
+        certain when ``pinned`` is no larger on every *known* component and
+        strictly smaller on at least one of them.  Equality on all known
+        components is *not* enough — the candidate's true vector could be an
+        exact duplicate, which the skyline definition does not discard — so
+        such candidates are kept until pinned (tie-safe refinement of the
+        paper's footnote 4).
+        """
+        self.dominance_checks += 1
+        pinned_costs = pinned.known_costs
+        strictly_smaller = False
+        for index, candidate_cost in enumerate(candidate.costs):
+            if candidate_cost is None:
+                continue
+            if pinned_costs[index] > candidate_cost:
+                return False
+            if pinned_costs[index] < candidate_cost:
+                strictly_smaller = True
+        return strictly_smaller
+
+    def eliminate_dominated(self, pinned: CandidateEntry) -> list[CandidateEntry]:
+        """Eliminate every unresolved candidate provably dominated by ``pinned``."""
+        eliminated = []
+        for entry in self._entries.values():
+            if entry.is_resolved or entry.facility_id == pinned.facility_id:
+                continue
+            if self.provably_dominates(pinned, entry):
+                entry.eliminated = True
+                eliminated.append(entry)
+        return eliminated
+
+    def potential_dominators(
+        self, entry: CandidateEntry, frontiers: Sequence[float]
+    ) -> list[CandidateEntry]:
+        """Unpinned entries that might still dominate the pinned ``entry``.
+
+        Such an entry ``e`` must be no larger than ``entry`` on every *known*
+        component and strictly smaller on at least one of them, and each of
+        its unknown components must still be able to tie ``entry``: the
+        unknown cost is at least the expansion frontier ``frontiers[j]``, so
+        whenever the frontier has strictly passed ``entry``'s cost in that
+        dimension, ``e`` can no longer dominate.  Under the paper's no-ties
+        assumption this list is always empty for a pinned facility; with
+        exact cost ties it may not be, in which case reporting ``entry`` is
+        deferred until these entries are resolved.
+        """
+        costs = entry.known_costs
+        dominators = []
+        for other in self._entries.values():
+            if other.facility_id == entry.facility_id:
+                continue
+            if other.eliminated or other.is_pinned:
+                continue
+            self.dominance_checks += 1
+            smaller_somewhere = False
+            compatible = True
+            for index, value in enumerate(other.costs):
+                if value is None:
+                    # The unknown cost is >= the frontier; it can only stay
+                    # compatible with domination if it can still equal costs[index].
+                    if frontiers[index] > costs[index] + 1e-12:
+                        compatible = False
+                        break
+                    continue
+                if value > costs[index]:
+                    compatible = False
+                    break
+                if value < costs[index]:
+                    smaller_somewhere = True
+            if compatible and smaller_somewhere:
+                dominators.append(other)
+        return dominators
+
+    def dominated_by_reported(self, entry: CandidateEntry) -> bool:
+        """Exact dominance check of a pinned entry against other pinned, surviving facilities.
+
+        The paper argues this check is unnecessary when no cost ties exist;
+        we keep it (it is cheap) so that duplicate cost vectors are handled
+        according to the formal skyline definition.  The check also covers
+        pinned entries whose reporting is still deferred: if such an entry is
+        later eliminated, its own dominator dominates ``entry`` transitively,
+        so eliminating ``entry`` here remains correct.
+        """
+        costs = entry.known_costs
+        for other in self._entries.values():
+            if other.facility_id == entry.facility_id:
+                continue
+            if other.eliminated or not other.is_pinned:
+                continue
+            self.dominance_checks += 1
+            if dominates(other.known_costs, costs):
+                return True
+        return False

@@ -1,0 +1,209 @@
+"""High-level facade: the :class:`MCNQueryEngine`.
+
+The engine bundles a multi-cost graph, its facility set and a data layer
+(in-memory or disk-resident), and exposes the paper's query types behind a
+small API:
+
+* :meth:`MCNQueryEngine.skyline` / :meth:`iter_skyline` — MCN skyline (LSA,
+  CEA or the straightforward baseline), progressive when iterated.
+* :meth:`MCNQueryEngine.top_k` — MCN top-k for a known ``k``.
+* :meth:`MCNQueryEngine.iter_top` — incremental top-k (``k`` not known in
+  advance).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator, Sequence
+
+from repro.core.aggregates import AggregateFunction, WeightedSum, check_monotone
+from repro.core.baseline import baseline_skyline, baseline_top_k
+from repro.core.incremental import IncrementalTopK
+from repro.core.results import RankedFacility, SkylineFacility, SkylineResult, TopKResult
+from repro.core.skyline import MCNSkylineSearch, ProbingPolicy, cea_skyline, lsa_skyline
+from repro.core.topk import cea_top_k, lsa_top_k
+from repro.errors import QueryError
+from repro.network.accessor import GraphAccessor, InMemoryAccessor
+from repro.network.facilities import FacilitySet
+from repro.network.graph import MultiCostGraph
+from repro.network.location import NetworkLocation
+from repro.storage.scheme import NetworkStorage
+
+__all__ = ["MCNQueryEngine"]
+
+_ALGORITHMS = ("cea", "lsa", "baseline")
+
+
+class MCNQueryEngine:
+    """Preference queries (skyline and top-k) over a multi-cost network."""
+
+    def __init__(
+        self,
+        graph: MultiCostGraph,
+        facilities: FacilitySet,
+        *,
+        storage: NetworkStorage | None = None,
+        use_disk: bool = False,
+        page_size: int = 4096,
+        buffer_fraction: float = 0.01,
+    ):
+        """Create an engine over ``graph`` and ``facilities``.
+
+        With ``use_disk=True`` (or an explicit ``storage``), queries run
+        against the simulated disk-resident storage scheme and report page
+        reads; otherwise they run against the in-memory accessor.
+        """
+        self._graph = graph
+        self._facilities = facilities
+        if storage is not None:
+            self._accessor: GraphAccessor = storage
+            self._storage: NetworkStorage | None = storage
+        elif use_disk:
+            self._storage = NetworkStorage.build(
+                graph, facilities, page_size=page_size, buffer_fraction=buffer_fraction
+            )
+            self._accessor = self._storage
+        else:
+            self._storage = None
+            self._accessor = InMemoryAccessor(graph, facilities)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> MultiCostGraph:
+        return self._graph
+
+    @property
+    def facilities(self) -> FacilitySet:
+        return self._facilities
+
+    @property
+    def accessor(self) -> GraphAccessor:
+        """The data layer queries run against."""
+        return self._accessor
+
+    @property
+    def storage(self) -> NetworkStorage | None:
+        """The disk-resident storage, when the engine was built with one."""
+        return self._storage
+
+    # ------------------------------------------------------------------ #
+    # Skyline
+    # ------------------------------------------------------------------ #
+    def skyline(
+        self,
+        query: NetworkLocation,
+        *,
+        algorithm: str = "cea",
+        probing: ProbingPolicy = ProbingPolicy.ROUND_ROBIN,
+        first_nn_shortcut: bool = True,
+    ) -> SkylineResult:
+        """The MCN skyline of ``query``: facilities not dominated under all cost types."""
+        algorithm = self._check_algorithm(algorithm)
+        if algorithm == "baseline":
+            return baseline_skyline(self._accessor, self._graph, query)
+        if algorithm == "lsa":
+            return lsa_skyline(
+                self._accessor,
+                self._graph,
+                query,
+                probing=probing,
+                first_nn_shortcut=first_nn_shortcut,
+            )
+        return cea_skyline(
+            self._accessor,
+            self._graph,
+            query,
+            probing=probing,
+            first_nn_shortcut=first_nn_shortcut,
+        )
+
+    def iter_skyline(
+        self,
+        query: NetworkLocation,
+        *,
+        algorithm: str = "cea",
+        probing: ProbingPolicy = ProbingPolicy.ROUND_ROBIN,
+    ) -> Iterator[SkylineFacility]:
+        """Progressively yield skyline facilities as they are confirmed."""
+        algorithm = self._check_algorithm(algorithm)
+        if algorithm == "baseline":
+            raise QueryError("the baseline algorithm is not progressive; use skyline() instead")
+        search = MCNSkylineSearch(
+            self._accessor,
+            self._graph,
+            query,
+            share_accesses=(algorithm == "cea"),
+            probing=probing,
+        )
+        return iter(search)
+
+    # ------------------------------------------------------------------ #
+    # Top-k
+    # ------------------------------------------------------------------ #
+    def top_k(
+        self,
+        query: NetworkLocation,
+        k: int,
+        *,
+        aggregate: AggregateFunction | None = None,
+        weights: Sequence[float] | None = None,
+        algorithm: str = "cea",
+    ) -> TopKResult:
+        """The ``k`` facilities with the smallest aggregate cost from ``query``."""
+        algorithm = self._check_algorithm(algorithm)
+        function = self._resolve_aggregate(aggregate, weights)
+        if algorithm == "baseline":
+            return baseline_top_k(self._accessor, self._graph, query, function, k)
+        if algorithm == "lsa":
+            return lsa_top_k(self._accessor, self._graph, query, function, k)
+        return cea_top_k(self._accessor, self._graph, query, function, k)
+
+    def iter_top(
+        self,
+        query: NetworkLocation,
+        *,
+        aggregate: AggregateFunction | None = None,
+        weights: Sequence[float] | None = None,
+        algorithm: str = "cea",
+    ) -> IncrementalTopK:
+        """Incremental top-k: an iterator over facilities in increasing aggregate cost."""
+        algorithm = self._check_algorithm(algorithm)
+        if algorithm == "baseline":
+            raise QueryError("the baseline algorithm is not incremental; use top_k() instead")
+        function = self._resolve_aggregate(aggregate, weights)
+        return IncrementalTopK(
+            self._accessor,
+            self._graph,
+            query,
+            function,
+            share_accesses=(algorithm == "cea"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def random_weights(self, rng: random.Random | None = None) -> WeightedSum:
+        """A random weighted-sum aggregate matching the graph's cost types (paper's setting)."""
+        return WeightedSum.random(self._graph.num_cost_types, rng)
+
+    def _resolve_aggregate(
+        self, aggregate: AggregateFunction | None, weights: Sequence[float] | None
+    ) -> AggregateFunction:
+        if aggregate is not None and weights is not None:
+            raise QueryError("pass either an aggregate function or weights, not both")
+        if weights is not None:
+            return WeightedSum(tuple(float(w) for w in weights))
+        if aggregate is None:
+            return WeightedSum.uniform(self._graph.num_cost_types)
+        if not check_monotone(aggregate, self._graph.num_cost_types):
+            raise QueryError("the aggregate cost function must be increasingly monotone")
+        return aggregate
+
+    @staticmethod
+    def _check_algorithm(algorithm: str) -> str:
+        normalized = algorithm.lower()
+        if normalized not in _ALGORITHMS:
+            raise QueryError(f"unknown algorithm {algorithm!r}; expected one of {_ALGORITHMS}")
+        return normalized

@@ -1,0 +1,261 @@
+"""Incremental maintenance of skyline and top-k results under facility updates.
+
+Section VII of the paper lists, as future work, "incrementally updating the
+skyline or top-k set in the presence of facility/query location updates".
+This module implements that extension for the common update mix of
+location-based services — frequent insertions and deletions of facilities,
+occasional query relocation:
+
+* **Insertion** is handled incrementally: only the new facility's cost vector
+  is computed (one early-terminating expansion per cost type) and the cached
+  result is patched.
+* **Deletion of a facility outside the current result** is free: an excluded
+  facility is always dominated by (respectively scored worse than) a result
+  member, so removing it cannot change the result.
+* **Deletion of a result member** (and query relocation) falls back to a
+  fresh CEA computation — the cases the paper leaves open.  The maintainers
+  count how often each path is taken so applications can see the saving.
+
+Both maintainers own a mutable :class:`~repro.network.facilities.FacilitySet`
+and evaluate against the in-memory accessor (the disk-resident layout of
+Figure 2 is bulk-loaded and static; rebuilding it belongs to a load pipeline,
+not to query maintenance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.aggregates import AggregateFunction
+from repro.core.expansion import ExpansionSeeds, NearestFacilityExpansion
+from repro.core.skyline import MCNSkylineSearch
+from repro.core.topk import MCNTopKSearch
+from repro.errors import FacilityError, QueryError
+from repro.network.accessor import FacilityRecord, InMemoryAccessor
+from repro.network.costs import dominates
+from repro.network.facilities import Facility, FacilityId, FacilitySet
+from repro.network.graph import MultiCostGraph
+from repro.network.location import NetworkLocation
+
+__all__ = ["MaintenanceStatistics", "SkylineMaintainer", "TopKMaintainer"]
+
+
+@dataclass
+class MaintenanceStatistics:
+    """How often each maintenance path was taken."""
+
+    insertions: int = 0
+    deletions: int = 0
+    incremental_updates: int = 0
+    recomputations: int = 0
+    query_moves: int = 0
+
+
+def _facility_cost_vector(
+    accessor: InMemoryAccessor,
+    graph: MultiCostGraph,
+    query: NetworkLocation,
+    facility: Facility,
+) -> tuple[float, ...]:
+    """The d-dimensional cost vector of one facility, via early-terminating expansions."""
+    seeds = ExpansionSeeds.from_query(graph, query)
+    record = FacilityRecord(facility.facility_id, facility.edge_id, facility.offset)
+    costs = []
+    for cost_index in range(graph.num_cost_types):
+        expansion = NearestFacilityExpansion(accessor, seeds, cost_index)
+        expansion.enter_candidate_mode({facility.edge_id: [record]})
+        hit = expansion.next_facility()
+        if hit is None:
+            raise QueryError(
+                f"facility {facility.facility_id} is unreachable from the query location"
+            )
+        costs.append(hit.cost)
+    return tuple(costs)
+
+
+class SkylineMaintainer:
+    """Maintains ``sky(q)`` while facilities are inserted and deleted."""
+
+    def __init__(
+        self,
+        graph: MultiCostGraph,
+        facilities: FacilitySet,
+        query: NetworkLocation,
+    ):
+        self._graph = graph
+        self._facilities = facilities
+        self._query = query
+        self._accessor = InMemoryAccessor(graph, facilities)
+        self._skyline: dict[FacilityId, tuple[float, ...]] = {}
+        self._statistics = MaintenanceStatistics()
+        self._recompute()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def query(self) -> NetworkLocation:
+        return self._query
+
+    @property
+    def statistics(self) -> MaintenanceStatistics:
+        return self._statistics
+
+    @property
+    def skyline(self) -> dict[FacilityId, tuple[float, ...]]:
+        """The current skyline: facility id -> complete cost vector."""
+        return dict(self._skyline)
+
+    def skyline_ids(self) -> set[FacilityId]:
+        return set(self._skyline)
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def insert(self, facility: Facility) -> bool:
+        """Insert a facility; return True when the skyline changed."""
+        self._facilities.add(facility)
+        self._statistics.insertions += 1
+        costs = _facility_cost_vector(self._accessor, self._graph, self._query, facility)
+        self._statistics.incremental_updates += 1
+        if any(dominates(existing, costs) for existing in self._skyline.values()):
+            return False
+        dominated = [
+            fid for fid, existing in self._skyline.items() if dominates(costs, existing)
+        ]
+        for fid in dominated:
+            del self._skyline[fid]
+        self._skyline[facility.facility_id] = costs
+        return True
+
+    def delete(self, facility_id: FacilityId) -> bool:
+        """Delete a facility; return True when the skyline changed."""
+        if facility_id not in self._facilities:
+            raise FacilityError(f"unknown facility {facility_id}")
+        self._facilities.remove(facility_id)
+        self._statistics.deletions += 1
+        if facility_id not in self._skyline:
+            # An excluded facility is dominated by some skyline member, so its
+            # removal can never promote anything: nothing to do.
+            self._statistics.incremental_updates += 1
+            return False
+        self._recompute()
+        return True
+
+    def move_query(self, query: NetworkLocation) -> None:
+        """Relocate the query point (always recomputes)."""
+        query.validate(self._graph)
+        self._query = query
+        self._statistics.query_moves += 1
+        self._recompute()
+
+    def _recompute(self) -> None:
+        self._statistics.recomputations += 1
+        search = MCNSkylineSearch(
+            self._accessor, self._graph, self._query, share_accesses=True
+        )
+        result = search.run()
+        self._skyline = {}
+        for member in result:
+            if all(value is not None for value in member.costs):
+                self._skyline[member.facility_id] = member.complete_costs
+            else:
+                facility = self._facilities.facility(member.facility_id)
+                self._skyline[member.facility_id] = _facility_cost_vector(
+                    self._accessor, self._graph, self._query, facility
+                )
+
+
+class TopKMaintainer:
+    """Maintains ``top(q)`` (k best facilities) while facilities are inserted and deleted."""
+
+    def __init__(
+        self,
+        graph: MultiCostGraph,
+        facilities: FacilitySet,
+        query: NetworkLocation,
+        aggregate: AggregateFunction,
+        k: int,
+    ):
+        if k < 1:
+            raise QueryError("k must be a positive integer")
+        self._graph = graph
+        self._facilities = facilities
+        self._query = query
+        self._aggregate = aggregate
+        self._k = k
+        self._accessor = InMemoryAccessor(graph, facilities)
+        self._top: list[tuple[float, FacilityId, tuple[float, ...]]] = []
+        self._statistics = MaintenanceStatistics()
+        self._recompute()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def statistics(self) -> MaintenanceStatistics:
+        return self._statistics
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def ranking(self) -> list[tuple[FacilityId, float]]:
+        """The current top-k as ``(facility id, aggregate cost)`` pairs, best first."""
+        return [(facility_id, score) for score, facility_id, _costs in self._top]
+
+    def facility_ids(self) -> list[FacilityId]:
+        return [facility_id for _score, facility_id, _costs in self._top]
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def insert(self, facility: Facility) -> bool:
+        """Insert a facility; return True when the top-k changed."""
+        self._facilities.add(facility)
+        self._statistics.insertions += 1
+        costs = _facility_cost_vector(self._accessor, self._graph, self._query, facility)
+        score = self._aggregate(costs)
+        self._statistics.incremental_updates += 1
+        entry = (score, facility.facility_id, costs)
+        if len(self._top) < self._k:
+            self._top.append(entry)
+            self._top.sort(key=lambda item: (item[0], item[1]))
+            return True
+        worst_score, _worst_id, _ = self._top[-1]
+        if score < worst_score:
+            self._top[-1] = entry
+            self._top.sort(key=lambda item: (item[0], item[1]))
+            return True
+        return False
+
+    def delete(self, facility_id: FacilityId) -> bool:
+        """Delete a facility; return True when the top-k changed."""
+        if facility_id not in self._facilities:
+            raise FacilityError(f"unknown facility {facility_id}")
+        self._facilities.remove(facility_id)
+        self._statistics.deletions += 1
+        if facility_id not in self.facility_ids():
+            # A facility outside the top-k scores no better than the current
+            # k-th member, so removing it cannot change the result.
+            self._statistics.incremental_updates += 1
+            return False
+        self._recompute()
+        return True
+
+    def move_query(self, query: NetworkLocation) -> None:
+        """Relocate the query point (always recomputes)."""
+        query.validate(self._graph)
+        self._query = query
+        self._statistics.query_moves += 1
+        self._recompute()
+
+    def _recompute(self) -> None:
+        self._statistics.recomputations += 1
+        result = MCNTopKSearch(
+            self._accessor, self._graph, self._query, self._aggregate, self._k, share_accesses=True
+        ).run()
+        self._top = [
+            (item.score, item.facility_id, item.costs) for item in result
+        ]
+        self._top.sort(key=lambda item: (item[0], item[1]))

@@ -1,0 +1,102 @@
+"""Result and statistics objects returned by the MCN preference queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.accessor import AccessStatistics
+from repro.network.facilities import FacilityId
+
+__all__ = [
+    "QueryStatistics",
+    "SkylineFacility",
+    "SkylineResult",
+    "RankedFacility",
+    "TopKResult",
+]
+
+
+@dataclass
+class QueryStatistics:
+    """Work counters of one query execution.
+
+    ``io`` holds the accessor counter deltas for the query (page reads and
+    buffer hits when running against :class:`~repro.storage.NetworkStorage`,
+    logical request counts for the in-memory accessor).
+    """
+
+    nn_retrievals: int = 0
+    heap_pops: int = 0
+    dominance_checks: int = 0
+    candidates_considered: int = 0
+    facilities_pinned: int = 0
+    elapsed_seconds: float = 0.0
+    io: AccessStatistics = field(default_factory=AccessStatistics)
+
+
+@dataclass(frozen=True)
+class SkylineFacility:
+    """A facility reported in the skyline.
+
+    ``costs`` contains the network distance under every cost type; components
+    the search never needed to compute (possible for facilities reported via
+    the first-nearest-neighbour shortcut) are ``None``.  ``pinned`` tells
+    whether the full vector was computed.
+    """
+
+    facility_id: FacilityId
+    costs: tuple[float | None, ...]
+    pinned: bool
+
+    @property
+    def complete_costs(self) -> tuple[float, ...]:
+        """The cost vector, asserting that it is fully known."""
+        if any(value is None for value in self.costs):
+            raise ValueError(f"facility {self.facility_id} has unknown cost components")
+        return tuple(float(value) for value in self.costs)  # type: ignore[arg-type]
+
+
+@dataclass
+class SkylineResult:
+    """The MCN skyline of a query location, in the order facilities were reported."""
+
+    facilities: list[SkylineFacility]
+    statistics: QueryStatistics = field(default_factory=QueryStatistics)
+
+    def facility_ids(self) -> set[FacilityId]:
+        return {facility.facility_id for facility in self.facilities}
+
+    def __len__(self) -> int:
+        return len(self.facilities)
+
+    def __iter__(self):
+        return iter(self.facilities)
+
+
+@dataclass(frozen=True)
+class RankedFacility:
+    """A facility reported by a top-k query, with its aggregate cost."""
+
+    facility_id: FacilityId
+    costs: tuple[float, ...]
+    score: float
+
+
+@dataclass
+class TopKResult:
+    """The k facilities with the smallest aggregate costs, in increasing score order."""
+
+    facilities: list[RankedFacility]
+    statistics: QueryStatistics = field(default_factory=QueryStatistics)
+
+    def facility_ids(self) -> list[FacilityId]:
+        return [facility.facility_id for facility in self.facilities]
+
+    def scores(self) -> list[float]:
+        return [facility.score for facility in self.facilities]
+
+    def __len__(self) -> int:
+        return len(self.facilities)
+
+    def __iter__(self):
+        return iter(self.facilities)

@@ -1,0 +1,229 @@
+"""MCN top-k processing (Section V, known ``k``).
+
+The search reuses the growing/shrinking framework of the skyline algorithms:
+
+* **Growing** — expansions are probed in round-robin order until ``k``
+  facilities are pinned.  Every encountered facility is a candidate; every
+  pinned facility enters the tentative top-k set.  Once ``k`` facilities are
+  pinned, any facility not yet encountered is dominated by all of them and
+  therefore cannot have a smaller aggregate cost under any increasingly
+  monotone function.
+* **Shrinking** — expansions advance one heap pop at a time (candidate-only
+  mode, no new facilities are admitted).  A candidate that gets pinned
+  replaces the current k-th best facility if its aggregate cost is smaller;
+  candidates whose aggregate-cost *lower bound* (unknown costs replaced by
+  the expansion frontiers ``t_i``) already reaches the k-th best score are
+  eliminated without being pinned.
+
+Like the skyline algorithms, the search runs over either independent
+expansions (LSA flavour) or a shared fetch-once cache (CEA flavour).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.aggregates import AggregateFunction
+from repro.core.candidates import CandidateEntry, CandidatePool
+from repro.core.expansion import ExpansionSeeds, NearestFacilityExpansion
+from repro.core.results import QueryStatistics, RankedFacility, TopKResult
+from repro.errors import QueryError
+from repro.network.accessor import FetchOnceCache, GraphAccessor
+from repro.network.graph import MultiCostGraph
+from repro.network.location import NetworkLocation
+
+__all__ = ["MCNTopKSearch", "lsa_top_k", "cea_top_k"]
+
+
+class MCNTopKSearch:
+    """Top-k search over a multi-cost network for a known ``k``."""
+
+    def __init__(
+        self,
+        accessor: GraphAccessor,
+        graph: MultiCostGraph,
+        query: NetworkLocation,
+        aggregate: AggregateFunction,
+        k: int,
+        *,
+        share_accesses: bool = False,
+    ):
+        if k < 1:
+            raise QueryError("k must be a positive integer")
+        if graph.num_cost_types != accessor.num_cost_types:
+            raise QueryError("graph and accessor disagree on the number of cost types")
+        self._graph = graph
+        self._query = query
+        self._aggregate = aggregate
+        self._k = k
+        self._base_accessor = accessor
+        self._data_layer: GraphAccessor = FetchOnceCache(accessor) if share_accesses else accessor
+        seeds = ExpansionSeeds.from_query(graph, query)
+        self._expansions = [
+            NearestFacilityExpansion(self._data_layer, seeds, index)
+            for index in range(accessor.num_cost_types)
+        ]
+        self._pool = CandidatePool(accessor.num_cost_types)
+        self._statistics = QueryStatistics()
+        # Tentative result: facility id -> RankedFacility.
+        self._top: dict[int, RankedFacility] = {}
+
+    @property
+    def statistics(self) -> QueryStatistics:
+        return self._statistics
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(self) -> TopKResult:
+        """Execute the query and return the k facilities with smallest aggregate cost."""
+        start = time.perf_counter()
+        io_before = self._base_accessor.statistics.snapshot()
+        self._growing_stage()
+        self._shrinking_stage()
+        ranked = sorted(self._top.values(), key=lambda item: (item.score, item.facility_id))
+        ranked = ranked[: self._k]
+        self._statistics.elapsed_seconds = time.perf_counter() - start
+        self._statistics.io = self._base_accessor.statistics.since(io_before)
+        self._statistics.dominance_checks = self._pool.dominance_checks
+        self._statistics.candidates_considered = len(self._pool)
+        self._statistics.heap_pops = sum(exp.heap_pops for exp in self._expansions)
+        return TopKResult(facilities=ranked, statistics=self._statistics)
+
+    # ------------------------------------------------------------------ #
+    # Growing
+    # ------------------------------------------------------------------ #
+    def _growing_stage(self) -> None:
+        pinned = 0
+        while pinned < self._k:
+            index = self._next_round_robin_expansion()
+            if index is None:
+                break  # fewer than k facilities exist; everything reachable is pinned
+            hit = self._expansions[index].next_facility()
+            if hit is None:
+                continue
+            self._statistics.nn_retrievals += 1
+            entry = self._pool.observe(hit.facility_id, hit.cost_index, hit.cost, hit.record)
+            if entry.is_pinned and entry.facility_id not in self._top:
+                self._statistics.facilities_pinned += 1
+                self._admit(entry)
+                pinned += 1
+
+    def _next_round_robin_expansion(self) -> int | None:
+        active = [index for index, exp in enumerate(self._expansions) if not exp.exhausted]
+        if not active:
+            return None
+        return min(active, key=lambda i: (self._expansions[i].facilities_retrieved, i))
+
+    # ------------------------------------------------------------------ #
+    # Shrinking
+    # ------------------------------------------------------------------ #
+    def _shrinking_stage(self) -> None:
+        candidates = self._pool.unpinned_tracked()
+        for entry in candidates:
+            entry_id = entry.facility_id
+            self._data_layer.facility_edge(entry_id)
+        candidate_edges = self._pool.candidate_edges(candidates)
+        for expansion in self._expansions:
+            expansion.enter_candidate_mode(candidate_edges)
+        active = [not expansion.exhausted for expansion in self._expansions]
+        while self._open_candidates():
+            self._deactivate(active)
+            if not any(active):
+                break
+            for index, expansion in enumerate(self._expansions):
+                if not active[index]:
+                    continue
+                hit = expansion.pop_step()
+                if hit is None:
+                    if expansion.exhausted:
+                        active[index] = False
+                    continue
+                self._statistics.nn_retrievals += 1
+                entry = self._pool.observe(hit.facility_id, hit.cost_index, hit.cost, hit.record)
+                if entry.is_pinned and not entry.eliminated:
+                    self._statistics.facilities_pinned += 1
+                    self._resolve_pinned_candidate(entry)
+            self._apply_lower_bound_pruning()
+
+    def _open_candidates(self) -> list[CandidateEntry]:
+        return [
+            entry
+            for entry in self._pool.entries()
+            if not entry.eliminated and not entry.is_pinned
+        ]
+
+    def _deactivate(self, active: list[bool]) -> None:
+        open_candidates = self._open_candidates()
+        for index in range(len(self._expansions)):
+            if not active[index]:
+                continue
+            if self._expansions[index].exhausted:
+                active[index] = False
+                continue
+            if not any(entry.costs[index] is None for entry in open_candidates):
+                active[index] = False
+
+    def _kth_score(self) -> float:
+        if len(self._top) < self._k:
+            return float("inf")
+        return max(item.score for item in self._top.values())
+
+    def _admit(self, entry: CandidateEntry) -> None:
+        """Place a pinned facility into the tentative top-k, evicting the worst if full."""
+        costs = entry.known_costs
+        score = self._aggregate(costs)
+        ranked = RankedFacility(entry.facility_id, costs, score)
+        if len(self._top) < self._k:
+            self._top[entry.facility_id] = ranked
+            return
+        worst_id = max(self._top, key=lambda fid: (self._top[fid].score, fid))
+        if score < self._top[worst_id].score:
+            evicted = self._top.pop(worst_id)
+            self._pool.entry(evicted.facility_id).eliminated = True
+            self._top[entry.facility_id] = ranked
+        else:
+            entry.eliminated = True
+
+    def _resolve_pinned_candidate(self, entry: CandidateEntry) -> None:
+        self._admit(entry)
+
+    def _apply_lower_bound_pruning(self) -> None:
+        threshold = self._kth_score()
+        if threshold == float("inf"):
+            return
+        frontiers = [expansion.head_key() for expansion in self._expansions]
+        for entry in self._open_candidates():
+            bound_vector = [
+                value if value is not None else frontiers[index]
+                for index, value in enumerate(entry.costs)
+            ]
+            if any(value == float("inf") for value in bound_vector):
+                # An exhausted expansion can never report this candidate; it is unreachable
+                # under that cost type and therefore cannot beat any pinned facility.
+                entry.eliminated = True
+                continue
+            if self._aggregate(bound_vector) >= threshold:
+                entry.eliminated = True
+
+
+def lsa_top_k(
+    accessor: GraphAccessor,
+    graph: MultiCostGraph,
+    query: NetworkLocation,
+    aggregate: AggregateFunction,
+    k: int,
+) -> TopKResult:
+    """Top-k query processed with independent expansions (LSA flavour)."""
+    return MCNTopKSearch(accessor, graph, query, aggregate, k, share_accesses=False).run()
+
+
+def cea_top_k(
+    accessor: GraphAccessor,
+    graph: MultiCostGraph,
+    query: NetworkLocation,
+    aggregate: AggregateFunction,
+    k: int,
+) -> TopKResult:
+    """Top-k query processed with shared (fetch-once) expansions (CEA flavour)."""
+    return MCNTopKSearch(accessor, graph, query, aggregate, k, share_accesses=True).run()

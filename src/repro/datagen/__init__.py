@@ -1,0 +1,29 @@
+"""Synthetic data generation: road networks, edge costs, facilities, queries."""
+
+from repro.datagen.cost_models import CostDistribution, assign_edge_costs, generate_cost_factors
+from repro.datagen.facility_gen import (
+    generate_clustered_facilities,
+    generate_uniform_facilities,
+)
+from repro.datagen.queries import generate_query_locations
+from repro.datagen.road_network import (
+    RoadNetworkSpec,
+    euclidean_edge_lengths,
+    generate_road_network,
+)
+from repro.datagen.workload import Workload, WorkloadSpec, make_workload
+
+__all__ = [
+    "CostDistribution",
+    "RoadNetworkSpec",
+    "Workload",
+    "WorkloadSpec",
+    "assign_edge_costs",
+    "euclidean_edge_lengths",
+    "generate_clustered_facilities",
+    "generate_cost_factors",
+    "generate_query_locations",
+    "generate_road_network",
+    "generate_uniform_facilities",
+    "make_workload",
+]

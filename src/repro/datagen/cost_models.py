@@ -1,0 +1,92 @@
+"""Edge-cost generation: independent, correlated and anti-correlated distributions.
+
+The experiments assign ``d`` costs to each edge following the three standard
+distributions of preference-query evaluation (Börzsönyi et al.), adapted to
+edges: each cost is the edge's physical length scaled by a per-edge factor.
+
+* **independent** — the d factors are drawn independently.
+* **correlated** — the factors share a common component: an edge cheap under
+  one cost tends to be cheap under the others.
+* **anti-correlated** — the factors roughly sum to a constant: an edge cheap
+  under one cost tends to be expensive under the others (the hardest case
+  for skyline queries, and the paper's default).
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+
+from repro.errors import DataGenerationError
+from repro.network.costs import CostVector
+from repro.network.graph import MultiCostGraph
+
+__all__ = ["CostDistribution", "generate_cost_factors", "assign_edge_costs"]
+
+_MIN_FACTOR = 0.05
+_MAX_FACTOR = 1.95
+
+
+class CostDistribution(Enum):
+    """How the d cost factors of an edge relate to each other."""
+
+    INDEPENDENT = "independent"
+    CORRELATED = "correlated"
+    ANTI_CORRELATED = "anti-correlated"
+
+    @classmethod
+    def parse(cls, name: str) -> "CostDistribution":
+        normalized = name.strip().lower().replace("_", "-")
+        for member in cls:
+            if member.value == normalized or member.name.lower() == normalized:
+                return member
+        raise DataGenerationError(f"unknown cost distribution {name!r}")
+
+
+def _clip(value: float) -> float:
+    return min(max(value, _MIN_FACTOR), _MAX_FACTOR)
+
+
+def generate_cost_factors(
+    distribution: CostDistribution, dimensions: int, rng: random.Random
+) -> list[float]:
+    """One d-dimensional factor vector in roughly ``[0.05, 1.95]`` around 1."""
+    if dimensions < 1:
+        raise DataGenerationError("dimensions must be positive")
+    if distribution is CostDistribution.INDEPENDENT:
+        return [_clip(rng.uniform(_MIN_FACTOR, _MAX_FACTOR)) for _ in range(dimensions)]
+    if distribution is CostDistribution.CORRELATED:
+        shared = rng.uniform(0.3, 1.7)
+        return [_clip(shared + rng.gauss(0.0, 0.1)) for _ in range(dimensions)]
+    # Anti-correlated: the factors sum to (roughly) dimensions, so a small
+    # factor in one dimension forces large factors elsewhere.
+    total = dimensions * _clip(rng.gauss(1.0, 0.15))
+    cuts = sorted(rng.uniform(0.0, total) for _ in range(dimensions - 1))
+    shares = []
+    previous = 0.0
+    for cut in cuts + [total]:
+        shares.append(cut - previous)
+        previous = cut
+    rng.shuffle(shares)
+    return [_clip(share + 0.05) for share in shares]
+
+
+def assign_edge_costs(
+    graph: MultiCostGraph,
+    distribution: CostDistribution,
+    *,
+    seed: int = 11,
+) -> MultiCostGraph:
+    """Return a copy of ``graph`` whose edge costs follow ``distribution``.
+
+    Each cost is ``edge length x factor``; the graph's dimensionality is kept.
+    """
+    rng = random.Random(seed)
+    result = MultiCostGraph(graph.num_cost_types, directed=graph.directed)
+    for node in graph.nodes():
+        result.add_node(node.node_id, node.x, node.y)
+    for edge in graph.edges():
+        factors = generate_cost_factors(distribution, graph.num_cost_types, rng)
+        costs = CostVector(edge.length * factor for factor in factors)
+        result.add_edge(edge.u, edge.v, costs, length=edge.length, edge_id=edge.edge_id)
+    return result

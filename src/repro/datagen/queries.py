@@ -1,0 +1,44 @@
+"""Query-location generation: uniformly random positions on the network."""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import DataGenerationError
+from repro.network.graph import MultiCostGraph
+from repro.network.location import NetworkLocation
+
+__all__ = ["generate_query_locations"]
+
+
+def generate_query_locations(
+    graph: MultiCostGraph,
+    count: int,
+    *,
+    seed: int = 41,
+    on_nodes: bool = False,
+) -> list[NetworkLocation]:
+    """``count`` query locations chosen uniformly at random.
+
+    By default queries lie in the middle of edges (offset uniform along the
+    edge), matching the paper's setting of query locations "randomly and
+    uniformly chosen in the network"; ``on_nodes=True`` snaps them to nodes.
+    """
+    if count < 0:
+        raise DataGenerationError("the number of query locations cannot be negative")
+    rng = random.Random(seed)
+    locations = []
+    if on_nodes:
+        node_ids = list(graph.node_ids())
+        if not node_ids and count:
+            raise DataGenerationError("cannot place queries on a graph without nodes")
+        for _ in range(count):
+            locations.append(NetworkLocation.at_node(rng.choice(node_ids)))
+        return locations
+    edges = list(graph.edges())
+    if not edges and count:
+        raise DataGenerationError("cannot place queries on a graph without edges")
+    for _ in range(count):
+        edge = rng.choice(edges)
+        locations.append(NetworkLocation.on_edge(edge.edge_id, rng.uniform(0.0, edge.length)))
+    return locations

@@ -1,0 +1,137 @@
+"""Synthetic road-network generation.
+
+The paper evaluates on the San Francisco road network (174,956 nodes and
+223,001 edges, produced by Brinkhoff's moving-objects framework).  That
+dataset is not redistributable here, so this module generates networks with
+the same structural character the algorithms care about: large, sparse
+(average degree ~2.5), connected, roughly planar, with spatially coherent
+edge lengths.  The generator starts from a jittered grid, removes a fraction
+of the edges while protecting a spanning tree (so the network stays
+connected and acquires irregular block shapes), and then adds a few random
+"diagonal" shortcuts to reach the requested edge count.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import DataGenerationError
+from repro.network.graph import MultiCostGraph, NodeId
+
+__all__ = ["RoadNetworkSpec", "generate_road_network", "euclidean_edge_lengths"]
+
+
+@dataclass(frozen=True)
+class RoadNetworkSpec:
+    """Parameters of the synthetic road network.
+
+    ``num_nodes`` is approximate (rounded to a full grid); ``target_degree``
+    controls sparsity (San Francisco has ~2.55 incident edges per node).
+    ``jitter`` perturbs node coordinates as a fraction of the grid spacing.
+    """
+
+    num_nodes: int = 2500
+    target_degree: float = 2.55
+    jitter: float = 0.35
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 4:
+            raise DataGenerationError("a road network needs at least 4 nodes")
+        if not 1.5 <= self.target_degree <= 4.0:
+            raise DataGenerationError("target degree must be between 1.5 and 4.0 (grid-like)")
+        if not 0.0 <= self.jitter < 0.5:
+            raise DataGenerationError("jitter must be in [0, 0.5)")
+
+
+def generate_road_network(spec: RoadNetworkSpec, *, num_cost_types: int = 1) -> MultiCostGraph:
+    """Generate a connected, grid-derived road network.
+
+    The returned graph has ``num_cost_types`` cost types, each initially set
+    to the Euclidean length of the edge; :mod:`repro.datagen.cost_models`
+    replaces them with the independent / correlated / anti-correlated
+    distributions used in the experiments.
+    """
+    rng = random.Random(spec.seed)
+    side = max(int(round(math.sqrt(spec.num_nodes))), 2)
+    spacing = 100.0
+    graph = MultiCostGraph(num_cost_types)
+
+    def node_id(row: int, column: int) -> NodeId:
+        return row * side + column
+
+    for row in range(side):
+        for column in range(side):
+            x = column * spacing + rng.uniform(-spec.jitter, spec.jitter) * spacing
+            y = row * spacing + rng.uniform(-spec.jitter, spec.jitter) * spacing
+            graph.add_node(node_id(row, column), x, y)
+
+    # Full grid edges (right and down neighbours).
+    grid_edges: list[tuple[NodeId, NodeId]] = []
+    for row in range(side):
+        for column in range(side):
+            if column + 1 < side:
+                grid_edges.append((node_id(row, column), node_id(row, column + 1)))
+            if row + 1 < side:
+                grid_edges.append((node_id(row, column), node_id(row + 1, column)))
+
+    # Protect a random spanning tree so removals never disconnect the network.
+    rng.shuffle(grid_edges)
+    parent = {nid: nid for nid in range(side * side)}
+
+    def find(x: NodeId) -> NodeId:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    protected: set[tuple[NodeId, NodeId]] = set()
+    removable: list[tuple[NodeId, NodeId]] = []
+    for u, v in grid_edges:
+        root_u, root_v = find(u), find(v)
+        if root_u != root_v:
+            parent[root_u] = root_v
+            protected.add((u, v))
+        else:
+            removable.append((u, v))
+
+    target_edges = int(round(spec.target_degree * side * side / 2))
+    target_edges = max(target_edges, side * side - 1)
+    keep_extra = max(target_edges - len(protected), 0)
+    rng.shuffle(removable)
+    kept = list(protected) + removable[:keep_extra]
+
+    def euclidean(u: NodeId, v: NodeId) -> float:
+        node_u, node_v = graph.node(u), graph.node(v)
+        return math.hypot(node_u.x - node_v.x, node_u.y - node_v.y)
+
+    for u, v in kept:
+        length = max(euclidean(u, v), 1e-6)
+        graph.add_edge(u, v, [length] * num_cost_types, length=length)
+
+    # A few diagonal shortcuts if the grid alone cannot reach the target degree.
+    missing = target_edges - graph.num_edges
+    attempts = 0
+    while missing > 0 and attempts < 20 * missing + 100:
+        attempts += 1
+        row = rng.randrange(side - 1)
+        column = rng.randrange(side - 1)
+        u = node_id(row, column)
+        v = node_id(row + 1, column + 1) if rng.random() < 0.5 else node_id(row + 1, max(column - 1, 0))
+        if u == v or graph.edge_between(u, v) is not None:
+            continue
+        length = max(euclidean(u, v), 1e-6)
+        graph.add_edge(u, v, [length] * num_cost_types, length=length)
+        missing -= 1
+    return graph
+
+
+def euclidean_edge_lengths(graph: MultiCostGraph) -> dict[int, float]:
+    """Euclidean length of every edge, computed from node coordinates."""
+    lengths = {}
+    for edge in graph.edges():
+        node_u, node_v = graph.node(edge.u), graph.node(edge.v)
+        lengths[edge.edge_id] = math.hypot(node_u.x - node_v.x, node_u.y - node_v.y)
+    return lengths

@@ -1,0 +1,85 @@
+"""Workload bundles: network + costs + facilities + query locations in one object.
+
+A :class:`WorkloadSpec` captures every knob of the paper's experimental
+setup (Section VI); :func:`make_workload` materialises it into the graph,
+facility set and query locations the benchmark harness runs against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datagen.cost_models import CostDistribution, assign_edge_costs
+from repro.datagen.facility_gen import (
+    generate_clustered_facilities,
+    generate_uniform_facilities,
+)
+from repro.datagen.queries import generate_query_locations
+from repro.datagen.road_network import RoadNetworkSpec, generate_road_network
+from repro.errors import DataGenerationError
+from repro.network.facilities import FacilitySet
+from repro.network.graph import MultiCostGraph
+from repro.network.location import NetworkLocation
+
+__all__ = ["WorkloadSpec", "Workload", "make_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """All data-generation parameters of one experimental configuration."""
+
+    num_nodes: int = 2500
+    num_facilities: int = 1000
+    num_cost_types: int = 4
+    distribution: CostDistribution = CostDistribution.ANTI_CORRELATED
+    num_clusters: int = 10
+    clustered: bool = True
+    num_queries: int = 10
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_cost_types < 1:
+            raise DataGenerationError("at least one cost type is required")
+        if self.num_queries < 0:
+            raise DataGenerationError("the number of queries cannot be negative")
+
+
+@dataclass
+class Workload:
+    """A materialised workload ready to be queried or benchmarked."""
+
+    spec: WorkloadSpec
+    graph: MultiCostGraph
+    facilities: FacilitySet
+    queries: list[NetworkLocation] = field(default_factory=list)
+
+    def describe(self) -> dict[str, object]:
+        """Summary used by the CLI and EXPERIMENTS.md generation."""
+        return {
+            "nodes": self.graph.num_nodes,
+            "edges": self.graph.num_edges,
+            "cost_types": self.graph.num_cost_types,
+            "facilities": len(self.facilities),
+            "distribution": self.spec.distribution.value,
+            "queries": len(self.queries),
+        }
+
+
+def make_workload(spec: WorkloadSpec) -> Workload:
+    """Generate the network, edge costs, facilities and query locations of ``spec``."""
+    base = generate_road_network(
+        RoadNetworkSpec(num_nodes=spec.num_nodes, seed=spec.seed),
+        num_cost_types=spec.num_cost_types,
+    )
+    graph = assign_edge_costs(base, spec.distribution, seed=spec.seed + 1)
+    if spec.clustered:
+        facilities = generate_clustered_facilities(
+            graph,
+            spec.num_facilities,
+            num_clusters=spec.num_clusters,
+            seed=spec.seed + 2,
+        )
+    else:
+        facilities = generate_uniform_facilities(graph, spec.num_facilities, seed=spec.seed + 2)
+    queries = generate_query_locations(graph, spec.num_queries, seed=spec.seed + 3)
+    return Workload(spec=spec, graph=graph, facilities=facilities, queries=queries)

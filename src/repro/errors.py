@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """A structural problem with a multi-cost graph (missing node, bad edge...)."""
+
+
+class FacilityError(ReproError):
+    """A problem with a facility definition or facility set."""
+
+
+class LocationError(ReproError):
+    """An invalid network location (unknown edge, offset out of range...)."""
+
+
+class StorageError(ReproError):
+    """A problem in the simulated disk storage layer."""
+
+
+class QueryError(ReproError):
+    """An invalid preference-query specification (bad k, bad weights...)."""
+
+
+class DataGenerationError(ReproError):
+    """Invalid parameters passed to one of the synthetic data generators."""

@@ -1,0 +1,59 @@
+"""Convenience builders and validators for multi-cost networks."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import GraphError
+from repro.network.graph import MultiCostGraph, NodeId
+
+__all__ = ["graph_from_edge_list", "validate_graph"]
+
+
+def graph_from_edge_list(
+    num_cost_types: int,
+    edges: Sequence[tuple[NodeId, NodeId, Sequence[float]]],
+    *,
+    coordinates: Mapping[NodeId, tuple[float, float]] | None = None,
+    directed: bool = False,
+) -> MultiCostGraph:
+    """Build a graph from ``(u, v, costs)`` tuples, creating nodes on demand.
+
+    ``coordinates`` optionally supplies ``node -> (x, y)`` positions; nodes
+    without coordinates default to the origin.
+    """
+    coordinates = coordinates or {}
+    graph = MultiCostGraph(num_cost_types, directed=directed)
+    for u, v, costs in edges:
+        for node in (u, v):
+            if not graph.has_node(node):
+                x, y = coordinates.get(node, (0.0, 0.0))
+                graph.add_node(node, x, y)
+        graph.add_edge(u, v, costs)
+    return graph
+
+
+def validate_graph(graph: MultiCostGraph, *, require_connected: bool = True) -> list[str]:
+    """Check structural health of a graph; return a list of problems found.
+
+    With ``require_connected`` (the default), disconnection is reported as a
+    problem — the paper's algorithms are correct on disconnected graphs but
+    facilities in other components are simply unreachable, which is usually
+    a dataset mistake.
+    """
+    problems: list[str] = []
+    if graph.num_nodes == 0:
+        problems.append("graph has no nodes")
+    if graph.num_edges == 0:
+        problems.append("graph has no edges")
+    isolated = [node.node_id for node in graph.nodes() if graph.degree(node.node_id) == 0]
+    if isolated:
+        problems.append(f"{len(isolated)} isolated node(s), e.g. {isolated[:5]}")
+    zero_cost_edges = [
+        edge.edge_id for edge in graph.edges() if all(value == 0 for value in edge.costs)
+    ]
+    if zero_cost_edges:
+        problems.append(f"{len(zero_cost_edges)} edge(s) with an all-zero cost vector")
+    if require_connected and graph.num_nodes and not graph.is_connected():
+        problems.append("graph is not connected")
+    return problems

@@ -1,0 +1,142 @@
+"""Single-cost shortest-path primitives (Dijkstra's algorithm).
+
+These are the building blocks the paper relies on (Section II-C): shortest
+path between two locations under one cost type, and single-source cost maps
+used by the "straightforward" baseline that performs ``d`` complete network
+expansions before running a conventional skyline algorithm.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import GraphError, LocationError
+from repro.network.costs import CostVector
+from repro.network.facilities import FacilityId, FacilitySet
+from repro.network.graph import MultiCostGraph, NodeId
+from repro.network.location import NetworkLocation
+from repro.network.paths import Path
+
+__all__ = [
+    "single_source_node_costs",
+    "single_source_facility_costs",
+    "all_facility_cost_vectors",
+    "shortest_path_between_nodes",
+]
+
+
+def single_source_node_costs(
+    graph: MultiCostGraph, source: NetworkLocation, cost_index: int
+) -> dict[NodeId, float]:
+    """Network distance from ``source`` to every reachable node under one cost type."""
+    _check_cost_index(graph, cost_index)
+    distances: dict[NodeId, float] = {}
+    heap: list[tuple[float, NodeId]] = []
+    for node, costs in source.anchor_costs(graph):
+        heapq.heappush(heap, (costs[cost_index], node))
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in distances:
+            continue
+        distances[node] = dist
+        for neighbor, edge in graph.neighbors(node):
+            if neighbor not in distances:
+                heapq.heappush(heap, (dist + edge.costs[cost_index], neighbor))
+    return distances
+
+
+def single_source_facility_costs(
+    graph: MultiCostGraph,
+    facilities: FacilitySet,
+    source: NetworkLocation,
+    cost_index: int,
+) -> dict[FacilityId, float]:
+    """Network distance from ``source`` to every reachable facility under one cost type.
+
+    A facility on edge ``(u, v)`` is reachable through either end-node with a
+    pro-rated partial weight; when the source lies on the same edge, the
+    direct along-edge route is also considered.
+    """
+    node_costs = single_source_node_costs(graph, source, cost_index)
+    result: dict[FacilityId, float] = {}
+    for facility in facilities:
+        edge = graph.edge(facility.edge_id)
+        best = float("inf")
+        for end_node in (edge.u, edge.v):
+            if graph.directed and end_node != edge.u:
+                continue
+            if end_node in node_costs:
+                partial = edge.partial_costs(end_node, facility.offset)[cost_index]
+                best = min(best, node_costs[end_node] + partial)
+        same_edge = source.edge_id == facility.edge_id
+        forward = not graph.directed or facility.offset >= source.offset
+        if same_edge and forward:
+            direct = source.costs_to_point_on_same_edge(graph, facility.offset)
+            if direct is not None:
+                best = min(best, direct[cost_index])
+        if best < float("inf"):
+            result[facility.facility_id] = best
+    return result
+
+
+def all_facility_cost_vectors(
+    graph: MultiCostGraph, facilities: FacilitySet, source: NetworkLocation
+) -> dict[FacilityId, CostVector]:
+    """The full d-dimensional cost vector of every reachable facility.
+
+    This is the brute-force computation underlying the straightforward
+    baseline of Section IV: one complete expansion per cost type.
+    """
+    per_cost: list[dict[FacilityId, float]] = [
+        single_source_facility_costs(graph, facilities, source, i)
+        for i in range(graph.num_cost_types)
+    ]
+    vectors: dict[FacilityId, CostVector] = {}
+    for facility in facilities:
+        fid = facility.facility_id
+        if all(fid in costs for costs in per_cost):
+            vectors[fid] = CostVector(costs[fid] for costs in per_cost)
+    return vectors
+
+
+def shortest_path_between_nodes(
+    graph: MultiCostGraph, source: NodeId, target: NodeId, cost_index: int
+) -> Path:
+    """Shortest path between two nodes under one cost type, with full cost vector.
+
+    Raises :class:`GraphError` when the target is unreachable.
+    """
+    _check_cost_index(graph, cost_index)
+    if not graph.has_node(source):
+        raise GraphError(f"unknown node {source}")
+    if not graph.has_node(target):
+        raise GraphError(f"unknown node {target}")
+    predecessors: dict[NodeId, NodeId | None] = {}
+    heap: list[tuple[float, NodeId, NodeId | None]] = [(0.0, source, None)]
+    while heap:
+        dist, node, parent = heapq.heappop(heap)
+        if node in predecessors:
+            continue
+        predecessors[node] = parent
+        if node == target:
+            break
+        for neighbor, edge in graph.neighbors(node):
+            if neighbor not in predecessors:
+                heapq.heappush(heap, (dist + edge.costs[cost_index], neighbor, node))
+    if target not in predecessors:
+        raise GraphError(f"node {target} is unreachable from {source}")
+    nodes: list[NodeId] = []
+    current: NodeId | None = target
+    while current is not None:
+        nodes.append(current)
+        current = predecessors[current]
+    nodes.reverse()
+    return Path.from_node_sequence(graph, nodes)
+
+
+def _check_cost_index(graph: MultiCostGraph, cost_index: int) -> None:
+    if not 0 <= cost_index < graph.num_cost_types:
+        raise LocationError(
+            f"cost index {cost_index} out of range for a {graph.num_cost_types}-cost network"
+        )

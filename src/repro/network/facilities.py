@@ -1,0 +1,133 @@
+"""Facilities (points of interest) located on the edges of an MCN.
+
+Every facility lies on an edge at a given distance (``offset``) from the
+edge's first end-node.  Its partial weight towards either end-node is
+pro-rated by the offset, exactly as described in Section III of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.errors import FacilityError, GraphError
+from repro.network.graph import EdgeId, MultiCostGraph
+
+__all__ = ["Facility", "FacilitySet"]
+
+FacilityId = int
+
+
+@dataclass(frozen=True)
+class Facility:
+    """A point of interest on an MCN edge.
+
+    ``offset`` is the distance from the edge's first end-node (``edge.u``),
+    matching the ``|v_i p_m|`` field of the facility file in Figure 2 of the
+    paper.  ``attributes`` holds optional non-spatial data (capacity, owner,
+    price...), which the preference queries never look at but applications may.
+    """
+
+    facility_id: FacilityId
+    edge_id: EdgeId
+    offset: float
+    attributes: Mapping[str, object] = field(default_factory=dict)
+
+
+class FacilitySet:
+    """The facility set ``P``: all points of interest, indexed by edge.
+
+    The set validates each facility against the graph it belongs to (the edge
+    must exist and the offset must lie within the edge length).
+    """
+
+    def __init__(self, graph: MultiCostGraph, facilities: Iterable[Facility] = ()):
+        self._graph = graph
+        self._facilities: dict[FacilityId, Facility] = {}
+        self._by_edge: dict[EdgeId, list[FacilityId]] = {}
+        for facility in facilities:
+            self.add(facility)
+
+    @property
+    def graph(self) -> MultiCostGraph:
+        """The graph these facilities live on."""
+        return self._graph
+
+    def add(self, facility: Facility) -> None:
+        """Add a facility, validating its placement."""
+        if facility.facility_id in self._facilities:
+            raise FacilityError(f"facility id {facility.facility_id} already exists")
+        try:
+            edge = self._graph.edge(facility.edge_id)
+        except GraphError as exc:
+            raise FacilityError(str(exc)) from exc
+        if not 0.0 <= facility.offset <= edge.length + 1e-12:
+            raise FacilityError(
+                f"facility {facility.facility_id} offset {facility.offset} outside edge "
+                f"{facility.edge_id} of length {edge.length}"
+            )
+        self._facilities[facility.facility_id] = facility
+        self._by_edge.setdefault(facility.edge_id, []).append(facility.facility_id)
+
+    def add_on_edge(
+        self,
+        facility_id: FacilityId,
+        edge_id: EdgeId,
+        offset: float,
+        attributes: Mapping[str, object] | None = None,
+    ) -> Facility:
+        """Convenience constructor + :meth:`add` in one call."""
+        facility = Facility(facility_id, edge_id, float(offset), dict(attributes or {}))
+        self.add(facility)
+        return facility
+
+    def remove(self, facility_id: FacilityId) -> Facility:
+        """Remove a facility and return it.
+
+        Used by the incremental-maintenance extension; raises
+        :class:`FacilityError` when the facility does not exist.
+        """
+        facility = self.facility(facility_id)
+        del self._facilities[facility_id]
+        remaining = [fid for fid in self._by_edge[facility.edge_id] if fid != facility_id]
+        if remaining:
+            self._by_edge[facility.edge_id] = remaining
+        else:
+            del self._by_edge[facility.edge_id]
+        return facility
+
+    def __len__(self) -> int:
+        return len(self._facilities)
+
+    def __iter__(self) -> Iterator[Facility]:
+        return iter(self._facilities.values())
+
+    def __contains__(self, facility_id: FacilityId) -> bool:
+        return facility_id in self._facilities
+
+    def facility(self, facility_id: FacilityId) -> Facility:
+        try:
+            return self._facilities[facility_id]
+        except KeyError:
+            raise FacilityError(f"unknown facility {facility_id}") from None
+
+    def facility_ids(self) -> Iterator[FacilityId]:
+        return iter(self._facilities.keys())
+
+    def on_edge(self, edge_id: EdgeId) -> list[Facility]:
+        """Facilities lying on the given edge, in insertion order."""
+        return [self._facilities[fid] for fid in self._by_edge.get(edge_id, [])]
+
+    def edge_of(self, facility_id: FacilityId) -> EdgeId:
+        """The edge a facility lies on (the lookup served by the facility tree)."""
+        return self.facility(facility_id).edge_id
+
+    def edges_with_facilities(self) -> Iterator[EdgeId]:
+        """Edges that host at least one facility."""
+        return iter(self._by_edge.keys())
+
+    def density(self) -> float:
+        """Average number of facilities per edge (a sparsity measure used in reporting)."""
+        if self._graph.num_edges == 0:
+            return 0.0
+        return len(self._facilities) / self._graph.num_edges

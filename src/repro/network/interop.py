@@ -1,0 +1,119 @@
+"""Interoperability with networkx graphs.
+
+Road-network data frequently arrives as a :mod:`networkx` graph (e.g. from
+OSMnx exports).  These helpers convert between ``networkx.Graph`` /
+``networkx.DiGraph`` objects and :class:`~repro.network.graph.MultiCostGraph`
+so that such data can be queried directly, and conversely so that an MCN can
+be handed to the networkx ecosystem for analysis or drawing.
+
+networkx is an optional dependency: the module imports it lazily and raises a
+clear error when it is missing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import GraphError
+from repro.network.graph import MultiCostGraph
+
+__all__ = ["from_networkx", "to_networkx"]
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - exercised only without networkx
+        raise GraphError(
+            "networkx is required for graph conversion; install it with 'pip install networkx'"
+        ) from exc
+    return networkx
+
+
+def from_networkx(
+    nx_graph,
+    cost_attributes: Sequence[str],
+    *,
+    length_attribute: str | None = None,
+    x_attribute: str = "x",
+    y_attribute: str = "y",
+) -> MultiCostGraph:
+    """Build a :class:`MultiCostGraph` from a networkx graph.
+
+    Parameters
+    ----------
+    nx_graph:
+        A ``networkx.Graph`` or ``networkx.DiGraph`` whose nodes are integers
+        (or integer-convertible) and whose edges carry one numeric attribute
+        per cost type.  Multigraphs are rejected — collapse parallel edges
+        first (keep the cheapest, or aggregate however the application needs).
+    cost_attributes:
+        The edge-attribute names to use as the d cost types, in order.
+    length_attribute:
+        Optional edge attribute holding the physical segment length used to
+        pro-rate facility/query offsets; defaults to the first cost type.
+    x_attribute, y_attribute:
+        Node attributes holding coordinates (optional; default to 0.0).
+    """
+    networkx = _require_networkx()
+    if nx_graph.is_multigraph():
+        raise GraphError("multigraphs are not supported; collapse parallel edges first")
+    if not cost_attributes:
+        raise GraphError("at least one cost attribute is required")
+    directed = nx_graph.is_directed()
+    graph = MultiCostGraph(len(cost_attributes), directed=directed)
+    for node, data in nx_graph.nodes(data=True):
+        node_id = _as_node_id(node)
+        graph.add_node(node_id, float(data.get(x_attribute, 0.0)), float(data.get(y_attribute, 0.0)))
+    for u, v, data in nx_graph.edges(data=True):
+        costs = []
+        for attribute in cost_attributes:
+            if attribute not in data:
+                raise GraphError(f"edge ({u}, {v}) is missing cost attribute {attribute!r}")
+            costs.append(float(data[attribute]))
+        length = None
+        if length_attribute is not None:
+            if length_attribute not in data:
+                raise GraphError(f"edge ({u}, {v}) is missing length attribute {length_attribute!r}")
+            length = float(data[length_attribute])
+        graph.add_edge(_as_node_id(u), _as_node_id(v), costs, length=length)
+    return graph
+
+
+def to_networkx(graph: MultiCostGraph, *, cost_names: Sequence[str] | None = None):
+    """Convert a :class:`MultiCostGraph` to a networkx (Di)Graph.
+
+    Each edge carries one attribute per cost type (named ``cost_0`` ... or the
+    provided ``cost_names``), plus ``length`` and ``edge_id``; each node
+    carries ``x`` and ``y``.
+    """
+    networkx = _require_networkx()
+    if cost_names is not None and len(cost_names) != graph.num_cost_types:
+        raise GraphError(
+            f"expected {graph.num_cost_types} cost names, got {len(cost_names)}"
+        )
+    names = list(cost_names) if cost_names is not None else [
+        f"cost_{index}" for index in range(graph.num_cost_types)
+    ]
+    nx_graph = networkx.DiGraph() if graph.directed else networkx.Graph()
+    for node in graph.nodes():
+        nx_graph.add_node(node.node_id, x=node.x, y=node.y)
+    for edge in graph.edges():
+        attributes = {name: cost for name, cost in zip(names, edge.costs)}
+        attributes["length"] = edge.length
+        attributes["edge_id"] = edge.edge_id
+        nx_graph.add_edge(edge.u, edge.v, **attributes)
+    return nx_graph
+
+
+def _as_node_id(node) -> int:
+    if isinstance(node, bool):
+        raise GraphError(f"node identifiers must be integers, got {node!r}")
+    if isinstance(node, int):
+        return node
+    try:
+        return int(node)
+    except (TypeError, ValueError):
+        raise GraphError(
+            f"node identifiers must be integers or integer-convertible, got {node!r}"
+        ) from None

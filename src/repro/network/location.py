@@ -1,0 +1,112 @@
+"""Network locations: query points and other positions on an MCN.
+
+A location is either *at a node* or *on an edge* at some offset from the
+edge's first end-node.  The query location ``q`` of the paper's skyline and
+top-k queries is a :class:`NetworkLocation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LocationError
+from repro.network.costs import CostVector
+from repro.network.facilities import Facility
+from repro.network.graph import Edge, EdgeId, MultiCostGraph, NodeId
+
+__all__ = ["NetworkLocation"]
+
+
+@dataclass(frozen=True)
+class NetworkLocation:
+    """A position on the network: a node, or a point along an edge.
+
+    Exactly one of the two construction helpers should be used:
+
+    * :meth:`at_node` — the location coincides with a network node.
+    * :meth:`on_edge` — the location lies ``offset`` away from the edge's
+      first end-node, along the edge.
+    """
+
+    node_id: NodeId | None = None
+    edge_id: EdgeId | None = None
+    offset: float = 0.0
+
+    @classmethod
+    def at_node(cls, node_id: NodeId) -> "NetworkLocation":
+        """A location exactly at a network node."""
+        return cls(node_id=node_id)
+
+    @classmethod
+    def on_edge(cls, edge_id: EdgeId, offset: float) -> "NetworkLocation":
+        """A location on an edge, ``offset`` away from the edge's first end-node."""
+        return cls(edge_id=edge_id, offset=float(offset))
+
+    @classmethod
+    def of_facility(cls, facility: Facility) -> "NetworkLocation":
+        """The location of a facility (on its edge, at its offset)."""
+        return cls(edge_id=facility.edge_id, offset=facility.offset)
+
+    @property
+    def is_node(self) -> bool:
+        """True if the location coincides with a node."""
+        return self.node_id is not None
+
+    def validate(self, graph: MultiCostGraph) -> None:
+        """Raise :class:`LocationError` if the location does not exist on ``graph``."""
+        if self.node_id is not None and self.edge_id is not None:
+            raise LocationError("a location is either at a node or on an edge, not both")
+        if self.node_id is not None:
+            if not graph.has_node(self.node_id):
+                raise LocationError(f"unknown node {self.node_id}")
+            return
+        if self.edge_id is None:
+            raise LocationError("empty network location")
+        if not graph.has_edge(self.edge_id):
+            raise LocationError(f"unknown edge {self.edge_id}")
+        edge = graph.edge(self.edge_id)
+        if not 0.0 <= self.offset <= edge.length + 1e-12:
+            raise LocationError(
+                f"offset {self.offset} outside edge {self.edge_id} of length {edge.length}"
+            )
+
+    def anchor_costs(self, graph: MultiCostGraph) -> list[tuple[NodeId, CostVector]]:
+        """Seed costs for a network expansion starting at this location.
+
+        Returns ``(node, cost vector)`` pairs: the nodes from which a search
+        can start and the cost of reaching each of them from the location.
+        For a node location this is the node itself at zero cost; for an
+        edge location it is both end-nodes with pro-rated partial weights
+        (only the *first* end-node for directed graphs, since the edge can
+        only be traversed forward).
+        """
+        self.validate(graph)
+        if self.node_id is not None:
+            return [(self.node_id, CostVector.zeros(graph.num_cost_types))]
+        edge = graph.edge(self.edge_id)  # type: ignore[arg-type]
+        anchors = [(edge.v, edge.partial_costs(edge.v, self.offset))]
+        if not graph.directed:
+            anchors.insert(0, (edge.u, edge.partial_costs(edge.u, self.offset)))
+        return anchors
+
+    def costs_to_point_on_same_edge(
+        self, graph: MultiCostGraph, other_offset: float
+    ) -> CostVector | None:
+        """Direct along-edge cost to another point on the same edge, if applicable.
+
+        Returns ``None`` when this location is at a node (no shared edge) —
+        callers then rely on ordinary expansion through the end-nodes.
+        """
+        if self.edge_id is None:
+            return None
+        edge = graph.edge(self.edge_id)
+        fraction = abs(other_offset - self.offset) / edge.length if edge.length else 0.0
+        return edge.costs.scale(fraction)
+
+    def describe(self, graph: MultiCostGraph) -> str:
+        """Human-readable description used by the examples and CLI."""
+        if self.node_id is not None:
+            node = graph.node(self.node_id)
+            return f"node {node.node_id} at ({node.x:.1f}, {node.y:.1f})"
+        edge = graph.edge(self.edge_id)  # type: ignore[arg-type]
+        return f"edge {edge.edge_id} ({edge.u}-{edge.v}) at offset {self.offset:.2f}/{edge.length:.2f}"

@@ -1,0 +1,54 @@
+"""Path objects: sequences of nodes/edges with their accumulated cost vectors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from repro.errors import GraphError
+from repro.network.costs import CostVector
+from repro.network.graph import Edge, MultiCostGraph, NodeId
+
+__all__ = ["Path"]
+
+
+@dataclass(frozen=True)
+class Path:
+    """A path through the MCN with its total cost under every cost type.
+
+    ``nodes`` are the traversed nodes in order; ``costs`` is the accumulated
+    d-dimensional cost (including any partial edge weights at the two ends
+    when the path starts or finishes in the middle of an edge).
+    """
+
+    nodes: tuple[NodeId, ...]
+    costs: CostVector
+
+    @property
+    def num_hops(self) -> int:
+        """Number of full node-to-node hops on the path."""
+        return max(len(self.nodes) - 1, 0)
+
+    def cost(self, cost_index: int) -> float:
+        """Total cost under the given cost type."""
+        return self.costs[cost_index]
+
+    @classmethod
+    def from_node_sequence(cls, graph: MultiCostGraph, nodes: Sequence[NodeId]) -> "Path":
+        """Build a path from consecutive nodes, summing the connecting edges' costs.
+
+        Raises :class:`GraphError` when two consecutive nodes are not adjacent.
+        """
+        if not nodes:
+            raise GraphError("a path needs at least one node")
+        total = CostVector.zeros(graph.num_cost_types)
+        for u, v in zip(nodes, nodes[1:]):
+            edge = graph.edge_between(u, v)
+            if edge is None:
+                raise GraphError(f"nodes {u} and {v} are not adjacent")
+            total = total + edge.costs
+        return cls(tuple(nodes), total)
+
+    def __repr__(self) -> str:
+        chain = " -> ".join(str(n) for n in self.nodes)
+        return f"Path({chain}; costs={self.costs!r})"

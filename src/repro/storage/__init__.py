@@ -1,0 +1,31 @@
+"""Simulated disk-resident storage: pages, LRU buffer, Figure-2 layout."""
+
+from repro.storage.buffer import BufferStatistics, LRUBufferPool
+from repro.storage.btree import StaticBPlusTree
+from repro.storage.disk import DiskStatistics, SimulatedDisk
+from repro.storage.layout import (
+    AdjacencyLayout,
+    FacilityLayout,
+    build_adjacency_file,
+    build_facility_file,
+)
+from repro.storage.pages import DEFAULT_PAGE_SIZE, Page, PageKind, RecordSizes
+from repro.storage.scheme import NetworkStorage, StorageConfig
+
+__all__ = [
+    "AdjacencyLayout",
+    "BufferStatistics",
+    "DEFAULT_PAGE_SIZE",
+    "DiskStatistics",
+    "FacilityLayout",
+    "LRUBufferPool",
+    "NetworkStorage",
+    "Page",
+    "PageKind",
+    "RecordSizes",
+    "SimulatedDisk",
+    "StaticBPlusTree",
+    "StorageConfig",
+    "build_adjacency_file",
+    "build_facility_file",
+]

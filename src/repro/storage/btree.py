@@ -1,0 +1,130 @@
+"""A static, bulk-loaded B+-tree over integer keys, stored on simulated pages.
+
+The "adjacency tree" and "facility tree" of the paper's storage scheme
+(Figure 2) are modelled with this structure: given a node id (respectively a
+facility id), a root-to-leaf traversal — each step a buffered page read —
+yields the pointer into the adjacency file (respectively the facility file).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+from repro.errors import StorageError
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pages import PageKind, RecordSizes
+
+__all__ = ["StaticBPlusTree"]
+
+
+@dataclass(frozen=True)
+class _LeafRecord:
+    keys: tuple[int, ...]
+    values: tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class _InternalRecord:
+    separators: tuple[int, ...]  # smallest key reachable under each child except the first
+    children: tuple[int, ...]  # child page ids
+
+
+class StaticBPlusTree:
+    """Bulk-loaded B+ tree mapping integer keys to opaque values.
+
+    The tree is read-only after construction, which matches the paper's
+    setting (the network and facility set are static during querying).
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        kind: PageKind,
+        entries: Iterable[tuple[int, object]],
+        *,
+        record_sizes: RecordSizes | None = None,
+    ):
+        self._disk = disk
+        self._kind = kind
+        sizes = record_sizes or RecordSizes()
+        fanout = max(disk.page_size // sizes.index_entry(), 2)
+        self._fanout = fanout
+        sorted_entries = sorted(entries, key=lambda pair: pair[0])
+        keys = [key for key, _ in sorted_entries]
+        if len(set(keys)) != len(keys):
+            raise StorageError("B+ tree keys must be unique")
+        self._num_entries = len(sorted_entries)
+        self._height = 0
+        self._root_page_id = self._bulk_load(sorted_entries)
+
+    @property
+    def height(self) -> int:
+        """Number of levels (pages read per lookup)."""
+        return self._height
+
+    @property
+    def num_entries(self) -> int:
+        return self._num_entries
+
+    @property
+    def root_page_id(self) -> int | None:
+        return self._root_page_id
+
+    def page_count(self) -> int:
+        """Number of pages the tree occupies."""
+        return self._disk.pages_of_kind(self._kind)
+
+    def _bulk_load(self, sorted_entries: list[tuple[int, object]]) -> int | None:
+        if not sorted_entries:
+            return None
+        # Leaf level.
+        level: list[tuple[int, int]] = []  # (smallest key, page id)
+        for start in range(0, len(sorted_entries), self._fanout):
+            chunk = sorted_entries[start : start + self._fanout]
+            page = self._disk.allocate(self._kind)
+            record = _LeafRecord(
+                keys=tuple(key for key, _ in chunk),
+                values=tuple(value for _, value in chunk),
+            )
+            page.records.append(record)
+            page.used_bytes = len(chunk) * RecordSizes().index_entry()
+            level.append((chunk[0][0], page.page_id))
+        self._height = 1
+        # Internal levels.
+        while len(level) > 1:
+            next_level: list[tuple[int, int]] = []
+            for start in range(0, len(level), self._fanout):
+                chunk = level[start : start + self._fanout]
+                page = self._disk.allocate(self._kind)
+                record = _InternalRecord(
+                    separators=tuple(key for key, _ in chunk[1:]),
+                    children=tuple(page_id for _, page_id in chunk),
+                )
+                page.records.append(record)
+                page.used_bytes = len(chunk) * RecordSizes().index_entry()
+                next_level.append((chunk[0][0], page.page_id))
+            level = next_level
+            self._height += 1
+        return level[0][1]
+
+    def lookup(self, key: int, buffer: LRUBufferPool) -> object:
+        """Return the value stored under ``key``; every page visited is a buffered read.
+
+        Raises :class:`StorageError` when the key is absent.
+        """
+        if self._root_page_id is None:
+            raise StorageError(f"key {key} not found in empty index")
+        page_id = self._root_page_id
+        while True:
+            page = buffer.read(page_id)
+            record = page.records[0]
+            if isinstance(record, _LeafRecord):
+                position = bisect.bisect_left(record.keys, key)
+                if position < len(record.keys) and record.keys[position] == key:
+                    return record.values[position]
+                raise StorageError(f"key {key} not found in index")
+            child_index = bisect.bisect_right(record.separators, key)
+            page_id = record.children[child_index]

@@ -1,0 +1,146 @@
+"""Packing of the adjacency file and the facility file onto simulated pages.
+
+The layout follows Figure 2 of the paper:
+
+* The **adjacency file** is a flat file holding, for every node, its
+  adjacency list: one entry per incident edge with the neighbour id, the
+  d-dimensional cost vector, and a pointer into the facility file for the
+  facilities lying on that edge.
+* The **facility file** is a flat file holding, for every edge with at least
+  one facility, the facilities on it together with their distance from the
+  edge's first end-node.
+
+Both files are bulk-loaded page by page; the builders return per-node
+(respectively per-edge) pointers, i.e. the lists of page ids to read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.network.accessor import AdjacencyRecord, FacilityRecord
+from repro.network.facilities import FacilitySet
+from repro.network.graph import EdgeId, MultiCostGraph, NodeId
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pages import PageKind, RecordSizes
+
+__all__ = [
+    "StoredAdjacencyEntry",
+    "AdjacencyLayout",
+    "FacilityLayout",
+    "build_facility_file",
+    "build_adjacency_file",
+]
+
+
+class StoredAdjacencyEntry(NamedTuple):
+    """An adjacency entry as stored on disk (including its facility-file pointer)."""
+
+    node: NodeId
+    record: AdjacencyRecord
+    facility_pages: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class AdjacencyLayout:
+    """Result of packing the adjacency file: per-node page pointers."""
+
+    node_pages: dict[NodeId, tuple[int, ...]]
+    page_count: int
+
+
+@dataclass(frozen=True)
+class FacilityLayout:
+    """Result of packing the facility file: per-edge page pointers."""
+
+    edge_pages: dict[EdgeId, tuple[int, ...]]
+    page_count: int
+
+
+def build_facility_file(
+    disk: SimulatedDisk,
+    facilities: FacilitySet,
+    *,
+    record_sizes: RecordSizes | None = None,
+) -> FacilityLayout:
+    """Pack all facilities into facility-file pages, grouped by edge."""
+    sizes = record_sizes or RecordSizes()
+    edge_pages: dict[EdgeId, tuple[int, ...]] = {}
+    current = disk.allocate(PageKind.FACILITY)
+    page_count = 1
+    for edge_id in sorted(facilities.edges_with_facilities()):
+        records = [
+            FacilityRecord(facility.facility_id, facility.edge_id, facility.offset)
+            for facility in facilities.on_edge(edge_id)
+        ]
+        pages_for_edge: list[int] = []
+        header_size = sizes.facility_header()
+        pending_header = True
+        for record in records:
+            size = sizes.facility_entry() + (header_size if pending_header else 0)
+            if not current.add(record, size, disk.page_size):
+                current = disk.allocate(PageKind.FACILITY)
+                page_count += 1
+                size = sizes.facility_entry() + header_size
+                current.add(record, size, disk.page_size)
+                pages_for_edge.append(current.page_id)
+                pending_header = False
+                continue
+            pending_header = False
+            if current.page_id not in pages_for_edge:
+                pages_for_edge.append(current.page_id)
+        edge_pages[edge_id] = tuple(pages_for_edge)
+    return FacilityLayout(edge_pages=edge_pages, page_count=page_count)
+
+
+def build_adjacency_file(
+    disk: SimulatedDisk,
+    graph: MultiCostGraph,
+    facilities: FacilitySet,
+    facility_layout: FacilityLayout,
+    *,
+    record_sizes: RecordSizes | None = None,
+) -> AdjacencyLayout:
+    """Pack every node's adjacency list into adjacency-file pages."""
+    sizes = record_sizes or RecordSizes()
+    node_pages: dict[NodeId, tuple[int, ...]] = {}
+    current = disk.allocate(PageKind.ADJACENCY)
+    page_count = 1
+    entry_size = sizes.adjacency_entry(graph.num_cost_types)
+    header_size = sizes.adjacency_header()
+    for node_id in sorted(node.node_id for node in graph.nodes()):
+        pages_for_node: list[int] = []
+        pending_header = True
+        neighbors = graph.neighbors(node_id)
+        if not neighbors:
+            node_pages[node_id] = ()
+            continue
+        for neighbor, edge in neighbors:
+            facility_count = len(facilities.on_edge(edge.edge_id))
+            record = StoredAdjacencyEntry(
+                node=node_id,
+                record=AdjacencyRecord(
+                    neighbor=neighbor,
+                    edge_id=edge.edge_id,
+                    costs=edge.costs.values,
+                    length=edge.length,
+                    first_node=edge.u,
+                    facility_count=facility_count,
+                ),
+                facility_pages=facility_layout.edge_pages.get(edge.edge_id, ()),
+            )
+            size = entry_size + (header_size if pending_header else 0)
+            if not current.add(record, size, disk.page_size):
+                current = disk.allocate(PageKind.ADJACENCY)
+                page_count += 1
+                size = entry_size + header_size
+                current.add(record, size, disk.page_size)
+                pages_for_node.append(current.page_id)
+                pending_header = False
+                continue
+            pending_header = False
+            if current.page_id not in pages_for_node:
+                pages_for_node.append(current.page_id)
+        node_pages[node_id] = tuple(pages_for_node)
+    return AdjacencyLayout(node_pages=node_pages, page_count=page_count)

@@ -1,0 +1,212 @@
+"""The disk-resident storage scheme of Figure 2: ``NetworkStorage``.
+
+``NetworkStorage`` assembles the simulated disk, the LRU buffer pool, the
+adjacency file + adjacency tree and the facility file + facility tree into
+one object that implements the :class:`~repro.network.accessor.GraphAccessor`
+protocol.  All LSA/CEA/top-k runs in the experiments of Section VI use this
+accessor, so that page reads (the dominant cost in the paper) are measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.network.accessor import AccessStatistics, AdjacencyRecord, FacilityRecord
+from repro.network.facilities import FacilityId, FacilitySet
+from repro.network.graph import EdgeId, MultiCostGraph, NodeId
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.layout import (
+    StoredAdjacencyEntry,
+    build_adjacency_file,
+    build_facility_file,
+)
+from repro.storage.pages import DEFAULT_PAGE_SIZE, PageKind, RecordSizes
+from repro.storage.btree import StaticBPlusTree
+
+__all__ = ["StorageConfig", "NetworkStorage"]
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Knobs of the simulated storage layer.
+
+    ``buffer_fraction`` is the LRU buffer size expressed as a fraction of the
+    pages occupied by the MCN information (adjacency tree + adjacency file),
+    exactly as in the paper's experiments (0 %–2 %, default 1 %).
+    """
+
+    page_size: int = DEFAULT_PAGE_SIZE
+    buffer_fraction: float = 0.01
+    record_sizes: RecordSizes = RecordSizes()
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise StorageError("page size must be positive")
+        if self.buffer_fraction < 0:
+            raise StorageError("buffer fraction cannot be negative")
+
+
+class NetworkStorage:
+    """Disk-resident MCN + facility storage with an LRU buffer.
+
+    Implements the accessor protocol used by every query algorithm:
+
+    * :meth:`adjacency` — adjacency-tree traversal + adjacency-file page reads;
+    * :meth:`edge_facilities` — facility-file page reads (the pointer comes
+      with the adjacency entry, as in Figure 2, so no extra index I/O);
+    * :meth:`facility_edge` — facility-tree traversal (used once per candidate
+      when the shrinking stage starts).
+    """
+
+    def __init__(
+        self,
+        graph: MultiCostGraph,
+        facilities: FacilitySet,
+        config: StorageConfig | None = None,
+    ):
+        self._graph = graph
+        self._facilities = facilities
+        self._config = config or StorageConfig()
+        self._disk = SimulatedDisk(self._config.page_size)
+        sizes = self._config.record_sizes
+
+        self._facility_layout = build_facility_file(self._disk, facilities, record_sizes=sizes)
+        self._adjacency_layout = build_adjacency_file(
+            self._disk, graph, facilities, self._facility_layout, record_sizes=sizes
+        )
+        self._adjacency_tree = StaticBPlusTree(
+            self._disk,
+            PageKind.ADJACENCY_INDEX,
+            ((node_id, pages) for node_id, pages in self._adjacency_layout.node_pages.items()),
+            record_sizes=sizes,
+        )
+        self._facility_tree = StaticBPlusTree(
+            self._disk,
+            PageKind.FACILITY_INDEX,
+            (
+                (facility.facility_id, (facility.edge_id, self._facility_layout.edge_pages.get(facility.edge_id, ())))
+                for facility in facilities
+            ),
+            record_sizes=sizes,
+        )
+        capacity = max(int(round(self.mcn_page_count * self._config.buffer_fraction)), 0)
+        if self._config.buffer_fraction > 0:
+            capacity = max(capacity, 1)
+        self._buffer = LRUBufferPool(self._disk, capacity)
+        self._stats = AccessStatistics()
+
+    # ------------------------------------------------------------------ #
+    # Sizing / introspection
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        graph: MultiCostGraph,
+        facilities: FacilitySet,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_fraction: float = 0.01,
+    ) -> "NetworkStorage":
+        """Convenience constructor mirroring the paper's two knobs."""
+        return cls(graph, facilities, StorageConfig(page_size=page_size, buffer_fraction=buffer_fraction))
+
+    @property
+    def graph(self) -> MultiCostGraph:
+        return self._graph
+
+    @property
+    def facilities(self) -> FacilitySet:
+        return self._facilities
+
+    @property
+    def config(self) -> StorageConfig:
+        return self._config
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        return self._disk
+
+    @property
+    def buffer(self) -> LRUBufferPool:
+        return self._buffer
+
+    @property
+    def num_cost_types(self) -> int:
+        return self._graph.num_cost_types
+
+    @property
+    def mcn_page_count(self) -> int:
+        """Pages occupied by the MCN information (adjacency tree + adjacency file)."""
+        return self._adjacency_layout.page_count + self._adjacency_tree.page_count()
+
+    @property
+    def total_page_count(self) -> int:
+        return self._disk.num_pages
+
+    @property
+    def statistics(self) -> AccessStatistics:
+        stats = self._stats
+        stats.page_reads = self._buffer.statistics.misses
+        stats.buffer_hits = self._buffer.statistics.hits
+        return stats
+
+    def reset_statistics(self, *, clear_buffer: bool = False) -> None:
+        """Zero all counters; optionally also drop buffered pages (cold start)."""
+        self._stats.reset()
+        self._buffer.statistics.reset()
+        self._disk.statistics.reset()
+        if clear_buffer:
+            self._buffer.clear()
+
+    # ------------------------------------------------------------------ #
+    # Accessor protocol
+    # ------------------------------------------------------------------ #
+    def adjacency(self, node_id: NodeId) -> list[AdjacencyRecord]:
+        """Adjacency list of ``node_id`` (index traversal + data page reads)."""
+        self._stats.adjacency_requests += 1
+        try:
+            pages = self._adjacency_tree.lookup(node_id, self._buffer)
+        except StorageError:
+            raise StorageError(f"node {node_id} not present in the adjacency tree") from None
+        records: list[AdjacencyRecord] = []
+        for page_id in pages:  # type: ignore[union-attr]
+            page = self._buffer.read(page_id)
+            for stored in page.records:
+                if isinstance(stored, StoredAdjacencyEntry) and stored.node == node_id:
+                    records.append(stored.record)
+        return records
+
+    def edge_facilities(self, edge_id: EdgeId) -> list[FacilityRecord]:
+        """Facilities on ``edge_id`` (facility-file page reads only)."""
+        self._stats.facility_requests += 1
+        pages = self._facility_layout.edge_pages.get(edge_id, ())
+        records: list[FacilityRecord] = []
+        for page_id in pages:
+            page = self._buffer.read(page_id)
+            for stored in page.records:
+                if isinstance(stored, FacilityRecord) and stored.edge_id == edge_id:
+                    records.append(stored)
+        return records
+
+    def facility_edge(self, facility_id: FacilityId) -> EdgeId:
+        """Edge of a facility (facility-tree traversal)."""
+        self._stats.facility_tree_requests += 1
+        try:
+            edge_id, _pages = self._facility_tree.lookup(facility_id, self._buffer)
+        except StorageError:
+            raise StorageError(f"facility {facility_id} not present in the facility tree") from None
+        return edge_id
+
+    def describe(self) -> dict[str, int]:
+        """Page-count summary used by the CLI and examples."""
+        return {
+            "adjacency_file_pages": self._adjacency_layout.page_count,
+            "adjacency_tree_pages": self._adjacency_tree.page_count(),
+            "facility_file_pages": self._facility_layout.page_count,
+            "facility_tree_pages": self._facility_tree.page_count(),
+            "mcn_pages": self.mcn_page_count,
+            "total_pages": self.total_page_count,
+            "buffer_capacity": self._buffer.capacity,
+        }

@@ -1,0 +1,30 @@
+"""Time-dependent extension: edge costs as functions of time (paper's future work)."""
+
+from repro.timedep.network import TimeVaryingMCN, rebind_facilities
+from repro.timedep.profiles import (
+    ConstantProfile,
+    CostProfile,
+    PiecewiseLinearProfile,
+    peak_profile,
+)
+from repro.timedep.queries import (
+    StableInterval,
+    TimedResult,
+    skyline_over_period,
+    stable_intervals,
+    top_k_over_period,
+)
+
+__all__ = [
+    "ConstantProfile",
+    "CostProfile",
+    "PiecewiseLinearProfile",
+    "StableInterval",
+    "TimeVaryingMCN",
+    "TimedResult",
+    "peak_profile",
+    "rebind_facilities",
+    "skyline_over_period",
+    "stable_intervals",
+    "top_k_over_period",
+]

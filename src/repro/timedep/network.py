@@ -1,0 +1,103 @@
+"""Time-varying multi-cost networks: per-edge, per-cost-type profiles."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import GraphError
+from repro.network.costs import CostVector
+from repro.network.facilities import Facility, FacilitySet
+from repro.network.graph import EdgeId, MultiCostGraph
+from repro.timedep.profiles import ConstantProfile, CostProfile
+
+__all__ = ["TimeVaryingMCN", "rebind_facilities"]
+
+
+class TimeVaryingMCN:
+    """A multi-cost network whose edge costs vary with time.
+
+    The network is a static :class:`MultiCostGraph` (the *base* costs, e.g.
+    free-flow travel times) plus, for any edge and cost type, an optional
+    :class:`~repro.timedep.profiles.CostProfile` multiplier.  The key
+    operation is :meth:`snapshot`, which materialises the ordinary static MCN
+    valid at one time instant; all of the paper's (static) machinery then
+    applies to the snapshot.
+    """
+
+    def __init__(
+        self,
+        base_graph: MultiCostGraph,
+        profiles: Mapping[EdgeId, Sequence[CostProfile | None]] | None = None,
+    ):
+        self._base = base_graph
+        self._profiles: dict[EdgeId, list[CostProfile]] = {}
+        default = ConstantProfile(1.0)
+        for edge_id, edge_profiles in (profiles or {}).items():
+            if not base_graph.has_edge(edge_id):
+                raise GraphError(f"unknown edge {edge_id} in profile map")
+            if len(edge_profiles) != base_graph.num_cost_types:
+                raise GraphError(
+                    f"edge {edge_id} needs {base_graph.num_cost_types} profiles, "
+                    f"got {len(edge_profiles)}"
+                )
+            self._profiles[edge_id] = [
+                profile if profile is not None else default for profile in edge_profiles
+            ]
+
+    @property
+    def base_graph(self) -> MultiCostGraph:
+        return self._base
+
+    @property
+    def num_cost_types(self) -> int:
+        return self._base.num_cost_types
+
+    def set_profile(self, edge_id: EdgeId, cost_index: int, profile: CostProfile) -> None:
+        """Attach (or replace) the profile of one edge cost."""
+        if not self._base.has_edge(edge_id):
+            raise GraphError(f"unknown edge {edge_id}")
+        if not 0 <= cost_index < self._base.num_cost_types:
+            raise GraphError(f"cost index {cost_index} out of range")
+        entry = self._profiles.setdefault(
+            edge_id, [ConstantProfile(1.0)] * self._base.num_cost_types
+        )
+        entry = list(entry)
+        entry[cost_index] = profile
+        self._profiles[edge_id] = entry
+
+    def cost_at(self, edge_id: EdgeId, time: float) -> CostVector:
+        """The cost vector of one edge at the given time instant."""
+        edge = self._base.edge(edge_id)
+        profiles = self._profiles.get(edge_id)
+        if profiles is None:
+            return edge.costs
+        return CostVector(
+            base * profile.value_at(time) for base, profile in zip(edge.costs, profiles)
+        )
+
+    def snapshot(self, time: float) -> MultiCostGraph:
+        """The static MCN whose edge costs are the time-varying costs at ``time``."""
+        snapshot = MultiCostGraph(self._base.num_cost_types, directed=self._base.directed)
+        for node in self._base.nodes():
+            snapshot.add_node(node.node_id, node.x, node.y)
+        for edge in self._base.edges():
+            snapshot.add_edge(
+                edge.u,
+                edge.v,
+                self.cost_at(edge.edge_id, time),
+                length=edge.length,
+                edge_id=edge.edge_id,
+            )
+        return snapshot
+
+
+def rebind_facilities(snapshot: MultiCostGraph, facilities: FacilitySet) -> FacilitySet:
+    """Bind an existing facility placement to a snapshot of the same network.
+
+    Snapshots preserve edge identifiers and lengths, so the placement carries
+    over unchanged; only the owning graph object differs.
+    """
+    rebound = FacilitySet(snapshot)
+    for facility in facilities:
+        rebound.add(Facility(facility.facility_id, facility.edge_id, facility.offset, facility.attributes))
+    return rebound

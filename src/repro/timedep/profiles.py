@@ -1,0 +1,94 @@
+"""Time-dependent cost profiles.
+
+The paper's final future-work item is preference queries in MCNs "where the
+costs of the edges are functions of time".  A profile maps a time instant to
+a non-negative multiplier applied to an edge's base cost — e.g. a driving
+time that doubles during the morning peak — and is the building block of the
+time-varying network in :mod:`repro.timedep.network`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.errors import GraphError
+
+__all__ = ["CostProfile", "ConstantProfile", "PiecewiseLinearProfile", "peak_profile"]
+
+
+class CostProfile:
+    """Interface: a non-negative multiplier as a function of time."""
+
+    def value_at(self, time: float) -> float:  # pragma: no cover - interface only
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantProfile(CostProfile):
+    """A time-independent multiplier (the degenerate, static case)."""
+
+    multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.multiplier < 0:
+            raise GraphError("cost multipliers must be non-negative")
+
+    def value_at(self, time: float) -> float:
+        return self.multiplier
+
+
+class PiecewiseLinearProfile(CostProfile):
+    """A multiplier defined by ``(time, value)`` breakpoints, linearly interpolated.
+
+    Outside the breakpoint range the profile is clamped to the first/last
+    value, so a profile defined over one day can be queried at any instant.
+    """
+
+    def __init__(self, breakpoints: Sequence[tuple[float, float]]):
+        if not breakpoints:
+            raise GraphError("a piecewise-linear profile needs at least one breakpoint")
+        ordered = sorted((float(t), float(v)) for t, v in breakpoints)
+        times = [t for t, _v in ordered]
+        if len(set(times)) != len(times):
+            raise GraphError("breakpoint times must be distinct")
+        if any(v < 0 for _t, v in ordered):
+            raise GraphError("cost multipliers must be non-negative")
+        self._times = times
+        self._values = [v for _t, v in ordered]
+
+    @property
+    def breakpoints(self) -> list[tuple[float, float]]:
+        return list(zip(self._times, self._values))
+
+    def value_at(self, time: float) -> float:
+        times, values = self._times, self._values
+        if time <= times[0]:
+            return values[0]
+        if time >= times[-1]:
+            return values[-1]
+        index = bisect.bisect_right(times, time)
+        left_t, right_t = times[index - 1], times[index]
+        left_v, right_v = values[index - 1], values[index]
+        fraction = (time - left_t) / (right_t - left_t)
+        return left_v + fraction * (right_v - left_v)
+
+
+def peak_profile(
+    *,
+    peak_time: float,
+    peak_multiplier: float,
+    base_multiplier: float = 1.0,
+    width: float = 2.0,
+) -> PiecewiseLinearProfile:
+    """A convenience rush-hour profile: a triangular peak around ``peak_time``."""
+    if width <= 0:
+        raise GraphError("the peak width must be positive")
+    return PiecewiseLinearProfile(
+        [
+            (peak_time - width, base_multiplier),
+            (peak_time, peak_multiplier),
+            (peak_time + width, base_multiplier),
+        ]
+    )

@@ -1,0 +1,114 @@
+"""Preference queries over a period of time on a time-varying MCN.
+
+The paper's future-work sketch asks for "preferred (i.e., skyline or top-k)
+facilities for every time instance within a given period".  This module
+implements the sampled version of that query: the period is evaluated at a
+given sequence of time instants (e.g. every 15 minutes of a day), each
+instant is answered on the corresponding static snapshot with CEA, and the
+results are reported both per instant and as *stable intervals* — maximal
+runs of consecutive instants over which the answer does not change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.aggregates import AggregateFunction
+from repro.core.skyline import MCNSkylineSearch
+from repro.core.topk import MCNTopKSearch
+from repro.errors import QueryError
+from repro.network.accessor import InMemoryAccessor
+from repro.network.facilities import FacilityId, FacilitySet
+from repro.network.location import NetworkLocation
+from repro.timedep.network import TimeVaryingMCN, rebind_facilities
+
+__all__ = [
+    "TimedResult",
+    "StableInterval",
+    "skyline_over_period",
+    "top_k_over_period",
+    "stable_intervals",
+]
+
+
+@dataclass(frozen=True)
+class TimedResult:
+    """The query answer at one sampled time instant."""
+
+    time: float
+    facility_ids: tuple[FacilityId, ...]
+
+
+@dataclass(frozen=True)
+class StableInterval:
+    """A maximal run of sampled instants sharing the same answer."""
+
+    start: float
+    end: float
+    facility_ids: tuple[FacilityId, ...]
+
+
+def _check_times(times: Sequence[float]) -> list[float]:
+    if not times:
+        raise QueryError("at least one time instant is required")
+    ordered = list(times)
+    if ordered != sorted(ordered):
+        raise QueryError("time instants must be given in increasing order")
+    return ordered
+
+
+def skyline_over_period(
+    network: TimeVaryingMCN,
+    facilities: FacilitySet,
+    query: NetworkLocation,
+    times: Sequence[float],
+) -> list[TimedResult]:
+    """The MCN skyline at every sampled instant of the period."""
+    results = []
+    for time in _check_times(times):
+        snapshot = network.snapshot(time)
+        snapshot_facilities = rebind_facilities(snapshot, facilities)
+        accessor = InMemoryAccessor(snapshot, snapshot_facilities)
+        skyline = MCNSkylineSearch(accessor, snapshot, query, share_accesses=True).run()
+        results.append(TimedResult(time, tuple(sorted(skyline.facility_ids()))))
+    return results
+
+
+def top_k_over_period(
+    network: TimeVaryingMCN,
+    facilities: FacilitySet,
+    query: NetworkLocation,
+    aggregate: AggregateFunction,
+    k: int,
+    times: Sequence[float],
+) -> list[TimedResult]:
+    """The MCN top-k at every sampled instant of the period (rank order preserved)."""
+    results = []
+    for time in _check_times(times):
+        snapshot = network.snapshot(time)
+        snapshot_facilities = rebind_facilities(snapshot, facilities)
+        accessor = InMemoryAccessor(snapshot, snapshot_facilities)
+        top = MCNTopKSearch(accessor, snapshot, query, aggregate, k, share_accesses=True).run()
+        results.append(TimedResult(time, tuple(top.facility_ids())))
+    return results
+
+
+def stable_intervals(results: Sequence[TimedResult]) -> list[StableInterval]:
+    """Group consecutive sampled instants whose answers are identical."""
+    if not results:
+        return []
+    intervals: list[StableInterval] = []
+    start = results[0].time
+    current = results[0].facility_ids
+    end = results[0].time
+    for result in results[1:]:
+        if result.facility_ids == current:
+            end = result.time
+            continue
+        intervals.append(StableInterval(start, end, current))
+        start = result.time
+        end = result.time
+        current = result.facility_ids
+    intervals.append(StableInterval(start, end, current))
+    return intervals

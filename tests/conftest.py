@@ -1,0 +1,106 @@
+"""Shared fixtures: hand-crafted graphs with known answers and generated workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import MCNQueryEngine
+from repro.datagen import CostDistribution, WorkloadSpec, make_workload
+from repro.network import FacilitySet, MultiCostGraph, NetworkLocation
+
+
+@pytest.fixture
+def tiny_graph() -> MultiCostGraph:
+    """A 3x3 grid with two cost types: (minutes, dollars).
+
+    Edges 3-4 and 4-5 model a tolled highway (fast but 1 $); everything else
+    is free but slower.  Node ids::
+
+        0 - 1 - 2
+        |   |   |
+        3 - 4 - 5
+        |   |   |
+        6 - 7 - 8
+    """
+    graph = MultiCostGraph(num_cost_types=2)
+    for node_id in range(9):
+        graph.add_node(node_id, x=(node_id % 3) * 100.0, y=(node_id // 3) * 100.0)
+    edges = [
+        (0, 1, (4.0, 0.0)),
+        (1, 2, (4.0, 0.0)),
+        (3, 4, (2.0, 1.0)),
+        (4, 5, (2.0, 1.0)),
+        (6, 7, (5.0, 0.0)),
+        (7, 8, (5.0, 0.0)),
+        (0, 3, (3.0, 0.0)),
+        (3, 6, (3.0, 0.0)),
+        (1, 4, (3.0, 0.0)),
+        (4, 7, (3.0, 0.0)),
+        (2, 5, (3.0, 0.0)),
+        (5, 8, (3.0, 0.0)),
+    ]
+    for u, v, costs in edges:
+        graph.add_edge(u, v, costs)
+    return graph
+
+
+@pytest.fixture
+def tiny_facilities(tiny_graph: MultiCostGraph) -> FacilitySet:
+    """Three facilities on the tiny grid: one per horizontal corridor."""
+    facilities = FacilitySet(tiny_graph)
+    facilities.add_on_edge(0, tiny_graph.edge_between(1, 2).edge_id, offset=2.0)
+    facilities.add_on_edge(1, tiny_graph.edge_between(4, 5).edge_id, offset=1.0)
+    facilities.add_on_edge(2, tiny_graph.edge_between(7, 8).edge_id, offset=2.5)
+    return facilities
+
+
+@pytest.fixture
+def tiny_engine(tiny_graph: MultiCostGraph, tiny_facilities: FacilitySet) -> MCNQueryEngine:
+    return MCNQueryEngine(tiny_graph, tiny_facilities)
+
+
+@pytest.fixture
+def tiny_query() -> NetworkLocation:
+    """The port of the quickstart example: node 3 on the west side."""
+    return NetworkLocation.at_node(3)
+
+
+@pytest.fixture
+def line_graph() -> MultiCostGraph:
+    """A 5-node path 0-1-2-3-4 with one cost type; edge i has cost i+1."""
+    graph = MultiCostGraph(num_cost_types=1)
+    for node_id in range(5):
+        graph.add_node(node_id, x=float(node_id), y=0.0)
+    for node_id in range(4):
+        graph.add_edge(node_id, node_id + 1, [float(node_id + 1)])
+    return graph
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A generated 300-node workload with 3 anti-correlated cost types."""
+    return make_workload(
+        WorkloadSpec(
+            num_nodes=300,
+            num_facilities=100,
+            num_cost_types=3,
+            distribution=CostDistribution.ANTI_CORRELATED,
+            num_queries=4,
+            seed=17,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_workload():
+    """A generated 900-node workload with 4 anti-correlated cost types."""
+    return make_workload(
+        WorkloadSpec(
+            num_nodes=900,
+            num_facilities=350,
+            num_cost_types=4,
+            distribution=CostDistribution.ANTI_CORRELATED,
+            num_queries=3,
+            seed=29,
+        )
+    )

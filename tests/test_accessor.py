@@ -1,0 +1,119 @@
+"""Unit tests for the in-memory accessor and the fetch-once (CEA) cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FacilityError
+from repro.network import FacilitySet, InMemoryAccessor, MultiCostGraph
+from repro.network.accessor import AccessStatistics, FetchOnceCache, GraphAccessor
+
+
+@pytest.fixture
+def accessor(tiny_graph, tiny_facilities) -> InMemoryAccessor:
+    return InMemoryAccessor(tiny_graph, tiny_facilities)
+
+
+class TestInMemoryAccessor:
+    def test_implements_protocol(self, accessor):
+        assert isinstance(accessor, GraphAccessor)
+
+    def test_num_cost_types(self, accessor):
+        assert accessor.num_cost_types == 2
+
+    def test_adjacency_contents(self, accessor, tiny_graph):
+        records = accessor.adjacency(4)
+        assert {record.neighbor for record in records} == {1, 3, 5, 7}
+        highway = next(record for record in records if record.neighbor == 5)
+        assert highway.costs == (2.0, 1.0)
+        assert highway.first_node == tiny_graph.edge(highway.edge_id).u
+
+    def test_adjacency_reports_facility_counts(self, accessor, tiny_graph):
+        records = accessor.adjacency(4)
+        counts = {record.edge_id: record.facility_count for record in records}
+        highway_edge = tiny_graph.edge_between(4, 5).edge_id
+        assert counts[highway_edge] == 1
+        assert all(count == 0 for edge_id, count in counts.items() if edge_id != highway_edge)
+
+    def test_edge_facilities(self, accessor, tiny_graph):
+        edge = tiny_graph.edge_between(4, 5)
+        records = accessor.edge_facilities(edge.edge_id)
+        assert [record.facility_id for record in records] == [1]
+        assert records[0].offset == 1.0
+
+    def test_edge_without_facilities(self, accessor, tiny_graph):
+        edge = tiny_graph.edge_between(0, 3)
+        assert accessor.edge_facilities(edge.edge_id) == []
+
+    def test_facility_edge(self, accessor, tiny_graph):
+        assert accessor.facility_edge(1) == tiny_graph.edge_between(4, 5).edge_id
+
+    def test_statistics_count_requests(self, accessor):
+        accessor.adjacency(0)
+        accessor.adjacency(1)
+        accessor.edge_facilities(0)
+        accessor.facility_edge(0)
+        stats = accessor.statistics
+        assert stats.adjacency_requests == 2
+        assert stats.facility_requests == 1
+        assert stats.facility_tree_requests == 1
+        assert stats.total_requests == 4
+
+    def test_rejects_facilities_of_another_graph(self, tiny_graph, tiny_facilities):
+        other = MultiCostGraph(2)
+        other.add_node(0)
+        other.add_node(1)
+        other.add_edge(0, 1, [1.0, 1.0])
+        with pytest.raises(FacilityError):
+            InMemoryAccessor(other, tiny_facilities)
+
+
+class TestAccessStatistics:
+    def test_snapshot_and_since(self):
+        stats = AccessStatistics(adjacency_requests=5, facility_requests=2, page_reads=7)
+        snapshot = stats.snapshot()
+        stats.adjacency_requests += 3
+        stats.page_reads += 1
+        delta = stats.since(snapshot)
+        assert delta.adjacency_requests == 3
+        assert delta.facility_requests == 0
+        assert delta.page_reads == 1
+
+    def test_reset(self):
+        stats = AccessStatistics(adjacency_requests=5, buffer_hits=3)
+        stats.reset()
+        assert stats.total_requests == 0
+        assert stats.buffer_hits == 0
+
+
+class TestFetchOnceCache:
+    def test_adjacency_fetched_once(self, accessor):
+        cache = FetchOnceCache(accessor)
+        first = cache.adjacency(4)
+        second = cache.adjacency(4)
+        assert first is second
+        assert accessor.statistics.adjacency_requests == 1
+
+    def test_edge_facilities_fetched_once(self, accessor, tiny_graph):
+        cache = FetchOnceCache(accessor)
+        edge = tiny_graph.edge_between(4, 5).edge_id
+        cache.edge_facilities(edge)
+        cache.edge_facilities(edge)
+        assert accessor.statistics.facility_requests == 1
+
+    def test_facility_edge_fetched_once(self, accessor):
+        cache = FetchOnceCache(accessor)
+        assert cache.facility_edge(1) == cache.facility_edge(1)
+        assert accessor.statistics.facility_tree_requests == 1
+
+    def test_cached_nodes_counter(self, accessor):
+        cache = FetchOnceCache(accessor)
+        cache.adjacency(0)
+        cache.adjacency(1)
+        cache.adjacency(0)
+        assert cache.cached_nodes == 2
+
+    def test_exposes_underlying_statistics_and_dimensionality(self, accessor):
+        cache = FetchOnceCache(accessor)
+        assert cache.num_cost_types == accessor.num_cost_types
+        assert cache.statistics is accessor.statistics

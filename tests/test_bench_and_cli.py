@@ -1,0 +1,225 @@
+"""Tests for the benchmark harness (config, runner, experiments, reporting) and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.config import DEFAULT_SCALE, PAPER_SCALE, SMALL_SCALE, ExperimentConfig
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    ablation_probing_policy,
+    ablation_versus_baseline,
+    effect_of_distribution,
+    run_experiment,
+)
+from repro.bench.reporting import format_series_table, series_to_csv, summarize_speedups
+from repro.bench.runner import build_environment, run_skyline_trial, run_topk_trial
+from repro.cli import build_parser, main
+from repro.datagen.cost_models import CostDistribution
+from repro.errors import QueryError
+
+#: A deliberately tiny configuration so harness tests stay fast.
+TINY = ExperimentConfig(
+    num_nodes=120,
+    num_facilities=50,
+    num_cost_types=2,
+    page_size=512,
+    num_queries=2,
+    k=2,
+    seed=3,
+)
+
+
+class TestExperimentConfig:
+    def test_defaults_for_scale(self):
+        config = ExperimentConfig.defaults_for(SMALL_SCALE)
+        assert config.num_facilities == SMALL_SCALE.default_facilities
+        assert config.num_cost_types == SMALL_SCALE.default_cost_types
+
+    def test_with_replaces_fields(self):
+        config = TINY.with_(k=7, num_facilities=99)
+        assert config.k == 7 and config.num_facilities == 99
+        assert TINY.k == 2  # original unchanged
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(QueryError):
+            ExperimentConfig(k=0)
+        with pytest.raises(QueryError):
+            ExperimentConfig(num_cost_types=0)
+        with pytest.raises(QueryError):
+            ExperimentConfig(num_queries=0)
+
+    def test_scales_expose_sweeps(self):
+        for scale in (SMALL_SCALE, DEFAULT_SCALE, PAPER_SCALE):
+            assert len(scale.sweep_facilities()) == 5
+            assert scale.sweep_cost_types() == (2, 3, 4, 5)
+            assert scale.sweep_k() == (1, 2, 4, 8, 16)
+            assert 0.0 in scale.sweep_buffers()
+
+    def test_paper_scale_documents_original_populations(self):
+        assert PAPER_SCALE.num_nodes == 174_956
+        assert PAPER_SCALE.default_facilities == 100_000
+
+
+class TestRunner:
+    def test_build_environment(self):
+        workload, storage = build_environment(TINY)
+        assert len(workload.queries) == TINY.num_queries
+        assert storage.config.page_size == TINY.page_size
+
+    def test_skyline_trial_metrics(self):
+        trial = run_skyline_trial(TINY)
+        assert set(trial.measurements) == {"lsa", "cea"}
+        for measurement in trial.measurements.values():
+            assert measurement.queries == TINY.num_queries
+            assert measurement.mean_page_reads > 0
+            assert measurement.mean_result_size >= 1
+        assert trial.speedup() >= 1.0
+
+    def test_topk_trial_metrics(self):
+        trial = run_topk_trial(TINY)
+        for measurement in trial.measurements.values():
+            assert measurement.queries == TINY.num_queries
+            assert measurement.mean_result_size == pytest.approx(TINY.k)
+
+    def test_trial_reuses_environment(self):
+        environment = build_environment(TINY)
+        first = run_skyline_trial(TINY, environment=environment)
+        second = run_skyline_trial(TINY, environment=environment)
+        assert first.measurements["cea"].mean_page_reads == pytest.approx(
+            second.measurements["cea"].mean_page_reads
+        )
+
+    def test_baseline_algorithm_supported(self):
+        trial = run_skyline_trial(TINY, algorithms=("baseline", "cea"))
+        assert trial.measurements["baseline"].mean_page_reads > trial.measurements["cea"].mean_page_reads
+
+
+class TestExperiments:
+    def test_registry_covers_every_figure(self):
+        expected = {"fig8a", "fig8b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12"}
+        assert expected.issubset(set(EXPERIMENTS))
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(QueryError):
+            run_experiment("fig99", SMALL_SCALE)
+
+    def test_distribution_experiment_structure(self):
+        tiny_scale = SMALL_SCALE
+        series = effect_of_distribution("skyline", tiny_scale.__class__(
+            name="tiny",
+            num_nodes=120,
+            facility_counts=(30, 60, 90, 120, 150),
+            default_facilities=60,
+            cost_type_counts=(2, 3, 4, 5),
+            default_cost_types=2,
+            buffer_fractions=(0.0, 0.01, 0.02, 0.03, 0.04),
+            default_buffer_fraction=0.01,
+            k_values=(1, 2, 4, 8, 16),
+            default_k=2,
+            num_queries=2,
+            page_size=512,
+        ))
+        assert [row.value for row in series.rows] == [
+            CostDistribution.ANTI_CORRELATED.value,
+            CostDistribution.INDEPENDENT.value,
+            CostDistribution.CORRELATED.value,
+        ]
+        assert series.algorithms() == ["lsa", "cea"]
+        curve = series.series("cea")
+        assert len(curve) == 3
+
+    def test_ablation_probing_rows(self):
+        scale = SMALL_SCALE.__class__(
+            name="tiny",
+            num_nodes=120,
+            facility_counts=(30,) * 5,
+            default_facilities=40,
+            cost_type_counts=(2, 3, 4, 5),
+            default_cost_types=2,
+            buffer_fractions=(0.0, 0.01, 0.01, 0.01, 0.02),
+            default_buffer_fraction=0.01,
+            k_values=(1, 2, 4, 8, 16),
+            default_k=2,
+            num_queries=1,
+            page_size=512,
+        )
+        series = ablation_probing_policy(scale)
+        assert [row.value for row in series.rows] == ["round-robin", "smallest-first", "largest-first"]
+
+    def test_ablation_baseline_includes_three_algorithms(self):
+        scale = SMALL_SCALE.__class__(
+            name="tiny",
+            num_nodes=100,
+            facility_counts=(30,) * 5,
+            default_facilities=30,
+            cost_type_counts=(2, 3, 4, 5),
+            default_cost_types=2,
+            buffer_fractions=(0.0,) * 5,
+            default_buffer_fraction=0.01,
+            k_values=(1, 2, 4, 8, 16),
+            default_k=2,
+            num_queries=1,
+            page_size=512,
+        )
+        series = ablation_versus_baseline(scale)
+        assert set(series.rows[0].trial.measurements) == {"baseline", "lsa", "cea"}
+
+
+class TestReporting:
+    @pytest.fixture(scope="class")
+    def series(self):
+        scale = SMALL_SCALE.__class__(
+            name="tiny",
+            num_nodes=100,
+            facility_counts=(30,) * 5,
+            default_facilities=30,
+            cost_type_counts=(2, 3, 4, 5),
+            default_cost_types=2,
+            buffer_fractions=(0.0, 0.02, 0.02, 0.02, 0.02),
+            default_buffer_fraction=0.01,
+            k_values=(1, 2, 4, 8, 16),
+            default_k=2,
+            num_queries=1,
+            page_size=512,
+        )
+        return effect_of_distribution("skyline", scale)
+
+    def test_table_contains_all_rows(self, series):
+        table = format_series_table(series)
+        assert "anti-correlated" in table and "correlated" in table
+        assert "lsa" in table and "cea" in table
+        assert series.figure in table
+
+    def test_csv_has_header_and_rows(self, series):
+        csv_text = series_to_csv(series)
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("experiment,figure")
+        assert len(lines) == 1 + 3 * 2  # three sweep points x two algorithms
+
+    def test_speedup_summary(self, series):
+        summary = summarize_speedups(series)
+        assert summary.count("x") >= 3
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        assert parser.parse_args(["demo"]).command == "demo"
+        assert parser.parse_args(["list"]).command == "list"
+        args = parser.parse_args(["experiment", "fig12", "--scale", "small"])
+        assert args.name == "fig12" and args.scale == "small"
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig8a" in output and "fig12" in output
+
+    def test_demo_command(self, capsys):
+        assert main(["demo", "--nodes", "150", "--facilities", "60", "--cost-types", "2", "--k", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "[skyline/lsa]" in output and "[top-2/cea]" in output
+
+    def test_unknown_experiment_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])

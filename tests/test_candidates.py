@@ -1,0 +1,175 @@
+"""Unit tests for the candidate pool (CS) and its dominance reasoning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import CandidatePool
+from repro.errors import QueryError
+from repro.network.accessor import FacilityRecord
+
+
+def record(facility_id: int, edge_id: int = 0) -> FacilityRecord:
+    return FacilityRecord(facility_id, edge_id, 0.0)
+
+
+@pytest.fixture
+def pool() -> CandidatePool:
+    return CandidatePool(3)
+
+
+class TestObservation:
+    def test_entry_created_on_first_encounter(self, pool):
+        entry = pool.observe(7, 0, 5.0, record(7))
+        assert entry.costs == [5.0, None, None]
+        assert not entry.is_pinned
+        assert 7 in pool and len(pool) == 1
+
+    def test_costs_accumulate_until_pinned(self, pool):
+        pool.observe(7, 0, 5.0, record(7))
+        pool.observe(7, 2, 8.0, record(7))
+        entry = pool.observe(7, 1, 6.0, record(7))
+        assert entry.is_pinned
+        assert entry.known_costs == (5.0, 6.0, 8.0)
+
+    def test_repeated_observation_of_same_cost_keeps_first_value(self, pool):
+        pool.observe(7, 0, 5.0, record(7))
+        entry = pool.observe(7, 0, 9.0, record(7))
+        assert entry.costs[0] == 5.0
+
+    def test_encounter_order_increases(self, pool):
+        first = pool.observe(1, 0, 1.0, record(1))
+        second = pool.observe(2, 0, 2.0, record(2))
+        assert first.encounter_order < second.encounter_order
+
+    def test_pin_order_assigned_when_pinned(self, pool):
+        for index in range(3):
+            pool.observe(1, index, 1.0, record(1))
+        for index in range(3):
+            pool.observe(2, index, 2.0, record(2))
+        assert pool.entry(1).pin_order < pool.entry(2).pin_order
+
+    def test_unknown_entry_lookup_rejected(self, pool):
+        with pytest.raises(QueryError):
+            pool.entry(42)
+
+    def test_known_costs_requires_pinned(self, pool):
+        entry = pool.observe(1, 0, 1.0, record(1))
+        with pytest.raises(QueryError):
+            _ = entry.known_costs
+
+    def test_invalid_dimensionality_rejected(self):
+        with pytest.raises(QueryError):
+            CandidatePool(0)
+
+
+class TestPoolQueries:
+    def test_unresolved_excludes_reported_and_eliminated(self, pool):
+        a = pool.observe(1, 0, 1.0, record(1))
+        b = pool.observe(2, 0, 2.0, record(2))
+        c = pool.observe(3, 0, 3.0, record(3))
+        a.reported = True
+        b.eliminated = True
+        assert pool.unresolved() == [c]
+        assert pool.unresolved_count() == 1
+
+    def test_unpinned_tracked_includes_reported_but_unpinned(self, pool):
+        reported = pool.observe(1, 0, 1.0, record(1))
+        reported.reported = True
+        eliminated = pool.observe(2, 0, 2.0, record(2))
+        eliminated.eliminated = True
+        tracked = pool.unpinned_tracked()
+        assert reported in tracked and eliminated not in tracked
+
+    def test_candidate_edges_groups_records(self, pool):
+        a = pool.observe(1, 0, 1.0, FacilityRecord(1, 10, 0.5))
+        b = pool.observe(2, 0, 2.0, FacilityRecord(2, 10, 1.5))
+        c = pool.observe(3, 0, 3.0, FacilityRecord(3, 20, 0.0))
+        grouped = pool.candidate_edges([a, b, c])
+        assert {record.facility_id for record in grouped[10]} == {1, 2}
+        assert {record.facility_id for record in grouped[20]} == {3}
+
+    def test_any_unresolved_missing_cost(self, pool):
+        pool.observe(1, 0, 1.0, record(1))
+        assert pool.any_unresolved_missing_cost(1)
+        assert not pool.any_unresolved_missing_cost(0)
+
+
+class TestDominance:
+    def _pinned(self, pool, facility_id, costs):
+        for index, value in enumerate(costs):
+            pool.observe(facility_id, index, value, record(facility_id))
+        return pool.entry(facility_id)
+
+    def test_provable_domination_with_unknown_costs(self, pool):
+        pinned = self._pinned(pool, 1, (1.0, 1.0, 1.0))
+        candidate = pool.observe(2, 0, 5.0, record(2))
+        assert pool.provably_dominates(pinned, candidate)
+
+    def test_no_domination_when_candidate_better_somewhere(self, pool):
+        pinned = self._pinned(pool, 1, (2.0, 2.0, 2.0))
+        candidate = pool.observe(2, 0, 1.0, record(2))
+        assert not pool.provably_dominates(pinned, candidate)
+
+    def test_equality_on_known_costs_is_not_provable_domination(self, pool):
+        pinned = self._pinned(pool, 1, (2.0, 2.0, 2.0))
+        candidate = pool.observe(2, 0, 2.0, record(2))
+        assert not pool.provably_dominates(pinned, candidate)
+
+    def test_eliminate_dominated_marks_entries(self, pool):
+        pinned = self._pinned(pool, 1, (1.0, 1.0, 1.0))
+        pool.observe(2, 0, 5.0, record(2))
+        pool.observe(3, 0, 0.5, record(3))
+        eliminated = pool.eliminate_dominated(pinned)
+        assert {entry.facility_id for entry in eliminated} == {2}
+        assert pool.entry(2).eliminated and not pool.entry(3).eliminated
+
+    def test_eliminate_dominated_skips_resolved_entries(self, pool):
+        pinned = self._pinned(pool, 1, (1.0, 1.0, 1.0))
+        already = pool.observe(2, 0, 5.0, record(2))
+        already.reported = True
+        assert pool.eliminate_dominated(pinned) == []
+
+    def test_dominated_by_reported_uses_exact_vectors(self, pool):
+        reported = self._pinned(pool, 1, (1.0, 1.0, 1.0))
+        reported.reported = True
+        later = self._pinned(pool, 2, (2.0, 2.0, 2.0))
+        equal = self._pinned(pool, 3, (1.0, 1.0, 1.0))
+        assert pool.dominated_by_reported(later)
+        assert not pool.dominated_by_reported(equal)  # exact tie: not dominated
+
+    def test_dominance_check_counter_increases(self, pool):
+        pinned = self._pinned(pool, 1, (1.0, 1.0, 1.0))
+        pool.observe(2, 0, 5.0, record(2))
+        before = pool.dominance_checks
+        pool.eliminate_dominated(pinned)
+        assert pool.dominance_checks > before
+
+
+class TestPotentialDominators:
+    def _pinned(self, pool, facility_id, costs):
+        for index, value in enumerate(costs):
+            pool.observe(facility_id, index, value, record(facility_id))
+        return pool.entry(facility_id)
+
+    def test_no_potential_dominator_when_frontier_has_passed(self, pool):
+        pinned = self._pinned(pool, 1, (2.0, 2.0, 2.0))
+        pool.observe(2, 0, 1.0, record(2))  # cheaper on dim 0, dims 1-2 unknown
+        # Frontiers already strictly beyond the pinned costs on the unknown dims.
+        assert pool.potential_dominators(pinned, [2.0, 3.0, 3.0]) == []
+
+    def test_potential_dominator_with_tied_frontier(self, pool):
+        pinned = self._pinned(pool, 1, (2.0, 2.0, 2.0))
+        other = pool.observe(2, 0, 1.0, record(2))
+        dominators = pool.potential_dominators(pinned, [2.0, 2.0, 2.0])
+        assert dominators == [other]
+
+    def test_pinned_entries_are_never_potential_dominators(self, pool):
+        pinned = self._pinned(pool, 1, (2.0, 2.0, 2.0))
+        self._pinned(pool, 2, (1.0, 2.0, 2.0))
+        assert pool.potential_dominators(pinned, [2.0, 2.0, 2.0]) == []
+
+    def test_equal_known_costs_are_not_potential_dominators(self, pool):
+        pinned = self._pinned(pool, 1, (2.0, 2.0, 2.0))
+        pool.observe(2, 0, 2.0, record(2))
+        assert pool.potential_dominators(pinned, [2.0, 2.0, 2.0]) == []

@@ -1,0 +1,85 @@
+"""Tests for the conventional skyline algorithms (BNL, SFS, divide & conquer)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.classic.skyline import bnl_skyline, dc_skyline, is_skyline_member, sfs_skyline
+from repro.errors import QueryError
+from tests.helpers import exact_skyline
+
+ALGORITHMS = [bnl_skyline, sfs_skyline, dc_skyline]
+
+
+def random_points(count: int, dimensions: int, seed: int, *, integers: bool = False):
+    rng = random.Random(seed)
+    if integers:
+        return {key: tuple(float(rng.randint(0, 5)) for _ in range(dimensions)) for key in range(count)}
+    return {key: tuple(rng.uniform(0, 100) for _ in range(dimensions)) for key in range(count)}
+
+
+class TestAllAlgorithmsAgree:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_empty_input(self, algorithm):
+        assert algorithm({}) == set()
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_single_point(self, algorithm):
+        assert algorithm({7: (1.0, 2.0)}) == {7}
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_simple_known_case(self, algorithm):
+        points = {
+            "a": (1.0, 5.0),
+            "b": (3.0, 3.0),
+            "c": (5.0, 1.0),
+            "d": (4.0, 4.0),  # dominated by b
+            "e": (1.0, 5.0),  # exact duplicate of a: also in the skyline
+        }
+        assert algorithm(points) == {"a", "b", "c", "e"}
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("dimensions", [1, 2, 3, 5])
+    def test_matches_exact_on_random_floats(self, algorithm, dimensions):
+        points = random_points(120, dimensions, seed=dimensions)
+        assert algorithm(points) == exact_skyline(points)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_matches_exact_on_tied_integers(self, algorithm):
+        for seed in range(5):
+            points = random_points(60, 3, seed=seed, integers=True)
+            assert algorithm(points) == exact_skyline(points)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_all_points_identical(self, algorithm):
+        points = {key: (2.0, 2.0) for key in range(10)}
+        assert algorithm(points) == set(range(10))
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_total_order_chain(self, algorithm):
+        points = {key: (float(key), float(key)) for key in range(20)}
+        assert algorithm(points) == {0}
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_anti_chain(self, algorithm):
+        points = {key: (float(key), float(20 - key)) for key in range(20)}
+        assert algorithm(points) == set(range(20))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(QueryError):
+            bnl_skyline({1: (1.0, 2.0), 2: (1.0,)})
+
+
+class TestIsSkylineMember:
+    def test_member_and_non_member(self):
+        points = {"a": (1.0, 5.0), "b": (3.0, 3.0), "d": (4.0, 4.0)}
+        assert is_skyline_member("a", points)
+        assert is_skyline_member("b", points)
+        assert not is_skyline_member("d", points)
+
+    def test_duplicate_points_are_members(self):
+        points = {"a": (1.0, 1.0), "b": (1.0, 1.0)}
+        assert is_skyline_member("a", points)
+        assert is_skyline_member("b", points)

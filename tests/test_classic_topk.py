@@ -1,0 +1,99 @@
+"""Tests for the threshold algorithm (TA) and its no-random-access variant (NRA)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.classic.topk import SortedCostLists, no_random_access_algorithm, threshold_algorithm
+from repro.core.aggregates import WeightedSum
+from repro.errors import QueryError
+from tests.helpers import exact_top_k
+
+
+def random_vectors(count: int, dimensions: int, seed: int):
+    rng = random.Random(seed)
+    return {key: tuple(rng.uniform(0, 100) for _ in range(dimensions)) for key in range(count)}
+
+
+class TestSortedCostLists:
+    def test_lists_are_sorted(self):
+        lists = SortedCostLists.from_cost_vectors({1: (3.0, 1.0), 2: (1.0, 2.0), 3: (2.0, 3.0)})
+        for ordered in lists.lists:
+            costs = [cost for _key, cost in ordered]
+            assert costs == sorted(costs)
+
+    def test_dimensions_and_len(self):
+        lists = SortedCostLists.from_cost_vectors({1: (3.0, 1.0), 2: (1.0, 2.0)})
+        assert lists.dimensions == 2
+        assert len(lists) == 2
+
+    def test_empty(self):
+        lists = SortedCostLists.from_cost_vectors({})
+        assert lists.dimensions == 0
+        assert len(lists) == 0
+
+
+class TestThresholdAlgorithm:
+    def test_matches_brute_force(self):
+        vectors = random_vectors(80, 3, seed=1)
+        lists = SortedCostLists.from_cost_vectors(vectors)
+        aggregate = WeightedSum((0.5, 0.3, 0.2))
+        for k in (1, 3, 10):
+            expected = exact_top_k(vectors, aggregate, k)
+            observed = threshold_algorithm(lists, aggregate, k)
+            assert [round(score, 6) for _key, score in observed] == [
+                round(score, 6) for _key, score in expected
+            ]
+
+    def test_k_larger_than_population(self):
+        vectors = random_vectors(5, 2, seed=2)
+        lists = SortedCostLists.from_cost_vectors(vectors)
+        result = threshold_algorithm(lists, WeightedSum((0.5, 0.5)), 10)
+        assert len(result) == 5
+
+    def test_empty_input(self):
+        lists = SortedCostLists.from_cost_vectors({})
+        assert threshold_algorithm(lists, WeightedSum((1.0,)), 3) == []
+
+    def test_invalid_k(self):
+        lists = SortedCostLists.from_cost_vectors({1: (1.0,)})
+        with pytest.raises(QueryError):
+            threshold_algorithm(lists, WeightedSum((1.0,)), 0)
+
+    def test_single_dimension(self):
+        vectors = {key: (float(key),) for key in range(20)}
+        lists = SortedCostLists.from_cost_vectors(vectors)
+        result = threshold_algorithm(lists, WeightedSum((1.0,)), 3)
+        assert [key for key, _ in result] == [0, 1, 2]
+
+
+class TestNoRandomAccessAlgorithm:
+    def test_matches_brute_force(self):
+        vectors = random_vectors(60, 2, seed=3)
+        lists = SortedCostLists.from_cost_vectors(vectors)
+        aggregate = WeightedSum((0.6, 0.4))
+        for k in (1, 4):
+            expected = exact_top_k(vectors, aggregate, k)
+            observed = no_random_access_algorithm(lists, aggregate, k)
+            assert [round(score, 6) for _key, score in observed] == [
+                round(score, 6) for _key, score in expected
+            ]
+
+    def test_agrees_with_threshold_algorithm(self):
+        vectors = random_vectors(50, 3, seed=4)
+        lists = SortedCostLists.from_cost_vectors(vectors)
+        aggregate = WeightedSum((0.2, 0.5, 0.3))
+        ta = threshold_algorithm(lists, aggregate, 5)
+        nra = no_random_access_algorithm(lists, aggregate, 5)
+        assert [round(s, 6) for _k, s in ta] == [round(s, 6) for _k, s in nra]
+
+    def test_empty_input(self):
+        lists = SortedCostLists.from_cost_vectors({})
+        assert no_random_access_algorithm(lists, WeightedSum((1.0,)), 2) == []
+
+    def test_invalid_k(self):
+        lists = SortedCostLists.from_cost_vectors({1: (1.0,)})
+        with pytest.raises(QueryError):
+            no_random_access_algorithm(lists, WeightedSum((1.0,)), -1)

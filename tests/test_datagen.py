@@ -1,0 +1,233 @@
+"""Tests for the synthetic data generators (road network, costs, facilities, queries)."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.datagen.cost_models import CostDistribution, assign_edge_costs, generate_cost_factors
+from repro.datagen.facility_gen import generate_clustered_facilities, generate_uniform_facilities
+from repro.datagen.queries import generate_query_locations
+from repro.datagen.road_network import RoadNetworkSpec, euclidean_edge_lengths, generate_road_network
+from repro.datagen.workload import Workload, WorkloadSpec, make_workload
+from repro.errors import DataGenerationError
+import random
+
+
+class TestRoadNetworkGenerator:
+    def test_node_count_close_to_requested(self):
+        graph = generate_road_network(RoadNetworkSpec(num_nodes=400, seed=1))
+        assert abs(graph.num_nodes - 400) <= 40
+
+    def test_network_is_connected(self):
+        graph = generate_road_network(RoadNetworkSpec(num_nodes=300, seed=2))
+        assert graph.is_connected()
+
+    def test_average_degree_near_target(self):
+        spec = RoadNetworkSpec(num_nodes=900, target_degree=2.5, seed=3)
+        graph = generate_road_network(spec)
+        average_degree = 2 * graph.num_edges / graph.num_nodes
+        assert 2.0 <= average_degree <= 3.2
+
+    def test_reproducible_with_same_seed(self):
+        first = generate_road_network(RoadNetworkSpec(num_nodes=200, seed=9))
+        second = generate_road_network(RoadNetworkSpec(num_nodes=200, seed=9))
+        assert first.num_edges == second.num_edges
+        assert {e.edge_id for e in first.edges()} == {e.edge_id for e in second.edges()}
+
+    def test_different_seeds_differ(self):
+        first = generate_road_network(RoadNetworkSpec(num_nodes=200, seed=1))
+        second = generate_road_network(RoadNetworkSpec(num_nodes=200, seed=2))
+        first_lengths = sorted(edge.length for edge in first.edges())
+        second_lengths = sorted(edge.length for edge in second.edges())
+        assert first_lengths != second_lengths
+
+    def test_edge_lengths_match_coordinates(self):
+        graph = generate_road_network(RoadNetworkSpec(num_nodes=100, seed=5))
+        lengths = euclidean_edge_lengths(graph)
+        for edge in graph.edges():
+            assert edge.length == pytest.approx(max(lengths[edge.edge_id], 1e-6))
+
+    def test_multi_cost_initialisation(self):
+        graph = generate_road_network(RoadNetworkSpec(num_nodes=100, seed=5), num_cost_types=3)
+        assert graph.num_cost_types == 3
+        edge = next(iter(graph.edges()))
+        assert len(set(edge.costs)) == 1  # all costs equal the length before assignment
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(DataGenerationError):
+            RoadNetworkSpec(num_nodes=2)
+        with pytest.raises(DataGenerationError):
+            RoadNetworkSpec(target_degree=5.0)
+        with pytest.raises(DataGenerationError):
+            RoadNetworkSpec(jitter=0.9)
+
+
+class TestCostModels:
+    def test_parse_distribution_names(self):
+        assert CostDistribution.parse("independent") is CostDistribution.INDEPENDENT
+        assert CostDistribution.parse("ANTI_CORRELATED") is CostDistribution.ANTI_CORRELATED
+        assert CostDistribution.parse("correlated") is CostDistribution.CORRELATED
+        with pytest.raises(DataGenerationError):
+            CostDistribution.parse("weird")
+
+    def test_factors_positive_and_bounded(self):
+        rng = random.Random(7)
+        for distribution in CostDistribution:
+            for _ in range(200):
+                factors = generate_cost_factors(distribution, 4, rng)
+                assert len(factors) == 4
+                assert all(0.0 < factor <= 2.0 for factor in factors)
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(DataGenerationError):
+            generate_cost_factors(CostDistribution.INDEPENDENT, 0, random.Random(1))
+
+    def _correlation(self, distribution: CostDistribution) -> float:
+        rng = random.Random(13)
+        first, second = [], []
+        for _ in range(600):
+            factors = generate_cost_factors(distribution, 2, rng)
+            first.append(factors[0])
+            second.append(factors[1])
+        mean_a, mean_b = statistics.fmean(first), statistics.fmean(second)
+        covariance = statistics.fmean((a - mean_a) * (b - mean_b) for a, b in zip(first, second))
+        return covariance / (statistics.pstdev(first) * statistics.pstdev(second))
+
+    def test_correlated_distribution_has_positive_correlation(self):
+        assert self._correlation(CostDistribution.CORRELATED) > 0.5
+
+    def test_anti_correlated_distribution_has_negative_correlation(self):
+        assert self._correlation(CostDistribution.ANTI_CORRELATED) < -0.3
+
+    def test_independent_distribution_has_small_correlation(self):
+        assert abs(self._correlation(CostDistribution.INDEPENDENT)) < 0.25
+
+    def test_assign_edge_costs_preserves_structure(self):
+        base = generate_road_network(RoadNetworkSpec(num_nodes=150, seed=4), num_cost_types=3)
+        graph = assign_edge_costs(base, CostDistribution.INDEPENDENT, seed=5)
+        assert graph.num_nodes == base.num_nodes
+        assert graph.num_edges == base.num_edges
+        for edge in base.edges():
+            assert graph.edge(edge.edge_id).length == edge.length
+
+    def test_assign_edge_costs_scales_with_length(self):
+        base = generate_road_network(RoadNetworkSpec(num_nodes=150, seed=4), num_cost_types=2)
+        graph = assign_edge_costs(base, CostDistribution.INDEPENDENT, seed=5)
+        for edge in graph.edges():
+            for cost in edge.costs:
+                assert 0.0 < cost <= 2.0 * edge.length + 1e-9
+
+    def test_assignment_reproducible(self):
+        base = generate_road_network(RoadNetworkSpec(num_nodes=100, seed=4), num_cost_types=2)
+        first = assign_edge_costs(base, CostDistribution.CORRELATED, seed=6)
+        second = assign_edge_costs(base, CostDistribution.CORRELATED, seed=6)
+        for edge in first.edges():
+            assert edge.costs == second.edge(edge.edge_id).costs
+
+
+class TestFacilityGeneration:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return generate_road_network(RoadNetworkSpec(num_nodes=400, seed=8), num_cost_types=2)
+
+    def test_requested_count_generated(self, graph):
+        facilities = generate_clustered_facilities(graph, 150, seed=1)
+        assert len(facilities) == 150
+
+    def test_offsets_within_edges(self, graph):
+        facilities = generate_clustered_facilities(graph, 100, seed=2)
+        for facility in facilities:
+            edge = graph.edge(facility.edge_id)
+            assert 0.0 <= facility.offset <= edge.length
+
+    def test_clustered_placement_is_concentrated(self, graph):
+        clustered = generate_clustered_facilities(graph, 200, num_clusters=3, seed=3)
+        uniform = generate_uniform_facilities(graph, 200, seed=3)
+        clustered_edges = len(set(f.edge_id for f in clustered))
+        uniform_edges = len(set(f.edge_id for f in uniform))
+        assert clustered_edges < uniform_edges
+
+    def test_cluster_attribute_recorded(self, graph):
+        facilities = generate_clustered_facilities(graph, 10, num_clusters=2, seed=4)
+        assert all("cluster_center" in facility.attributes for facility in facilities)
+
+    def test_zero_facilities(self, graph):
+        assert len(generate_clustered_facilities(graph, 0, seed=5)) == 0
+
+    def test_negative_count_rejected(self, graph):
+        with pytest.raises(DataGenerationError):
+            generate_clustered_facilities(graph, -1)
+        with pytest.raises(DataGenerationError):
+            generate_uniform_facilities(graph, -1)
+
+    def test_invalid_cluster_count_rejected(self, graph):
+        with pytest.raises(DataGenerationError):
+            generate_clustered_facilities(graph, 10, num_clusters=0)
+
+    def test_reproducibility(self, graph):
+        first = generate_clustered_facilities(graph, 50, seed=11)
+        second = generate_clustered_facilities(graph, 50, seed=11)
+        assert [(f.edge_id, f.offset) for f in first] == [(f.edge_id, f.offset) for f in second]
+
+
+class TestQueryGeneration:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return generate_road_network(RoadNetworkSpec(num_nodes=200, seed=21), num_cost_types=2)
+
+    def test_requested_count(self, graph):
+        assert len(generate_query_locations(graph, 25, seed=1)) == 25
+
+    def test_locations_are_valid(self, graph):
+        for location in generate_query_locations(graph, 30, seed=2):
+            location.validate(graph)
+
+    def test_on_nodes_mode(self, graph):
+        locations = generate_query_locations(graph, 10, seed=3, on_nodes=True)
+        assert all(location.is_node for location in locations)
+
+    def test_negative_count_rejected(self, graph):
+        with pytest.raises(DataGenerationError):
+            generate_query_locations(graph, -1)
+
+    def test_reproducibility(self, graph):
+        first = generate_query_locations(graph, 10, seed=5)
+        second = generate_query_locations(graph, 10, seed=5)
+        assert first == second
+
+
+class TestWorkload:
+    def test_make_workload_end_to_end(self):
+        workload = make_workload(WorkloadSpec(num_nodes=200, num_facilities=80, num_queries=3, seed=31))
+        assert isinstance(workload, Workload)
+        assert workload.graph.is_connected()
+        assert len(workload.facilities) == 80
+        assert len(workload.queries) == 3
+        for query in workload.queries:
+            query.validate(workload.graph)
+
+    def test_describe_summary(self):
+        workload = make_workload(WorkloadSpec(num_nodes=150, num_facilities=40, num_queries=2, seed=32))
+        description = workload.describe()
+        assert description["facilities"] == 40
+        assert description["queries"] == 2
+        assert description["distribution"] == "anti-correlated"
+
+    def test_uniform_placement_option(self):
+        workload = make_workload(
+            WorkloadSpec(num_nodes=150, num_facilities=40, num_queries=1, clustered=False, seed=33)
+        )
+        assert len(workload.facilities) == 40
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(DataGenerationError):
+            WorkloadSpec(num_cost_types=0)
+        with pytest.raises(DataGenerationError):
+            WorkloadSpec(num_queries=-1)
+
+    def test_cost_types_propagate(self):
+        workload = make_workload(WorkloadSpec(num_nodes=150, num_facilities=10, num_cost_types=5, seed=34))
+        assert workload.graph.num_cost_types == 5

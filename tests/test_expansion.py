@@ -1,0 +1,178 @@
+"""Unit tests for the incremental nearest-facility network expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.expansion import ExpansionSeeds, NearestFacilityExpansion
+from repro.errors import QueryError
+from repro.network import FacilitySet, InMemoryAccessor, MultiCostGraph, NetworkLocation
+from tests.helpers import facility_vectors
+
+
+@pytest.fixture
+def accessor(tiny_graph, tiny_facilities) -> InMemoryAccessor:
+    return InMemoryAccessor(tiny_graph, tiny_facilities)
+
+
+def expansion_for(accessor, graph, query, cost_index):
+    seeds = ExpansionSeeds.from_query(graph, query)
+    return NearestFacilityExpansion(accessor, seeds, cost_index)
+
+
+class TestSeeds:
+    def test_node_query_seeds(self, tiny_graph):
+        seeds = ExpansionSeeds.from_query(tiny_graph, NetworkLocation.at_node(3))
+        assert seeds.anchors == ((3, (0.0, 0.0)),)
+        assert seeds.query_edge is None
+
+    def test_edge_query_seeds(self, tiny_graph):
+        edge = tiny_graph.edge_between(3, 4)
+        seeds = ExpansionSeeds.from_query(tiny_graph, NetworkLocation.on_edge(edge.edge_id, 0.5))
+        assert seeds.query_edge == edge.edge_id
+        assert len(seeds.anchors) == 2
+        assert seeds.query_edge_costs == edge.costs.values
+
+    def test_invalid_query_rejected(self, tiny_graph):
+        with pytest.raises(Exception):
+            ExpansionSeeds.from_query(tiny_graph, NetworkLocation.at_node(99))
+
+
+class TestNearestFacilityOrder:
+    def test_facilities_arrive_in_increasing_cost(self, accessor, tiny_graph):
+        query = NetworkLocation.at_node(3)
+        expansion = expansion_for(accessor, tiny_graph, query, 0)
+        costs = []
+        while True:
+            hit = expansion.next_facility()
+            if hit is None:
+                break
+            costs.append(hit.cost)
+        assert costs == sorted(costs)
+        assert len(costs) == 3
+
+    def test_costs_match_dijkstra_ground_truth(self, accessor, tiny_graph, tiny_facilities):
+        query = NetworkLocation.at_node(3)
+        truth = facility_vectors(tiny_graph, tiny_facilities, query)
+        for cost_index in range(2):
+            expansion = expansion_for(accessor, tiny_graph, query, cost_index)
+            observed = {}
+            while True:
+                hit = expansion.next_facility()
+                if hit is None:
+                    break
+                observed[hit.facility_id] = hit.cost
+            expected = {fid: vector[cost_index] for fid, vector in truth.items()}
+            assert observed == pytest.approx(expected)
+
+    def test_each_facility_reported_once(self, accessor, tiny_graph):
+        expansion = expansion_for(accessor, tiny_graph, NetworkLocation.at_node(4), 0)
+        seen = []
+        while True:
+            hit = expansion.next_facility()
+            if hit is None:
+                break
+            seen.append(hit.facility_id)
+        assert len(seen) == len(set(seen)) == 3
+
+    def test_exhausted_after_all_facilities(self, accessor, tiny_graph):
+        expansion = expansion_for(accessor, tiny_graph, NetworkLocation.at_node(3), 0)
+        while expansion.next_facility() is not None:
+            pass
+        assert expansion.exhausted
+        assert expansion.next_facility() is None
+
+    def test_head_key_is_monotone_lower_bound(self, accessor, tiny_graph):
+        expansion = expansion_for(accessor, tiny_graph, NetworkLocation.at_node(3), 0)
+        previous_head = 0.0
+        while True:
+            head = expansion.head_key()
+            assert head >= previous_head - 1e-12
+            previous_head = head
+            hit = expansion.next_facility()
+            if hit is None:
+                break
+            assert hit.cost >= 0.0
+        assert expansion.head_key() == float("inf")
+
+    def test_query_on_edge_with_facility_uses_direct_route(self, tiny_graph, tiny_facilities):
+        accessor = InMemoryAccessor(tiny_graph, tiny_facilities)
+        highway = tiny_graph.edge_between(4, 5)
+        # Query placed on the highway edge 0.5 before facility 1 (offset 1.0).
+        query = NetworkLocation.on_edge(highway.edge_id, 0.5)
+        expansion = expansion_for(accessor, tiny_graph, query, 0)
+        hit = expansion.next_facility()
+        assert hit.facility_id == 1
+        assert hit.cost == pytest.approx(0.5)  # quarter of the 2-minute edge
+
+    def test_bad_cost_index_rejected(self, accessor, tiny_graph):
+        seeds = ExpansionSeeds.from_query(tiny_graph, NetworkLocation.at_node(3))
+        with pytest.raises(QueryError):
+            NearestFacilityExpansion(accessor, seeds, 5)
+
+
+class TestCandidateMode:
+    def test_candidate_mode_only_reports_allowed(self, accessor, tiny_graph, tiny_facilities):
+        query = NetworkLocation.at_node(3)
+        expansion = expansion_for(accessor, tiny_graph, query, 0)
+        first = expansion.next_facility()
+        # Restrict to facility 2 only.
+        record = accessor.edge_facilities(tiny_facilities.facility(2).edge_id)[0]
+        expansion.enter_candidate_mode({record.edge_id: [record]})
+        hits = []
+        while True:
+            hit = expansion.next_facility()
+            if hit is None:
+                break
+            hits.append(hit.facility_id)
+        assert first.facility_id not in hits
+        assert hits == [2]
+
+    def test_candidate_mode_skips_facility_file_reads(self, tiny_graph, tiny_facilities):
+        accessor = InMemoryAccessor(tiny_graph, tiny_facilities)
+        query = NetworkLocation.at_node(3)
+        expansion = expansion_for(accessor, tiny_graph, query, 0)
+        expansion.enter_candidate_mode({})
+        before = accessor.statistics.facility_requests
+        while expansion.next_facility() is not None:
+            pass
+        assert accessor.statistics.facility_requests == before
+
+    def test_heap_pops_counted(self, accessor, tiny_graph):
+        expansion = expansion_for(accessor, tiny_graph, NetworkLocation.at_node(3), 0)
+        expansion.next_facility()
+        assert expansion.heap_pops > 0
+
+
+class TestExpansionOnGeneratedNetwork:
+    def test_matches_dijkstra_on_workload(self, small_workload):
+        graph, facilities = small_workload.graph, small_workload.facilities
+        accessor = InMemoryAccessor(graph, facilities)
+        query = small_workload.queries[0]
+        truth = facility_vectors(graph, facilities, query)
+        expansion = expansion_for(accessor, graph, query, 1)
+        observed = {}
+        while True:
+            hit = expansion.next_facility()
+            if hit is None:
+                break
+            observed[hit.facility_id] = hit.cost
+        expected = {fid: vector[1] for fid, vector in truth.items()}
+        assert set(observed) == set(expected)
+        for fid, cost in observed.items():
+            assert cost == pytest.approx(expected[fid])
+
+    def test_directed_graph_expansion(self):
+        graph = MultiCostGraph(1, directed=True)
+        for node_id in range(4):
+            graph.add_node(node_id)
+        graph.add_edge(0, 1, [1.0])
+        graph.add_edge(1, 2, [1.0])
+        graph.add_edge(2, 3, [1.0])
+        graph.add_edge(3, 0, [1.0])
+        facilities = FacilitySet(graph)
+        facilities.add_on_edge(0, 2, 0.5)  # halfway along edge 2-3
+        accessor = InMemoryAccessor(graph, facilities)
+        expansion = expansion_for(accessor, graph, NetworkLocation.at_node(0), 0)
+        hit = expansion.next_facility()
+        assert hit.cost == pytest.approx(2.5)

@@ -1,0 +1,108 @@
+"""Unit tests for facilities and facility sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FacilityError
+from repro.network.facilities import Facility, FacilitySet
+from repro.network.graph import MultiCostGraph
+
+
+@pytest.fixture
+def graph() -> MultiCostGraph:
+    graph = MultiCostGraph(2)
+    for node_id in range(3):
+        graph.add_node(node_id)
+    graph.add_edge(0, 1, [10.0, 5.0], length=10.0)
+    graph.add_edge(1, 2, [6.0, 3.0], length=6.0)
+    return graph
+
+
+class TestFacilityPlacement:
+    def test_add_and_lookup(self, graph):
+        facilities = FacilitySet(graph)
+        facilities.add(Facility(0, 0, 4.0))
+        assert facilities.facility(0).offset == 4.0
+        assert 0 in facilities
+
+    def test_add_on_edge_helper(self, graph):
+        facilities = FacilitySet(graph)
+        facility = facilities.add_on_edge(3, 1, 2.0, {"name": "cafe"})
+        assert facility.attributes["name"] == "cafe"
+        assert facilities.edge_of(3) == 1
+
+    def test_duplicate_id_rejected(self, graph):
+        facilities = FacilitySet(graph)
+        facilities.add(Facility(0, 0, 1.0))
+        with pytest.raises(FacilityError):
+            facilities.add(Facility(0, 1, 1.0))
+
+    def test_unknown_edge_rejected(self, graph):
+        facilities = FacilitySet(graph)
+        with pytest.raises(FacilityError):
+            facilities.add(Facility(0, 99, 1.0))
+
+    def test_offset_beyond_edge_rejected(self, graph):
+        facilities = FacilitySet(graph)
+        with pytest.raises(FacilityError):
+            facilities.add(Facility(0, 1, 7.5))
+
+    def test_offset_at_end_nodes_allowed(self, graph):
+        facilities = FacilitySet(graph)
+        facilities.add(Facility(0, 0, 0.0))
+        facilities.add(Facility(1, 0, 10.0))
+        assert len(facilities) == 2
+
+    def test_constructor_accepts_iterable(self, graph):
+        facilities = FacilitySet(graph, [Facility(0, 0, 1.0), Facility(1, 1, 2.0)])
+        assert len(facilities) == 2
+
+    def test_unknown_facility_lookup(self, graph):
+        facilities = FacilitySet(graph)
+        with pytest.raises(FacilityError):
+            facilities.facility(5)
+
+    def test_facility_set_bound_to_its_graph(self, graph):
+        facilities = FacilitySet(graph)
+        assert facilities.graph is graph
+
+
+class TestFacilityIndexing:
+    def test_on_edge_groups_by_edge(self, graph):
+        facilities = FacilitySet(graph)
+        facilities.add(Facility(0, 0, 1.0))
+        facilities.add(Facility(1, 0, 3.0))
+        facilities.add(Facility(2, 1, 2.0))
+        assert [f.facility_id for f in facilities.on_edge(0)] == [0, 1]
+        assert [f.facility_id for f in facilities.on_edge(1)] == [2]
+
+    def test_on_edge_without_facilities_is_empty(self, graph):
+        assert FacilitySet(graph).on_edge(0) == []
+
+    def test_edges_with_facilities(self, graph):
+        facilities = FacilitySet(graph)
+        facilities.add(Facility(0, 1, 2.0))
+        assert set(facilities.edges_with_facilities()) == {1}
+
+    def test_iteration_and_ids(self, graph):
+        facilities = FacilitySet(graph)
+        facilities.add(Facility(5, 0, 1.0))
+        facilities.add(Facility(9, 1, 1.0))
+        assert {f.facility_id for f in facilities} == {5, 9}
+        assert set(facilities.facility_ids()) == {5, 9}
+
+    def test_density(self, graph):
+        facilities = FacilitySet(graph)
+        facilities.add(Facility(0, 0, 1.0))
+        assert facilities.density() == pytest.approx(0.5)
+
+    def test_density_of_empty_graph(self):
+        graph = MultiCostGraph(1)
+        graph.add_node(0)
+        assert FacilitySet(graph).density() == 0.0
+
+    def test_attributes_default_to_empty_mapping(self, graph):
+        facilities = FacilitySet(graph)
+        facilities.add(Facility(0, 0, 1.0))
+        assert dict(facilities.facility(0).attributes) == {}

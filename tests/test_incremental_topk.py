@@ -1,0 +1,118 @@
+"""Tests for the incremental (k-less) top-k iterator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.aggregates import WeightedSum
+from repro.core.incremental import IncrementalTopK
+from repro.network import FacilitySet, InMemoryAccessor, NetworkLocation
+from tests.helpers import exact_top_k, facility_vectors
+
+
+class TestTinyGridIncremental:
+    def test_enumerates_all_facilities_in_score_order(self, tiny_graph, tiny_facilities, tiny_query):
+        aggregate = WeightedSum((0.5, 0.5))
+        accessor = InMemoryAccessor(tiny_graph, tiny_facilities)
+        iterator = IncrementalTopK(accessor, tiny_graph, tiny_query, aggregate)
+        results = list(iterator)
+        truth = exact_top_k(
+            facility_vectors(tiny_graph, tiny_facilities, tiny_query), aggregate, len(tiny_facilities)
+        )
+        assert [item.facility_id for item in results] == [fid for fid, _ in truth]
+        assert [item.score for item in results] == pytest.approx([score for _, score in truth])
+
+    def test_scores_non_decreasing(self, tiny_graph, tiny_facilities, tiny_query):
+        accessor = InMemoryAccessor(tiny_graph, tiny_facilities)
+        iterator = IncrementalTopK(accessor, tiny_graph, tiny_query, WeightedSum((0.8, 0.2)))
+        scores = [item.score for item in iterator]
+        assert scores == sorted(scores)
+
+    def test_stop_iteration_after_exhaustion(self, tiny_graph, tiny_facilities, tiny_query):
+        accessor = InMemoryAccessor(tiny_graph, tiny_facilities)
+        iterator = IncrementalTopK(accessor, tiny_graph, tiny_query, WeightedSum((0.5, 0.5)))
+        list(iterator)
+        with pytest.raises(StopIteration):
+            next(iterator)
+
+    def test_take_helper(self, tiny_graph, tiny_facilities, tiny_query):
+        accessor = InMemoryAccessor(tiny_graph, tiny_facilities)
+        iterator = IncrementalTopK(accessor, tiny_graph, tiny_query, WeightedSum((0.5, 0.5)))
+        first_two = iterator.take(2)
+        assert len(first_two) == 2
+        rest = iterator.take(10)
+        assert len(rest) == 1  # only 3 facilities exist in total
+
+    def test_empty_facility_set(self, tiny_graph):
+        accessor = InMemoryAccessor(tiny_graph, FacilitySet(tiny_graph))
+        iterator = IncrementalTopK(accessor, tiny_graph, NetworkLocation.at_node(0), WeightedSum((0.5, 0.5)))
+        assert iterator.take(5) == []
+
+    def test_statistics_accumulate_across_calls(self, tiny_graph, tiny_facilities, tiny_query):
+        accessor = InMemoryAccessor(tiny_graph, tiny_facilities)
+        iterator = IncrementalTopK(accessor, tiny_graph, tiny_query, WeightedSum((0.5, 0.5)))
+        next(iterator)
+        first_requests = iterator.statistics.io.adjacency_requests
+        next(iterator)
+        assert iterator.statistics.io.adjacency_requests >= first_requests
+        assert iterator.statistics.nn_retrievals > 0
+
+
+class TestIncrementalAgainstKnownK:
+    """The first k results of the incremental iterator must equal the top-k result."""
+
+    @pytest.mark.parametrize("k", [1, 3, 7])
+    def test_prefix_matches_topk(self, small_workload, k):
+        from repro.core.topk import cea_top_k
+
+        graph, facilities = small_workload.graph, small_workload.facilities
+        aggregate = WeightedSum.random(graph.num_cost_types, random.Random(k))
+        for query in small_workload.queries[:2]:
+            expected = cea_top_k(InMemoryAccessor(graph, facilities), graph, query, aggregate, k)
+            iterator = IncrementalTopK(
+                InMemoryAccessor(graph, facilities), graph, query, aggregate
+            )
+            observed = iterator.take(k)
+            assert [round(item.score, 6) for item in observed] == [
+                round(score, 6) for score in expected.scores()
+            ]
+
+    def test_incremental_is_lazy(self, medium_workload):
+        """Retrieving a handful of results must not pay for a full enumeration."""
+        graph, facilities = medium_workload.graph, medium_workload.facilities
+        aggregate = WeightedSum.uniform(graph.num_cost_types)
+        accessor = InMemoryAccessor(graph, facilities)
+        iterator = IncrementalTopK(accessor, graph, medium_workload.queries[0], aggregate)
+        iterator.take(3)
+        partial_requests = accessor.statistics.adjacency_requests
+
+        full_accessor = InMemoryAccessor(graph, facilities)
+        full_iterator = IncrementalTopK(full_accessor, graph, medium_workload.queries[0], aggregate)
+        list(full_iterator)
+        assert partial_requests < full_accessor.statistics.adjacency_requests
+
+    def test_full_enumeration_matches_brute_force(self, small_workload):
+        graph, facilities = small_workload.graph, small_workload.facilities
+        aggregate = WeightedSum.uniform(graph.num_cost_types)
+        query = small_workload.queries[3]
+        truth = exact_top_k(
+            facility_vectors(graph, facilities, query), aggregate, len(facilities)
+        )
+        iterator = IncrementalTopK(InMemoryAccessor(graph, facilities), graph, query, aggregate)
+        observed = list(iterator)
+        assert len(observed) == len(truth)
+        assert [round(item.score, 6) for item in observed] == [
+            round(score, 6) for _fid, score in truth
+        ]
+
+    def test_share_accesses_flag(self, small_workload):
+        graph, facilities = small_workload.graph, small_workload.facilities
+        aggregate = WeightedSum.uniform(graph.num_cost_types)
+        query = small_workload.queries[0]
+        shared = InMemoryAccessor(graph, facilities)
+        IncrementalTopK(shared, graph, query, aggregate, share_accesses=True).take(5)
+        independent = InMemoryAccessor(graph, facilities)
+        IncrementalTopK(independent, graph, query, aggregate, share_accesses=False).take(5)
+        assert shared.statistics.adjacency_requests <= independent.statistics.adjacency_requests

@@ -1,0 +1,134 @@
+"""Tests for networkx interoperability."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.engine import MCNQueryEngine
+from repro.errors import GraphError
+from repro.network import FacilitySet, NetworkLocation, from_networkx, to_networkx
+from repro.network.dijkstra import shortest_path_between_nodes
+
+
+def sample_nx_graph() -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_node(0, x=0.0, y=0.0)
+    graph.add_node(1, x=1.0, y=0.0)
+    graph.add_node(2, x=2.0, y=0.0)
+    graph.add_edge(0, 1, minutes=5.0, dollars=1.0, metres=400.0)
+    graph.add_edge(1, 2, minutes=3.0, dollars=0.0, metres=300.0)
+    graph.add_edge(0, 2, minutes=10.0, dollars=0.0, metres=900.0)
+    return graph
+
+
+class TestFromNetworkx:
+    def test_structure_and_costs_converted(self):
+        graph = from_networkx(sample_nx_graph(), ["minutes", "dollars"], length_attribute="metres")
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 3
+        assert graph.num_cost_types == 2
+        edge = graph.edge_between(0, 1)
+        assert edge.costs == (5.0, 1.0)
+        assert edge.length == 400.0
+
+    def test_coordinates_converted(self):
+        graph = from_networkx(sample_nx_graph(), ["minutes"])
+        assert graph.node(2).x == 2.0
+
+    def test_length_defaults_to_first_cost(self):
+        graph = from_networkx(sample_nx_graph(), ["minutes", "dollars"])
+        assert graph.edge_between(1, 2).length == 3.0
+
+    def test_directed_graph_conversion(self):
+        digraph = nx.DiGraph()
+        digraph.add_edge(0, 1, w=1.0)
+        digraph.add_edge(1, 0, w=5.0)
+        graph = from_networkx(digraph, ["w"])
+        assert graph.directed
+        assert shortest_path_between_nodes(graph, 0, 1, 0).cost(0) == 1.0
+        assert shortest_path_between_nodes(graph, 1, 0, 0).cost(0) == 5.0
+
+    def test_missing_cost_attribute_rejected(self):
+        graph = sample_nx_graph()
+        with pytest.raises(GraphError):
+            from_networkx(graph, ["minutes", "missing"])
+
+    def test_missing_length_attribute_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(sample_nx_graph(), ["minutes"], length_attribute="missing")
+
+    def test_empty_cost_attributes_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(sample_nx_graph(), [])
+
+    def test_multigraph_rejected(self):
+        multigraph = nx.MultiGraph()
+        multigraph.add_edge(0, 1, w=1.0)
+        with pytest.raises(GraphError):
+            from_networkx(multigraph, ["w"])
+
+    def test_string_integer_nodes_converted(self):
+        graph = nx.Graph()
+        graph.add_edge("10", "20", w=1.0)
+        converted = from_networkx(graph, ["w"])
+        assert converted.has_node(10) and converted.has_node(20)
+
+    def test_non_integer_nodes_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", w=1.0)
+        with pytest.raises(GraphError):
+            from_networkx(graph, ["w"])
+
+    def test_shortest_paths_agree_with_networkx(self):
+        nx_graph = sample_nx_graph()
+        graph = from_networkx(nx_graph, ["minutes", "dollars"])
+        expected = nx.shortest_path_length(nx_graph, 0, 2, weight="minutes")
+        observed = shortest_path_between_nodes(graph, 0, 2, 0).cost(0)
+        assert observed == pytest.approx(expected)
+
+    def test_queries_on_converted_graph(self):
+        graph = from_networkx(sample_nx_graph(), ["minutes", "dollars"])
+        facilities = FacilitySet(graph)
+        facilities.add_on_edge(0, graph.edge_between(1, 2).edge_id, 1.0)
+        facilities.add_on_edge(1, graph.edge_between(0, 2).edge_id, 5.0)
+        engine = MCNQueryEngine(graph, facilities)
+        result = engine.skyline(NetworkLocation.at_node(0))
+        assert len(result) >= 1
+
+
+class TestToNetworkx:
+    def test_round_trip_preserves_costs(self, tiny_graph):
+        nx_graph = to_networkx(tiny_graph, cost_names=["minutes", "dollars"])
+        back = from_networkx(nx_graph, ["minutes", "dollars"], length_attribute="length")
+        assert back.num_nodes == tiny_graph.num_nodes
+        assert back.num_edges == tiny_graph.num_edges
+        for edge in tiny_graph.edges():
+            assert back.edge_between(edge.u, edge.v).costs == edge.costs
+
+    def test_default_cost_names(self, tiny_graph):
+        nx_graph = to_networkx(tiny_graph)
+        _, _, data = next(iter(nx_graph.edges(data=True)))
+        assert "cost_0" in data and "cost_1" in data and "length" in data
+
+    def test_wrong_cost_name_count_rejected(self, tiny_graph):
+        with pytest.raises(GraphError):
+            to_networkx(tiny_graph, cost_names=["only-one"])
+
+    def test_directed_flag_preserved(self):
+        from repro.network import MultiCostGraph
+
+        graph = MultiCostGraph(1, directed=True)
+        graph.add_node(0)
+        graph.add_node(1)
+        graph.add_edge(0, 1, [1.0])
+        assert to_networkx(graph).is_directed()
+
+    def test_node_coordinates_exported(self, tiny_graph):
+        nx_graph = to_networkx(tiny_graph)
+        assert nx_graph.nodes[5]["x"] == tiny_graph.node(5).x
+
+    def test_networkx_analytics_work_on_export(self, tiny_graph):
+        nx_graph = to_networkx(tiny_graph)
+        assert nx.is_connected(nx_graph)
+        assert nx_graph.number_of_edges() == tiny_graph.num_edges

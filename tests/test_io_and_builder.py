@@ -1,0 +1,146 @@
+"""Unit tests for graph/facility (de)serialisation and the builder helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.network import (
+    FacilitySet,
+    MultiCostGraph,
+    graph_from_edge_list,
+    read_facilities,
+    read_graph,
+    validate_graph,
+    write_facilities,
+    write_graph,
+)
+
+
+class TestGraphRoundTrip:
+    def test_round_trip_preserves_structure(self, tiny_graph, tmp_path):
+        path = tmp_path / "network.mcn"
+        write_graph(tiny_graph, path)
+        loaded = read_graph(path)
+        assert loaded.num_nodes == tiny_graph.num_nodes
+        assert loaded.num_edges == tiny_graph.num_edges
+        assert loaded.num_cost_types == tiny_graph.num_cost_types
+        for edge in tiny_graph.edges():
+            assert loaded.edge(edge.edge_id).costs == edge.costs
+
+    def test_round_trip_preserves_coordinates(self, tiny_graph, tmp_path):
+        path = tmp_path / "network.mcn"
+        write_graph(tiny_graph, path)
+        loaded = read_graph(path)
+        node = loaded.node(5)
+        assert (node.x, node.y) == (tiny_graph.node(5).x, tiny_graph.node(5).y)
+
+    def test_round_trip_preserves_directedness(self, tmp_path):
+        graph = MultiCostGraph(1, directed=True)
+        graph.add_node(0)
+        graph.add_node(1)
+        graph.add_edge(0, 1, [2.0])
+        path = tmp_path / "directed.mcn"
+        write_graph(graph, path)
+        assert read_graph(path).directed
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.mcn"
+        path.write_text("")
+        with pytest.raises(GraphError):
+            read_graph(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.mcn"
+        path.write_text("GRAPH 2 0\n")
+        with pytest.raises(GraphError):
+            read_graph(path)
+
+    def test_wrong_cost_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.mcn"
+        path.write_text("MCN 2 0\nN 0 0.0 0.0\nN 1 1.0 0.0\nE 0 0 1 1.0 5.0\n")
+        with pytest.raises(GraphError):
+            read_graph(path)
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        path = tmp_path / "bad.mcn"
+        path.write_text("MCN 1 0\nX 0\n")
+        with pytest.raises(GraphError):
+            read_graph(path)
+
+
+class TestFacilityRoundTrip:
+    def test_round_trip(self, tiny_graph, tiny_facilities, tmp_path):
+        path = tmp_path / "facilities.txt"
+        write_facilities(tiny_facilities, path)
+        loaded = read_facilities(tiny_graph, path)
+        assert len(loaded) == len(tiny_facilities)
+        for facility in tiny_facilities:
+            restored = loaded.facility(facility.facility_id)
+            assert restored.edge_id == facility.edge_id
+            assert restored.offset == pytest.approx(facility.offset)
+
+    def test_bad_header_rejected(self, tiny_graph, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("NOT-FACILITIES\n")
+        with pytest.raises(GraphError):
+            read_facilities(tiny_graph, path)
+
+    def test_unknown_record_rejected(self, tiny_graph, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("FACILITIES\nZ 1 2 3\n")
+        with pytest.raises(GraphError):
+            read_facilities(tiny_graph, path)
+
+
+class TestGraphFromEdgeList:
+    def test_nodes_created_on_demand(self):
+        graph = graph_from_edge_list(2, [(0, 1, [1.0, 2.0]), (1, 2, [2.0, 3.0])])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_coordinates_applied(self):
+        graph = graph_from_edge_list(
+            1, [(0, 1, [1.0])], coordinates={0: (5.0, 6.0)}
+        )
+        assert (graph.node(0).x, graph.node(0).y) == (5.0, 6.0)
+        assert (graph.node(1).x, graph.node(1).y) == (0.0, 0.0)
+
+    def test_directed_flag_forwarded(self):
+        graph = graph_from_edge_list(1, [(0, 1, [1.0])], directed=True)
+        assert graph.directed
+
+
+class TestValidateGraph:
+    def test_healthy_graph_has_no_problems(self, tiny_graph):
+        assert validate_graph(tiny_graph) == []
+
+    def test_empty_graph_reported(self):
+        problems = validate_graph(MultiCostGraph(1))
+        assert any("no nodes" in problem for problem in problems)
+
+    def test_isolated_node_reported(self):
+        graph = MultiCostGraph(1)
+        graph.add_node(0)
+        graph.add_node(1)
+        graph.add_node(2)
+        graph.add_edge(0, 1, [1.0])
+        problems = validate_graph(graph, require_connected=False)
+        assert any("isolated" in problem for problem in problems)
+
+    def test_disconnection_reported_only_when_required(self):
+        graph = MultiCostGraph(1)
+        for node_id in range(4):
+            graph.add_node(node_id)
+        graph.add_edge(0, 1, [1.0])
+        graph.add_edge(2, 3, [1.0])
+        assert any("not connected" in p for p in validate_graph(graph))
+        assert not any("not connected" in p for p in validate_graph(graph, require_connected=False))
+
+    def test_zero_cost_edge_reported(self):
+        graph = MultiCostGraph(1)
+        graph.add_node(0)
+        graph.add_node(1)
+        graph.add_edge(0, 1, [0.0])
+        problems = validate_graph(graph)
+        assert any("all-zero" in problem for problem in problems)

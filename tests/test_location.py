@@ -1,0 +1,110 @@
+"""Unit tests for network locations (query points on nodes or edges)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LocationError
+from repro.network.facilities import Facility
+from repro.network.graph import MultiCostGraph
+from repro.network.location import NetworkLocation
+
+
+@pytest.fixture
+def graph() -> MultiCostGraph:
+    graph = MultiCostGraph(2)
+    graph.add_node(0, 0.0, 0.0)
+    graph.add_node(1, 10.0, 0.0)
+    graph.add_edge(0, 1, [10.0, 4.0], length=10.0)
+    return graph
+
+
+class TestConstructionAndValidation:
+    def test_node_location(self, graph):
+        location = NetworkLocation.at_node(0)
+        location.validate(graph)
+        assert location.is_node
+
+    def test_edge_location(self, graph):
+        location = NetworkLocation.on_edge(0, 4.0)
+        location.validate(graph)
+        assert not location.is_node
+
+    def test_of_facility(self, graph):
+        facility = Facility(3, 0, 2.5)
+        location = NetworkLocation.of_facility(facility)
+        assert location.edge_id == 0 and location.offset == 2.5
+
+    def test_unknown_node_rejected(self, graph):
+        with pytest.raises(LocationError):
+            NetworkLocation.at_node(99).validate(graph)
+
+    def test_unknown_edge_rejected(self, graph):
+        with pytest.raises(LocationError):
+            NetworkLocation.on_edge(99, 0.0).validate(graph)
+
+    def test_offset_outside_edge_rejected(self, graph):
+        with pytest.raises(LocationError):
+            NetworkLocation.on_edge(0, 11.0).validate(graph)
+
+    def test_empty_location_rejected(self, graph):
+        with pytest.raises(LocationError):
+            NetworkLocation().validate(graph)
+
+    def test_node_and_edge_simultaneously_rejected(self, graph):
+        with pytest.raises(LocationError):
+            NetworkLocation(node_id=0, edge_id=0).validate(graph)
+
+
+class TestAnchors:
+    def test_node_anchor_is_zero_cost(self, graph):
+        anchors = NetworkLocation.at_node(1).anchor_costs(graph)
+        assert anchors == [(1, (0.0, 0.0))] or anchors[0][1].values == (0.0, 0.0)
+
+    def test_edge_anchors_prorate_costs(self, graph):
+        anchors = dict(NetworkLocation.on_edge(0, 2.0).anchor_costs(graph))
+        assert anchors[0].values == pytest.approx((2.0, 0.8))
+        assert anchors[1].values == pytest.approx((8.0, 3.2))
+
+    def test_edge_anchor_costs_sum_to_edge_costs(self, graph):
+        anchors = dict(NetworkLocation.on_edge(0, 3.5).anchor_costs(graph))
+        total = anchors[0] + anchors[1]
+        assert total.values == pytest.approx((10.0, 4.0))
+
+    def test_directed_edge_has_single_anchor(self):
+        graph = MultiCostGraph(1, directed=True)
+        graph.add_node(0)
+        graph.add_node(1)
+        graph.add_edge(0, 1, [10.0], length=10.0)
+        anchors = NetworkLocation.on_edge(0, 4.0).anchor_costs(graph)
+        assert len(anchors) == 1
+        assert anchors[0][0] == 1
+        assert anchors[0][1].values == pytest.approx((6.0,))
+
+    def test_anchor_validation_runs_first(self, graph):
+        with pytest.raises(LocationError):
+            NetworkLocation.on_edge(5, 1.0).anchor_costs(graph)
+
+
+class TestSameEdgeCosts:
+    def test_direct_cost_on_same_edge(self, graph):
+        location = NetworkLocation.on_edge(0, 2.0)
+        costs = location.costs_to_point_on_same_edge(graph, 7.0)
+        assert costs.values == pytest.approx((5.0, 2.0))
+
+    def test_direct_cost_is_symmetric_in_offsets(self, graph):
+        forward = NetworkLocation.on_edge(0, 2.0).costs_to_point_on_same_edge(graph, 7.0)
+        backward = NetworkLocation.on_edge(0, 7.0).costs_to_point_on_same_edge(graph, 2.0)
+        assert forward.values == pytest.approx(backward.values)
+
+    def test_node_location_has_no_same_edge_cost(self, graph):
+        assert NetworkLocation.at_node(0).costs_to_point_on_same_edge(graph, 5.0) is None
+
+
+class TestDescribe:
+    def test_describe_node(self, graph):
+        assert "node 0" in NetworkLocation.at_node(0).describe(graph)
+
+    def test_describe_edge(self, graph):
+        text = NetworkLocation.on_edge(0, 4.0).describe(graph)
+        assert "edge 0" in text and "4.00" in text

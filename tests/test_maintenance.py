@@ -1,0 +1,217 @@
+"""Tests for incremental skyline/top-k maintenance under facility updates."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.aggregates import WeightedSum
+from repro.core.maintenance import SkylineMaintainer, TopKMaintainer
+from repro.errors import FacilityError, QueryError
+from repro.network import Facility, FacilitySet, InMemoryAccessor, NetworkLocation
+from tests.helpers import exact_skyline, exact_top_k, facility_vectors, random_mcn, random_query
+
+
+def build_dynamic_instance(seed: int, *, num_facilities: int = 12):
+    graph, facilities = random_mcn(
+        num_nodes=40, num_edges=75, num_cost_types=3, num_facilities=num_facilities, seed=seed
+    )
+    query = random_query(graph, seed=seed + 1)
+    return graph, facilities, query
+
+
+def oracle_skyline(graph, facilities, query):
+    return exact_skyline(facility_vectors(graph, facilities, query))
+
+
+class TestSkylineMaintainer:
+    def test_initial_skyline_matches_oracle(self, tiny_graph, tiny_facilities, tiny_query):
+        maintainer = SkylineMaintainer(tiny_graph, tiny_facilities, tiny_query)
+        assert maintainer.skyline_ids() == oracle_skyline(tiny_graph, tiny_facilities, tiny_query)
+
+    def test_skyline_exposes_complete_vectors(self, tiny_graph, tiny_facilities, tiny_query):
+        maintainer = SkylineMaintainer(tiny_graph, tiny_facilities, tiny_query)
+        truth = facility_vectors(tiny_graph, tiny_facilities, tiny_query)
+        for facility_id, costs in maintainer.skyline.items():
+            assert costs == pytest.approx(truth[facility_id])
+
+    def test_insert_dominated_facility_changes_nothing(self, tiny_graph, tiny_facilities, tiny_query):
+        maintainer = SkylineMaintainer(tiny_graph, tiny_facilities, tiny_query)
+        before = maintainer.skyline_ids()
+        # A facility far from the query on the slow corridor is dominated.
+        far_edge = tiny_graph.edge_between(6, 7)
+        changed = maintainer.insert(Facility(99, far_edge.edge_id, 0.5))
+        assert maintainer.skyline_ids() == before or changed
+        # Whatever happened, the maintained result must match the oracle.
+        assert maintainer.skyline_ids() == oracle_skyline(tiny_graph, tiny_facilities, tiny_query)
+
+    def test_insert_dominating_facility_enters_and_evicts(self, tiny_graph, tiny_facilities, tiny_query):
+        maintainer = SkylineMaintainer(tiny_graph, tiny_facilities, tiny_query)
+        # A facility essentially at the query location dominates everything.
+        close_edge = tiny_graph.edge_between(3, 4)
+        changed = maintainer.insert(Facility(99, close_edge.edge_id, 0.0))
+        assert changed
+        assert maintainer.skyline_ids() == {99}
+
+    def test_delete_non_member_is_incremental(self, tiny_graph, tiny_facilities, tiny_query):
+        maintainer = SkylineMaintainer(tiny_graph, tiny_facilities, tiny_query)
+        non_member = next(
+            fid for fid in (0, 1, 2) if fid not in maintainer.skyline_ids()
+        )
+        recomputations_before = maintainer.statistics.recomputations
+        changed = maintainer.delete(non_member)
+        assert not changed
+        assert maintainer.statistics.recomputations == recomputations_before
+        assert maintainer.skyline_ids() == oracle_skyline(tiny_graph, tiny_facilities, tiny_query)
+
+    def test_delete_member_recomputes(self, tiny_graph, tiny_facilities, tiny_query):
+        maintainer = SkylineMaintainer(tiny_graph, tiny_facilities, tiny_query)
+        member = next(iter(maintainer.skyline_ids()))
+        changed = maintainer.delete(member)
+        assert changed
+        assert member not in maintainer.skyline_ids()
+        assert maintainer.skyline_ids() == oracle_skyline(tiny_graph, tiny_facilities, tiny_query)
+
+    def test_delete_unknown_facility_rejected(self, tiny_graph, tiny_facilities, tiny_query):
+        maintainer = SkylineMaintainer(tiny_graph, tiny_facilities, tiny_query)
+        with pytest.raises(FacilityError):
+            maintainer.delete(12345)
+
+    def test_move_query_recomputes(self, tiny_graph, tiny_facilities, tiny_query):
+        maintainer = SkylineMaintainer(tiny_graph, tiny_facilities, tiny_query)
+        new_query = NetworkLocation.at_node(8)
+        maintainer.move_query(new_query)
+        assert maintainer.query == new_query
+        assert maintainer.skyline_ids() == oracle_skyline(tiny_graph, tiny_facilities, new_query)
+        assert maintainer.statistics.query_moves == 1
+
+    def test_random_update_sequence_matches_oracle(self):
+        graph, facilities, query = build_dynamic_instance(seed=77)
+        maintainer = SkylineMaintainer(graph, facilities, query)
+        rng = random.Random(5)
+        edges = list(graph.edges())
+        next_id = 1000
+        for step in range(25):
+            if rng.random() < 0.5 or len(facilities) < 3:
+                edge = rng.choice(edges)
+                facility = Facility(next_id, edge.edge_id, rng.uniform(0, edge.length))
+                next_id += 1
+                maintainer.insert(facility)
+            else:
+                victim = rng.choice(list(facilities.facility_ids()))
+                maintainer.delete(victim)
+            assert maintainer.skyline_ids() == oracle_skyline(graph, facilities, query), f"step {step}"
+
+    def test_insertions_are_cheaper_than_recomputation(self):
+        graph, facilities, query = build_dynamic_instance(seed=78, num_facilities=15)
+        maintainer = SkylineMaintainer(graph, facilities, query)
+        recomputations_before = maintainer.statistics.recomputations
+        edge = next(iter(graph.edges()))
+        for index in range(5):
+            maintainer.insert(Facility(500 + index, edge.edge_id, 0.25 * edge.length))
+        assert maintainer.statistics.recomputations == recomputations_before
+        assert maintainer.statistics.insertions == 5
+
+
+class TestTopKMaintainer:
+    def oracle(self, graph, facilities, query, aggregate, k):
+        return [fid for fid, _score in exact_top_k(facility_vectors(graph, facilities, query), aggregate, k)]
+
+    def test_initial_ranking_matches_oracle(self, tiny_graph, tiny_facilities, tiny_query):
+        aggregate = WeightedSum((0.5, 0.5))
+        maintainer = TopKMaintainer(tiny_graph, tiny_facilities, tiny_query, aggregate, 2)
+        assert maintainer.facility_ids() == self.oracle(tiny_graph, tiny_facilities, tiny_query, aggregate, 2)
+
+    def test_invalid_k_rejected(self, tiny_graph, tiny_facilities, tiny_query):
+        with pytest.raises(QueryError):
+            TopKMaintainer(tiny_graph, tiny_facilities, tiny_query, WeightedSum((0.5, 0.5)), 0)
+
+    def test_insert_better_facility_enters_ranking(self, tiny_graph, tiny_facilities, tiny_query):
+        aggregate = WeightedSum((0.5, 0.5))
+        maintainer = TopKMaintainer(tiny_graph, tiny_facilities, tiny_query, aggregate, 2)
+        close_edge = tiny_graph.edge_between(3, 4)
+        changed = maintainer.insert(Facility(99, close_edge.edge_id, 0.0))
+        assert changed
+        assert maintainer.facility_ids()[0] == 99
+
+    def test_insert_worse_facility_changes_nothing(self, tiny_graph, tiny_facilities, tiny_query):
+        aggregate = WeightedSum((0.5, 0.5))
+        maintainer = TopKMaintainer(tiny_graph, tiny_facilities, tiny_query, aggregate, 2)
+        before = maintainer.facility_ids()
+        # A clone of facility 2's position scores 3.75, worse than the current
+        # second-best (facility 0 at 3.5), so the ranking must not change.
+        far_edge = tiny_graph.edge_between(7, 8)
+        changed = maintainer.insert(Facility(99, far_edge.edge_id, 2.5))
+        assert not changed
+        assert maintainer.facility_ids() == before
+
+    def test_delete_member_recomputes_correctly(self, tiny_graph, tiny_facilities, tiny_query):
+        aggregate = WeightedSum((0.5, 0.5))
+        maintainer = TopKMaintainer(tiny_graph, tiny_facilities, tiny_query, aggregate, 2)
+        top = maintainer.facility_ids()[0]
+        assert maintainer.delete(top)
+        assert maintainer.facility_ids() == self.oracle(tiny_graph, tiny_facilities, tiny_query, aggregate, 2)
+
+    def test_delete_non_member_is_incremental(self):
+        graph, facilities, query = build_dynamic_instance(seed=80)
+        aggregate = WeightedSum.uniform(graph.num_cost_types)
+        maintainer = TopKMaintainer(graph, facilities, query, aggregate, 3)
+        non_members = [fid for fid in facilities.facility_ids() if fid not in maintainer.facility_ids()]
+        recomputations = maintainer.statistics.recomputations
+        maintainer.delete(non_members[0])
+        assert maintainer.statistics.recomputations == recomputations
+
+    def test_random_update_sequence_matches_oracle(self):
+        graph, facilities, query = build_dynamic_instance(seed=81)
+        aggregate = WeightedSum.uniform(graph.num_cost_types)
+        maintainer = TopKMaintainer(graph, facilities, query, aggregate, 4)
+        rng = random.Random(9)
+        edges = list(graph.edges())
+        next_id = 2000
+        for step in range(20):
+            if rng.random() < 0.5 or len(facilities) <= 5:
+                edge = rng.choice(edges)
+                maintainer.insert(Facility(next_id, edge.edge_id, rng.uniform(0, edge.length)))
+                next_id += 1
+            else:
+                maintainer.delete(rng.choice(list(facilities.facility_ids())))
+            expected_scores = [
+                round(score, 6)
+                for _fid, score in exact_top_k(facility_vectors(graph, facilities, query), aggregate, 4)
+            ]
+            observed_scores = [round(score, 6) for _fid, score in maintainer.ranking()]
+            assert observed_scores == expected_scores, f"step {step}"
+
+    def test_move_query(self, tiny_graph, tiny_facilities, tiny_query):
+        aggregate = WeightedSum((0.5, 0.5))
+        maintainer = TopKMaintainer(tiny_graph, tiny_facilities, tiny_query, aggregate, 2)
+        new_query = NetworkLocation.at_node(8)
+        maintainer.move_query(new_query)
+        assert maintainer.facility_ids() == self.oracle(tiny_graph, tiny_facilities, new_query, aggregate, 2)
+
+
+class TestFacilitySetRemoval:
+    def test_remove_returns_and_unindexes(self, tiny_graph, tiny_facilities):
+        removed = tiny_facilities.remove(1)
+        assert removed.facility_id == 1
+        assert 1 not in tiny_facilities
+        assert tiny_facilities.on_edge(removed.edge_id) == []
+
+    def test_remove_unknown_rejected(self, tiny_graph, tiny_facilities):
+        with pytest.raises(FacilityError):
+            tiny_facilities.remove(55)
+
+    def test_remove_keeps_other_facilities_on_same_edge(self, tiny_graph):
+        facilities = FacilitySet(tiny_graph)
+        facilities.add(Facility(0, 0, 1.0))
+        facilities.add(Facility(1, 0, 2.0))
+        facilities.remove(0)
+        assert [f.facility_id for f in facilities.on_edge(0)] == [1]
+
+    def test_accessor_reflects_removal(self, tiny_graph, tiny_facilities):
+        accessor = InMemoryAccessor(tiny_graph, tiny_facilities)
+        edge = tiny_facilities.facility(1).edge_id
+        assert len(accessor.edge_facilities(edge)) == 1
+        tiny_facilities.remove(1)
+        assert accessor.edge_facilities(edge) == []

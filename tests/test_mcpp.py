@@ -1,0 +1,120 @@
+"""Tests for the multi-criteria Pareto path (MCPP) label-correcting solver."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.classic.mcpp import pareto_paths
+from repro.errors import GraphError
+from repro.network import MultiCostGraph, dominates, shortest_path_between_nodes
+from tests.helpers import random_mcn
+
+
+class TestSmallGraphs:
+    def test_single_edge(self):
+        graph = MultiCostGraph(2)
+        graph.add_node(0)
+        graph.add_node(1)
+        graph.add_edge(0, 1, [2.0, 3.0])
+        paths = pareto_paths(graph, 0, 1)
+        assert len(paths) == 1
+        assert paths[0].costs.values == (2.0, 3.0)
+        assert paths[0].nodes == (0, 1)
+
+    def test_two_incomparable_routes(self):
+        graph = MultiCostGraph(2)
+        for node_id in range(4):
+            graph.add_node(node_id)
+        graph.add_edge(0, 1, [1.0, 5.0])
+        graph.add_edge(1, 3, [1.0, 5.0])
+        graph.add_edge(0, 2, [5.0, 1.0])
+        graph.add_edge(2, 3, [5.0, 1.0])
+        paths = pareto_paths(graph, 0, 3)
+        costs = {path.costs.values for path in paths}
+        assert costs == {(2.0, 10.0), (10.0, 2.0)}
+
+    def test_dominated_route_excluded(self):
+        graph = MultiCostGraph(2)
+        for node_id in range(3):
+            graph.add_node(node_id)
+        graph.add_edge(0, 1, [1.0, 1.0])
+        graph.add_edge(1, 2, [1.0, 1.0])
+        graph.add_edge(0, 2, [5.0, 5.0])  # dominated by the two-hop route
+        paths = pareto_paths(graph, 0, 2)
+        assert len(paths) == 1
+        assert paths[0].costs.values == (2.0, 2.0)
+
+    def test_source_equals_target(self):
+        graph = MultiCostGraph(2)
+        graph.add_node(0)
+        graph.add_node(1)
+        graph.add_edge(0, 1, [1.0, 1.0])
+        paths = pareto_paths(graph, 0, 0)
+        assert len(paths) == 1
+        assert paths[0].costs.values == (0.0, 0.0)
+
+    def test_unknown_nodes_rejected(self):
+        graph = MultiCostGraph(1)
+        graph.add_node(0)
+        with pytest.raises(GraphError):
+            pareto_paths(graph, 0, 9)
+        with pytest.raises(GraphError):
+            pareto_paths(graph, 9, 0)
+
+    def test_unreachable_target_gives_no_paths(self):
+        graph = MultiCostGraph(1)
+        for node_id in range(3):
+            graph.add_node(node_id)
+        graph.add_edge(0, 1, [1.0])
+        assert pareto_paths(graph, 0, 2) == []
+
+    def test_label_explosion_guard(self):
+        graph = MultiCostGraph(2)
+        for node_id in range(3):
+            graph.add_node(node_id)
+        graph.add_edge(0, 1, [1.0, 2.0])
+        graph.add_edge(1, 2, [1.0, 2.0])
+        with pytest.raises(GraphError):
+            pareto_paths(graph, 0, 2, max_labels_per_node=0)
+
+
+class TestAgainstSingleCostOptima:
+    def test_pareto_set_contains_every_single_cost_optimum(self):
+        graph, _facilities = random_mcn(
+            num_nodes=30, num_edges=60, num_cost_types=3, num_facilities=0, seed=12
+        )
+        rng = random.Random(0)
+        nodes = list(graph.node_ids())
+        for _ in range(4):
+            source, target = rng.sample(nodes, 2)
+            paths = pareto_paths(graph, source, target)
+            assert paths, "connected graph must have at least one Pareto path"
+            for cost_index in range(graph.num_cost_types):
+                optimum = shortest_path_between_nodes(graph, source, target, cost_index)
+                best_in_pareto = min(path.costs[cost_index] for path in paths)
+                assert best_in_pareto == pytest.approx(optimum.cost(cost_index))
+
+    def test_results_are_mutually_non_dominated(self):
+        graph, _facilities = random_mcn(
+            num_nodes=25, num_edges=50, num_cost_types=2, num_facilities=0, seed=5
+        )
+        paths = pareto_paths(graph, 0, 10)
+        for first in paths:
+            for second in paths:
+                if first is not second:
+                    assert not dominates(first.costs.values, second.costs.values)
+
+    def test_paths_are_valid_walks(self):
+        graph, _facilities = random_mcn(
+            num_nodes=20, num_edges=40, num_cost_types=2, num_facilities=0, seed=8
+        )
+        for path in pareto_paths(graph, 0, 5):
+            assert path.nodes[0] == 0 and path.nodes[-1] == 5
+            total = [0.0, 0.0]
+            for u, v in zip(path.nodes, path.nodes[1:]):
+                edge = graph.edge_between(u, v)
+                assert edge is not None
+                total = [t + c for t, c in zip(total, edge.costs)]
+            assert tuple(total) == pytest.approx(path.costs.values)

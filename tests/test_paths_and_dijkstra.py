@@ -1,0 +1,152 @@
+"""Unit tests for Path objects and the single-cost Dijkstra primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError, LocationError
+from repro.network import (
+    FacilitySet,
+    MultiCostGraph,
+    NetworkLocation,
+    Path,
+    all_facility_cost_vectors,
+    shortest_path_between_nodes,
+    single_source_facility_costs,
+    single_source_node_costs,
+)
+
+
+class TestPath:
+    def test_from_node_sequence_sums_costs(self, line_graph):
+        path = Path.from_node_sequence(line_graph, [0, 1, 2, 3])
+        assert path.costs.values == (6.0,)
+        assert path.num_hops == 3
+
+    def test_single_node_path(self, line_graph):
+        path = Path.from_node_sequence(line_graph, [2])
+        assert path.costs.values == (0.0,)
+        assert path.num_hops == 0
+
+    def test_non_adjacent_nodes_rejected(self, line_graph):
+        with pytest.raises(GraphError):
+            Path.from_node_sequence(line_graph, [0, 2])
+
+    def test_empty_path_rejected(self, line_graph):
+        with pytest.raises(GraphError):
+            Path.from_node_sequence(line_graph, [])
+
+    def test_cost_accessor(self, line_graph):
+        path = Path.from_node_sequence(line_graph, [0, 1])
+        assert path.cost(0) == 1.0
+
+    def test_repr_shows_chain(self, line_graph):
+        assert "0 -> 1" in repr(Path.from_node_sequence(line_graph, [0, 1]))
+
+
+class TestSingleSourceNodeCosts:
+    def test_line_graph_distances(self, line_graph):
+        distances = single_source_node_costs(line_graph, NetworkLocation.at_node(0), 0)
+        assert distances == {0: 0.0, 1: 1.0, 2: 3.0, 3: 6.0, 4: 10.0}
+
+    def test_source_on_edge(self, line_graph):
+        # Edge 1 connects nodes 1-2 with cost 2 and length 2; offset 0.5 from node 1.
+        source = NetworkLocation.on_edge(1, 0.5)
+        distances = single_source_node_costs(line_graph, source, 0)
+        assert distances[1] == pytest.approx(0.5)
+        assert distances[2] == pytest.approx(1.5)
+        assert distances[0] == pytest.approx(1.5)
+
+    def test_bad_cost_index_rejected(self, line_graph):
+        with pytest.raises(LocationError):
+            single_source_node_costs(line_graph, NetworkLocation.at_node(0), 3)
+
+    def test_tiny_grid_uses_cheapest_route(self, tiny_graph):
+        distances = single_source_node_costs(tiny_graph, NetworkLocation.at_node(3), 0)
+        # Fastest way to node 5 is across the highway: 2 + 2 = 4 minutes.
+        assert distances[5] == pytest.approx(4.0)
+        # Under the dollar cost, the highway costs 2 $ but is still the only
+        # consideration for the *time* expansion; check dollars separately.
+        dollars = single_source_node_costs(tiny_graph, NetworkLocation.at_node(3), 1)
+        assert dollars[5] == pytest.approx(0.0)  # free route around the highway exists
+
+
+class TestFacilityCosts:
+    def test_facility_costs_match_manual_computation(self, tiny_graph, tiny_facilities):
+        query = NetworkLocation.at_node(3)
+        times = single_source_facility_costs(tiny_graph, tiny_facilities, query, 0)
+        dollars = single_source_facility_costs(tiny_graph, tiny_facilities, query, 1)
+        # Facility 1 sits 1.0 into highway edge 4-5 (length 2): fastest from 3 is 2 + 1 = 3 min.
+        assert times[1] == pytest.approx(3.0)
+        # The cheapest way to facility 1 in dollars still has to enter the highway edge:
+        # going 3-4 (1 $) then half the 4-5 edge (0.5 $) = 1.5 $, or around via 5: 0 $ + half edge from 5 (0.5 $).
+        assert dollars[1] == pytest.approx(0.5)
+
+    def test_all_cost_vectors_combines_dimensions(self, tiny_graph, tiny_facilities):
+        vectors = all_facility_cost_vectors(tiny_graph, tiny_facilities, NetworkLocation.at_node(3))
+        assert set(vectors) == {0, 1, 2}
+        assert vectors[1].values == pytest.approx((3.0, 0.5))
+
+    def test_facility_on_query_edge_uses_direct_route(self, line_graph):
+        facilities = FacilitySet(line_graph)
+        facilities.add_on_edge(0, 1, 1.5)  # edge 1-2, offset 1.5 of length 2
+        source = NetworkLocation.on_edge(1, 0.5)
+        costs = single_source_facility_costs(line_graph, facilities, source, 0)
+        assert costs[0] == pytest.approx(1.0)
+
+    def test_unreachable_facility_omitted(self):
+        graph = MultiCostGraph(1)
+        for node_id in range(4):
+            graph.add_node(node_id)
+        graph.add_edge(0, 1, [1.0])
+        graph.add_edge(2, 3, [1.0])
+        facilities = FacilitySet(graph)
+        facilities.add_on_edge(0, 1, 0.5)  # on the disconnected component
+        costs = single_source_facility_costs(graph, facilities, NetworkLocation.at_node(0), 0)
+        assert costs == {}
+
+
+class TestShortestPathBetweenNodes:
+    def test_path_endpoints_and_cost(self, tiny_graph):
+        path = shortest_path_between_nodes(tiny_graph, 3, 5, 0)
+        assert path.nodes[0] == 3 and path.nodes[-1] == 5
+        assert path.cost(0) == pytest.approx(4.0)
+
+    def test_different_cost_types_can_give_different_paths(self, tiny_graph):
+        fastest = shortest_path_between_nodes(tiny_graph, 3, 5, 0)
+        cheapest = shortest_path_between_nodes(tiny_graph, 3, 5, 1)
+        assert fastest.cost(0) == pytest.approx(4.0)
+        assert cheapest.cost(1) == pytest.approx(0.0)
+        assert fastest.nodes != cheapest.nodes
+
+    def test_source_equals_target(self, tiny_graph):
+        path = shortest_path_between_nodes(tiny_graph, 4, 4, 0)
+        assert path.nodes == (4,)
+        assert path.cost(0) == 0.0
+
+    def test_unknown_nodes_rejected(self, tiny_graph):
+        with pytest.raises(GraphError):
+            shortest_path_between_nodes(tiny_graph, 0, 99, 0)
+        with pytest.raises(GraphError):
+            shortest_path_between_nodes(tiny_graph, 99, 0, 0)
+
+    def test_unreachable_target_rejected(self):
+        graph = MultiCostGraph(1)
+        graph.add_node(0)
+        graph.add_node(1)
+        graph.add_node(2)
+        graph.add_edge(0, 1, [1.0])
+        with pytest.raises(GraphError):
+            shortest_path_between_nodes(graph, 0, 2, 0)
+
+    def test_directed_graph_respects_direction(self):
+        graph = MultiCostGraph(1, directed=True)
+        for node_id in range(3):
+            graph.add_node(node_id)
+        graph.add_edge(0, 1, [1.0])
+        graph.add_edge(1, 2, [1.0])
+        graph.add_edge(2, 0, [10.0])
+        forward = shortest_path_between_nodes(graph, 0, 2, 0)
+        assert forward.cost(0) == pytest.approx(2.0)
+        backward = shortest_path_between_nodes(graph, 2, 0, 0)
+        assert backward.cost(0) == pytest.approx(10.0)

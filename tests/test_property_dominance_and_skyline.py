@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for dominance, classic skylines and aggregates."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.classic.skyline import bnl_skyline, dc_skyline, sfs_skyline
+from repro.core.aggregates import WeightedSum
+from repro.network.costs import CostVector, dominates, dominates_or_equal
+from tests.helpers import exact_skyline
+
+costs = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False, allow_infinity=False)
+
+
+def vectors_of(dimension: int, max_points: int = 40):
+    return st.lists(
+        st.tuples(*([costs] * dimension)), min_size=0, max_size=max_points
+    ).map(lambda rows: {index: row for index, row in enumerate(rows)})
+
+
+class TestDominanceProperties:
+    @given(st.lists(costs, min_size=1, max_size=6))
+    def test_dominance_is_irreflexive(self, values):
+        assert not dominates(values, values)
+
+    @given(st.lists(costs, min_size=1, max_size=6), st.lists(costs, min_size=1, max_size=6))
+    def test_dominance_is_antisymmetric(self, first, second):
+        if len(first) != len(second):
+            return
+        assert not (dominates(first, second) and dominates(second, first))
+
+    @given(
+        st.integers(min_value=1, max_value=5).flatmap(
+            lambda d: st.tuples(*[st.lists(costs, min_size=d, max_size=d)] * 3)
+        )
+    )
+    def test_dominance_is_transitive(self, triple):
+        first, second, third = triple
+        if dominates(first, second) and dominates(second, third):
+            assert dominates(first, third)
+
+    @given(st.lists(costs, min_size=1, max_size=6))
+    def test_scaling_preserves_dominance(self, values):
+        scaled_down = [value * 0.5 for value in values]
+        if any(value > 0 for value in values):
+            assert dominates_or_equal(scaled_down, values)
+
+    @given(st.lists(costs, min_size=1, max_size=4), st.lists(costs, min_size=1, max_size=4))
+    def test_dominance_implies_lower_weighted_sum(self, first, second):
+        if len(first) != len(second) or not dominates(first, second):
+            return
+        aggregate = WeightedSum.uniform(len(first))
+        assert aggregate(first) <= aggregate(second) + 1e-9
+
+    @given(st.lists(costs, min_size=1, max_size=6), st.floats(min_value=0.0, max_value=10.0))
+    def test_cost_vector_scale_and_add_are_componentwise(self, values, factor):
+        vector = CostVector(values)
+        scaled = vector.scale(factor)
+        assert scaled.values == tuple(value * factor for value in values)
+        doubled = vector + vector
+        assert doubled.values == tuple(2 * value for value in values)
+
+
+class TestClassicSkylineProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=1, max_value=4).flatmap(vectors_of))
+    def test_all_algorithms_match_brute_force(self, points):
+        expected = exact_skyline(points)
+        assert bnl_skyline(points) == expected
+        assert sfs_skyline(points) == expected
+        assert dc_skyline(points) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(vectors_of(3))
+    def test_skyline_is_subset_and_non_dominated(self, points):
+        skyline = bnl_skyline(points)
+        assert skyline <= set(points)
+        for member in skyline:
+            assert not any(
+                dominates(points[other], points[member]) for other in points if other != member
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(vectors_of(2))
+    def test_every_non_member_is_dominated_by_a_member(self, points):
+        skyline = sfs_skyline(points)
+        for key in points:
+            if key not in skyline:
+                assert any(dominates(points[other], points[key]) for other in skyline)
+
+    @settings(max_examples=40, deadline=None)
+    @given(vectors_of(3))
+    def test_skyline_invariant_under_adding_dominated_point(self, points):
+        if not points:
+            return
+        skyline_before = bnl_skyline(points)
+        # Add a point strictly worse than an existing one: the skyline must not change.
+        victim = next(iter(points.values()))
+        extended = dict(points)
+        extended[max(points) + 1] = tuple(value + 1.0 for value in victim)
+        assert bnl_skyline(extended) == skyline_before
+
+    @settings(max_examples=40, deadline=None)
+    @given(vectors_of(2), st.floats(min_value=0.1, max_value=5.0))
+    def test_skyline_invariant_under_uniform_scaling(self, points, factor):
+        scaled = {key: tuple(value * factor for value in vector) for key, vector in points.items()}
+        assert bnl_skyline(scaled) == bnl_skyline(points)
+
+
+class TestAggregateProperties:
+    weights = st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=5)
+
+    @settings(max_examples=60)
+    @given(weights.flatmap(lambda w: st.tuples(st.just(w), st.lists(costs, min_size=len(w), max_size=len(w)))))
+    def test_weighted_sum_monotone_in_each_coordinate(self, data):
+        weights, vector = data
+        aggregate = WeightedSum(tuple(weights))
+        base = aggregate(vector)
+        for index in range(len(vector)):
+            bumped = list(vector)
+            bumped[index] += 1.0
+            assert aggregate(bumped) >= base
+
+    @settings(max_examples=60)
+    @given(weights.flatmap(lambda w: st.tuples(st.just(w), st.lists(costs, min_size=len(w), max_size=len(w)))))
+    def test_weighted_sum_is_homogeneous(self, data):
+        weights, vector = data
+        aggregate = WeightedSum(tuple(weights))
+        doubled = aggregate([2 * value for value in vector])
+        assert abs(doubled - 2 * aggregate(vector)) < 1e-6 * max(1.0, abs(doubled))

@@ -1,0 +1,135 @@
+"""Property-based tests of the MCN preference queries against brute-force oracles.
+
+Random connected networks (with and without exact cost ties) are generated
+from hypothesis-drawn seeds; LSA, CEA and the incremental iterator must all
+agree with the brute-force computation on every instance.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.aggregates import WeightedSum
+from repro.core.incremental import IncrementalTopK
+from repro.core.skyline import MCNSkylineSearch
+from repro.core.topk import MCNTopKSearch
+from repro.network import InMemoryAccessor
+from tests.helpers import exact_skyline, exact_top_k, facility_vectors, random_mcn, random_query
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+instance = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=10_000),
+        "num_nodes": st.integers(min_value=6, max_value=45),
+        "extra_edges": st.integers(min_value=0, max_value=40),
+        "num_cost_types": st.integers(min_value=1, max_value=4),
+        "num_facilities": st.integers(min_value=1, max_value=20),
+        "integer_costs": st.booleans(),
+    }
+)
+
+
+def build_instance(params):
+    graph, facilities = random_mcn(
+        num_nodes=params["num_nodes"],
+        num_edges=params["num_nodes"] - 1 + params["extra_edges"],
+        num_cost_types=params["num_cost_types"],
+        num_facilities=params["num_facilities"],
+        seed=params["seed"],
+        integer_costs=params["integer_costs"],
+    )
+    query = random_query(graph, seed=params["seed"] + 1)
+    return graph, facilities, query
+
+
+class TestSkylineProperties:
+    @_SETTINGS
+    @given(instance)
+    def test_lsa_matches_brute_force(self, params):
+        graph, facilities, query = build_instance(params)
+        truth = exact_skyline(facility_vectors(graph, facilities, query))
+        search = MCNSkylineSearch(InMemoryAccessor(graph, facilities), graph, query)
+        assert search.run().facility_ids() == truth
+
+    @_SETTINGS
+    @given(instance)
+    def test_cea_matches_brute_force(self, params):
+        graph, facilities, query = build_instance(params)
+        truth = exact_skyline(facility_vectors(graph, facilities, query))
+        search = MCNSkylineSearch(
+            InMemoryAccessor(graph, facilities), graph, query, share_accesses=True
+        )
+        assert search.run().facility_ids() == truth
+
+    @_SETTINGS
+    @given(instance)
+    def test_reported_cost_vectors_are_correct(self, params):
+        graph, facilities, query = build_instance(params)
+        truth = facility_vectors(graph, facilities, query)
+        result = MCNSkylineSearch(InMemoryAccessor(graph, facilities), graph, query).run()
+        for member in result:
+            for index, value in enumerate(member.costs):
+                if value is not None:
+                    assert abs(value - truth[member.facility_id][index]) < 1e-6
+
+    @_SETTINGS
+    @given(instance)
+    def test_skyline_members_are_mutually_non_dominated(self, params):
+        from repro.network.costs import dominates
+
+        graph, facilities, query = build_instance(params)
+        truth = facility_vectors(graph, facilities, query)
+        result = MCNSkylineSearch(InMemoryAccessor(graph, facilities), graph, query).run()
+        members = list(result.facility_ids())
+        for first in members:
+            for second in members:
+                if first != second:
+                    assert not dominates(truth[first], truth[second])
+
+
+class TestTopKProperties:
+    @_SETTINGS
+    @given(instance, st.integers(min_value=1, max_value=6))
+    def test_topk_matches_brute_force(self, params, k):
+        graph, facilities, query = build_instance(params)
+        aggregate = WeightedSum.random(graph.num_cost_types, random.Random(params["seed"]))
+        truth = exact_top_k(facility_vectors(graph, facilities, query), aggregate, k)
+        expected_scores = [round(score, 6) for _fid, score in truth]
+        for share in (False, True):
+            result = MCNTopKSearch(
+                InMemoryAccessor(graph, facilities), graph, query, aggregate, k, share_accesses=share
+            ).run()
+            assert [round(score, 6) for score in result.scores()] == expected_scores
+
+    @_SETTINGS
+    @given(instance)
+    def test_incremental_enumeration_is_sorted_and_complete(self, params):
+        graph, facilities, query = build_instance(params)
+        aggregate = WeightedSum.uniform(graph.num_cost_types)
+        iterator = IncrementalTopK(InMemoryAccessor(graph, facilities), graph, query, aggregate)
+        results = list(iterator)
+        scores = [item.score for item in results]
+        assert scores == sorted(scores)
+        assert len(results) == len(facility_vectors(graph, facilities, query))
+
+    @_SETTINGS
+    @given(instance, st.integers(min_value=1, max_value=5))
+    def test_top1_is_skyline_member(self, params, weight_seed):
+        graph, facilities, query = build_instance(params)
+        if not len(facilities):
+            return
+        aggregate = WeightedSum.random(graph.num_cost_types, random.Random(weight_seed))
+        skyline = MCNSkylineSearch(InMemoryAccessor(graph, facilities), graph, query).run()
+        top1 = MCNTopKSearch(InMemoryAccessor(graph, facilities), graph, query, aggregate, 1).run()
+        if top1.facilities:
+            top_score = top1.scores()[0]
+            truth = facility_vectors(graph, facilities, query)
+            skyline_best = min(aggregate(truth[fid]) for fid in skyline.facility_ids())
+            assert top_score <= skyline_best + 1e-9

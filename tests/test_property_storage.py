@@ -1,0 +1,116 @@
+"""Property-based tests for the storage layer (buffer, B+ tree, full scheme)."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.network import InMemoryAccessor
+from repro.storage.btree import StaticBPlusTree
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pages import PageKind
+from repro.storage.scheme import NetworkStorage
+from tests.helpers import random_mcn
+
+_SETTINGS = settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestBufferProperties:
+    @_SETTINGS
+    @given(
+        st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=200),
+        st.integers(min_value=0, max_value=12),
+    )
+    def test_requests_equal_hits_plus_misses(self, pattern, capacity):
+        disk = SimulatedDisk(page_size=64)
+        for _ in range(10):
+            disk.allocate(PageKind.ADJACENCY)
+        pool = LRUBufferPool(disk, capacity=capacity)
+        for page_id in pattern:
+            pool.read(page_id)
+        stats = pool.statistics
+        assert stats.requests == len(pattern)
+        assert stats.hits + stats.misses == stats.requests
+        assert stats.misses == disk.statistics.page_reads
+        assert pool.resident_pages <= max(capacity, 0)
+
+    @_SETTINGS
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=150))
+    def test_bigger_buffers_never_hurt(self, pattern):
+        misses = []
+        for capacity in (0, 1, 2, 4, 10):
+            disk = SimulatedDisk(page_size=64)
+            for _ in range(10):
+                disk.allocate(PageKind.ADJACENCY)
+            pool = LRUBufferPool(disk, capacity=capacity)
+            for page_id in pattern:
+                pool.read(page_id)
+            misses.append(pool.statistics.misses)
+        assert misses == sorted(misses, reverse=True)
+
+    @_SETTINGS
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=100))
+    def test_buffer_with_capacity_for_everything_misses_once_per_page(self, pattern):
+        disk = SimulatedDisk(page_size=64)
+        for _ in range(10):
+            disk.allocate(PageKind.ADJACENCY)
+        pool = LRUBufferPool(disk, capacity=10)
+        for page_id in pattern:
+            pool.read(page_id)
+        assert pool.statistics.misses == len(set(pattern))
+
+
+class TestBPlusTreeProperties:
+    @_SETTINGS
+    @given(
+        st.sets(st.integers(min_value=0, max_value=100_000), min_size=1, max_size=400),
+        st.sampled_from([64, 128, 512, 4096]),
+    )
+    def test_every_inserted_key_is_found(self, keys, page_size):
+        disk = SimulatedDisk(page_size=page_size)
+        entries = [(key, key * 2) for key in keys]
+        tree = StaticBPlusTree(disk, PageKind.ADJACENCY_INDEX, entries)
+        buffer = LRUBufferPool(disk, capacity=4)
+        for key in keys:
+            assert tree.lookup(key, buffer) == key * 2
+
+    @_SETTINGS
+    @given(st.sets(st.integers(min_value=0, max_value=1000), min_size=2, max_size=200))
+    def test_missing_keys_raise(self, keys):
+        from repro.errors import StorageError
+
+        disk = SimulatedDisk(page_size=128)
+        tree = StaticBPlusTree(disk, PageKind.ADJACENCY_INDEX, [(key, key) for key in keys])
+        buffer = LRUBufferPool(disk, capacity=2)
+        missing = max(keys) + 1
+        try:
+            tree.lookup(missing, buffer)
+        except StorageError:
+            return
+        raise AssertionError("lookup of a missing key must raise StorageError")
+
+
+class TestStorageSchemeProperties:
+    @_SETTINGS
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=25),
+        st.sampled_from([256, 512, 2048]),
+    )
+    def test_disk_accessor_equals_memory_accessor(self, seed, cost_types, facilities, page_size):
+        graph, facility_set = random_mcn(
+            num_nodes=20,
+            num_edges=35,
+            num_cost_types=cost_types,
+            num_facilities=facilities,
+            seed=seed,
+        )
+        storage = NetworkStorage.build(graph, facility_set, page_size=page_size, buffer_fraction=0.05)
+        memory = InMemoryAccessor(graph, facility_set)
+        for node in graph.nodes():
+            assert sorted(storage.adjacency(node.node_id)) == sorted(memory.adjacency(node.node_id))
+        for edge in graph.edges():
+            assert storage.edge_facilities(edge.edge_id) == memory.edge_facilities(edge.edge_id)
+        for facility in facility_set:
+            assert storage.facility_edge(facility.facility_id) == facility.edge_id

@@ -1,0 +1,242 @@
+"""Unit and integration tests for LSA and CEA skyline processing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.skyline import MCNSkylineSearch, ProbingPolicy, cea_skyline, lsa_skyline
+from repro.errors import QueryError
+from repro.network import FacilitySet, InMemoryAccessor, MultiCostGraph, NetworkLocation
+from tests.helpers import exact_skyline, facility_vectors, random_mcn, random_query
+
+
+@pytest.fixture
+def accessor(tiny_graph, tiny_facilities) -> InMemoryAccessor:
+    return InMemoryAccessor(tiny_graph, tiny_facilities)
+
+
+class TestTinyGridSkyline:
+    """Hand-checkable skyline on the 3x3 toll-highway grid, query at node 3.
+
+    Facility cost vectors (minutes, dollars) from node 3:
+      p0 on edge 1-2:   (7.0, 0.0)
+      p1 on highway:    (3.0, 0.5)
+      p2 on edge 7-8:   (7.5, 0.0)  -- dominated by p0
+    So the skyline is {p0, p1}.
+    """
+
+    def test_expected_members_lsa(self, accessor, tiny_graph, tiny_query):
+        result = lsa_skyline(accessor, tiny_graph, tiny_query)
+        assert result.facility_ids() == {0, 1}
+
+    def test_expected_members_cea(self, accessor, tiny_graph, tiny_query):
+        result = cea_skyline(accessor, tiny_graph, tiny_query)
+        assert result.facility_ids() == {0, 1}
+
+    def test_matches_brute_force(self, accessor, tiny_graph, tiny_facilities, tiny_query):
+        truth = exact_skyline(facility_vectors(tiny_graph, tiny_facilities, tiny_query))
+        assert lsa_skyline(accessor, tiny_graph, tiny_query).facility_ids() == truth
+
+    def test_pinned_members_have_complete_costs(self, accessor, tiny_graph, tiny_query):
+        result = cea_skyline(accessor, tiny_graph, tiny_query)
+        for member in result:
+            if member.pinned:
+                assert all(value is not None for value in member.costs)
+                assert member.complete_costs == tuple(member.costs)
+
+    def test_statistics_populated(self, accessor, tiny_graph, tiny_query):
+        result = lsa_skyline(accessor, tiny_graph, tiny_query)
+        stats = result.statistics
+        assert stats.nn_retrievals > 0
+        assert stats.candidates_considered >= len(result)
+        assert stats.elapsed_seconds >= 0.0
+        assert stats.io.adjacency_requests > 0
+
+
+class TestProgressiveness:
+    def test_iteration_yields_same_set_as_run(self, accessor, tiny_graph, tiny_query):
+        search = MCNSkylineSearch(accessor, tiny_graph, tiny_query)
+        progressive = {facility.facility_id for facility in search}
+        result = lsa_skyline(
+            InMemoryAccessor(accessor.graph, accessor.facilities), tiny_graph, tiny_query
+        )
+        assert progressive == result.facility_ids()
+
+    def test_first_result_available_before_full_exploration(self, small_workload):
+        graph, facilities = small_workload.graph, small_workload.facilities
+        accessor = InMemoryAccessor(graph, facilities)
+        search = MCNSkylineSearch(accessor, graph, small_workload.queries[0])
+        iterator = iter(search)
+        first = next(iterator)
+        requests_at_first = accessor.statistics.adjacency_requests
+        rest = list(iterator)
+        requests_at_end = accessor.statistics.adjacency_requests
+        assert first.facility_id not in {facility.facility_id for facility in rest}
+        assert requests_at_first < requests_at_end
+
+    def test_re_iterating_finished_search_returns_cached_result(self, accessor, tiny_graph, tiny_query):
+        search = MCNSkylineSearch(accessor, tiny_graph, tiny_query)
+        first_pass = [facility.facility_id for facility in search]
+        second_pass = [facility.facility_id for facility in search]
+        assert first_pass == second_pass
+
+    def test_every_progressive_output_is_final(self, medium_workload):
+        graph, facilities = medium_workload.graph, medium_workload.facilities
+        accessor = InMemoryAccessor(graph, facilities)
+        query = medium_workload.queries[0]
+        truth = exact_skyline(facility_vectors(graph, facilities, query))
+        for facility in MCNSkylineSearch(accessor, graph, query, share_accesses=True):
+            assert facility.facility_id in truth
+
+
+class TestAlgorithmEquivalence:
+    def test_lsa_and_cea_agree_on_workload(self, small_workload):
+        graph, facilities = small_workload.graph, small_workload.facilities
+        for query in small_workload.queries:
+            lsa = lsa_skyline(InMemoryAccessor(graph, facilities), graph, query)
+            cea = cea_skyline(InMemoryAccessor(graph, facilities), graph, query)
+            assert lsa.facility_ids() == cea.facility_ids()
+
+    def test_matches_brute_force_on_workload(self, small_workload):
+        graph, facilities = small_workload.graph, small_workload.facilities
+        for query in small_workload.queries:
+            truth = exact_skyline(facility_vectors(graph, facilities, query))
+            observed = cea_skyline(InMemoryAccessor(graph, facilities), graph, query)
+            assert observed.facility_ids() == truth
+
+    def test_first_nn_shortcut_does_not_change_result(self, small_workload):
+        graph, facilities = small_workload.graph, small_workload.facilities
+        query = small_workload.queries[1]
+        with_shortcut = lsa_skyline(
+            InMemoryAccessor(graph, facilities), graph, query, first_nn_shortcut=True
+        )
+        without_shortcut = lsa_skyline(
+            InMemoryAccessor(graph, facilities), graph, query, first_nn_shortcut=False
+        )
+        assert with_shortcut.facility_ids() == without_shortcut.facility_ids()
+
+    def test_probing_policies_do_not_change_result(self, small_workload):
+        graph, facilities = small_workload.graph, small_workload.facilities
+        query = small_workload.queries[2]
+        results = {
+            policy: lsa_skyline(InMemoryAccessor(graph, facilities), graph, query, probing=policy)
+            for policy in ProbingPolicy
+        }
+        reference = results[ProbingPolicy.ROUND_ROBIN].facility_ids()
+        for result in results.values():
+            assert result.facility_ids() == reference
+
+    def test_cea_issues_fewer_data_requests_than_lsa(self, medium_workload):
+        graph, facilities = medium_workload.graph, medium_workload.facilities
+        query = medium_workload.queries[0]
+        lsa_accessor = InMemoryAccessor(graph, facilities)
+        lsa_skyline(lsa_accessor, graph, query)
+        cea_accessor = InMemoryAccessor(graph, facilities)
+        cea_skyline(cea_accessor, graph, query)
+        assert (
+            cea_accessor.statistics.adjacency_requests
+            <= lsa_accessor.statistics.adjacency_requests
+        )
+
+    def test_cea_never_fetches_a_node_twice(self, small_workload):
+        graph, facilities = small_workload.graph, small_workload.facilities
+        accessor = InMemoryAccessor(graph, facilities)
+        cea_skyline(accessor, graph, small_workload.queries[0])
+        # Every adjacency request goes through the fetch-once cache, so the
+        # number of requests cannot exceed the number of distinct nodes.
+        assert accessor.statistics.adjacency_requests <= graph.num_nodes
+
+
+class TestEdgeCases:
+    def test_no_facilities_gives_empty_skyline(self, tiny_graph):
+        facilities = FacilitySet(tiny_graph)
+        accessor = InMemoryAccessor(tiny_graph, facilities)
+        assert lsa_skyline(accessor, tiny_graph, NetworkLocation.at_node(0)).facilities == []
+
+    def test_single_facility_is_the_skyline(self, tiny_graph):
+        facilities = FacilitySet(tiny_graph)
+        facilities.add_on_edge(0, 0, 1.0)
+        accessor = InMemoryAccessor(tiny_graph, facilities)
+        result = cea_skyline(accessor, tiny_graph, NetworkLocation.at_node(0))
+        assert result.facility_ids() == {0}
+
+    def test_query_on_facility_edge(self, tiny_graph, tiny_facilities):
+        accessor = InMemoryAccessor(tiny_graph, tiny_facilities)
+        highway = tiny_graph.edge_between(4, 5)
+        query = NetworkLocation.on_edge(highway.edge_id, 1.0)
+        result = lsa_skyline(accessor, tiny_graph, query)
+        # Facility 1 sits exactly at the query location: zero cost everywhere,
+        # so it dominates every other facility and is the whole skyline.
+        assert result.facility_ids() == {1}
+
+    def test_dimension_mismatch_rejected(self, tiny_graph, tiny_facilities):
+        other = MultiCostGraph(3)
+        accessor = InMemoryAccessor(tiny_graph, tiny_facilities)
+        with pytest.raises(QueryError):
+            MCNSkylineSearch(accessor, other, NetworkLocation.at_node(0))
+
+    def test_single_cost_type_skyline_is_nearest_facility(self):
+        graph, facilities = random_mcn(
+            num_nodes=40, num_edges=70, num_cost_types=1, num_facilities=15, seed=5
+        )
+        accessor = InMemoryAccessor(graph, facilities)
+        query = random_query(graph, seed=6)
+        result = cea_skyline(accessor, graph, query)
+        truth = exact_skyline(facility_vectors(graph, facilities, query))
+        assert result.facility_ids() == truth
+
+    def test_duplicate_cost_vectors_both_reported(self, tiny_graph):
+        # Two facilities at the same offset of the same edge have identical
+        # cost vectors; neither dominates the other so both are skyline members.
+        facilities = FacilitySet(tiny_graph)
+        highway = tiny_graph.edge_between(4, 5)
+        facilities.add_on_edge(0, highway.edge_id, 1.0)
+        facilities.add_on_edge(1, highway.edge_id, 1.0)
+        accessor = InMemoryAccessor(tiny_graph, facilities)
+        result = lsa_skyline(accessor, tiny_graph, NetworkLocation.at_node(3))
+        assert result.facility_ids() == {0, 1}
+
+    def test_integer_costs_with_many_ties_match_brute_force(self):
+        for seed in range(8):
+            graph, facilities = random_mcn(
+                num_nodes=25,
+                num_edges=45,
+                num_cost_types=2,
+                num_facilities=12,
+                seed=seed,
+                integer_costs=True,
+            )
+            query = random_query(graph, seed=seed + 100)
+            truth = exact_skyline(facility_vectors(graph, facilities, query))
+            for share in (False, True):
+                accessor = InMemoryAccessor(graph, facilities)
+                search = MCNSkylineSearch(accessor, graph, query, share_accesses=share)
+                assert search.run().facility_ids() == truth, f"seed={seed} share={share}"
+
+
+class TestDirectedNetworks:
+    def test_directed_skyline_matches_brute_force(self):
+        rng = random.Random(3)
+        graph = MultiCostGraph(2, directed=True)
+        for node_id in range(30):
+            graph.add_node(node_id)
+        # A directed cycle plus random chords keeps everything reachable.
+        for node_id in range(30):
+            graph.add_edge(node_id, (node_id + 1) % 30, [rng.uniform(1, 5), rng.uniform(1, 5)])
+        for _ in range(25):
+            u, v = rng.randrange(30), rng.randrange(30)
+            if u != v and graph.edge_between(u, v) is None:
+                graph.add_edge(u, v, [rng.uniform(1, 5), rng.uniform(1, 5)])
+        facilities = FacilitySet(graph)
+        edges = list(graph.edges())
+        for facility_id in range(10):
+            edge = rng.choice(edges)
+            facilities.add_on_edge(facility_id, edge.edge_id, rng.uniform(0, edge.length))
+        query = NetworkLocation.at_node(0)
+        truth = exact_skyline(facility_vectors(graph, facilities, query))
+        for share in (False, True):
+            accessor = InMemoryAccessor(graph, facilities)
+            search = MCNSkylineSearch(accessor, graph, query, share_accesses=share)
+            assert search.run().facility_ids() == truth

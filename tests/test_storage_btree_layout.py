@@ -1,0 +1,153 @@
+"""Unit tests for the static B+ tree and the adjacency/facility file layouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.network import FacilitySet, MultiCostGraph
+from repro.storage.btree import StaticBPlusTree
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.layout import build_adjacency_file, build_facility_file
+from repro.storage.pages import PageKind, RecordSizes
+
+
+class TestStaticBPlusTree:
+    def _tree(self, entries, page_size=64):
+        disk = SimulatedDisk(page_size=page_size)
+        tree = StaticBPlusTree(disk, PageKind.ADJACENCY_INDEX, entries)
+        buffer = LRUBufferPool(disk, capacity=0)
+        return tree, buffer
+
+    def test_lookup_every_key(self):
+        entries = [(key, f"value-{key}") for key in range(50)]
+        tree, buffer = self._tree(entries)
+        for key, value in entries:
+            assert tree.lookup(key, buffer) == value
+
+    def test_lookup_missing_key_raises(self):
+        tree, buffer = self._tree([(1, "a"), (5, "b")])
+        with pytest.raises(StorageError):
+            tree.lookup(3, buffer)
+
+    def test_empty_tree(self):
+        tree, buffer = self._tree([])
+        assert tree.root_page_id is None
+        assert tree.num_entries == 0
+        with pytest.raises(StorageError):
+            tree.lookup(0, buffer)
+
+    def test_duplicate_keys_rejected(self):
+        disk = SimulatedDisk(page_size=64)
+        with pytest.raises(StorageError):
+            StaticBPlusTree(disk, PageKind.ADJACENCY_INDEX, [(1, "a"), (1, "b")])
+
+    def test_height_grows_with_entries(self):
+        small_tree, _ = self._tree([(k, k) for k in range(4)])
+        large_tree, _ = self._tree([(k, k) for k in range(500)])
+        assert large_tree.height > small_tree.height
+
+    def test_lookup_reads_height_pages(self):
+        entries = [(key, key) for key in range(300)]
+        tree, buffer = self._tree(entries)
+        before = buffer.statistics.requests
+        tree.lookup(137, buffer)
+        assert buffer.statistics.requests - before == tree.height
+
+    def test_unsorted_input_is_sorted_internally(self):
+        tree, buffer = self._tree([(5, "e"), (1, "a"), (3, "c")])
+        assert tree.lookup(1, buffer) == "a"
+        assert tree.lookup(5, buffer) == "e"
+
+    def test_page_count_positive(self):
+        tree, _ = self._tree([(k, k) for k in range(100)])
+        assert tree.page_count() >= tree.height
+
+
+@pytest.fixture
+def packed_network(tiny_graph, tiny_facilities):
+    disk = SimulatedDisk(page_size=256)
+    facility_layout = build_facility_file(disk, tiny_facilities)
+    adjacency_layout = build_adjacency_file(disk, tiny_graph, tiny_facilities, facility_layout)
+    return disk, facility_layout, adjacency_layout
+
+
+class TestFacilityFileLayout:
+    def test_every_facility_edge_has_pages(self, packed_network, tiny_facilities):
+        _disk, facility_layout, _ = packed_network
+        for edge_id in tiny_facilities.edges_with_facilities():
+            assert facility_layout.edge_pages[edge_id]
+
+    def test_facility_records_recoverable(self, packed_network, tiny_facilities):
+        disk, facility_layout, _ = packed_network
+        for edge_id in tiny_facilities.edges_with_facilities():
+            found = []
+            for page_id in facility_layout.edge_pages[edge_id]:
+                for record in disk.read(page_id).records:
+                    if getattr(record, "edge_id", None) == edge_id:
+                        found.append(record.facility_id)
+            expected = [facility.facility_id for facility in tiny_facilities.on_edge(edge_id)]
+            assert found == expected
+
+    def test_small_pages_force_multiple_pages(self, tiny_graph):
+        facilities = FacilitySet(tiny_graph)
+        edge = next(iter(tiny_graph.edges()))
+        for facility_id in range(50):
+            facilities.add_on_edge(facility_id, edge.edge_id, 0.5)
+        disk = SimulatedDisk(page_size=64)
+        layout = build_facility_file(disk, facilities)
+        assert layout.page_count > 1
+        assert len(layout.edge_pages[edge.edge_id]) > 1
+
+
+class TestAdjacencyFileLayout:
+    def test_every_node_has_pages(self, packed_network, tiny_graph):
+        _disk, _facility_layout, adjacency_layout = packed_network
+        for node in tiny_graph.nodes():
+            assert adjacency_layout.node_pages[node.node_id]
+
+    def test_adjacency_records_recoverable(self, packed_network, tiny_graph):
+        disk, _facility_layout, adjacency_layout = packed_network
+        for node in tiny_graph.nodes():
+            neighbors = set()
+            for page_id in adjacency_layout.node_pages[node.node_id]:
+                for record in disk.read(page_id).records:
+                    if getattr(record, "node", None) == node.node_id:
+                        neighbors.add(record.record.neighbor)
+            expected = {neighbor for neighbor, _edge in tiny_graph.neighbors(node.node_id)}
+            assert neighbors == expected
+
+    def test_adjacency_entries_carry_facility_pointers(self, packed_network, tiny_graph, tiny_facilities):
+        disk, facility_layout, adjacency_layout = packed_network
+        highway = tiny_graph.edge_between(4, 5)
+        pointer_seen = False
+        for page_id in adjacency_layout.node_pages[4]:
+            for record in disk.read(page_id).records:
+                if getattr(record, "node", None) == 4 and record.record.edge_id == highway.edge_id:
+                    assert record.facility_pages == facility_layout.edge_pages[highway.edge_id]
+                    pointer_seen = True
+        assert pointer_seen
+
+    def test_isolated_node_gets_empty_pointer(self, tiny_facilities, tiny_graph):
+        graph = MultiCostGraph(2)
+        graph.add_node(0)
+        graph.add_node(1)
+        graph.add_node(2)
+        graph.add_edge(0, 1, [1.0, 1.0])
+        facilities = FacilitySet(graph)
+        disk = SimulatedDisk(page_size=256)
+        facility_layout = build_facility_file(disk, facilities)
+        adjacency_layout = build_adjacency_file(disk, graph, facilities, facility_layout)
+        assert adjacency_layout.node_pages[2] == ()
+
+    def test_page_count_scales_with_page_size(self, tiny_graph, tiny_facilities):
+        small_disk = SimulatedDisk(page_size=64)
+        large_disk = SimulatedDisk(page_size=4096)
+        small = build_adjacency_file(
+            small_disk, tiny_graph, tiny_facilities, build_facility_file(small_disk, tiny_facilities)
+        )
+        large = build_adjacency_file(
+            large_disk, tiny_graph, tiny_facilities, build_facility_file(large_disk, tiny_facilities)
+        )
+        assert small.page_count > large.page_count

@@ -1,0 +1,155 @@
+"""Unit tests for pages, the simulated disk and the LRU buffer pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.disk import SimulatedDisk
+from repro.storage.pages import Page, PageKind, RecordSizes
+
+
+class TestRecordSizes:
+    def test_adjacency_entry_grows_with_dimensionality(self):
+        sizes = RecordSizes()
+        assert sizes.adjacency_entry(4) - sizes.adjacency_entry(2) == 2 * sizes.float_bytes
+
+    def test_facility_entry_size(self):
+        sizes = RecordSizes()
+        assert sizes.facility_entry() == sizes.id_bytes + sizes.float_bytes
+
+    def test_index_entry_size(self):
+        sizes = RecordSizes()
+        assert sizes.index_entry() == sizes.id_bytes + sizes.pointer_bytes
+
+    def test_headers_are_positive(self):
+        sizes = RecordSizes()
+        assert sizes.adjacency_header() > 0
+        assert sizes.facility_header() > 0
+
+
+class TestPage:
+    def test_add_until_full(self):
+        page = Page(0, PageKind.ADJACENCY)
+        assert page.add("a", 40, capacity=100)
+        assert page.add("b", 40, capacity=100)
+        assert not page.add("c", 40, capacity=100)
+        assert page.records == ["a", "b"]
+        assert page.used_bytes == 80
+
+    def test_record_larger_than_page_rejected(self):
+        page = Page(0, PageKind.FACILITY)
+        with pytest.raises(StorageError):
+            page.add("huge", 200, capacity=100)
+
+    def test_exact_fit_allowed(self):
+        page = Page(0, PageKind.FACILITY)
+        assert page.add("a", 100, capacity=100)
+        assert page.used_bytes == 100
+
+
+class TestSimulatedDisk:
+    def test_allocation_assigns_sequential_ids(self):
+        disk = SimulatedDisk(page_size=512)
+        first = disk.allocate(PageKind.ADJACENCY)
+        second = disk.allocate(PageKind.FACILITY)
+        assert (first.page_id, second.page_id) == (0, 1)
+        assert disk.num_pages == 2
+
+    def test_read_counts_physical_reads(self):
+        disk = SimulatedDisk(page_size=512)
+        page = disk.allocate(PageKind.ADJACENCY)
+        disk.read(page.page_id)
+        disk.read(page.page_id)
+        assert disk.statistics.page_reads == 2
+
+    def test_read_unknown_page_rejected(self):
+        disk = SimulatedDisk(page_size=512)
+        with pytest.raises(StorageError):
+            disk.read(7)
+
+    def test_invalid_page_size_rejected(self):
+        with pytest.raises(StorageError):
+            SimulatedDisk(page_size=0)
+
+    def test_pages_of_kind(self):
+        disk = SimulatedDisk(page_size=512)
+        disk.allocate(PageKind.ADJACENCY)
+        disk.allocate(PageKind.ADJACENCY)
+        disk.allocate(PageKind.FACILITY)
+        assert disk.pages_of_kind(PageKind.ADJACENCY) == 2
+        assert disk.pages_of_kind(PageKind.FACILITY_INDEX) == 0
+
+
+class TestLRUBufferPool:
+    @pytest.fixture
+    def disk(self) -> SimulatedDisk:
+        disk = SimulatedDisk(page_size=128)
+        for _ in range(5):
+            disk.allocate(PageKind.ADJACENCY)
+        return disk
+
+    def test_hit_after_miss(self, disk):
+        pool = LRUBufferPool(disk, capacity=2)
+        pool.read(0)
+        pool.read(0)
+        assert pool.statistics.hits == 1
+        assert pool.statistics.misses == 1
+        assert disk.statistics.page_reads == 1
+
+    def test_lru_eviction_order(self, disk):
+        pool = LRUBufferPool(disk, capacity=2)
+        pool.read(0)
+        pool.read(1)
+        pool.read(0)  # page 0 becomes most recently used
+        pool.read(2)  # evicts page 1
+        pool.read(0)  # still resident -> hit
+        pool.read(1)  # miss again
+        assert pool.statistics.hits == 2
+        assert pool.statistics.misses == 4
+
+    def test_capacity_zero_disables_caching(self, disk):
+        pool = LRUBufferPool(disk, capacity=0)
+        pool.read(0)
+        pool.read(0)
+        assert pool.statistics.hits == 0
+        assert pool.statistics.misses == 2
+        assert pool.resident_pages == 0
+
+    def test_negative_capacity_rejected(self, disk):
+        with pytest.raises(StorageError):
+            LRUBufferPool(disk, capacity=-1)
+
+    def test_resident_pages_never_exceed_capacity(self, disk):
+        pool = LRUBufferPool(disk, capacity=3)
+        for page_id in range(5):
+            pool.read(page_id)
+        assert pool.resident_pages == 3
+
+    def test_clear_drops_residents_but_keeps_statistics(self, disk):
+        pool = LRUBufferPool(disk, capacity=3)
+        pool.read(0)
+        pool.clear()
+        assert pool.resident_pages == 0
+        pool.read(0)
+        assert pool.statistics.misses == 2
+
+    def test_hit_ratio(self, disk):
+        pool = LRUBufferPool(disk, capacity=2)
+        assert pool.statistics.hit_ratio == 0.0
+        pool.read(0)
+        pool.read(0)
+        pool.read(0)
+        assert pool.statistics.hit_ratio == pytest.approx(2 / 3)
+
+    def test_larger_buffer_never_increases_misses(self, disk):
+        pattern = [0, 1, 2, 0, 1, 3, 4, 0, 2, 1, 0]
+        misses = []
+        for capacity in (1, 2, 3, 5):
+            disk.statistics.reset()
+            pool = LRUBufferPool(disk, capacity=capacity)
+            for page_id in pattern:
+                pool.read(page_id)
+            misses.append(pool.statistics.misses)
+        assert misses == sorted(misses, reverse=True)

@@ -1,0 +1,145 @@
+"""Unit tests for the disk-resident NetworkStorage accessor (Figure-2 scheme)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.network import InMemoryAccessor
+from repro.storage import NetworkStorage, StorageConfig
+
+
+@pytest.fixture
+def storage(tiny_graph, tiny_facilities) -> NetworkStorage:
+    return NetworkStorage.build(tiny_graph, tiny_facilities, page_size=256, buffer_fraction=0.5)
+
+
+class TestConstruction:
+    def test_build_convenience_constructor(self, tiny_graph, tiny_facilities):
+        storage = NetworkStorage.build(tiny_graph, tiny_facilities, page_size=512, buffer_fraction=0.02)
+        assert storage.config.page_size == 512
+        assert storage.config.buffer_fraction == 0.02
+
+    def test_invalid_page_size_rejected(self):
+        with pytest.raises(StorageError):
+            StorageConfig(page_size=0)
+
+    def test_negative_buffer_fraction_rejected(self):
+        with pytest.raises(StorageError):
+            StorageConfig(buffer_fraction=-0.1)
+
+    def test_zero_buffer_fraction_gives_zero_capacity(self, tiny_graph, tiny_facilities):
+        storage = NetworkStorage.build(tiny_graph, tiny_facilities, buffer_fraction=0.0)
+        assert storage.buffer.capacity == 0
+
+    def test_positive_buffer_fraction_gives_at_least_one_frame(self, tiny_graph, tiny_facilities):
+        storage = NetworkStorage.build(tiny_graph, tiny_facilities, page_size=4096, buffer_fraction=0.001)
+        assert storage.buffer.capacity >= 1
+
+    def test_describe_reports_page_counts(self, storage):
+        description = storage.describe()
+        assert description["mcn_pages"] == (
+            description["adjacency_file_pages"] + description["adjacency_tree_pages"]
+        )
+        assert description["total_pages"] == storage.total_page_count
+
+
+class TestAccessorEquivalence:
+    """The disk accessor must return exactly what the in-memory accessor returns."""
+
+    def test_adjacency_matches_memory(self, storage, tiny_graph, tiny_facilities):
+        memory = InMemoryAccessor(tiny_graph, tiny_facilities)
+        for node in tiny_graph.nodes():
+            from_disk = sorted(storage.adjacency(node.node_id))
+            from_memory = sorted(memory.adjacency(node.node_id))
+            assert from_disk == from_memory
+
+    def test_edge_facilities_match_memory(self, storage, tiny_graph, tiny_facilities):
+        memory = InMemoryAccessor(tiny_graph, tiny_facilities)
+        for edge in tiny_graph.edges():
+            assert storage.edge_facilities(edge.edge_id) == memory.edge_facilities(edge.edge_id)
+
+    def test_facility_edge_matches_memory(self, storage, tiny_graph, tiny_facilities):
+        memory = InMemoryAccessor(tiny_graph, tiny_facilities)
+        for facility in tiny_facilities:
+            assert storage.facility_edge(facility.facility_id) == memory.facility_edge(facility.facility_id)
+
+    def test_num_cost_types(self, storage):
+        assert storage.num_cost_types == 2
+
+
+class TestErrorHandling:
+    def test_unknown_node_raises(self, storage):
+        with pytest.raises(StorageError):
+            storage.adjacency(999)
+
+    def test_unknown_facility_raises(self, storage):
+        with pytest.raises(StorageError):
+            storage.facility_edge(999)
+
+    def test_edge_without_facilities_returns_empty(self, storage, tiny_graph):
+        empty_edge = tiny_graph.edge_between(0, 3)
+        assert storage.edge_facilities(empty_edge.edge_id) == []
+
+
+class TestIOAccounting:
+    def test_adjacency_request_counts_page_reads(self, storage):
+        storage.reset_statistics(clear_buffer=True)
+        storage.adjacency(4)
+        stats = storage.statistics
+        assert stats.adjacency_requests == 1
+        assert stats.page_reads >= 2  # at least index root + one data page
+
+    def test_buffer_hits_on_repeated_access(self, storage):
+        storage.reset_statistics(clear_buffer=True)
+        storage.adjacency(4)
+        first_reads = storage.statistics.page_reads
+        storage.adjacency(4)
+        second = storage.statistics
+        assert second.buffer_hits > 0
+        assert second.page_reads <= 2 * first_reads
+
+    def test_zero_buffer_never_hits(self, tiny_graph, tiny_facilities):
+        storage = NetworkStorage.build(tiny_graph, tiny_facilities, buffer_fraction=0.0)
+        storage.adjacency(4)
+        storage.adjacency(4)
+        assert storage.statistics.buffer_hits == 0
+        assert storage.statistics.page_reads > 0
+
+    def test_reset_statistics(self, storage):
+        storage.adjacency(4)
+        storage.reset_statistics()
+        stats = storage.statistics
+        assert stats.page_reads == 0
+        assert stats.adjacency_requests == 0
+
+    def test_reset_with_clear_buffer_forces_cold_reads(self, storage):
+        storage.adjacency(4)
+        storage.reset_statistics(clear_buffer=True)
+        storage.adjacency(4)
+        assert storage.statistics.page_reads > 0
+
+    def test_facility_tree_probe_counts(self, storage):
+        storage.reset_statistics(clear_buffer=True)
+        storage.facility_edge(1)
+        assert storage.statistics.facility_tree_requests == 1
+        assert storage.statistics.page_reads >= 1
+
+
+class TestLargerNetworkRoundTrip:
+    def test_generated_workload_round_trips(self, small_workload):
+        storage = NetworkStorage.build(
+            small_workload.graph, small_workload.facilities, page_size=512, buffer_fraction=0.01
+        )
+        memory = InMemoryAccessor(small_workload.graph, small_workload.facilities)
+        for node in list(small_workload.graph.nodes())[::17]:
+            assert sorted(storage.adjacency(node.node_id)) == sorted(memory.adjacency(node.node_id))
+        for facility in list(small_workload.facilities)[::13]:
+            assert storage.facility_edge(facility.facility_id) == facility.edge_id
+
+    def test_mcn_page_count_grows_with_network(self, small_workload, tiny_graph, tiny_facilities):
+        small_storage = NetworkStorage.build(tiny_graph, tiny_facilities, page_size=512)
+        large_storage = NetworkStorage.build(
+            small_workload.graph, small_workload.facilities, page_size=512
+        )
+        assert large_storage.mcn_page_count > small_storage.mcn_page_count

@@ -1,0 +1,198 @@
+"""Tests for the time-dependent extension (profiles, time-varying MCN, period queries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregates import WeightedSum
+from repro.errors import GraphError, QueryError
+from repro.network import FacilitySet, InMemoryAccessor, MultiCostGraph, NetworkLocation
+from repro.timedep import (
+    ConstantProfile,
+    PiecewiseLinearProfile,
+    TimeVaryingMCN,
+    peak_profile,
+    rebind_facilities,
+    skyline_over_period,
+    stable_intervals,
+    top_k_over_period,
+)
+from repro.timedep.queries import TimedResult
+from tests.helpers import exact_skyline, facility_vectors
+
+
+class TestProfiles:
+    def test_constant_profile(self):
+        profile = ConstantProfile(1.5)
+        assert profile.value_at(0.0) == 1.5
+        assert profile.value_at(100.0) == 1.5
+
+    def test_constant_profile_rejects_negative(self):
+        with pytest.raises(GraphError):
+            ConstantProfile(-0.1)
+
+    def test_piecewise_linear_interpolation(self):
+        profile = PiecewiseLinearProfile([(0.0, 1.0), (10.0, 3.0)])
+        assert profile.value_at(5.0) == pytest.approx(2.0)
+        assert profile.value_at(2.5) == pytest.approx(1.5)
+
+    def test_piecewise_linear_clamps_outside_range(self):
+        profile = PiecewiseLinearProfile([(0.0, 1.0), (10.0, 3.0)])
+        assert profile.value_at(-5.0) == 1.0
+        assert profile.value_at(50.0) == 3.0
+
+    def test_breakpoints_sorted_and_unique(self):
+        profile = PiecewiseLinearProfile([(10.0, 3.0), (0.0, 1.0)])
+        assert profile.breakpoints == [(0.0, 1.0), (10.0, 3.0)]
+        with pytest.raises(GraphError):
+            PiecewiseLinearProfile([(0.0, 1.0), (0.0, 2.0)])
+
+    def test_empty_and_negative_rejected(self):
+        with pytest.raises(GraphError):
+            PiecewiseLinearProfile([])
+        with pytest.raises(GraphError):
+            PiecewiseLinearProfile([(0.0, -1.0)])
+
+    def test_peak_profile_shape(self):
+        profile = peak_profile(peak_time=8.0, peak_multiplier=2.5, width=2.0)
+        assert profile.value_at(8.0) == pytest.approx(2.5)
+        assert profile.value_at(6.0) == pytest.approx(1.0)
+        assert profile.value_at(7.0) == pytest.approx(1.75)
+        assert profile.value_at(0.0) == pytest.approx(1.0)
+
+    def test_peak_profile_invalid_width(self):
+        with pytest.raises(GraphError):
+            peak_profile(peak_time=8.0, peak_multiplier=2.0, width=0.0)
+
+
+class TestTimeVaryingMCN:
+    @pytest.fixture
+    def network(self, tiny_graph) -> TimeVaryingMCN:
+        highway = tiny_graph.edge_between(3, 4)
+        network = TimeVaryingMCN(tiny_graph)
+        # The highway's driving time doubles at the 8 o'clock peak; the toll is constant.
+        network.set_profile(highway.edge_id, 0, peak_profile(peak_time=8.0, peak_multiplier=2.0))
+        return network
+
+    def test_cost_at_off_peak_equals_base(self, network, tiny_graph):
+        highway = tiny_graph.edge_between(3, 4)
+        assert network.cost_at(highway.edge_id, 0.0).values == highway.costs.values
+
+    def test_cost_at_peak_is_scaled(self, network, tiny_graph):
+        highway = tiny_graph.edge_between(3, 4)
+        peak_costs = network.cost_at(highway.edge_id, 8.0)
+        assert peak_costs[0] == pytest.approx(highway.costs[0] * 2.0)
+        assert peak_costs[1] == pytest.approx(highway.costs[1])
+
+    def test_edges_without_profiles_are_static(self, network, tiny_graph):
+        plain = tiny_graph.edge_between(0, 1)
+        assert network.cost_at(plain.edge_id, 8.0).values == plain.costs.values
+
+    def test_snapshot_preserves_structure(self, network, tiny_graph):
+        snapshot = network.snapshot(8.0)
+        assert snapshot.num_nodes == tiny_graph.num_nodes
+        assert snapshot.num_edges == tiny_graph.num_edges
+        for edge in tiny_graph.edges():
+            assert snapshot.edge(edge.edge_id).length == edge.length
+
+    def test_snapshot_reflects_time(self, network, tiny_graph):
+        highway = tiny_graph.edge_between(3, 4)
+        off_peak = network.snapshot(0.0).edge(highway.edge_id).costs
+        peak = network.snapshot(8.0).edge(highway.edge_id).costs
+        assert peak[0] > off_peak[0]
+
+    def test_profile_validation(self, tiny_graph):
+        with pytest.raises(GraphError):
+            TimeVaryingMCN(tiny_graph, {999: [None, None]})
+        with pytest.raises(GraphError):
+            TimeVaryingMCN(tiny_graph, {0: [None]})
+        network = TimeVaryingMCN(tiny_graph)
+        with pytest.raises(GraphError):
+            network.set_profile(999, 0, ConstantProfile(1.0))
+        with pytest.raises(GraphError):
+            network.set_profile(0, 5, ConstantProfile(1.0))
+
+    def test_rebind_facilities(self, network, tiny_graph, tiny_facilities):
+        snapshot = network.snapshot(8.0)
+        rebound = rebind_facilities(snapshot, tiny_facilities)
+        assert len(rebound) == len(tiny_facilities)
+        assert rebound.graph is snapshot
+        for facility in tiny_facilities:
+            assert rebound.facility(facility.facility_id).offset == facility.offset
+
+
+class TestPeriodQueries:
+    @pytest.fixture
+    def scenario(self, tiny_graph, tiny_facilities):
+        highway = tiny_graph.edge_between(3, 4)
+        ramp = tiny_graph.edge_between(4, 5)
+        network = TimeVaryingMCN(tiny_graph)
+        # A strong morning peak makes the tolled highway slow around t=8, so the
+        # facility that relies on it (facility 1) loses its time advantage.
+        for edge in (highway, ramp):
+            network.set_profile(edge.edge_id, 0, peak_profile(peak_time=8.0, peak_multiplier=6.0, width=2.0))
+        return network, tiny_facilities, NetworkLocation.at_node(3)
+
+    def test_snapshot_results_match_static_oracle(self, scenario):
+        network, facilities, query = scenario
+        for time in (0.0, 8.0, 12.0):
+            snapshot = network.snapshot(time)
+            rebound = rebind_facilities(snapshot, facilities)
+            expected = exact_skyline(facility_vectors(snapshot, rebound, query))
+            observed = skyline_over_period(network, facilities, query, [time])[0]
+            assert set(observed.facility_ids) == expected
+
+    def test_skyline_changes_across_the_peak(self, scenario):
+        network, facilities, query = scenario
+        results = skyline_over_period(network, facilities, query, [0.0, 8.0])
+        assert results[0].facility_ids != results[1].facility_ids
+
+    def test_topk_over_period_ranks_change(self, scenario):
+        network, facilities, query = scenario
+        aggregate = WeightedSum((0.9, 0.1))
+        results = top_k_over_period(network, facilities, query, aggregate, 1, [0.0, 8.0])
+        assert results[0].facility_ids[0] != results[1].facility_ids[0]
+
+    def test_times_must_be_increasing_and_non_empty(self, scenario):
+        network, facilities, query = scenario
+        with pytest.raises(QueryError):
+            skyline_over_period(network, facilities, query, [])
+        with pytest.raises(QueryError):
+            skyline_over_period(network, facilities, query, [2.0, 1.0])
+
+    def test_stable_intervals_grouping(self):
+        results = [
+            TimedResult(0.0, (1, 2)),
+            TimedResult(1.0, (1, 2)),
+            TimedResult(2.0, (2,)),
+            TimedResult(3.0, (1, 2)),
+        ]
+        intervals = stable_intervals(results)
+        assert [(i.start, i.end, i.facility_ids) for i in intervals] == [
+            (0.0, 1.0, (1, 2)),
+            (2.0, 2.0, (2,)),
+            (3.0, 3.0, (1, 2)),
+        ]
+
+    def test_stable_intervals_of_period_query(self, scenario):
+        network, facilities, query = scenario
+        times = [float(t) for t in range(0, 13)]
+        results = skyline_over_period(network, facilities, query, times)
+        intervals = stable_intervals(results)
+        assert intervals[0].start == 0.0
+        assert intervals[-1].end == 12.0
+        assert sum((interval.end - interval.start) for interval in intervals) <= 12.0
+        assert len(intervals) >= 2  # the peak changes the answer at least once
+
+    def test_stable_intervals_empty_input(self):
+        assert stable_intervals([]) == []
+
+
+class TestStaticEquivalence:
+    def test_constant_profiles_reproduce_static_results(self, tiny_graph, tiny_facilities, tiny_query):
+        network = TimeVaryingMCN(tiny_graph)
+        results = skyline_over_period(network, tiny_facilities, tiny_query, [0.0, 5.0, 10.0])
+        static = exact_skyline(facility_vectors(tiny_graph, tiny_facilities, tiny_query))
+        for result in results:
+            assert set(result.facility_ids) == static
+        assert len(stable_intervals(results)) == 1

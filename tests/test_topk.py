@@ -1,0 +1,160 @@
+"""Unit and integration tests for MCN top-k processing (known k)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.aggregates import MaxCost, WeightedSum
+from repro.core.topk import MCNTopKSearch, cea_top_k, lsa_top_k
+from repro.errors import QueryError
+from repro.network import FacilitySet, InMemoryAccessor, NetworkLocation
+from tests.helpers import exact_top_k, facility_vectors, random_mcn, random_query
+
+
+@pytest.fixture
+def accessor(tiny_graph, tiny_facilities) -> InMemoryAccessor:
+    return InMemoryAccessor(tiny_graph, tiny_facilities)
+
+
+class TestTinyGridTopK:
+    def test_top_1_under_time_priority(self, accessor, tiny_graph, tiny_query):
+        # Heavy weight on minutes: the highway facility (3 min) wins.
+        result = lsa_top_k(accessor, tiny_graph, tiny_query, WeightedSum((0.9, 0.1)), 1)
+        assert result.facility_ids() == [1]
+
+    def test_top_1_under_price_priority(self, accessor, tiny_graph, tiny_query):
+        # Heavy weight on dollars: the free-but-slower facility 0 wins.
+        result = lsa_top_k(accessor, tiny_graph, tiny_query, WeightedSum((0.01, 0.99)), 1)
+        assert result.facility_ids() == [0]
+
+    def test_full_ranking_matches_brute_force(self, accessor, tiny_graph, tiny_facilities, tiny_query):
+        aggregate = WeightedSum((0.5, 0.5))
+        truth = exact_top_k(facility_vectors(tiny_graph, tiny_facilities, tiny_query), aggregate, 3)
+        result = cea_top_k(accessor, tiny_graph, tiny_query, aggregate, 3)
+        assert result.facility_ids() == [fid for fid, _score in truth]
+        assert result.scores() == pytest.approx([score for _fid, score in truth])
+
+    def test_scores_are_sorted(self, accessor, tiny_graph, tiny_query):
+        result = lsa_top_k(accessor, tiny_graph, tiny_query, WeightedSum((0.5, 0.5)), 3)
+        assert result.scores() == sorted(result.scores())
+
+    def test_k_larger_than_facility_count(self, accessor, tiny_graph, tiny_query):
+        result = cea_top_k(accessor, tiny_graph, tiny_query, WeightedSum((0.5, 0.5)), 10)
+        assert len(result) == 3
+
+    def test_invalid_k_rejected(self, accessor, tiny_graph, tiny_query):
+        with pytest.raises(QueryError):
+            lsa_top_k(accessor, tiny_graph, tiny_query, WeightedSum((0.5, 0.5)), 0)
+
+    def test_statistics_populated(self, accessor, tiny_graph, tiny_query):
+        result = lsa_top_k(accessor, tiny_graph, tiny_query, WeightedSum((0.5, 0.5)), 2)
+        assert result.statistics.nn_retrievals > 0
+        assert result.statistics.facilities_pinned >= 2
+        assert result.statistics.io.adjacency_requests > 0
+
+    def test_result_costs_are_complete_vectors(self, accessor, tiny_graph, tiny_query):
+        result = cea_top_k(accessor, tiny_graph, tiny_query, WeightedSum((0.5, 0.5)), 2)
+        for item in result:
+            assert len(item.costs) == 2
+            assert all(isinstance(value, float) for value in item.costs)
+
+
+class TestAgainstBruteForceOnWorkloads:
+    @pytest.mark.parametrize("k", [1, 2, 4, 8])
+    def test_lsa_and_cea_match_brute_force(self, small_workload, k):
+        graph, facilities = small_workload.graph, small_workload.facilities
+        rng = random.Random(k)
+        aggregate = WeightedSum.random(graph.num_cost_types, rng)
+        for query in small_workload.queries:
+            truth = exact_top_k(facility_vectors(graph, facilities, query), aggregate, k)
+            expected_scores = [round(score, 6) for _fid, score in truth]
+            for runner in (lsa_top_k, cea_top_k):
+                result = runner(InMemoryAccessor(graph, facilities), graph, query, aggregate, k)
+                assert [round(score, 6) for score in result.scores()] == expected_scores
+
+    def test_non_linear_monotone_aggregate(self, small_workload):
+        graph, facilities = small_workload.graph, small_workload.facilities
+        aggregate = MaxCost(tuple([1.0] * graph.num_cost_types))
+        query = small_workload.queries[0]
+        truth = exact_top_k(facility_vectors(graph, facilities, query), aggregate, 3)
+        result = cea_top_k(InMemoryAccessor(graph, facilities), graph, query, aggregate, 3)
+        assert [round(s, 6) for s in result.scores()] == [round(s, 6) for _f, s in truth]
+
+    def test_top_1_belongs_to_skyline(self, small_workload):
+        from repro.core.skyline import cea_skyline
+
+        graph, facilities = small_workload.graph, small_workload.facilities
+        query = small_workload.queries[1]
+        skyline_ids = cea_skyline(InMemoryAccessor(graph, facilities), graph, query).facility_ids()
+        rng = random.Random(99)
+        for _ in range(5):
+            aggregate = WeightedSum.random(graph.num_cost_types, rng)
+            winner = cea_top_k(InMemoryAccessor(graph, facilities), graph, query, aggregate, 1)
+            assert winner.facility_ids()[0] in skyline_ids
+
+    def test_integer_cost_ties(self):
+        aggregate = WeightedSum((0.5, 0.5))
+        for seed in range(5):
+            graph, facilities = random_mcn(
+                num_nodes=25, num_edges=45, num_cost_types=2, num_facilities=12,
+                seed=seed, integer_costs=True,
+            )
+            query = random_query(graph, seed=seed + 50)
+            truth = exact_top_k(facility_vectors(graph, facilities, query), aggregate, 4)
+            expected = [round(score, 6) for _fid, score in truth]
+            result = cea_top_k(InMemoryAccessor(graph, facilities), graph, query, aggregate, 4)
+            assert [round(score, 6) for score in result.scores()] == expected
+
+    def test_growing_stage_stops_early(self, medium_workload):
+        """Top-k must not explore the whole network when facilities are plentiful."""
+        graph, facilities = medium_workload.graph, medium_workload.facilities
+        accessor = InMemoryAccessor(graph, facilities)
+        aggregate = WeightedSum.uniform(graph.num_cost_types)
+        MCNTopKSearch(accessor, graph, medium_workload.queries[0], aggregate, 2).run()
+        assert accessor.statistics.adjacency_requests < graph.num_nodes * graph.num_cost_types / 2
+
+
+class TestTopKEdgeCases:
+    def test_no_facilities(self, tiny_graph):
+        accessor = InMemoryAccessor(tiny_graph, FacilitySet(tiny_graph))
+        result = lsa_top_k(accessor, tiny_graph, NetworkLocation.at_node(0), WeightedSum((0.5, 0.5)), 3)
+        assert len(result) == 0
+
+    def test_single_facility(self, tiny_graph):
+        facilities = FacilitySet(tiny_graph)
+        facilities.add_on_edge(0, 0, 1.0)
+        accessor = InMemoryAccessor(tiny_graph, facilities)
+        result = cea_top_k(accessor, tiny_graph, NetworkLocation.at_node(4), WeightedSum((0.5, 0.5)), 3)
+        assert result.facility_ids() == [0]
+
+    def test_query_at_facility_location_scores_zero(self, tiny_graph, tiny_facilities):
+        accessor = InMemoryAccessor(tiny_graph, tiny_facilities)
+        highway = tiny_graph.edge_between(4, 5)
+        query = NetworkLocation.on_edge(highway.edge_id, 1.0)
+        result = lsa_top_k(accessor, tiny_graph, query, WeightedSum((0.5, 0.5)), 1)
+        assert result.scores()[0] == pytest.approx(0.0)
+
+    def test_ties_in_aggregate_cost_resolved_deterministically(self, tiny_graph):
+        facilities = FacilitySet(tiny_graph)
+        highway = tiny_graph.edge_between(4, 5)
+        facilities.add_on_edge(0, highway.edge_id, 1.0)
+        facilities.add_on_edge(1, highway.edge_id, 1.0)
+        accessor = InMemoryAccessor(tiny_graph, facilities)
+        result = cea_top_k(accessor, tiny_graph, NetworkLocation.at_node(3), WeightedSum((0.5, 0.5)), 1)
+        assert len(result) == 1
+        assert result.facility_ids()[0] in {0, 1}
+
+    def test_share_accesses_reduces_requests(self, medium_workload):
+        graph, facilities = medium_workload.graph, medium_workload.facilities
+        query = medium_workload.queries[1]
+        aggregate = WeightedSum.uniform(graph.num_cost_types)
+        lsa_accessor = InMemoryAccessor(graph, facilities)
+        MCNTopKSearch(lsa_accessor, graph, query, aggregate, 4, share_accesses=False).run()
+        cea_accessor = InMemoryAccessor(graph, facilities)
+        MCNTopKSearch(cea_accessor, graph, query, aggregate, 4, share_accesses=True).run()
+        assert (
+            cea_accessor.statistics.adjacency_requests
+            <= lsa_accessor.statistics.adjacency_requests
+        )
