@@ -4,9 +4,11 @@ A from-scratch reproduction of Mouratidis, Lin & Yiu, "Preference Queries in
 Large Multi-Cost Transportation Networks" (ICDE 2010): skyline and top-k
 queries over facilities located on a road network whose edges carry multiple
 cost types, processed with the Local Search Algorithm (LSA) and the Combined
-Expansion Algorithm (CEA) over a disk-resident storage scheme.
+Expansion Algorithm (CEA) over a disk-resident storage scheme — plus a
+service layer (:mod:`repro.service`) that executes whole batches of queries
+against one shared engine through a cross-query expansion cache.
 
-Typical usage::
+Typical single-query usage::
 
     from repro import MCNQueryEngine, NetworkLocation
     from repro.datagen import WorkloadSpec, make_workload
@@ -17,6 +19,16 @@ Typical usage::
 
     skyline = engine.skyline(query, algorithm="cea")
     best = engine.top_k(query, k=4, weights=[0.4, 0.3, 0.2, 0.1])
+
+Batch usage (shared expansion state across queries)::
+
+    from repro import QueryService, SkylineRequest, TopKRequest
+
+    service = QueryService(engine)
+    report = service.run_batch(
+        [SkylineRequest(q) for q in workload.queries]
+    )
+    report.page_reads  # far fewer than the sum of one-shot queries
 """
 
 from repro.core.aggregates import MaxCost, WeightedLpNorm, WeightedSum
@@ -44,12 +56,22 @@ from repro.network.costs import CostVector
 from repro.network.facilities import Facility, FacilitySet
 from repro.network.graph import MultiCostGraph
 from repro.network.location import NetworkLocation
+from repro.service import (
+    BatchReport,
+    CrossQueryExpansionCache,
+    QueryOutcome,
+    QueryService,
+    SkylineRequest,
+    TopKRequest,
+)
 from repro.storage.scheme import NetworkStorage
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchReport",
     "CostVector",
+    "CrossQueryExpansionCache",
     "DataGenerationError",
     "Facility",
     "FacilityError",
@@ -64,13 +86,17 @@ __all__ = [
     "NetworkStorage",
     "ProbingPolicy",
     "QueryError",
+    "QueryOutcome",
+    "QueryService",
     "QueryStatistics",
     "RankedFacility",
     "ReproError",
     "SkylineFacility",
     "SkylineMaintainer",
+    "SkylineRequest",
     "SkylineResult",
     "StorageError",
+    "TopKRequest",
     "TopKMaintainer",
     "TopKResult",
     "WeightedLpNorm",

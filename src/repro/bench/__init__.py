@@ -1,5 +1,15 @@
-"""Benchmark harness: experiment configurations, runners and per-figure drivers."""
+"""Benchmark harness: experiment configurations, runners, per-figure drivers
+and the workload replay driver of the batch query service."""
 
+from repro.bench.driver import (
+    ReplayMeasurement,
+    ReplayReport,
+    ReplaySpec,
+    build_requests,
+    format_replay_report,
+    percentile,
+    replay_workload,
+)
 from repro.bench.config import (
     DEFAULT_SCALE,
     PAPER_SCALE,
@@ -38,8 +48,15 @@ __all__ = [
     "ExperimentScale",
     "ExperimentSeries",
     "PAPER_SCALE",
+    "ReplayMeasurement",
+    "ReplayReport",
+    "ReplaySpec",
     "SMALL_SCALE",
     "TrialResult",
+    "build_requests",
+    "format_replay_report",
+    "percentile",
+    "replay_workload",
     "ablation_probing_policy",
     "ablation_versus_baseline",
     "build_environment",

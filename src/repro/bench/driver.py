@@ -1,0 +1,243 @@
+"""Workload replay driver: one-shot engine calls versus the batch service.
+
+This is the benchmark behind the service layer's reason to exist.  It takes
+a :class:`~repro.datagen.workload.WorkloadSpec`, turns its query locations
+into a trace of mixed skyline / top-k requests, and replays the trace twice
+against the same disk-resident storage:
+
+* **one-shot** — every query is an independent :class:`~repro.MCNQueryEngine`
+  call with cold statistics and a cold buffer (the paper's per-query setting);
+* **batched** — the whole trace goes through one
+  :class:`~repro.service.QueryService`, so the cross-query expansion cache
+  and the buffer pool stay warm from query to query.
+
+The report carries throughput, latency percentiles and total page reads of
+both runs, the page-read savings, and a per-request verification that the
+two runs returned identical answers.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.core.engine import MCNQueryEngine
+from repro.core.aggregates import WeightedSum
+from repro.datagen.workload import Workload, WorkloadSpec, make_workload
+from repro.errors import QueryError
+from repro.service import QueryRequest, QueryService, SkylineRequest, TopKRequest
+from repro.service.cache import CacheStatistics
+from repro.storage.scheme import NetworkStorage
+
+__all__ = [
+    "ReplaySpec",
+    "ReplayMeasurement",
+    "ReplayReport",
+    "build_requests",
+    "replay_workload",
+    "format_replay_report",
+    "percentile",
+]
+
+_MIXES = ("skyline", "topk", "mixed")
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``values``."""
+    if not values:
+        raise QueryError("cannot take a percentile of no samples")
+    if not 0 <= q <= 100:
+        raise QueryError(f"percentile {q} outside [0, 100]")
+    ordered = sorted(values)
+    rank = max(math.ceil(q / 100.0 * len(ordered)), 1)
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass(frozen=True)
+class ReplaySpec:
+    """Everything the replay driver needs: data, trace shape and storage knobs."""
+
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    mix: str = "mixed"  # "skyline", "topk" or "mixed" (alternating)
+    k: int = 4
+    algorithm: str = "cea"
+    page_size: int = 2048
+    buffer_fraction: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.mix not in _MIXES:
+            raise QueryError(f"unknown mix {self.mix!r}; expected one of {_MIXES}")
+        if self.k < 1:
+            raise QueryError("k must be a positive integer")
+
+
+def build_requests(workload: Workload, spec: ReplaySpec) -> list[QueryRequest]:
+    """The request trace of a workload: one request per query location.
+
+    ``mixed`` alternates skyline and top-k; top-k requests draw random
+    weighted-sum coefficients from the workload seed, so the trace is
+    deterministic per spec.
+    """
+    rng = random.Random(workload.spec.seed + 41)
+    dimensions = workload.graph.num_cost_types
+    requests: list[QueryRequest] = []
+    for index, query in enumerate(workload.queries):
+        as_skyline = spec.mix == "skyline" or (spec.mix == "mixed" and index % 2 == 0)
+        if as_skyline:
+            requests.append(SkylineRequest(query, algorithm=spec.algorithm))
+        else:
+            weights = WeightedSum.random(dimensions, rng).weights
+            requests.append(
+                TopKRequest(query, spec.k, weights=weights, algorithm=spec.algorithm)
+            )
+    return requests
+
+
+@dataclass
+class ReplayMeasurement:
+    """Aggregate metrics of one replay run (one-shot or batched)."""
+
+    label: str
+    queries: int = 0
+    elapsed_seconds: float = 0.0
+    page_reads: int = 0
+    buffer_hits: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def throughput_qps(self) -> float:
+        if self.queries == 0 or self.elapsed_seconds <= 0:
+            return 0.0
+        return self.queries / self.elapsed_seconds
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile in milliseconds over the run's queries."""
+        return percentile(self.latencies_ms, q)
+
+
+@dataclass
+class ReplayReport:
+    """The two runs side by side, plus the verification verdict."""
+
+    spec: ReplaySpec
+    one_shot: ReplayMeasurement
+    batched: ReplayMeasurement
+    identical_results: bool
+    cache: CacheStatistics
+
+    @property
+    def page_reads_saved(self) -> int:
+        return self.one_shot.page_reads - self.batched.page_reads
+
+    @property
+    def savings_fraction(self) -> float:
+        if self.one_shot.page_reads == 0:
+            return 0.0
+        return self.page_reads_saved / self.one_shot.page_reads
+
+
+def _result_signature(request: QueryRequest, result) -> object:
+    """A comparable digest of one query's answer (order-insensitive for skylines)."""
+    if isinstance(request, SkylineRequest):
+        return frozenset(result.facility_ids())
+    return tuple((item.facility_id, round(item.score, 9)) for item in result)
+
+
+def replay_workload(spec: ReplaySpec, *, workload: Workload | None = None) -> ReplayReport:
+    """Replay a workload trace one-shot and batched, and compare the runs.
+
+    Both runs execute against the *same* storage object; the one-shot run
+    resets counters and clears the buffer before every query (each call is
+    as cold as an independent engine invocation), while the batched run only
+    goes cold once at the start.
+    """
+    workload = workload or make_workload(spec.workload)
+    if not workload.queries:
+        raise QueryError("the workload has no queries to replay")
+    storage = NetworkStorage.build(
+        workload.graph,
+        workload.facilities,
+        page_size=spec.page_size,
+        buffer_fraction=spec.buffer_fraction,
+    )
+    engine = MCNQueryEngine(workload.graph, workload.facilities, storage=storage)
+    requests = build_requests(workload, spec)
+
+    one_shot = ReplayMeasurement(label="one-shot", queries=len(requests))
+    signatures = []
+    start = time.perf_counter()
+    for request in requests:
+        storage.reset_statistics(clear_buffer=True)
+        query_start = time.perf_counter()
+        if isinstance(request, SkylineRequest):
+            result = engine.skyline(
+                request.location,
+                algorithm=request.algorithm,
+                probing=request.probing,
+                first_nn_shortcut=request.first_nn_shortcut,
+            )
+        else:
+            result = engine.top_k(
+                request.location,
+                request.k,
+                weights=request.weights,
+                aggregate=request.aggregate,
+                algorithm=request.algorithm,
+            )
+        one_shot.latencies_ms.append((time.perf_counter() - query_start) * 1000.0)
+        one_shot.page_reads += result.statistics.io.page_reads
+        one_shot.buffer_hits += result.statistics.io.buffer_hits
+        signatures.append(_result_signature(request, result))
+    one_shot.elapsed_seconds = time.perf_counter() - start
+
+    storage.reset_statistics(clear_buffer=True)
+    service = QueryService(engine)
+    report = service.run_batch(requests)
+    batched = ReplayMeasurement(
+        label="batched",
+        queries=len(report.outcomes),
+        elapsed_seconds=report.elapsed_seconds,
+        page_reads=report.io.page_reads,
+        buffer_hits=report.io.buffer_hits,
+        latencies_ms=[outcome.elapsed_seconds * 1000.0 for outcome in report.outcomes],
+    )
+    identical = all(
+        _result_signature(outcome.request, outcome.result) == signature
+        for outcome, signature in zip(report.outcomes, signatures)
+    )
+    return ReplayReport(
+        spec=spec,
+        one_shot=one_shot,
+        batched=batched,
+        identical_results=identical,
+        cache=report.cache,
+    )
+
+
+def format_replay_report(report: ReplayReport) -> str:
+    """Human-readable table of a replay comparison (used by ``serve-batch``)."""
+    lines = [
+        f"workload: {report.spec.workload.num_nodes} nodes, "
+        f"{report.spec.workload.num_facilities} facilities, "
+        f"d={report.spec.workload.num_cost_types}, "
+        f"{len(report.one_shot.latencies_ms)} queries ({report.spec.mix} mix)",
+        "",
+        f"{'run':<10} {'queries':>7} {'qps':>9} {'p50 ms':>8} {'p90 ms':>8} "
+        f"{'p99 ms':>8} {'page reads':>11} {'buffer hits':>12}",
+    ]
+    for run in (report.one_shot, report.batched):
+        lines.append(
+            f"{run.label:<10} {run.queries:>7} {run.throughput_qps:>9.1f} "
+            f"{run.latency_percentile(50):>8.2f} {run.latency_percentile(90):>8.2f} "
+            f"{run.latency_percentile(99):>8.2f} {run.page_reads:>11} {run.buffer_hits:>12}"
+        )
+    lines.append("")
+    lines.append(
+        f"page reads saved: {report.page_reads_saved} "
+        f"({report.savings_fraction:.1%} of one-shot)"
+    )
+    lines.append(f"cache record hit rate: {report.cache.hit_rate():.1%}")
+    lines.append(f"results identical: {'yes' if report.identical_results else 'NO'}")
+    return "\n".join(lines) + "\n"

@@ -6,6 +6,9 @@ Sub-commands:
   both algorithms and print the results with their I/O statistics.
 * ``experiment <name>`` — run one of the Section-VI experiments (``fig8a`` ...
   ``fig12`` plus the two ablations) and print its table.
+* ``serve-batch`` — replay a workload trace through the batch
+  :class:`~repro.service.QueryService` and compare it against one-shot
+  engine calls (throughput, latency percentiles, page-read savings).
 * ``list`` — list the available experiments.
 """
 
@@ -16,10 +19,12 @@ import sys
 from collections.abc import Sequence
 
 from repro.bench.config import DEFAULT_SCALE, SMALL_SCALE, ExperimentScale
+from repro.bench.driver import ReplaySpec, format_replay_report, replay_workload
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import format_series_table, series_to_csv, summarize_speedups
 from repro.core.engine import MCNQueryEngine
 from repro.datagen.workload import WorkloadSpec, make_workload
+from repro.errors import ReproError
 
 __all__ = ["main", "build_parser"]
 
@@ -45,6 +50,24 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(EXPERIMENTS), help="experiment / figure name")
     experiment.add_argument("--scale", choices=sorted(_SCALES), default="small", help="population scale")
     experiment.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+
+    serve = commands.add_parser(
+        "serve-batch",
+        help="replay a workload through the batch query service and report savings",
+    )
+    serve.add_argument("--nodes", type=int, default=900, help="approximate number of network nodes")
+    serve.add_argument("--facilities", type=int, default=300, help="number of facilities")
+    serve.add_argument("--cost-types", type=int, default=3, help="number of cost types d")
+    serve.add_argument("--queries", type=int, default=100, help="number of queries in the trace")
+    serve.add_argument("--k", type=int, default=4, help="k of the top-k requests")
+    serve.add_argument(
+        "--mix",
+        choices=("skyline", "topk", "mixed"),
+        default="mixed",
+        help="query mix of the trace",
+    )
+    serve.add_argument("--seed", type=int, default=7, help="random seed")
+    serve.add_argument("--page-size", type=int, default=2048, help="storage page size in bytes")
 
     commands.add_parser("list", help="list the available experiments")
     return parser
@@ -99,6 +122,28 @@ def _run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_batch(args: argparse.Namespace) -> int:
+    try:
+        spec = ReplaySpec(
+            workload=WorkloadSpec(
+                num_nodes=args.nodes,
+                num_facilities=args.facilities,
+                num_cost_types=args.cost_types,
+                num_queries=args.queries,
+                seed=args.seed,
+            ),
+            mix=args.mix,
+            k=args.k,
+            page_size=args.page_size,
+        )
+        report = replay_workload(spec)
+    except ReproError as error:
+        print(f"serve-batch: {error}", file=sys.stderr)
+        return 2
+    print(format_replay_report(report), end="")
+    return 0 if report.identical_results else 1
+
+
 def _run_list() -> int:
     width = max(len(name) for name in EXPERIMENTS)
     for name in sorted(EXPERIMENTS):
@@ -115,6 +160,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_demo(args)
     if args.command == "experiment":
         return _run_experiment(args)
+    if args.command == "serve-batch":
+        return _run_serve_batch(args)
     return _run_list()
 
 

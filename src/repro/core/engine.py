@@ -9,6 +9,10 @@ small API:
 * :meth:`MCNQueryEngine.top_k` — MCN top-k for a known ``k``.
 * :meth:`MCNQueryEngine.iter_top` — incremental top-k (``k`` not known in
   advance).
+* :meth:`MCNQueryEngine.skyline_search` / :meth:`top_k_search` — construct
+  the underlying search objects without running them; this is the hook the
+  batch :class:`~repro.service.QueryService` uses to inject its cross-query
+  expansion cache as the data layer.
 """
 
 from __future__ import annotations
@@ -16,12 +20,19 @@ from __future__ import annotations
 import random
 from collections.abc import Iterator, Sequence
 
-from repro.core.aggregates import AggregateFunction, WeightedSum, check_monotone
+from repro.core.aggregates import (
+    AggregateFunction,
+    MaxCost,
+    WeightedLpNorm,
+    WeightedSum,
+    check_monotone,
+)
 from repro.core.baseline import baseline_skyline, baseline_top_k
+from repro.core.expansion import ExpansionSeeds
 from repro.core.incremental import IncrementalTopK
 from repro.core.results import RankedFacility, SkylineFacility, SkylineResult, TopKResult
-from repro.core.skyline import MCNSkylineSearch, ProbingPolicy, cea_skyline, lsa_skyline
-from repro.core.topk import cea_top_k, lsa_top_k
+from repro.core.skyline import MCNSkylineSearch, ProbingPolicy
+from repro.core.topk import MCNTopKSearch
 from repro.errors import QueryError
 from repro.network.accessor import GraphAccessor, InMemoryAccessor
 from repro.network.facilities import FacilitySet
@@ -99,24 +110,87 @@ class MCNQueryEngine:
         probing: ProbingPolicy = ProbingPolicy.ROUND_ROBIN,
         first_nn_shortcut: bool = True,
     ) -> SkylineResult:
-        """The MCN skyline of ``query``: facilities not dominated under all cost types."""
+        """The MCN skyline of ``query``: facilities not dominated under all cost types.
+
+        Parameters
+        ----------
+        query:
+            The query location (a node or a point along an edge).
+        algorithm:
+            ``"cea"`` (default, shared fetch-once expansions), ``"lsa"``
+            (independent expansions) or ``"baseline"`` (compute every
+            facility's full cost vector, then a plain skyline).
+        probing:
+            Expansion probing policy; round-robin is the paper's choice.
+        first_nn_shortcut:
+            Report the first nearest facility of every cost type immediately
+            (the Section IV-A enhancement).  Ignored by the baseline.
+
+        Returns
+        -------
+        SkylineResult
+            The skyline members in report order, with per-query
+            :class:`~repro.core.results.QueryStatistics` attached.
+
+        Example
+        -------
+        >>> from repro.datagen import WorkloadSpec, make_workload
+        >>> w = make_workload(WorkloadSpec(num_nodes=120, num_facilities=40, seed=1))
+        >>> engine = MCNQueryEngine(w.graph, w.facilities)
+        >>> len(engine.skyline(w.queries[0], algorithm="cea")) >= 1
+        True
+        """
         algorithm = self._check_algorithm(algorithm)
         if algorithm == "baseline":
             return baseline_skyline(self._accessor, self._graph, query)
-        if algorithm == "lsa":
-            return lsa_skyline(
-                self._accessor,
-                self._graph,
-                query,
-                probing=probing,
-                first_nn_shortcut=first_nn_shortcut,
-            )
-        return cea_skyline(
+        return self.skyline_search(
+            query,
+            algorithm=algorithm,
+            probing=probing,
+            first_nn_shortcut=first_nn_shortcut,
+        ).run()
+
+    def skyline_search(
+        self,
+        query: NetworkLocation,
+        *,
+        algorithm: str = "cea",
+        probing: ProbingPolicy = ProbingPolicy.ROUND_ROBIN,
+        first_nn_shortcut: bool = True,
+        data_layer: GraphAccessor | None = None,
+        seeds: ExpansionSeeds | None = None,
+    ) -> MCNSkylineSearch:
+        """Construct (but do not run) a skyline search over this engine's data.
+
+        This is the hook used by :class:`repro.service.QueryService`: passing
+        ``data_layer`` makes the search's expansions read through an external
+        accessor (e.g. a cross-query cache shared by a whole batch) while the
+        engine's own accessor still provides the I/O counters; ``seeds`` lets
+        a caller reuse memoised :class:`ExpansionSeeds` for the location.
+
+        Returns
+        -------
+        MCNSkylineSearch
+            Call :meth:`~repro.core.skyline.MCNSkylineSearch.run` for the
+            full skyline or iterate it for progressive results.
+
+        Example
+        -------
+        >>> search = engine.skyline_search(query, algorithm="lsa")  # doctest: +SKIP
+        >>> result = search.run()  # doctest: +SKIP
+        """
+        algorithm = self._check_algorithm(algorithm)
+        if algorithm == "baseline":
+            raise QueryError("the baseline algorithm has no search object; use skyline() instead")
+        return MCNSkylineSearch(
             self._accessor,
             self._graph,
             query,
+            share_accesses=(algorithm == "cea"),
             probing=probing,
             first_nn_shortcut=first_nn_shortcut,
+            data_layer=data_layer,
+            seeds=seeds,
         )
 
     def iter_skyline(
@@ -126,18 +200,24 @@ class MCNQueryEngine:
         algorithm: str = "cea",
         probing: ProbingPolicy = ProbingPolicy.ROUND_ROBIN,
     ) -> Iterator[SkylineFacility]:
-        """Progressively yield skyline facilities as they are confirmed."""
+        """Progressively yield skyline facilities as they are confirmed.
+
+        Parameters are as for :meth:`skyline`; the ``baseline`` algorithm is
+        rejected because it is not progressive.
+
+        Returns
+        -------
+        Iterator[SkylineFacility]
+            Yields each member as soon as it can no longer be dominated.
+
+        Example
+        -------
+        >>> first = next(engine.iter_skyline(query))  # doctest: +SKIP
+        """
         algorithm = self._check_algorithm(algorithm)
         if algorithm == "baseline":
             raise QueryError("the baseline algorithm is not progressive; use skyline() instead")
-        search = MCNSkylineSearch(
-            self._accessor,
-            self._graph,
-            query,
-            share_accesses=(algorithm == "cea"),
-            probing=probing,
-        )
-        return iter(search)
+        return iter(self.skyline_search(query, algorithm=algorithm, probing=probing))
 
     # ------------------------------------------------------------------ #
     # Top-k
@@ -151,14 +231,79 @@ class MCNQueryEngine:
         weights: Sequence[float] | None = None,
         algorithm: str = "cea",
     ) -> TopKResult:
-        """The ``k`` facilities with the smallest aggregate cost from ``query``."""
+        """The ``k`` facilities with the smallest aggregate cost from ``query``.
+
+        Parameters
+        ----------
+        query:
+            The query location.
+        k:
+            Number of facilities to retrieve (``k >= 1``).
+        aggregate / weights:
+            Either an increasingly monotone aggregate function, or the
+            coefficients of a :class:`~repro.core.aggregates.WeightedSum`
+            (mutually exclusive).  Defaults to a uniform weighted sum.
+        algorithm:
+            ``"cea"``, ``"lsa"`` or ``"baseline"`` — as for :meth:`skyline`.
+
+        Returns
+        -------
+        TopKResult
+            Facilities in increasing score order, with statistics attached.
+
+        Example
+        -------
+        >>> best = engine.top_k(query, k=2, weights=[0.9, 0.1])  # doctest: +SKIP
+        >>> [item.facility_id for item in best]  # doctest: +SKIP
+        """
         algorithm = self._check_algorithm(algorithm)
-        function = self._resolve_aggregate(aggregate, weights)
         if algorithm == "baseline":
+            function = self.resolve_aggregate(aggregate, weights)
             return baseline_top_k(self._accessor, self._graph, query, function, k)
-        if algorithm == "lsa":
-            return lsa_top_k(self._accessor, self._graph, query, function, k)
-        return cea_top_k(self._accessor, self._graph, query, function, k)
+        return self.top_k_search(
+            query, k, aggregate=aggregate, weights=weights, algorithm=algorithm
+        ).run()
+
+    def top_k_search(
+        self,
+        query: NetworkLocation,
+        k: int,
+        *,
+        aggregate: AggregateFunction | None = None,
+        weights: Sequence[float] | None = None,
+        algorithm: str = "cea",
+        data_layer: GraphAccessor | None = None,
+        seeds: ExpansionSeeds | None = None,
+    ) -> MCNTopKSearch:
+        """Construct (but do not run) a top-k search over this engine's data.
+
+        The service-layer counterpart of :meth:`skyline_search`: ``data_layer``
+        injects an external accessor (e.g. the batch service's cross-query
+        cache) and ``seeds`` reuses memoised expansion seeds.
+
+        Returns
+        -------
+        MCNTopKSearch
+            Call :meth:`~repro.core.topk.MCNTopKSearch.run` to execute.
+
+        Example
+        -------
+        >>> result = engine.top_k_search(query, 3, weights=[0.5, 0.5]).run()  # doctest: +SKIP
+        """
+        algorithm = self._check_algorithm(algorithm)
+        if algorithm == "baseline":
+            raise QueryError("the baseline algorithm has no search object; use top_k() instead")
+        function = self.resolve_aggregate(aggregate, weights)
+        return MCNTopKSearch(
+            self._accessor,
+            self._graph,
+            query,
+            function,
+            k,
+            share_accesses=(algorithm == "cea"),
+            data_layer=data_layer,
+            seeds=seeds,
+        )
 
     def iter_top(
         self,
@@ -168,11 +313,26 @@ class MCNQueryEngine:
         weights: Sequence[float] | None = None,
         algorithm: str = "cea",
     ) -> IncrementalTopK:
-        """Incremental top-k: an iterator over facilities in increasing aggregate cost."""
+        """Incremental top-k: an iterator over facilities in increasing aggregate cost.
+
+        Parameters are as for :meth:`top_k`, except no ``k`` is fixed — keep
+        pulling from the returned iterator until satisfied.  The ``baseline``
+        algorithm is rejected because it is not incremental.
+
+        Returns
+        -------
+        IncrementalTopK
+            An iterator of :class:`~repro.core.results.RankedFacility`.
+
+        Example
+        -------
+        >>> stream = engine.iter_top(query, weights=[0.5, 0.5])  # doctest: +SKIP
+        >>> next(stream)  # doctest: +SKIP
+        """
         algorithm = self._check_algorithm(algorithm)
         if algorithm == "baseline":
             raise QueryError("the baseline algorithm is not incremental; use top_k() instead")
-        function = self._resolve_aggregate(aggregate, weights)
+        function = self.resolve_aggregate(aggregate, weights)
         return IncrementalTopK(
             self._accessor,
             self._graph,
@@ -188,16 +348,38 @@ class MCNQueryEngine:
         """A random weighted-sum aggregate matching the graph's cost types (paper's setting)."""
         return WeightedSum.random(self._graph.num_cost_types, rng)
 
-    def _resolve_aggregate(
+    def resolve_aggregate(
         self, aggregate: AggregateFunction | None, weights: Sequence[float] | None
     ) -> AggregateFunction:
+        """The validated aggregate function implied by ``(aggregate, weights)``.
+
+        Exactly one of the two may be given (neither → uniform weighted sum).
+        Weight tuples must match the graph's number of cost types; the
+        built-in aggregates are accepted as-is after an arity check, while
+        arbitrary callables are probed with :func:`check_monotone`.  Raises
+        :class:`QueryError` on any violation — the batch service calls this
+        at submission time so a bad request can never abort a running batch.
+        """
         if aggregate is not None and weights is not None:
             raise QueryError("pass either an aggregate function or weights, not both")
+        dimensions = self._graph.num_cost_types
         if weights is not None:
+            if len(weights) != dimensions:
+                raise QueryError(
+                    f"got {len(weights)} weights for a {dimensions}-cost network"
+                )
             return WeightedSum(tuple(float(w) for w in weights))
         if aggregate is None:
-            return WeightedSum.uniform(self._graph.num_cost_types)
-        if not check_monotone(aggregate, self._graph.num_cost_types):
+            return WeightedSum.uniform(dimensions)
+        if isinstance(aggregate, (WeightedSum, WeightedLpNorm, MaxCost)):
+            # Known monotone by construction; only the arity can be wrong.
+            if len(aggregate.weights) != dimensions:
+                raise QueryError(
+                    f"aggregate has {len(aggregate.weights)} weights "
+                    f"for a {dimensions}-cost network"
+                )
+            return aggregate
+        if not check_monotone(aggregate, dimensions):
             raise QueryError("the aggregate cost function must be increasingly monotone")
         return aggregate
 

@@ -92,7 +92,7 @@ class NearestFacilityExpansion:
         self._cost_index = cost_index
         self._heap: list[tuple[float, int, int, int, FacilityRecord | None]] = []
         self._tiebreak = itertools.count()
-        self._visited_nodes: set[NodeId] = set()
+        self._visited_nodes: dict[NodeId, float] = {}
         self._reported: dict[FacilityId, float] = {}
         self._candidate_edges: dict[EdgeId, list[FacilityRecord]] | None = None
         self._allowed_facilities: set[FacilityId] | None = None
@@ -116,6 +116,17 @@ class NearestFacilityExpansion:
     def reported_costs(self) -> dict[FacilityId, float]:
         """Facilities already returned, with their network distance under this cost."""
         return dict(self._reported)
+
+    @property
+    def settled_costs(self) -> dict[NodeId, float]:
+        """Nodes already expanded, with their settled distance under this cost type.
+
+        A node is settled when it is de-heaped, at which point its distance is
+        final (the Dijkstra invariant), so these values can safely be reused
+        by later expansions that start from the very same seeds — the hook the
+        cross-query cache of :mod:`repro.service` harvests after every query.
+        """
+        return dict(self._visited_nodes)
 
     @property
     def heap_pops(self) -> int:
@@ -216,7 +227,7 @@ class NearestFacilityExpansion:
     def _expand_node(self, node: NodeId, distance: float) -> None:
         if node in self._visited_nodes:
             return
-        self._visited_nodes.add(node)
+        self._visited_nodes[node] = distance
         for entry in self._accessor.adjacency(node):
             edge_cost = entry.costs[self._cost_index]
             if entry.neighbor not in self._visited_nodes:

@@ -81,6 +81,17 @@ class MCNSkylineSearch:
         (they can never be dominated) — the enhancement of Section IV-A.
     probing:
         Expansion probing policy; round-robin is the paper's choice.
+    data_layer:
+        Optional accessor the expansions read through *instead of* the
+        per-query choice implied by ``share_accesses``.  The batch service
+        injects its cross-query :class:`~repro.service.CrossQueryExpansionCache`
+        here so that fetched records survive from one query to the next;
+        ``accessor`` remains the base data layer whose I/O counters are
+        diffed for the query statistics.
+    seeds:
+        Optional precomputed :class:`~repro.core.expansion.ExpansionSeeds`
+        for ``query`` (memoised by the service); computed on the fly when
+        omitted.
     """
 
     def __init__(
@@ -92,6 +103,8 @@ class MCNSkylineSearch:
         share_accesses: bool = False,
         first_nn_shortcut: bool = True,
         probing: ProbingPolicy = ProbingPolicy.ROUND_ROBIN,
+        data_layer: GraphAccessor | None = None,
+        seeds: ExpansionSeeds | None = None,
     ):
         if graph.num_cost_types != accessor.num_cost_types:
             raise QueryError("graph and accessor disagree on the number of cost types")
@@ -101,8 +114,10 @@ class MCNSkylineSearch:
         self._first_nn_shortcut = first_nn_shortcut
         self._share_accesses = share_accesses
         self._base_accessor = accessor
-        data_layer: GraphAccessor = FetchOnceCache(accessor) if share_accesses else accessor
-        seeds = ExpansionSeeds.from_query(graph, query)
+        if data_layer is None:
+            data_layer = FetchOnceCache(accessor) if share_accesses else accessor
+        if seeds is None:
+            seeds = ExpansionSeeds.from_query(graph, query)
         self._expansions = [
             NearestFacilityExpansion(data_layer, seeds, index)
             for index in range(accessor.num_cost_types)
@@ -133,6 +148,11 @@ class MCNSkylineSearch:
     def stage(self) -> str:
         """The current stage name ("growing" or "shrinking")."""
         return self._stage.value
+
+    @property
+    def expansions(self) -> tuple[NearestFacilityExpansion, ...]:
+        """The per-cost-type expansions, exposing reusable state (settle costs)."""
+        return tuple(self._expansions)
 
     def run(self) -> SkylineResult:
         """Execute the search to completion and return the full skyline."""

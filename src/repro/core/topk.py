@@ -47,6 +47,8 @@ class MCNTopKSearch:
         k: int,
         *,
         share_accesses: bool = False,
+        data_layer: GraphAccessor | None = None,
+        seeds: ExpansionSeeds | None = None,
     ):
         if k < 1:
             raise QueryError("k must be a positive integer")
@@ -57,8 +59,11 @@ class MCNTopKSearch:
         self._aggregate = aggregate
         self._k = k
         self._base_accessor = accessor
-        self._data_layer: GraphAccessor = FetchOnceCache(accessor) if share_accesses else accessor
-        seeds = ExpansionSeeds.from_query(graph, query)
+        if data_layer is None:
+            data_layer = FetchOnceCache(accessor) if share_accesses else accessor
+        self._data_layer: GraphAccessor = data_layer
+        if seeds is None:
+            seeds = ExpansionSeeds.from_query(graph, query)
         self._expansions = [
             NearestFacilityExpansion(self._data_layer, seeds, index)
             for index in range(accessor.num_cost_types)
@@ -71,6 +76,11 @@ class MCNTopKSearch:
     @property
     def statistics(self) -> QueryStatistics:
         return self._statistics
+
+    @property
+    def expansions(self) -> tuple[NearestFacilityExpansion, ...]:
+        """The per-cost-type expansions, exposing reusable state (settle costs)."""
+        return tuple(self._expansions)
 
     # ------------------------------------------------------------------ #
     # Public API

@@ -1,0 +1,31 @@
+"""Batch query service: throughput-oriented execution of many MCN queries.
+
+The paper evaluates LSA/CEA one query at a time; this package is the layer
+that serves *workloads*.  :class:`QueryService` executes batches (or a
+submit/drain stream) of mixed skyline and top-k requests against one shared
+:class:`~repro.MCNQueryEngine`, routing every query through a
+:class:`CrossQueryExpansionCache` so fetched adjacency/facility records,
+expansion seeds and node settle-costs are reused across queries instead of
+being rebuilt per query.
+"""
+
+from repro.service.cache import CacheStatistics, CrossQueryExpansionCache
+from repro.service.requests import (
+    BatchReport,
+    QueryOutcome,
+    QueryRequest,
+    SkylineRequest,
+    TopKRequest,
+)
+from repro.service.service import QueryService
+
+__all__ = [
+    "BatchReport",
+    "CacheStatistics",
+    "CrossQueryExpansionCache",
+    "QueryOutcome",
+    "QueryRequest",
+    "QueryService",
+    "SkylineRequest",
+    "TopKRequest",
+]

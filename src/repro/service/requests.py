@@ -1,0 +1,144 @@
+"""Request and outcome types of the batch query service.
+
+A request is a small frozen description of one query — what the engine needs
+to execute it, nothing more.  Frozen (and therefore hashable) requests are
+what make the service's result memoisation possible: two equal requests are
+guaranteed to produce equal results against the same engine, so the second
+one can be answered without touching the data layer at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.core.aggregates import AggregateFunction
+from repro.core.results import SkylineResult, TopKResult
+from repro.core.skyline import ProbingPolicy
+from repro.errors import QueryError
+from repro.network.accessor import AccessStatistics
+from repro.network.location import NetworkLocation
+from repro.service.cache import CacheStatistics
+
+__all__ = [
+    "SkylineRequest",
+    "TopKRequest",
+    "QueryRequest",
+    "QueryOutcome",
+    "BatchReport",
+]
+
+_ALGORITHMS = ("cea", "lsa", "baseline")
+
+
+def _check_algorithm(algorithm: str) -> None:
+    if algorithm not in _ALGORITHMS:
+        raise QueryError(f"unknown algorithm {algorithm!r}; expected one of {_ALGORITHMS}")
+
+
+@dataclass(frozen=True)
+class SkylineRequest:
+    """One MCN skyline query to be executed by the service.
+
+    ``algorithm`` accepts ``"cea"``, ``"lsa"`` or ``"baseline"``; note that
+    inside the service LSA and CEA share the batch-wide cache either way, so
+    they return identical results with identical I/O (the flag is kept for
+    parity with :meth:`repro.MCNQueryEngine.skyline`).
+    """
+
+    location: NetworkLocation
+    algorithm: str = "cea"
+    probing: ProbingPolicy = ProbingPolicy.ROUND_ROBIN
+    first_nn_shortcut: bool = True
+
+    def __post_init__(self) -> None:
+        _check_algorithm(self.algorithm)
+
+
+@dataclass(frozen=True)
+class TopKRequest:
+    """One MCN top-k query to be executed by the service.
+
+    Exactly one of ``weights`` (coefficients of a weighted sum) or
+    ``aggregate`` (any increasingly monotone function) may be given; with
+    neither, a uniform weighted sum is used.  A non-hashable ``aggregate``
+    simply disables result memoisation for this request.
+    """
+
+    location: NetworkLocation
+    k: int
+    weights: tuple[float, ...] | None = None
+    aggregate: AggregateFunction | None = None
+    algorithm: str = "cea"
+
+    def __post_init__(self) -> None:
+        _check_algorithm(self.algorithm)
+        if self.k < 1:
+            raise QueryError("k must be a positive integer")
+        if self.weights is not None and self.aggregate is not None:
+            raise QueryError("pass either weights or an aggregate function, not both")
+        if self.weights is not None and not isinstance(self.weights, tuple):
+            object.__setattr__(self, "weights", tuple(float(w) for w in self.weights))
+
+
+QueryRequest = Union[SkylineRequest, TopKRequest]
+
+
+@dataclass
+class QueryOutcome:
+    """The answer to one request, with its per-query cost accounting.
+
+    ``io`` is the delta of the *base* accessor's counters for this query —
+    zero page reads when the whole answer came out of the cross-query cache.
+    ``served_from_memo`` marks answers returned from the result memo without
+    running any algorithm.
+    """
+
+    ticket: int
+    request: QueryRequest
+    result: SkylineResult | TopKResult
+    io: AccessStatistics
+    elapsed_seconds: float
+    served_from_memo: bool = False
+
+
+@dataclass
+class BatchReport:
+    """Aggregate accounting of one :meth:`QueryService.run_batch` call."""
+
+    outcomes: list[QueryOutcome] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    io: AccessStatistics = field(default_factory=AccessStatistics)
+    cache: CacheStatistics = field(default_factory=CacheStatistics)
+
+    @property
+    def page_reads(self) -> int:
+        return self.io.page_reads
+
+    @property
+    def memo_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.served_from_memo)
+
+    def throughput_qps(self) -> float:
+        """Queries answered per wall-clock second (0.0 for an empty batch)."""
+        if not self.outcomes or self.elapsed_seconds <= 0:
+            return 0.0
+        return len(self.outcomes) / self.elapsed_seconds
+
+    def describe(self) -> dict[str, object]:
+        """Summary dictionary used by the CLI and the replay driver."""
+        return {
+            "queries": len(self.outcomes),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "throughput_qps": round(self.throughput_qps(), 1),
+            "page_reads": self.io.page_reads,
+            "buffer_hits": self.io.buffer_hits,
+            "memo_hits": self.memo_hits,
+            "cache_hit_rate": round(self.cache.hit_rate(), 4),
+        }
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)

@@ -1,0 +1,294 @@
+"""The batch query service: many queries, one engine, shared expansion state.
+
+:class:`QueryService` sits on top of a :class:`~repro.MCNQueryEngine` and
+executes *batches* of mixed skyline / top-k requests.  Two interfaces are
+offered:
+
+* **batch** — :meth:`QueryService.run_batch` takes a sequence of requests and
+  returns a :class:`~repro.service.requests.BatchReport`;
+* **streaming** — :meth:`QueryService.submit` enqueues requests one at a time
+  (returning a ticket), :meth:`QueryService.drain` executes everything queued
+  and returns the outcomes in submission order.
+
+All queries run through one :class:`CrossQueryExpansionCache`, so adjacency
+and facility records fetched for an early query are reused by every later
+one — the CEA information-sharing idea lifted from a single query to a whole
+workload.  Repeat requests are answered straight from a result memo without
+touching the engine.  Because the cache only short-circuits *reads* of
+immutable records, batched results are always identical to what one-shot
+engine calls would return; only the I/O differs.
+
+Example
+-------
+>>> from repro import MCNQueryEngine, QueryService, SkylineRequest, TopKRequest
+>>> from repro.datagen import WorkloadSpec, make_workload
+>>> w = make_workload(WorkloadSpec(num_nodes=150, num_facilities=60, num_queries=2, seed=5))
+>>> engine = MCNQueryEngine(w.graph, w.facilities, use_disk=True, page_size=1024)
+>>> service = QueryService(engine)
+>>> report = service.run_batch(
+...     [SkylineRequest(w.queries[0]), TopKRequest(w.queries[1], k=3)]
+... )
+>>> len(report.outcomes)
+2
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+from repro.core.baseline import baseline_skyline, baseline_top_k
+from repro.core.engine import MCNQueryEngine
+from repro.core.results import SkylineResult, TopKResult
+from repro.errors import QueryError
+from repro.network.accessor import AccessStatistics
+from repro.service.cache import CacheStatistics, CrossQueryExpansionCache
+from repro.service.requests import (
+    BatchReport,
+    QueryOutcome,
+    QueryRequest,
+    SkylineRequest,
+    TopKRequest,
+)
+
+__all__ = ["QueryService"]
+
+
+class QueryService:
+    """Executes batches of preference queries against one shared engine.
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve queries from.  Its accessor (in-memory or
+        disk-resident) is the base data layer whose I/O counters are diffed
+        per query.
+    cache:
+        Optional pre-built :class:`CrossQueryExpansionCache`; it must wrap
+        the engine's own accessor.  By default a fresh cache is created.
+    memoize_results:
+        When ``True`` (default) identical requests are answered from a
+        result memo with zero engine work.
+    harvest_settled:
+        When ``True`` (default) every query's settled node distances are
+        merged into the cache's settle-cost store (keyed by seeds and cost
+        type) for introspection and co-located-query reuse.  Disable for
+        long-running services over very many distinct query locations where
+        the per-query copy and the store's memory are not worth it (or
+        bound the store with ``max_cached_entries``).
+    max_cached_entries:
+        Bound forwarded to the default cache (LRU eviction); ``None`` caches
+        without bound.  Mutually exclusive with ``cache`` — a pre-built
+        cache carries its own bound.
+    """
+
+    def __init__(
+        self,
+        engine: MCNQueryEngine,
+        *,
+        cache: CrossQueryExpansionCache | None = None,
+        memoize_results: bool = True,
+        harvest_settled: bool = True,
+        max_cached_entries: int | None = None,
+    ):
+        if cache is not None:
+            if cache.base_accessor is not engine.accessor:
+                raise QueryError("the cache must wrap the engine's own accessor")
+            if max_cached_entries is not None:
+                raise QueryError(
+                    "pass either a pre-built cache or max_cached_entries, not both"
+                )
+        self._engine = engine
+        self._cache = cache or CrossQueryExpansionCache(
+            engine.accessor, max_entries=max_cached_entries
+        )
+        self._memoize_results = memoize_results
+        self._harvest_settled = harvest_settled
+        self._memo: dict[QueryRequest, SkylineResult | TopKResult] = {}
+        self._pending: list[tuple[int, QueryRequest]] = []
+        self._next_ticket = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> MCNQueryEngine:
+        """The engine queries are executed against."""
+        return self._engine
+
+    @property
+    def cache(self) -> CrossQueryExpansionCache:
+        """The cross-query expansion cache shared by every request."""
+        return self._cache
+
+    @property
+    def cache_statistics(self) -> CacheStatistics:
+        """Cumulative hit/miss counters of the shared cache (plus memo hits)."""
+        return self._cache.cache_statistics
+
+    @property
+    def pending_count(self) -> int:
+        """Number of submitted requests not yet drained."""
+        return len(self._pending)
+
+    def reset_cache(self) -> None:
+        """Drop all shared expansion state and the result memo (cold restart)."""
+        self._cache.clear()
+        self._memo.clear()
+
+    # ------------------------------------------------------------------ #
+    # Streaming interface
+    # ------------------------------------------------------------------ #
+    def submit(self, request: QueryRequest) -> int:
+        """Enqueue one request and return its ticket.
+
+        Tickets increase monotonically across the service's lifetime and
+        identify the request's outcome in the list returned by
+        :meth:`drain`.
+
+        Example
+        -------
+        >>> ticket = service.submit(SkylineRequest(location))  # doctest: +SKIP
+        """
+        self._check_request(request)
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._pending.append((ticket, request))
+        return ticket
+
+    def drain(self) -> list[QueryOutcome]:
+        """Execute every pending request and return outcomes in submission order.
+
+        Returns an empty list when nothing is pending.  Requests are fully
+        validated at submission time (type, algorithm, ``k``, location,
+        aggregate arity/monotonicity), so a drain does not abort halfway
+        through; if a query nevertheless raises, the queue has already been
+        cleared and the service stays usable.
+
+        Example
+        -------
+        >>> outcomes = service.drain()  # doctest: +SKIP
+        """
+        pending, self._pending = self._pending, []
+        return [self._execute(ticket, request) for ticket, request in pending]
+
+    # ------------------------------------------------------------------ #
+    # Batch interface
+    # ------------------------------------------------------------------ #
+    def run_batch(self, requests: Sequence[QueryRequest]) -> BatchReport:
+        """Execute ``requests`` in order and return a :class:`BatchReport`.
+
+        The report carries each request's :class:`QueryOutcome` plus the
+        batch totals: wall-clock time and the per-batch deltas of the
+        base-accessor I/O counters and the cache counters.
+
+        Example
+        -------
+        >>> report = service.run_batch([SkylineRequest(q) for q in queries])  # doctest: +SKIP
+        >>> report.page_reads  # doctest: +SKIP
+        """
+        start = time.perf_counter()
+        io_before = self._engine.accessor.statistics.snapshot()
+        cache_before = self._cache.cache_statistics.snapshot()
+        outcomes = [self.execute(request) for request in requests]
+        return BatchReport(
+            outcomes=outcomes,
+            elapsed_seconds=time.perf_counter() - start,
+            io=self._engine.accessor.statistics.since(io_before),
+            cache=self._cache.cache_statistics.since(cache_before),
+        )
+
+    def execute(self, request: QueryRequest) -> QueryOutcome:
+        """Execute one request immediately (through the shared cache).
+
+        Equivalent to ``submit`` + ``drain`` for a single request; pending
+        submissions are left untouched.
+        """
+        self._check_request(request)
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        return self._execute(ticket, request)
+
+    # ------------------------------------------------------------------ #
+    # Execution internals
+    # ------------------------------------------------------------------ #
+    def _execute(self, ticket: int, request: QueryRequest) -> QueryOutcome:
+        memo_key = self._memo_key(request)
+        start = time.perf_counter()
+        if memo_key is not None and memo_key in self._memo:
+            self._cache.cache_statistics.result_hits += 1
+            return QueryOutcome(
+                ticket=ticket,
+                request=request,
+                result=self._memo[memo_key],
+                io=AccessStatistics(),
+                elapsed_seconds=time.perf_counter() - start,
+                served_from_memo=True,
+            )
+        self._cache.cache_statistics.result_misses += 1
+        io_before = self._engine.accessor.statistics.snapshot()
+        result = self._run(request)
+        outcome = QueryOutcome(
+            ticket=ticket,
+            request=request,
+            result=result,
+            io=self._engine.accessor.statistics.since(io_before),
+            elapsed_seconds=time.perf_counter() - start,
+        )
+        if memo_key is not None:
+            self._memo[memo_key] = result
+        return outcome
+
+    def _run(self, request: QueryRequest) -> SkylineResult | TopKResult:
+        graph = self._engine.graph
+        seeds = self._cache.seeds_for(graph, request.location)
+        if isinstance(request, SkylineRequest):
+            if request.algorithm == "baseline":
+                return baseline_skyline(self._cache, graph, request.location)
+            search = self._engine.skyline_search(
+                request.location,
+                algorithm=request.algorithm,
+                probing=request.probing,
+                first_nn_shortcut=request.first_nn_shortcut,
+                data_layer=self._cache,
+                seeds=seeds,
+            )
+        else:
+            if request.algorithm == "baseline":
+                function = self._engine.resolve_aggregate(request.aggregate, request.weights)
+                return baseline_top_k(self._cache, graph, request.location, function, request.k)
+            search = self._engine.top_k_search(
+                request.location,
+                request.k,
+                aggregate=request.aggregate,
+                weights=request.weights,
+                algorithm=request.algorithm,
+                data_layer=self._cache,
+                seeds=seeds,
+            )
+        result = search.run()
+        if self._harvest_settled:
+            for expansion in search.expansions:
+                self._cache.record_settled(seeds, expansion.cost_index, expansion.settled_costs)
+        return result
+
+    def _memo_key(self, request: QueryRequest) -> QueryRequest | None:
+        if not self._memoize_results:
+            return None
+        try:
+            hash(request)
+        except TypeError:
+            # e.g. a TopKRequest carrying an unhashable aggregate callable.
+            return None
+        return request
+
+    def _check_request(self, request: QueryRequest) -> None:
+        if not isinstance(request, (SkylineRequest, TopKRequest)):
+            raise QueryError(
+                f"expected a SkylineRequest or TopKRequest, got {type(request).__name__}"
+            )
+        # Reject unanswerable requests at submission time, so a bad request
+        # can never abort a drain() that already did work for earlier ones.
+        request.location.validate(self._engine.graph)
+        if isinstance(request, TopKRequest):
+            self._engine.resolve_aggregate(request.aggregate, request.weights)

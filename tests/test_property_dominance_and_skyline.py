@@ -101,8 +101,11 @@ class TestClassicSkylineProperties:
         assert bnl_skyline(extended) == skyline_before
 
     @settings(max_examples=40, deadline=None)
-    @given(vectors_of(2), st.floats(min_value=0.1, max_value=5.0))
+    @given(vectors_of(2), st.sampled_from([1.0, 2.0, 4.0, 8.0]))
     def test_skyline_invariant_under_uniform_scaling(self, points, factor):
+        # Power-of-two factors >= 1 keep the scaling exact for every float, so
+        # the invariant holds without underflow/rounding collapsing a strict
+        # dominance into a tie (e.g. 5e-324 * 0.5 == 0.0).
         scaled = {key: tuple(value * factor for value in vector) for key, vector in points.items()}
         assert bnl_skyline(scaled) == bnl_skyline(points)
 
