@@ -38,6 +38,27 @@ BENCH_SCALE = ExperimentScale(
 )
 
 
+#: Micro populations used by the ``bench_smoke`` marker: one tiny sweep per
+#: figure family, small enough that the whole smoke pass stays in seconds.
+#: The point is catching harness breakage (imports, sweep plumbing, metric
+#: extraction) in CI, not reproducing the figure shapes.
+SMOKE_SCALE = ExperimentScale(
+    name="smoke",
+    num_nodes=150,
+    facility_counts=(20, 40),
+    default_facilities=30,
+    cost_type_counts=(2, 3),
+    default_cost_types=2,
+    buffer_fractions=(0.0, 0.01),
+    default_buffer_fraction=0.01,
+    k_values=(1, 2),
+    default_k=2,
+    num_queries=1,
+    page_size=1024,
+    seed=7,
+)
+
+
 def report_series(benchmark, series: ExperimentSeries) -> None:
     """Print the figure's table and attach it to the benchmark record."""
     table = format_series_table(series)

@@ -7,3 +7,11 @@ from pathlib import Path
 
 # Allow ``import _common`` regardless of the directory pytest is invoked from.
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench_smoke: fast one-configuration smoke pass over every figure "
+        "family (run with `pytest -m bench_smoke`)",
+    )

@@ -1,0 +1,32 @@
+"""Benchmark smoke pass: one tiny configuration of every figure family.
+
+``pytest -m bench_smoke`` runs each registered experiment (all the
+``test_fig*.py`` families plus both ablations) at :data:`_common.SMOKE_SCALE`
+— a micro population whose whole sweep finishes in seconds.  CI runs this
+marker so breakage anywhere in the figure harness (sweep plumbing, trial
+runner, metric extraction) surfaces without paying full benchmark cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _common import SMOKE_SCALE
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.reporting import format_series_table
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_experiment_smoke(name):
+    series = run_experiment(name, SMOKE_SCALE)
+    assert series.rows, f"experiment {name} produced no sweep rows"
+    algorithms = series.algorithms()
+    assert algorithms, f"experiment {name} measured no algorithms"
+    for row in series.rows:
+        for algorithm in algorithms:
+            page_reads = row.metric(algorithm, "mean_page_reads")
+            assert page_reads >= 0
+    # The reporting path must render every series it measured.
+    table = format_series_table(series)
+    assert series.figure in table or series.experiment_id in table

@@ -29,6 +29,17 @@ Batch usage (shared expansion state across queries)::
         [SkylineRequest(q) for q in workload.queries]
     )
     report.page_reads  # far fewer than the sum of one-shot queries
+
+Parallel usage (the batch sharded across workers, each with its own
+data-layer snapshot and cross-query cache; results and their order are
+identical to the sequential service)::
+
+    from repro import ParallelExecution
+
+    report = service.run_batch(
+        [SkylineRequest(q) for q in workload.queries],
+        parallel=ParallelExecution(workers=4, routing="locality"),
+    )
 """
 
 from repro.core.aggregates import MaxCost, WeightedLpNorm, WeightedSum
@@ -56,6 +67,11 @@ from repro.network.costs import CostVector
 from repro.network.facilities import Facility, FacilitySet
 from repro.network.graph import MultiCostGraph
 from repro.network.location import NetworkLocation
+from repro.parallel import (
+    ParallelExecution,
+    ShardedBatchReport,
+    ShardedQueryService,
+)
 from repro.service import (
     BatchReport,
     CrossQueryExpansionCache,
@@ -64,9 +80,9 @@ from repro.service import (
     SkylineRequest,
     TopKRequest,
 )
-from repro.storage.scheme import NetworkStorage
+from repro.storage.scheme import NetworkStorage, StorageSnapshotView
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BatchReport",
@@ -84,6 +100,7 @@ __all__ = [
     "MultiCostGraph",
     "NetworkLocation",
     "NetworkStorage",
+    "ParallelExecution",
     "ProbingPolicy",
     "QueryError",
     "QueryOutcome",
@@ -92,10 +109,13 @@ __all__ = [
     "RankedFacility",
     "ReproError",
     "SkylineFacility",
+    "ShardedBatchReport",
+    "ShardedQueryService",
     "SkylineMaintainer",
     "SkylineRequest",
     "SkylineResult",
     "StorageError",
+    "StorageSnapshotView",
     "TopKRequest",
     "TopKMaintainer",
     "TopKResult",

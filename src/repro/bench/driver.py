@@ -11,9 +11,14 @@ against the same disk-resident storage:
   :class:`~repro.service.QueryService`, so the cross-query expansion cache
   and the buffer pool stay warm from query to query.
 
+With ``workers > 1`` in the spec, the trace is additionally replayed
+**sharded** through a :class:`~repro.parallel.ShardedQueryService` (the
+configured routing and executor), measuring what parallel execution buys on
+top of batching.
+
 The report carries throughput, latency percentiles and total page reads of
-both runs, the page-read savings, and a per-request verification that the
-two runs returned identical answers.
+every run, the page-read savings, and a per-request verification that all
+runs returned identical answers.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from repro.core.engine import MCNQueryEngine
 from repro.core.aggregates import WeightedSum
 from repro.datagen.workload import Workload, WorkloadSpec, make_workload
 from repro.errors import QueryError
+from repro.parallel import ParallelExecution, ShardedQueryService
 from repro.service import QueryRequest, QueryService, SkylineRequest, TopKRequest
 from repro.service.cache import CacheStatistics
 from repro.storage.scheme import NetworkStorage
@@ -57,7 +63,11 @@ def percentile(values: list[float], q: float) -> float:
 
 @dataclass(frozen=True)
 class ReplaySpec:
-    """Everything the replay driver needs: data, trace shape and storage knobs."""
+    """Everything the replay driver needs: data, trace shape and storage knobs.
+
+    ``workers`` > 1 adds a third, sharded-parallel run to the replay;
+    ``routing`` and ``executor`` configure it (see :mod:`repro.parallel`).
+    """
 
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     mix: str = "mixed"  # "skyline", "topk" or "mixed" (alternating)
@@ -65,12 +75,17 @@ class ReplaySpec:
     algorithm: str = "cea"
     page_size: int = 2048
     buffer_fraction: float = 0.01
+    workers: int = 1
+    routing: str = "round_robin"
+    executor: str = "process"
 
     def __post_init__(self) -> None:
         if self.mix not in _MIXES:
             raise QueryError(f"unknown mix {self.mix!r}; expected one of {_MIXES}")
         if self.k < 1:
             raise QueryError("k must be a positive integer")
+        # ParallelExecution owns the workers/routing/executor validation.
+        ParallelExecution(workers=self.workers, routing=self.routing, executor=self.executor)
 
 
 def build_requests(workload: Workload, spec: ReplaySpec) -> list[QueryRequest]:
@@ -119,13 +134,28 @@ class ReplayMeasurement:
 
 @dataclass
 class ReplayReport:
-    """The two runs side by side, plus the verification verdict."""
+    """The replay runs side by side, plus the verification verdict.
+
+    ``sharded`` is present only when the spec asked for more than one
+    worker; ``identical_results`` then covers all runs, and
+    ``counters_consistent`` verifies that the merged sharded counters equal
+    the sum of the per-shard counters.
+    """
 
     spec: ReplaySpec
     one_shot: ReplayMeasurement
     batched: ReplayMeasurement
     identical_results: bool
     cache: CacheStatistics
+    sharded: ReplayMeasurement | None = None
+    counters_consistent: bool = True
+
+    @property
+    def measurements(self) -> list[ReplayMeasurement]:
+        runs = [self.one_shot, self.batched]
+        if self.sharded is not None:
+            runs.append(self.sharded)
+        return runs
 
     @property
     def page_reads_saved(self) -> int:
@@ -203,16 +233,45 @@ def replay_workload(spec: ReplaySpec, *, workload: Workload | None = None) -> Re
         buffer_hits=report.io.buffer_hits,
         latencies_ms=[outcome.elapsed_seconds * 1000.0 for outcome in report.outcomes],
     )
-    identical = all(
+    identical = len(report.outcomes) == len(signatures) and all(
         _result_signature(outcome.request, outcome.result) == signature
         for outcome, signature in zip(report.outcomes, signatures)
     )
+
+    sharded_measurement = None
+    counters_consistent = True
+    if spec.workers > 1:
+        storage.reset_statistics(clear_buffer=True)
+        sharded_service = ShardedQueryService(
+            engine, workers=spec.workers, routing=spec.routing, executor=spec.executor
+        )
+        sharded_report = sharded_service.run_batch(requests)
+        sharded_measurement = ReplayMeasurement(
+            label=f"sharded-{spec.workers}",
+            queries=len(sharded_report.outcomes),
+            elapsed_seconds=sharded_report.elapsed_seconds,
+            page_reads=sharded_report.io.page_reads,
+            buffer_hits=sharded_report.io.buffer_hits,
+            latencies_ms=[o.elapsed_seconds * 1000.0 for o in sharded_report.outcomes],
+        )
+        identical = identical and len(sharded_report.outcomes) == len(signatures) and all(
+            _result_signature(outcome.request, outcome.result) == signature
+            for outcome, signature in zip(sharded_report.outcomes, signatures)
+        )
+        counters_consistent = sharded_report.io.page_reads == sum(
+            shard.report.io.page_reads for shard in sharded_report.shards
+        ) and sharded_report.io.buffer_hits == sum(
+            shard.report.io.buffer_hits for shard in sharded_report.shards
+        )
+
     return ReplayReport(
         spec=spec,
         one_shot=one_shot,
         batched=batched,
         identical_results=identical,
         cache=report.cache,
+        sharded=sharded_measurement,
+        counters_consistent=counters_consistent,
     )
 
 
@@ -227,7 +286,7 @@ def format_replay_report(report: ReplayReport) -> str:
         f"{'run':<10} {'queries':>7} {'qps':>9} {'p50 ms':>8} {'p90 ms':>8} "
         f"{'p99 ms':>8} {'page reads':>11} {'buffer hits':>12}",
     ]
-    for run in (report.one_shot, report.batched):
+    for run in report.measurements:
         lines.append(
             f"{run.label:<10} {run.queries:>7} {run.throughput_qps:>9.1f} "
             f"{run.latency_percentile(50):>8.2f} {run.latency_percentile(90):>8.2f} "
@@ -239,5 +298,11 @@ def format_replay_report(report: ReplayReport) -> str:
         f"({report.savings_fraction:.1%} of one-shot)"
     )
     lines.append(f"cache record hit rate: {report.cache.hit_rate():.1%}")
+    if report.sharded is not None:
+        lines.append(
+            f"sharded run: {report.spec.workers} workers, {report.spec.routing} routing, "
+            f"{report.spec.executor} executor; merged counters "
+            f"{'equal' if report.counters_consistent else 'DO NOT equal'} the shard sums"
+        )
     lines.append(f"results identical: {'yes' if report.identical_results else 'NO'}")
     return "\n".join(lines) + "\n"

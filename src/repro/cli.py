@@ -68,6 +68,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=7, help="random seed")
     serve.add_argument("--page-size", type=int, default=2048, help="storage page size in bytes")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard the batch across N parallel workers (1 = sequential only)",
+    )
+    serve.add_argument(
+        "--routing",
+        choices=("round-robin", "locality"),
+        default="round-robin",
+        help="how requests are routed to shards (locality groups network-close queries)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("process", "thread", "serial"),
+        default="process",
+        help="pool kind backing the sharded run",
+    )
 
     commands.add_parser("list", help="list the available experiments")
     return parser
@@ -135,13 +153,16 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
             mix=args.mix,
             k=args.k,
             page_size=args.page_size,
+            workers=args.workers,
+            routing=args.routing.replace("-", "_"),
+            executor=args.executor,
         )
         report = replay_workload(spec)
     except ReproError as error:
         print(f"serve-batch: {error}", file=sys.stderr)
         return 2
     print(format_replay_report(report), end="")
-    return 0 if report.identical_results else 1
+    return 0 if report.identical_results and report.counters_consistent else 1
 
 
 def _run_list() -> int:

@@ -54,6 +54,7 @@ class MCNQueryEngine:
         facilities: FacilitySet,
         *,
         storage: NetworkStorage | None = None,
+        accessor: GraphAccessor | None = None,
         use_disk: bool = False,
         page_size: int = 4096,
         buffer_fraction: float = 0.01,
@@ -62,13 +63,30 @@ class MCNQueryEngine:
 
         With ``use_disk=True`` (or an explicit ``storage``), queries run
         against the simulated disk-resident storage scheme and report page
-        reads; otherwise they run against the in-memory accessor.
+        reads; otherwise they run against the in-memory accessor.  An
+        explicit ``accessor`` (mutually exclusive with ``storage``) makes
+        queries run against any :class:`GraphAccessor` — this is how the
+        parallel service gives each shard worker an engine over a read-only
+        :meth:`~repro.storage.NetworkStorage.snapshot_view` of one shared
+        storage instead of a private copy.
         """
         self._graph = graph
         self._facilities = facilities
+        if storage is not None and accessor is not None:
+            raise QueryError("pass either a storage or an accessor, not both")
+        if accessor is not None and use_disk:
+            raise QueryError("use_disk cannot be combined with an explicit accessor")
         if storage is not None:
             self._accessor: GraphAccessor = storage
             self._storage: NetworkStorage | None = storage
+        elif accessor is not None:
+            if accessor.num_cost_types != graph.num_cost_types:
+                raise QueryError(
+                    f"accessor has {accessor.num_cost_types} cost types "
+                    f"for a {graph.num_cost_types}-cost graph"
+                )
+            self._accessor = accessor
+            self._storage = accessor if isinstance(accessor, NetworkStorage) else None
         elif use_disk:
             self._storage = NetworkStorage.build(
                 graph, facilities, page_size=page_size, buffer_fraction=buffer_fraction

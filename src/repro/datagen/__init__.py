@@ -11,7 +11,13 @@ from repro.datagen.road_network import (
     euclidean_edge_lengths,
     generate_road_network,
 )
-from repro.datagen.workload import Workload, WorkloadSpec, make_workload
+from repro.datagen.workload import (
+    Workload,
+    WorkloadSpec,
+    make_workload,
+    workload_spec_from_payload,
+    workload_spec_to_payload,
+)
 
 __all__ = [
     "CostDistribution",
@@ -26,4 +32,6 @@ __all__ = [
     "generate_road_network",
     "generate_uniform_facilities",
     "make_workload",
+    "workload_spec_from_payload",
+    "workload_spec_to_payload",
 ]

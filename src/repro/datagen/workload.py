@@ -21,7 +21,13 @@ from repro.network.facilities import FacilitySet
 from repro.network.graph import MultiCostGraph
 from repro.network.location import NetworkLocation
 
-__all__ = ["WorkloadSpec", "Workload", "make_workload"]
+__all__ = [
+    "WorkloadSpec",
+    "Workload",
+    "make_workload",
+    "workload_spec_to_payload",
+    "workload_spec_from_payload",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +69,42 @@ class Workload:
             "distribution": self.spec.distribution.value,
             "queries": len(self.queries),
         }
+
+
+def workload_spec_to_payload(spec: WorkloadSpec) -> dict[str, object]:
+    """A plain-JSON dictionary describing ``spec``.
+
+    Workload generation is fully deterministic per spec, so the payload *is*
+    the workload for fixture purposes: checking in these few integers pins
+    the exact graph, facility set and query locations forever.
+    """
+    return {
+        "num_nodes": spec.num_nodes,
+        "num_facilities": spec.num_facilities,
+        "num_cost_types": spec.num_cost_types,
+        "distribution": spec.distribution.value,
+        "num_clusters": spec.num_clusters,
+        "clustered": spec.clustered,
+        "num_queries": spec.num_queries,
+        "seed": spec.seed,
+    }
+
+
+def workload_spec_from_payload(payload: dict[str, object]) -> WorkloadSpec:
+    """Rebuild a :class:`WorkloadSpec` from a :func:`workload_spec_to_payload` dictionary."""
+    try:
+        return WorkloadSpec(
+            num_nodes=int(payload["num_nodes"]),  # type: ignore[arg-type]
+            num_facilities=int(payload["num_facilities"]),  # type: ignore[arg-type]
+            num_cost_types=int(payload["num_cost_types"]),  # type: ignore[arg-type]
+            distribution=CostDistribution.parse(str(payload["distribution"])),
+            num_clusters=int(payload["num_clusters"]),  # type: ignore[arg-type]
+            clustered=bool(payload["clustered"]),
+            num_queries=int(payload["num_queries"]),  # type: ignore[arg-type]
+            seed=int(payload["seed"]),  # type: ignore[arg-type]
+        )
+    except KeyError as missing:
+        raise DataGenerationError(f"workload payload missing {missing}") from None
 
 
 def make_workload(spec: WorkloadSpec) -> Workload:

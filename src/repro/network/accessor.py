@@ -94,6 +94,14 @@ class AccessStatistics:
             buffer_hits=self.buffer_hits - earlier.buffer_hits,
         )
 
+    def accumulate(self, other: "AccessStatistics") -> None:
+        """Add ``other``'s counters into this one (merging per-shard reports)."""
+        self.adjacency_requests += other.adjacency_requests
+        self.facility_requests += other.facility_requests
+        self.facility_tree_requests += other.facility_tree_requests
+        self.page_reads += other.page_reads
+        self.buffer_hits += other.buffer_hits
+
 
 @runtime_checkable
 class GraphAccessor(Protocol):
@@ -173,6 +181,17 @@ class InMemoryAccessor:
     def facility_edge(self, facility_id: FacilityId) -> EdgeId:
         self._stats.facility_tree_requests += 1
         return self._facilities.edge_of(facility_id)
+
+    def snapshot_view(self) -> "InMemoryAccessor":
+        """A read-only sibling accessor sharing the graph, with fresh counters.
+
+        The in-memory counterpart of
+        :meth:`repro.storage.NetworkStorage.snapshot_view`: parallel shard
+        workers each get their own accessor (and therefore isolated request
+        counters) over the same immutable graph and facility set, without
+        copying either.
+        """
+        return InMemoryAccessor(self._graph, self._facilities)
 
 
 class FetchOnceCache:

@@ -1,0 +1,415 @@
+"""Sharded parallel execution of query batches: :class:`ShardedQueryService`.
+
+The batch :class:`~repro.service.QueryService` executes a workload strictly
+sequentially, so a multi-core host answers a 100-query batch no faster than a
+single core.  This module scales the same workload *out*: the batch is
+partitioned into shards (see :mod:`repro.parallel.routing`), each shard runs
+on its own worker, and the per-shard :class:`~repro.service.BatchReport`\\ s
+are merged back into one report whose outcomes sit in submission order —
+indistinguishable, result-wise, from a sequential run.
+
+Worker isolation is the whole trick.  Every worker owns
+
+* an **independent data layer** — a read-only snapshot view of the shared
+  engine's accessor (:meth:`repro.storage.NetworkStorage.snapshot_view` or
+  :meth:`repro.network.accessor.InMemoryAccessor.snapshot_view`), sharing the
+  built network pages copy-free while bringing a private LRU buffer and
+  private I/O counters;
+* an **independent** :class:`~repro.service.CrossQueryExpansionCache` and
+  result memo, so no query ever observes another worker's mutation.
+
+Because the caches only short-circuit reads of immutable records, a sharded
+run returns byte-identical results to the sequential service no matter how
+requests are routed — the differential-oracle test-suite asserts exactly
+that.
+
+Three executors are supported: ``"process"`` (a fork-based process pool —
+true multi-core parallelism; the engine is inherited copy-on-write, so
+workers share the built network without pickling it), ``"thread"`` (a thread
+pool — parallel I/O-style execution inside one interpreter) and ``"serial"``
+(the same sharding and merging without any pool, useful as a deterministic
+oracle and on single-core hosts).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.engine import MCNQueryEngine
+from repro.errors import QueryError
+from repro.parallel.routing import ROUTINGS, Shard, ShardPlan, plan_shards
+from repro.service.cache import CacheStatistics
+from repro.service.requests import BatchReport, QueryOutcome, QueryRequest
+from repro.service.service import QueryService, validate_request
+from repro.network.accessor import AccessStatistics
+
+__all__ = [
+    "EXECUTORS",
+    "ParallelExecution",
+    "ShardReport",
+    "ShardedBatchReport",
+    "ShardedQueryService",
+    "merge_shard_reports",
+]
+
+EXECUTORS = ("process", "thread", "serial")
+
+
+@dataclass(frozen=True)
+class ParallelExecution:
+    """The parallelism knob accepted by :meth:`QueryService.run_batch`.
+
+    ``workers`` is the number of shards (and the pool size); ``routing`` is
+    ``"round_robin"`` or ``"locality"``; ``executor`` is ``"process"``
+    (default), ``"thread"`` or ``"serial"``.
+    """
+
+    workers: int = 2
+    routing: str = "round_robin"
+    executor: str = "process"
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise QueryError("the number of workers must be at least 1")
+        if self.routing not in ROUTINGS:
+            raise QueryError(f"unknown routing {self.routing!r}; expected one of {ROUTINGS}")
+        if self.executor not in EXECUTORS:
+            raise QueryError(f"unknown executor {self.executor!r}; expected one of {EXECUTORS}")
+
+
+@dataclass
+class ShardReport:
+    """One shard's execution: where it ran and what it cost."""
+
+    index: int
+    positions: tuple[int, ...]
+    report: BatchReport
+    pid: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.positions)
+
+    @property
+    def page_reads(self) -> int:
+        return self.report.io.page_reads
+
+
+@dataclass
+class ShardedBatchReport(BatchReport):
+    """The merged view of a sharded run.
+
+    Extends :class:`~repro.service.BatchReport` (outcomes in submission
+    order, summed I/O and cache counters, wall-clock elapsed) with the
+    per-shard reports and the run's parallelism parameters, so callers can
+    verify that the merged counters equal the sum of the shard counters.
+    """
+
+    routing: str = "round_robin"
+    executor: str = "serial"
+    workers: int = 1
+    shards: list[ShardReport] = field(default_factory=list)
+
+    def describe(self) -> dict[str, object]:
+        summary = super().describe()
+        summary.update(
+            workers=self.workers,
+            routing=self.routing,
+            executor=self.executor,
+            shards=[shard.size for shard in self.shards],
+        )
+        return summary
+
+
+def merge_shard_reports(
+    shard_reports: Sequence[ShardReport],
+    *,
+    elapsed_seconds: float,
+    routing: str,
+    executor: str,
+    workers: int,
+) -> ShardedBatchReport:
+    """Merge per-shard reports into one submission-ordered aggregate report.
+
+    Outcomes are re-ordered (and re-ticketed) by their original batch
+    position, so the merged report is ordered exactly as the sequential
+    service would have ordered it; I/O and cache counters are the plain sums
+    of the shard counters.
+    """
+    by_position: dict[int, QueryOutcome] = {}
+    io = AccessStatistics()
+    cache = CacheStatistics()
+    for shard in shard_reports:
+        io.accumulate(shard.report.io)
+        cache.accumulate(shard.report.cache)
+        for position, outcome in zip(shard.positions, shard.report.outcomes):
+            outcome.ticket = position
+            by_position[position] = outcome
+    outcomes = [by_position[position] for position in sorted(by_position)]
+    return ShardedBatchReport(
+        outcomes=outcomes,
+        elapsed_seconds=elapsed_seconds,
+        io=io,
+        cache=cache,
+        routing=routing,
+        executor=executor,
+        workers=workers,
+        shards=list(shard_reports),
+    )
+
+
+def _snapshot_accessor(engine: MCNQueryEngine):
+    """A fresh isolated data layer over the engine's (shared, immutable) data."""
+    accessor = engine.accessor
+    snapshot = getattr(accessor, "snapshot_view", None)
+    if snapshot is None:
+        raise QueryError(
+            f"the engine's data layer ({type(accessor).__name__}) does not support "
+            "read-only snapshot views; sharded execution needs NetworkStorage or "
+            "InMemoryAccessor"
+        )
+    return snapshot()
+
+
+@dataclass(frozen=True)
+class _ServiceKnobs:
+    """The QueryService knobs replicated into every worker."""
+
+    memoize_results: bool = True
+    harvest_settled: bool = True
+    max_cached_entries: int | None = None
+
+
+def _make_worker_service(engine: MCNQueryEngine, knobs: _ServiceKnobs) -> QueryService:
+    worker_engine = MCNQueryEngine(
+        engine.graph, engine.facilities, accessor=_snapshot_accessor(engine)
+    )
+    return QueryService(
+        worker_engine,
+        memoize_results=knobs.memoize_results,
+        harvest_settled=knobs.harvest_settled,
+        max_cached_entries=knobs.max_cached_entries,
+    )
+
+
+def _execute_shard(service: QueryService, shard: Shard) -> ShardReport:
+    start = time.perf_counter()
+    io_before = service.engine.accessor.statistics.snapshot()
+    cache_before = service.cache.cache_statistics.snapshot()
+    outcomes = [service.execute(request) for request in shard.requests]
+    report = BatchReport(
+        outcomes=outcomes,
+        elapsed_seconds=time.perf_counter() - start,
+        io=service.engine.accessor.statistics.since(io_before),
+        cache=service.cache.cache_statistics.since(cache_before),
+    )
+    return ShardReport(index=shard.index, positions=shard.positions, report=report, pid=os.getpid())
+
+
+# ------------------------------------------------------------------ #
+# Fork-based worker plumbing.  The parent stashes its engine + knobs in a
+# module global right before the pool forks; children inherit the global
+# (copy-on-write, no pickling of the network) and build their own service
+# over a snapshot view of the inherited storage.  The lock serialises
+# concurrent process-pool launches in one parent: the global must not be
+# swapped (or cleared) between another run's pool creation and its fork.
+# ------------------------------------------------------------------ #
+_FORK_CONTEXT: tuple[MCNQueryEngine, _ServiceKnobs] | None = None
+_FORK_SERVICE: QueryService | None = None
+_FORK_LOCK = threading.Lock()
+
+
+def _init_fork_worker() -> None:
+    global _FORK_SERVICE
+    if _FORK_CONTEXT is None:  # pragma: no cover - defensive; set before forking
+        raise QueryError("fork worker started without a parent context")
+    engine, knobs = _FORK_CONTEXT
+    _FORK_SERVICE = _make_worker_service(engine, knobs)
+
+
+def _run_shard_in_fork(shard: Shard) -> ShardReport:
+    if _FORK_SERVICE is None:  # pragma: no cover - initializer always ran first
+        raise QueryError("fork worker has no service")
+    return _execute_shard(_FORK_SERVICE, shard)
+
+
+class ShardedQueryService:
+    """Executes query batches across parallel shard workers.
+
+    Parameters
+    ----------
+    engine:
+        The shared engine; its graph, facility set and built storage are the
+        read-only substrate every worker snapshots.
+    workers:
+        Number of shards / pool size (>= 1).
+    routing:
+        ``"round_robin"`` (default) or ``"locality"`` — see
+        :mod:`repro.parallel.routing`.
+    executor:
+        ``"process"`` (default; requires the ``fork`` start method),
+        ``"thread"`` or ``"serial"``.
+    memoize_results / harvest_settled / max_cached_entries:
+        Forwarded to every worker's :class:`~repro.service.QueryService`.
+
+    Example
+    -------
+    >>> from repro import MCNQueryEngine, SkylineRequest
+    >>> from repro.parallel import ShardedQueryService
+    >>> from repro.datagen import WorkloadSpec, make_workload
+    >>> w = make_workload(WorkloadSpec(num_nodes=150, num_facilities=60, num_queries=4, seed=5))
+    >>> engine = MCNQueryEngine(w.graph, w.facilities, use_disk=True, page_size=1024)
+    >>> sharded = ShardedQueryService(engine, workers=2, executor="serial")
+    >>> report = sharded.run_batch([SkylineRequest(q) for q in w.queries])
+    >>> len(report.outcomes), len(report.shards)
+    (4, 2)
+    """
+
+    def __init__(
+        self,
+        engine: MCNQueryEngine,
+        *,
+        workers: int = 2,
+        routing: str = "round_robin",
+        executor: str = "process",
+        memoize_results: bool = True,
+        harvest_settled: bool = True,
+        max_cached_entries: int | None = None,
+    ):
+        # ParallelExecution owns the workers/routing/executor validation.
+        ParallelExecution(workers=workers, routing=routing, executor=executor)
+        if executor == "process" and "fork" not in multiprocessing.get_all_start_methods():
+            raise QueryError(
+                "the process executor needs the 'fork' start method (unavailable on "
+                "this platform); use executor='thread' instead"
+            )
+        # Fail fast if the data layer cannot be snapshotted at all.
+        _snapshot_accessor(engine)
+        self._engine = engine
+        self._workers = workers
+        self._routing = routing
+        self._executor = executor
+        self._knobs = _ServiceKnobs(
+            memoize_results=memoize_results,
+            harvest_settled=harvest_settled,
+            max_cached_entries=max_cached_entries,
+        )
+
+    @classmethod
+    def from_service(
+        cls, service: QueryService, parallel: ParallelExecution
+    ) -> "ShardedQueryService":
+        """A sharded service mirroring an existing sequential service's knobs."""
+        return cls(
+            service.engine,
+            workers=parallel.workers,
+            routing=parallel.routing,
+            executor=parallel.executor,
+            memoize_results=service.memoize_results,
+            harvest_settled=service.harvest_settled,
+            max_cached_entries=service.cache.max_entries,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> MCNQueryEngine:
+        return self._engine
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def routing(self) -> str:
+        return self._routing
+
+    @property
+    def executor(self) -> str:
+        return self._executor
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def plan(self, requests: Sequence[QueryRequest]) -> ShardPlan:
+        """The shard plan ``run_batch`` would use for ``requests``."""
+        return plan_shards(
+            requests, self._workers, routing=self._routing, graph=self._engine.graph
+        )
+
+    def run_batch(self, requests: Sequence[QueryRequest]) -> ShardedBatchReport:
+        """Execute ``requests`` across the shard workers and merge the reports.
+
+        Results (facilities and their order within each outcome, and the
+        order of outcomes) are identical to a sequential
+        :meth:`QueryService.run_batch` over the same engine; only the I/O
+        split across workers differs.
+        """
+        for request in requests:
+            validate_request(self._engine, request)
+        start = time.perf_counter()
+        plan = self.plan(requests)
+        if not plan.shards:
+            shard_reports: list[ShardReport] = []
+        elif self._executor == "process" and len(plan.shards) > 1:
+            shard_reports = self._run_process(plan)
+        elif self._executor == "thread" and len(plan.shards) > 1:
+            shard_reports = self._run_thread(plan)
+        else:
+            shard_reports = self._run_serial(plan)
+        return merge_shard_reports(
+            shard_reports,
+            elapsed_seconds=time.perf_counter() - start,
+            routing=self._routing,
+            executor=self._executor,
+            workers=self._workers,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Executor backends
+    # ------------------------------------------------------------------ #
+    def _run_serial(self, plan: ShardPlan) -> list[ShardReport]:
+        return [
+            _execute_shard(_make_worker_service(self._engine, self._knobs), shard)
+            for shard in plan.shards
+        ]
+
+    def _run_thread(self, plan: ShardPlan) -> list[ShardReport]:
+        services = [_make_worker_service(self._engine, self._knobs) for _ in plan.shards]
+        with ThreadPoolExecutor(max_workers=len(plan.shards)) as pool:
+            return list(pool.map(_execute_shard, services, plan.shards))
+
+    def _run_process(self, plan: ShardPlan) -> list[ShardReport]:
+        global _FORK_CONTEXT
+        self._check_picklable(plan)
+        context = multiprocessing.get_context("fork")
+        with _FORK_LOCK:
+            _FORK_CONTEXT = (self._engine, self._knobs)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self._workers, len(plan.shards)),
+                    mp_context=context,
+                    initializer=_init_fork_worker,
+                ) as pool:
+                    return list(pool.map(_run_shard_in_fork, plan.shards))
+            finally:
+                _FORK_CONTEXT = None
+
+    @staticmethod
+    def _check_picklable(plan: ShardPlan) -> None:
+        try:
+            pickle.dumps(plan.shards)
+        except Exception as error:
+            raise QueryError(
+                "the process executor must pickle requests to pool workers and "
+                f"this batch cannot be pickled ({error}); use executor='thread' "
+                "or replace custom aggregate callables with the built-in aggregates"
+            ) from None

@@ -84,6 +84,11 @@ class CacheStatistics:
             **{name: value - getattr(earlier, name) for name, value in vars(self).items()}
         )
 
+    def accumulate(self, other: "CacheStatistics") -> None:
+        """Add ``other``'s counters into this one (merging per-shard reports)."""
+        for name, value in vars(other).items():
+            setattr(self, name, getattr(self, name) + value)
+
 
 class CrossQueryExpansionCache:
     """Expansion state shared by every query of a batch.

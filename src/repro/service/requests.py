@@ -5,14 +5,22 @@ to execute it, nothing more.  Frozen (and therefore hashable) requests are
 what make the service's result memoisation possible: two equal requests are
 guaranteed to produce equal results against the same engine, so the second
 one can be answered without touching the data layer at all.
+
+Requests are also *portable*: they pickle (so the sharded service can ship
+them to pool workers) and they round-trip through plain-JSON payloads via
+:func:`request_to_payload` / :func:`request_from_payload` (so workload traces
+can be checked in as golden regression fixtures).  The only exception is a
+:class:`TopKRequest` carrying an arbitrary aggregate callable — the built-in
+aggregates serialize by name, anything else is rejected with a clear error.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
 from typing import Union
 
-from repro.core.aggregates import AggregateFunction
+from repro.core.aggregates import AggregateFunction, MaxCost, WeightedLpNorm, WeightedSum
 from repro.core.results import SkylineResult, TopKResult
 from repro.core.skyline import ProbingPolicy
 from repro.errors import QueryError
@@ -26,6 +34,10 @@ __all__ = [
     "QueryRequest",
     "QueryOutcome",
     "BatchReport",
+    "request_to_payload",
+    "request_from_payload",
+    "encode_requests",
+    "decode_requests",
 ]
 
 _ALGORITHMS = ("cea", "lsa", "baseline")
@@ -82,6 +94,111 @@ class TopKRequest:
 
 
 QueryRequest = Union[SkylineRequest, TopKRequest]
+
+
+# --------------------------------------------------------------------- #
+# JSON-payload serialization (golden fixtures, cross-process traces)
+# --------------------------------------------------------------------- #
+_AGGREGATE_KINDS = {"weighted-sum": WeightedSum, "lp-norm": WeightedLpNorm, "max-cost": MaxCost}
+
+
+def _location_to_payload(location: NetworkLocation) -> dict[str, object]:
+    if location.node_id is not None:
+        return {"node": location.node_id}
+    return {"edge": location.edge_id, "offset": location.offset}
+
+
+def _location_from_payload(payload: dict[str, object]) -> NetworkLocation:
+    if "node" in payload:
+        return NetworkLocation.at_node(int(payload["node"]))  # type: ignore[arg-type]
+    try:
+        return NetworkLocation.on_edge(int(payload["edge"]), float(payload["offset"]))  # type: ignore[arg-type]
+    except KeyError as missing:
+        raise QueryError(f"location payload missing {missing}") from None
+
+
+def _aggregate_to_payload(aggregate: AggregateFunction) -> dict[str, object]:
+    if isinstance(aggregate, WeightedSum):
+        return {"kind": "weighted-sum", "weights": list(aggregate.weights)}
+    if isinstance(aggregate, WeightedLpNorm):
+        return {"kind": "lp-norm", "weights": list(aggregate.weights), "p": aggregate.p}
+    if isinstance(aggregate, MaxCost):
+        return {"kind": "max-cost", "weights": list(aggregate.weights)}
+    raise QueryError(
+        f"aggregate {aggregate!r} is not serializable; use WeightedSum, "
+        "WeightedLpNorm or MaxCost (or pass weights instead)"
+    )
+
+
+def _aggregate_from_payload(payload: dict[str, object]) -> AggregateFunction:
+    kind = payload.get("kind")
+    if kind not in _AGGREGATE_KINDS:
+        raise QueryError(f"unknown aggregate kind {kind!r}; expected one of {sorted(_AGGREGATE_KINDS)}")
+    weights = tuple(float(w) for w in payload["weights"])  # type: ignore[union-attr]
+    if kind == "lp-norm":
+        return WeightedLpNorm(weights, p=float(payload.get("p", 2.0)))  # type: ignore[arg-type]
+    return _AGGREGATE_KINDS[kind](weights)  # type: ignore[operator,arg-type]
+
+
+def request_to_payload(request: QueryRequest) -> dict[str, object]:
+    """A plain-JSON dictionary describing ``request`` (see :func:`request_from_payload`)."""
+    if isinstance(request, SkylineRequest):
+        return {
+            "type": "skyline",
+            "location": _location_to_payload(request.location),
+            "algorithm": request.algorithm,
+            "probing": request.probing.value,
+            "first_nn_shortcut": request.first_nn_shortcut,
+        }
+    if isinstance(request, TopKRequest):
+        payload: dict[str, object] = {
+            "type": "topk",
+            "location": _location_to_payload(request.location),
+            "algorithm": request.algorithm,
+            "k": request.k,
+        }
+        if request.weights is not None:
+            payload["weights"] = list(request.weights)
+        if request.aggregate is not None:
+            payload["aggregate"] = _aggregate_to_payload(request.aggregate)
+        return payload
+    raise QueryError(f"expected a SkylineRequest or TopKRequest, got {type(request).__name__}")
+
+
+def request_from_payload(payload: dict[str, object]) -> QueryRequest:
+    """Rebuild a request from a :func:`request_to_payload` dictionary."""
+    kind = payload.get("type")
+    try:
+        if kind == "skyline":
+            return SkylineRequest(
+                location=_location_from_payload(payload["location"]),  # type: ignore[arg-type]
+                algorithm=str(payload.get("algorithm", "cea")),
+                probing=ProbingPolicy(payload.get("probing", ProbingPolicy.ROUND_ROBIN.value)),
+                first_nn_shortcut=bool(payload.get("first_nn_shortcut", True)),
+            )
+        if kind == "topk":
+            weights = payload.get("weights")
+            aggregate = payload.get("aggregate")
+            return TopKRequest(
+                location=_location_from_payload(payload["location"]),  # type: ignore[arg-type]
+                k=int(payload["k"]),  # type: ignore[arg-type]
+                weights=tuple(float(w) for w in weights) if weights is not None else None,  # type: ignore[union-attr]
+                aggregate=_aggregate_from_payload(aggregate) if aggregate is not None else None,  # type: ignore[arg-type]
+                algorithm=str(payload.get("algorithm", "cea")),
+            )
+    except KeyError as missing:
+        raise QueryError(f"{kind} request payload missing {missing}") from None
+    raise QueryError(f"unknown request type {kind!r}; expected 'skyline' or 'topk'")
+
+
+def encode_requests(requests: Iterable[QueryRequest]) -> list[dict[str, object]]:
+    """Payloads of a whole trace, in order."""
+    return [request_to_payload(request) for request in requests]
+
+
+def decode_requests(payloads: Sequence[dict[str, object]]) -> list[QueryRequest]:
+    """Rebuild a whole trace from its payloads, in order."""
+    return [request_from_payload(payload) for payload in payloads]
 
 
 @dataclass

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.baseline import baseline_skyline, baseline_top_k
 from repro.core.engine import MCNQueryEngine
@@ -51,7 +52,26 @@ from repro.service.requests import (
     TopKRequest,
 )
 
-__all__ = ["QueryService"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.parallel import ParallelExecution
+
+__all__ = ["QueryService", "validate_request"]
+
+
+def validate_request(engine: MCNQueryEngine, request: QueryRequest) -> None:
+    """Reject a request the engine could never answer (type, location, aggregate).
+
+    Shared by :class:`QueryService` and the sharded parallel service, both of
+    which validate at submission time so a bad request can never abort a
+    batch that already did work for earlier ones.
+    """
+    if not isinstance(request, (SkylineRequest, TopKRequest)):
+        raise QueryError(
+            f"expected a SkylineRequest or TopKRequest, got {type(request).__name__}"
+        )
+    request.location.validate(engine.graph)
+    if isinstance(request, TopKRequest):
+        engine.resolve_aggregate(request.aggregate, request.weights)
 
 
 class QueryService:
@@ -131,6 +151,16 @@ class QueryService:
         """Number of submitted requests not yet drained."""
         return len(self._pending)
 
+    @property
+    def memoize_results(self) -> bool:
+        """Whether identical repeat requests are answered from the result memo."""
+        return self._memoize_results
+
+    @property
+    def harvest_settled(self) -> bool:
+        """Whether settled node costs of finished queries are kept in the cache."""
+        return self._harvest_settled
+
     def reset_cache(self) -> None:
         """Drop all shared expansion state and the result memo (cold restart)."""
         self._cache.clear()
@@ -175,18 +205,33 @@ class QueryService:
     # ------------------------------------------------------------------ #
     # Batch interface
     # ------------------------------------------------------------------ #
-    def run_batch(self, requests: Sequence[QueryRequest]) -> BatchReport:
+    def run_batch(
+        self, requests: Sequence[QueryRequest], *, parallel: "ParallelExecution | None" = None
+    ) -> BatchReport:
         """Execute ``requests`` in order and return a :class:`BatchReport`.
 
         The report carries each request's :class:`QueryOutcome` plus the
         batch totals: wall-clock time and the per-batch deltas of the
         base-accessor I/O counters and the cache counters.
 
+        Passing a :class:`~repro.parallel.ParallelExecution` with more than
+        one worker delegates to a :class:`~repro.parallel.ShardedQueryService`
+        over this service's engine and knobs: the batch is partitioned into
+        shards executed concurrently (each worker with its own data layer and
+        cross-query cache — *not* this service's cache), and the returned
+        report is the merged per-shard report with outcomes in submission
+        order, exactly as a sequential run would order them.
+
         Example
         -------
         >>> report = service.run_batch([SkylineRequest(q) for q in queries])  # doctest: +SKIP
         >>> report.page_reads  # doctest: +SKIP
         """
+        if parallel is not None and parallel.workers > 1:
+            # Imported lazily: repro.parallel depends on this module.
+            from repro.parallel import ShardedQueryService
+
+            return ShardedQueryService.from_service(self, parallel).run_batch(requests)
         start = time.perf_counter()
         io_before = self._engine.accessor.statistics.snapshot()
         cache_before = self._cache.cache_statistics.snapshot()
@@ -283,12 +328,6 @@ class QueryService:
         return request
 
     def _check_request(self, request: QueryRequest) -> None:
-        if not isinstance(request, (SkylineRequest, TopKRequest)):
-            raise QueryError(
-                f"expected a SkylineRequest or TopKRequest, got {type(request).__name__}"
-            )
         # Reject unanswerable requests at submission time, so a bad request
         # can never abort a drain() that already did work for earlier ones.
-        request.location.validate(self._engine.graph)
-        if isinstance(request, TopKRequest):
-            self._engine.resolve_aggregate(request.aggregate, request.weights)
+        validate_request(self._engine, request)

@@ -10,7 +10,7 @@ from repro.storage.layout import (
     build_facility_file,
 )
 from repro.storage.pages import DEFAULT_PAGE_SIZE, Page, PageKind, RecordSizes
-from repro.storage.scheme import NetworkStorage, StorageConfig
+from repro.storage.scheme import NetworkStorage, StorageConfig, StorageSnapshotView
 
 __all__ = [
     "AdjacencyLayout",
@@ -26,6 +26,7 @@ __all__ = [
     "SimulatedDisk",
     "StaticBPlusTree",
     "StorageConfig",
+    "StorageSnapshotView",
     "build_adjacency_file",
     "build_facility_file",
 ]

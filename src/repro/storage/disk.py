@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.errors import StorageError
@@ -37,6 +38,9 @@ class SimulatedDisk:
         self._pages: dict[int, Page] = {}
         self._next_page_id = 0
         self._stats = DiskStatistics()
+        # One disk may back many snapshot views read by concurrent shard
+        # workers; the counter increment must not lose updates across threads.
+        self._stats_lock = threading.Lock()
 
     @property
     def page_size(self) -> int:
@@ -59,12 +63,13 @@ class SimulatedDisk:
         return page
 
     def read(self, page_id: int) -> Page:
-        """Physically read a page (counted)."""
+        """Physically read a page (counted; safe under concurrent readers)."""
         try:
             page = self._pages[page_id]
         except KeyError:
             raise StorageError(f"unknown page {page_id}") from None
-        self._stats.page_reads += 1
+        with self._stats_lock:
+            self._stats.page_reads += 1
         return page
 
     def pages_of_kind(self, kind: PageKind) -> int:

@@ -25,7 +25,7 @@ from repro.storage.layout import (
 from repro.storage.pages import DEFAULT_PAGE_SIZE, PageKind, RecordSizes
 from repro.storage.btree import StaticBPlusTree
 
-__all__ = ["StorageConfig", "NetworkStorage"]
+__all__ = ["StorageConfig", "NetworkStorage", "StorageSnapshotView"]
 
 
 @dataclass(frozen=True)
@@ -166,38 +166,67 @@ class NetworkStorage:
     def adjacency(self, node_id: NodeId) -> list[AdjacencyRecord]:
         """Adjacency list of ``node_id`` (index traversal + data page reads)."""
         self._stats.adjacency_requests += 1
+        return self._read_adjacency(node_id, self._buffer)
+
+    def edge_facilities(self, edge_id: EdgeId) -> list[FacilityRecord]:
+        """Facilities on ``edge_id`` (facility-file page reads only)."""
+        self._stats.facility_requests += 1
+        return self._read_edge_facilities(edge_id, self._buffer)
+
+    def facility_edge(self, facility_id: FacilityId) -> EdgeId:
+        """Edge of a facility (facility-tree traversal)."""
+        self._stats.facility_tree_requests += 1
+        return self._read_facility_edge(facility_id, self._buffer)
+
+    # ------------------------------------------------------------------ #
+    # Page-level reads, parameterised by the buffer pool doing the I/O
+    # (shared between the storage itself and its read-only snapshot views)
+    # ------------------------------------------------------------------ #
+    def _read_adjacency(self, node_id: NodeId, buffer: LRUBufferPool) -> list[AdjacencyRecord]:
         try:
-            pages = self._adjacency_tree.lookup(node_id, self._buffer)
+            pages = self._adjacency_tree.lookup(node_id, buffer)
         except StorageError:
             raise StorageError(f"node {node_id} not present in the adjacency tree") from None
         records: list[AdjacencyRecord] = []
         for page_id in pages:  # type: ignore[union-attr]
-            page = self._buffer.read(page_id)
+            page = buffer.read(page_id)
             for stored in page.records:
                 if isinstance(stored, StoredAdjacencyEntry) and stored.node == node_id:
                     records.append(stored.record)
         return records
 
-    def edge_facilities(self, edge_id: EdgeId) -> list[FacilityRecord]:
-        """Facilities on ``edge_id`` (facility-file page reads only)."""
-        self._stats.facility_requests += 1
+    def _read_edge_facilities(self, edge_id: EdgeId, buffer: LRUBufferPool) -> list[FacilityRecord]:
         pages = self._facility_layout.edge_pages.get(edge_id, ())
         records: list[FacilityRecord] = []
         for page_id in pages:
-            page = self._buffer.read(page_id)
+            page = buffer.read(page_id)
             for stored in page.records:
                 if isinstance(stored, FacilityRecord) and stored.edge_id == edge_id:
                     records.append(stored)
         return records
 
-    def facility_edge(self, facility_id: FacilityId) -> EdgeId:
-        """Edge of a facility (facility-tree traversal)."""
-        self._stats.facility_tree_requests += 1
+    def _read_facility_edge(self, facility_id: FacilityId, buffer: LRUBufferPool) -> EdgeId:
         try:
-            edge_id, _pages = self._facility_tree.lookup(facility_id, self._buffer)
+            edge_id, _pages = self._facility_tree.lookup(facility_id, buffer)
         except StorageError:
             raise StorageError(f"facility {facility_id} not present in the facility tree") from None
         return edge_id
+
+    def snapshot_view(self, *, buffer_capacity: int | None = None) -> "StorageSnapshotView":
+        """A read-only view sharing this storage's pages but owning its buffer.
+
+        The view reads the same simulated disk (adjacency/facility files and
+        trees are never mutated after construction), yet brings its own LRU
+        buffer pool and I/O counters.  This is how parallel shard workers get
+        independent data layers over one built network without copying any
+        page: N workers cost N buffers, not N copies of the MCN.
+
+        ``buffer_capacity`` overrides the page capacity of the view's buffer;
+        by default the view gets the same capacity as this storage's pool.
+        """
+        if buffer_capacity is None:
+            buffer_capacity = self._buffer.capacity
+        return StorageSnapshotView(self, buffer_capacity)
 
     def describe(self) -> dict[str, int]:
         """Page-count summary used by the CLI and examples."""
@@ -210,3 +239,78 @@ class NetworkStorage:
             "total_pages": self.total_page_count,
             "buffer_capacity": self._buffer.capacity,
         }
+
+
+class StorageSnapshotView:
+    """Read-only accessor over a built :class:`NetworkStorage`.
+
+    Shares the base storage's simulated disk, file layouts and index trees
+    (all immutable once built) while owning a private LRU buffer pool and
+    private :class:`AccessStatistics`.  Views therefore satisfy the
+    :class:`~repro.network.accessor.GraphAccessor` protocol with fully
+    isolated I/O accounting: page reads done through one view never warm
+    another view's buffer nor touch the base storage's counters, which is
+    exactly what per-shard workers of the parallel query service need.
+    """
+
+    def __init__(self, base: NetworkStorage, buffer_capacity: int):
+        self._base = base
+        self._buffer = LRUBufferPool(base.disk, buffer_capacity)
+        self._stats = AccessStatistics()
+
+    @property
+    def base(self) -> NetworkStorage:
+        """The storage whose pages this view reads."""
+        return self._base
+
+    @property
+    def graph(self) -> MultiCostGraph:
+        return self._base.graph
+
+    @property
+    def facilities(self) -> FacilitySet:
+        return self._base.facilities
+
+    @property
+    def buffer(self) -> LRUBufferPool:
+        """The view's private buffer pool."""
+        return self._buffer
+
+    @property
+    def num_cost_types(self) -> int:
+        return self._base.num_cost_types
+
+    @property
+    def statistics(self) -> AccessStatistics:
+        stats = self._stats
+        stats.page_reads = self._buffer.statistics.misses
+        stats.buffer_hits = self._buffer.statistics.hits
+        return stats
+
+    def reset_statistics(self, *, clear_buffer: bool = False) -> None:
+        """Zero the view's counters; optionally drop its buffered pages."""
+        self._stats.reset()
+        self._buffer.statistics.reset()
+        if clear_buffer:
+            self._buffer.clear()
+
+    def snapshot_view(self, *, buffer_capacity: int | None = None) -> "StorageSnapshotView":
+        """A sibling view of the same base storage (views are not stackable)."""
+        if buffer_capacity is None:
+            buffer_capacity = self._buffer.capacity
+        return StorageSnapshotView(self._base, buffer_capacity)
+
+    # ------------------------------------------------------------------ #
+    # Accessor protocol (same page reads as the base, private buffer)
+    # ------------------------------------------------------------------ #
+    def adjacency(self, node_id: NodeId) -> list[AdjacencyRecord]:
+        self._stats.adjacency_requests += 1
+        return self._base._read_adjacency(node_id, self._buffer)
+
+    def edge_facilities(self, edge_id: EdgeId) -> list[FacilityRecord]:
+        self._stats.facility_requests += 1
+        return self._base._read_edge_facilities(edge_id, self._buffer)
+
+    def facility_edge(self, facility_id: FacilityId) -> EdgeId:
+        self._stats.facility_tree_requests += 1
+        return self._base._read_facility_edge(facility_id, self._buffer)

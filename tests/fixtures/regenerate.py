@@ -1,0 +1,124 @@
+"""Regenerate the golden workload fixtures.
+
+Run from the repo root after an *intentional* change to query results or I/O
+accounting::
+
+    PYTHONPATH=src python tests/fixtures/regenerate.py
+
+Each fixture file pins one small workload — the deterministic generation
+spec, the serialized request trace, every query's exact answer and the
+sequential batch's page-read/buffer-hit totals — so any future change that
+silently alters answers or regresses I/O accounting fails
+``tests/test_golden_regression.py`` and has to be acknowledged by re-running
+this script and committing the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.engine import MCNQueryEngine
+from repro.datagen import WorkloadSpec, make_workload, workload_spec_to_payload
+from repro.service import QueryService, SkylineRequest, TopKRequest
+from repro.service.requests import encode_requests
+from repro.storage.scheme import NetworkStorage
+
+FIXTURES_DIR = Path(__file__).resolve().parent
+
+#: name -> (workload spec, storage knobs, trace builder)
+CASES = {
+    "golden_mixed_d2": dict(
+        spec=WorkloadSpec(
+            num_nodes=150,
+            num_facilities=60,
+            num_cost_types=2,
+            clustered=True,
+            num_queries=10,
+            seed=21,
+        ),
+        page_size=1024,
+        buffer_fraction=0.01,
+        mix="mixed",
+        k=3,
+    ),
+    "golden_topk_d3": dict(
+        spec=WorkloadSpec(
+            num_nodes=180,
+            num_facilities=70,
+            num_cost_types=3,
+            clustered=False,
+            num_queries=8,
+            seed=35,
+        ),
+        page_size=2048,
+        buffer_fraction=0.0,
+        mix="topk",
+        k=4,
+    ),
+}
+
+
+def build_trace(workload, mix: str, k: int):
+    requests = []
+    for index, query in enumerate(workload.queries):
+        as_skyline = mix == "skyline" or (mix == "mixed" and index % 2 == 0)
+        if as_skyline:
+            requests.append(SkylineRequest(query))
+        else:
+            dims = workload.graph.num_cost_types
+            weights = tuple(round((i + index % 3 + 1.0) / (dims + 2), 6) for i in range(dims))
+            requests.append(TopKRequest(query, k, weights=weights))
+    return requests
+
+
+def result_payload(request, result):
+    if isinstance(request, SkylineRequest):
+        return {
+            "type": "skyline",
+            "facilities": [[f.facility_id, list(f.costs)] for f in result],
+        }
+    return {
+        "type": "topk",
+        "facilities": [[f.facility_id, f.score] for f in result],
+    }
+
+
+def regenerate_case(name: str, case: dict) -> Path:
+    workload = make_workload(case["spec"])
+    storage = NetworkStorage.build(
+        workload.graph,
+        workload.facilities,
+        page_size=case["page_size"],
+        buffer_fraction=case["buffer_fraction"],
+    )
+    engine = MCNQueryEngine(workload.graph, workload.facilities, storage=storage)
+    requests = build_trace(workload, case["mix"], case["k"])
+    report = QueryService(engine).run_batch(requests)
+    fixture = {
+        "name": name,
+        "page_size": case["page_size"],
+        "buffer_fraction": case["buffer_fraction"],
+        "workload": workload_spec_to_payload(case["spec"]),
+        "requests": encode_requests(requests),
+        "expected": {
+            "page_reads": report.io.page_reads,
+            "buffer_hits": report.io.buffer_hits,
+            "results": [
+                result_payload(outcome.request, outcome.result) for outcome in report.outcomes
+            ],
+        },
+    }
+    path = FIXTURES_DIR / f"{name}.json"
+    path.write_text(json.dumps(fixture, indent=1) + "\n")
+    return path
+
+
+def main() -> None:
+    for name, case in CASES.items():
+        path = regenerate_case(name, case)
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()
