@@ -2,9 +2,11 @@
 
 ``pytest -m bench_smoke`` runs each registered experiment (all the
 ``test_fig*.py`` families plus both ablations) at :data:`_common.SMOKE_SCALE`
-— a micro population whose whole sweep finishes in seconds.  CI runs this
-marker so breakage anywhere in the figure harness (sweep plumbing, trial
-runner, metric extraction) surfaces without paying full benchmark cost.
+— a micro population whose whole sweep finishes in seconds — plus a micro
+replay of the continuous-monitoring update stream, so the streaming path is
+exercised too.  CI runs this marker so breakage anywhere in the figure
+harness (sweep plumbing, trial runner, metric extraction) or the monitor
+replay surfaces without paying full benchmark cost.
 """
 
 from __future__ import annotations
@@ -12,8 +14,10 @@ from __future__ import annotations
 import pytest
 from _common import SMOKE_SCALE
 
+from repro.bench.driver import MonitorReplaySpec, format_monitor_report, replay_update_stream
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import format_series_table
+from repro.datagen import UpdateStreamSpec, WorkloadSpec
 
 
 @pytest.mark.bench_smoke
@@ -30,3 +34,23 @@ def test_experiment_smoke(name):
     # The reporting path must render every series it measured.
     table = format_series_table(series)
     assert series.figure in table or series.experiment_id in table
+
+
+@pytest.mark.bench_smoke
+def test_monitor_replay_smoke():
+    """Micro replay of the streaming path: incremental vs recompute-every-tick."""
+    report = replay_update_stream(
+        MonitorReplaySpec(
+            workload=WorkloadSpec(
+                num_nodes=150, num_facilities=60, num_cost_types=3, num_queries=6, seed=7
+            ),
+            stream=UpdateStreamSpec(num_ticks=6, updates_per_tick=4, seed=8),
+            subscriptions=6,
+        )
+    )
+    assert report.identical_results, "maintained results diverged from recompute"
+    assert report.incremental.ticks == 6
+    assert report.counters.incremental_updates > 0
+    # The reporting path must render the comparison.
+    table = format_monitor_report(report)
+    assert "incremental" in table and "recompute" in table

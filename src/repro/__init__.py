@@ -40,6 +40,19 @@ identical to the sequential service)::
         [SkylineRequest(q) for q in workload.queries],
         parallel=ParallelExecution(workers=4, routing="locality"),
     )
+
+Continuous usage (long-lived subscriptions maintained incrementally while
+facilities are inserted and deleted — see :mod:`repro.monitor`)::
+
+    from repro import MonitoringService
+    from repro.monitor import FacilityInsert, UpdateTick
+
+    monitor = MonitoringService(workload.graph, workload.facilities)
+    sid = monitor.subscribe(SkylineRequest(query))
+    tick_report = monitor.apply_tick(
+        UpdateTick((FacilityInsert(9000, edge_id=5, offset=1.0),))
+    )
+    tick_report.deltas[0].entered  # facilities that joined the skyline
 """
 
 from repro.core.aggregates import MaxCost, WeightedLpNorm, WeightedSum
@@ -63,6 +76,16 @@ from repro.errors import (
     ReproError,
     StorageError,
 )
+from repro.monitor import (
+    DeltaReport,
+    FacilityDelete,
+    FacilityInsert,
+    MonitoringService,
+    QueryRelocation,
+    TickReport,
+    UpdateStream,
+    UpdateTick,
+)
 from repro.network.costs import CostVector
 from repro.network.facilities import Facility, FacilitySet
 from repro.network.graph import MultiCostGraph
@@ -82,21 +105,25 @@ from repro.service import (
 )
 from repro.storage.scheme import NetworkStorage, StorageSnapshotView
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BatchReport",
     "CostVector",
     "CrossQueryExpansionCache",
     "DataGenerationError",
+    "DeltaReport",
     "Facility",
+    "FacilityDelete",
     "FacilityError",
+    "FacilityInsert",
     "FacilitySet",
     "GraphError",
     "IncrementalTopK",
     "LocationError",
     "MaxCost",
     "MCNQueryEngine",
+    "MonitoringService",
     "MultiCostGraph",
     "NetworkLocation",
     "NetworkStorage",
@@ -104,6 +131,7 @@ __all__ = [
     "ProbingPolicy",
     "QueryError",
     "QueryOutcome",
+    "QueryRelocation",
     "QueryService",
     "QueryStatistics",
     "RankedFacility",
@@ -116,9 +144,12 @@ __all__ = [
     "SkylineResult",
     "StorageError",
     "StorageSnapshotView",
+    "TickReport",
     "TopKRequest",
     "TopKMaintainer",
     "TopKResult",
+    "UpdateStream",
+    "UpdateTick",
     "WeightedLpNorm",
     "WeightedSum",
     "__version__",

@@ -30,8 +30,12 @@ from dataclasses import dataclass, field
 
 from repro.core.engine import MCNQueryEngine
 from repro.core.aggregates import WeightedSum
+from repro.core.maintenance import MaintenanceStatistics
+from repro.datagen.updates import UpdateStreamSpec, make_update_stream
 from repro.datagen.workload import Workload, WorkloadSpec, make_workload
 from repro.errors import QueryError
+from repro.monitor import FacilityInsert, MonitoringService, QueryRelocation
+from repro.network.facilities import FacilitySet
 from repro.parallel import ParallelExecution, ShardedQueryService
 from repro.service import QueryRequest, QueryService, SkylineRequest, TopKRequest
 from repro.service.cache import CacheStatistics
@@ -41,9 +45,14 @@ __all__ = [
     "ReplaySpec",
     "ReplayMeasurement",
     "ReplayReport",
+    "MonitorReplaySpec",
+    "MonitorMeasurement",
+    "MonitorReplayReport",
     "build_requests",
     "replay_workload",
+    "replay_update_stream",
     "format_replay_report",
+    "format_monitor_report",
     "percentile",
 ]
 
@@ -273,6 +282,287 @@ def replay_workload(spec: ReplaySpec, *, workload: Workload | None = None) -> Re
         sharded=sharded_measurement,
         counters_consistent=counters_consistent,
     )
+
+
+# --------------------------------------------------------------------- #
+# Update-stream replay: incremental maintenance vs recompute-every-tick
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MonitorReplaySpec:
+    """Everything the monitor replay needs: data, subscriptions and the stream.
+
+    ``subscriptions`` query locations are taken from the workload's generated
+    queries (the workload must generate at least that many); ``mix`` shapes
+    them into skyline / top-k subscriptions exactly as :func:`build_requests`
+    shapes a batch trace.  ``workers`` > 1 shards the monitoring service's
+    fallback passes (see :class:`~repro.monitor.MonitoringService`).
+    """
+
+    workload: WorkloadSpec = field(default_factory=lambda: WorkloadSpec(num_queries=8))
+    stream: UpdateStreamSpec = field(default_factory=UpdateStreamSpec)
+    subscriptions: int = 8
+    mix: str = "mixed"
+    k: int = 4
+    workers: int = 1
+    routing: str = "round_robin"
+    executor: str = "thread"
+    shard_fallback_threshold: int = 4
+
+    def __post_init__(self) -> None:
+        if self.mix not in _MIXES:
+            raise QueryError(f"unknown mix {self.mix!r}; expected one of {_MIXES}")
+        if self.k < 1:
+            raise QueryError("k must be a positive integer")
+        if self.subscriptions < 1:
+            raise QueryError("at least one subscription is required")
+        if self.workload.num_queries < self.subscriptions:
+            raise QueryError(
+                f"the workload generates {self.workload.num_queries} query locations "
+                f"but {self.subscriptions} subscriptions were requested"
+            )
+        ParallelExecution(workers=self.workers, routing=self.routing, executor=self.executor)
+
+
+@dataclass
+class MonitorMeasurement:
+    """Aggregate metrics of one stream replay (incremental or recompute)."""
+
+    label: str
+    ticks: int = 0
+    updates: int = 0
+    elapsed_seconds: float = 0.0
+    accessor_requests: int = 0
+    tick_latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def ticks_per_second(self) -> float:
+        if self.ticks == 0 or self.elapsed_seconds <= 0:
+            return 0.0
+        return self.ticks / self.elapsed_seconds
+
+    def latency_percentile(self, q: float) -> float:
+        """Per-tick latency percentile in milliseconds."""
+        return percentile(self.tick_latencies_ms, q)
+
+
+@dataclass
+class MonitorReplayReport:
+    """Incremental maintenance and recompute-every-tick side by side.
+
+    ``identical_results`` verifies that after *every* tick, every
+    subscription's maintained result equals the result a fresh computation
+    over the mutated facility set produces.  ``counters`` is the monitoring
+    service's tick-driven maintenance accounting (subscribe-time setup
+    computations excluded) — its ``incremental_updates`` vs
+    ``recomputations`` split is the measurement the maintenance extension
+    exists for.
+    """
+
+    spec: MonitorReplaySpec
+    incremental: MonitorMeasurement
+    recompute: MonitorMeasurement
+    identical_results: bool
+    counters: MaintenanceStatistics
+    fallback_ticks: int = 0
+    sharded_ticks: int = 0
+
+    @property
+    def measurements(self) -> list[MonitorMeasurement]:
+        return [self.incremental, self.recompute]
+
+    @property
+    def requests_saved(self) -> int:
+        return self.recompute.accessor_requests - self.incremental.accessor_requests
+
+    @property
+    def savings_fraction(self) -> float:
+        if self.recompute.accessor_requests == 0:
+            return 0.0
+        return self.requests_saved / self.recompute.accessor_requests
+
+
+def _build_subscription_requests(
+    workload: Workload, count: int, mix: str, k: int
+) -> list[QueryRequest]:
+    """``count`` subscription requests over the workload's query locations."""
+    rng = random.Random(workload.spec.seed + 43)
+    dimensions = workload.graph.num_cost_types
+    requests: list[QueryRequest] = []
+    for index, query in enumerate(workload.queries[:count]):
+        as_skyline = mix == "skyline" or (mix == "mixed" and index % 2 == 0)
+        if as_skyline:
+            requests.append(SkylineRequest(query))
+        else:
+            weights = WeightedSum.random(dimensions, rng).weights
+            requests.append(TopKRequest(query, k, weights=weights))
+    return requests
+
+
+def _monitor_signature(request: QueryRequest, result) -> object:
+    """A comparable digest of one subscription's answer (ids for skylines,
+    rounded scores for rankings — the same tolerance the maintenance tests
+    use, since equal-scoring facilities at the k-boundary may legitimately
+    differ between paths)."""
+    if isinstance(request, SkylineRequest):
+        return frozenset(result.facility_ids())
+    return tuple(round(item.score, 6) for item in result)
+
+
+def _maintained_signature(request: QueryRequest, maintainer) -> object:
+    if isinstance(request, SkylineRequest):
+        return frozenset(maintainer.skyline_ids())
+    return tuple(round(score, 6) for _fid, score in maintainer.ranking())
+
+
+def replay_update_stream(
+    spec: MonitorReplaySpec, *, workload: Workload | None = None
+) -> MonitorReplayReport:
+    """Replay one update stream twice and compare the two maintenance modes.
+
+    * **incremental** — a :class:`~repro.monitor.MonitoringService` consumes
+      the stream, patching each subscription through the cheap maintenance
+      paths and falling back to batched CEA only for the hard cases;
+    * **recompute** — after each tick's updates are applied, every
+      subscription is recomputed from scratch through a fresh batch
+      :class:`~repro.service.QueryService` (the no-maintenance straw man).
+
+    Both runs mutate their own copy of the facility set, so they see
+    identical streams; after every tick each subscription's results are
+    cross-checked.  Work is compared in logical accessor requests (the
+    maintainers evaluate against the in-memory data layer) and per-tick
+    latency percentiles.
+    """
+    workload = workload or make_workload(spec.workload)
+    graph = workload.graph
+    requests = _build_subscription_requests(workload, spec.subscriptions, spec.mix, spec.k)
+
+    monitor_facilities = FacilitySet(graph, iter(workload.facilities))
+    recompute_facilities = FacilitySet(graph, iter(workload.facilities))
+
+    parallel = None
+    if spec.workers > 1:
+        parallel = ParallelExecution(
+            workers=spec.workers, routing=spec.routing, executor=spec.executor
+        )
+    service = MonitoringService(
+        graph,
+        monitor_facilities,
+        parallel=parallel,
+        shard_fallback_threshold=spec.shard_fallback_threshold,
+    )
+    sids = [service.subscribe(request) for request in requests]
+    # Exclude subscribe-time setup computations from the reported
+    # incremental-vs-fallback split: only tick-driven maintenance counts.
+    counters_baseline = service.statistics
+    stream = make_update_stream(
+        graph, workload.facilities, spec.stream, subscription_ids=sids
+    )
+
+    # Incremental run.
+    incremental = MonitorMeasurement(
+        label="incremental", ticks=len(stream), updates=stream.num_updates
+    )
+    fallback_ticks = 0
+    sharded_ticks = 0
+    maintained_signatures: list[dict[int, object]] = []
+    start = time.perf_counter()
+    for tick in stream:
+        report = service.apply_tick(tick)
+        incremental.tick_latencies_ms.append(report.elapsed_seconds * 1000.0)
+        incremental.accessor_requests += report.io.total_requests
+        if report.fallback_subscriptions:
+            fallback_ticks += 1
+        if report.sharded:
+            sharded_ticks += 1
+        maintained_signatures.append(
+            {
+                sid: _maintained_signature(request, service.maintainer_of(sid))
+                for sid, request in zip(sids, requests)
+            }
+        )
+    incremental.elapsed_seconds = time.perf_counter() - start
+
+    # Recompute-every-tick run over an identical facility-set copy.
+    recompute = MonitorMeasurement(
+        label="recompute", ticks=len(stream), updates=stream.num_updates
+    )
+    locations = {sid: request.location for sid, request in zip(sids, requests)}
+    identical = True
+    start = time.perf_counter()
+    for tick_index, tick in enumerate(stream):
+        tick_start = time.perf_counter()
+        for update in tick:
+            if isinstance(update, QueryRelocation):
+                locations[update.subscription_id] = update.location
+            elif isinstance(update, FacilityInsert):
+                recompute_facilities.add_on_edge(
+                    update.facility_id, update.edge_id, update.offset
+                )
+            else:
+                recompute_facilities.remove(update.facility_id)
+        engine = MCNQueryEngine(graph, recompute_facilities)
+        tick_requests: list[QueryRequest] = []
+        for sid, request in zip(sids, requests):
+            if isinstance(request, SkylineRequest):
+                tick_requests.append(SkylineRequest(locations[sid]))
+            else:
+                tick_requests.append(
+                    TopKRequest(locations[sid], request.k, weights=request.weights)
+                )
+        batch = QueryService(engine, memoize_results=False).run_batch(tick_requests)
+        recompute.tick_latencies_ms.append((time.perf_counter() - tick_start) * 1000.0)
+        recompute.accessor_requests += batch.io.total_requests
+        for sid, outcome in zip(sids, batch.outcomes):
+            if (
+                _monitor_signature(outcome.request, outcome.result)
+                != maintained_signatures[tick_index][sid]
+            ):
+                identical = False
+    recompute.elapsed_seconds = time.perf_counter() - start
+
+    return MonitorReplayReport(
+        spec=spec,
+        incremental=incremental,
+        recompute=recompute,
+        identical_results=identical,
+        counters=service.statistics.since(counters_baseline),
+        fallback_ticks=fallback_ticks,
+        sharded_ticks=sharded_ticks,
+    )
+
+
+def format_monitor_report(report: MonitorReplayReport) -> str:
+    """Human-readable table of a monitor replay (used by the ``monitor`` command)."""
+    spec = report.spec
+    counts = {"ticks": report.incremental.ticks, "updates": report.incremental.updates}
+    lines = [
+        f"workload: {spec.workload.num_nodes} nodes, "
+        f"{spec.workload.num_facilities} facilities, d={spec.workload.num_cost_types}; "
+        f"{spec.subscriptions} subscriptions ({spec.mix} mix), "
+        f"{counts['ticks']} ticks / {counts['updates']} updates",
+        "",
+        f"{'run':<12} {'ticks/s':>9} {'p50 ms':>9} {'p90 ms':>9} {'p99 ms':>9} "
+        f"{'accessor reqs':>14}",
+    ]
+    for run in report.measurements:
+        lines.append(
+            f"{run.label:<12} {run.ticks_per_second:>9.1f} "
+            f"{run.latency_percentile(50):>9.2f} {run.latency_percentile(90):>9.2f} "
+            f"{run.latency_percentile(99):>9.2f} {run.accessor_requests:>14}"
+        )
+    counters = report.counters
+    lines.append("")
+    lines.append(
+        f"accessor requests saved: {report.requests_saved} "
+        f"({report.savings_fraction:.1%} of recompute-every-tick)"
+    )
+    lines.append(
+        f"maintenance paths: {counters.incremental_updates} incremental, "
+        f"{counters.recomputations} recomputations "
+        f"({report.fallback_ticks} fallback ticks, {report.sharded_ticks} sharded)"
+    )
+    lines.append(f"results identical: {'yes' if report.identical_results else 'NO'}")
+    return "\n".join(lines) + "\n"
 
 
 def format_replay_report(report: ReplayReport) -> str:

@@ -9,6 +9,9 @@ Sub-commands:
 * ``serve-batch`` — replay a workload trace through the batch
   :class:`~repro.service.QueryService` and compare it against one-shot
   engine calls (throughput, latency percentiles, page-read savings).
+* ``monitor`` — replay a facility-update stream through the continuous
+  :class:`~repro.monitor.MonitoringService` and compare incremental
+  maintenance against recompute-every-tick.
 * ``list`` — list the available experiments.
 """
 
@@ -19,10 +22,18 @@ import sys
 from collections.abc import Sequence
 
 from repro.bench.config import DEFAULT_SCALE, SMALL_SCALE, ExperimentScale
-from repro.bench.driver import ReplaySpec, format_replay_report, replay_workload
+from repro.bench.driver import (
+    MonitorReplaySpec,
+    ReplaySpec,
+    format_monitor_report,
+    format_replay_report,
+    replay_update_stream,
+    replay_workload,
+)
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.reporting import format_series_table, series_to_csv, summarize_speedups
 from repro.core.engine import MCNQueryEngine
+from repro.datagen.updates import UpdateStreamSpec
 from repro.datagen.workload import WorkloadSpec, make_workload
 from repro.errors import ReproError
 
@@ -85,6 +96,53 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("process", "thread", "serial"),
         default="process",
         help="pool kind backing the sharded run",
+    )
+
+    monitor = commands.add_parser(
+        "monitor",
+        help="replay a facility-update stream through the monitoring service",
+    )
+    monitor.add_argument("--nodes", type=int, default=900, help="approximate number of network nodes")
+    monitor.add_argument("--facilities", type=int, default=300, help="number of facilities")
+    monitor.add_argument("--cost-types", type=int, default=3, help="number of cost types d")
+    monitor.add_argument(
+        "--subscriptions", type=int, default=8, help="number of long-lived subscriptions"
+    )
+    monitor.add_argument("--ticks", type=int, default=25, help="number of update ticks")
+    monitor.add_argument(
+        "--updates-per-tick", type=int, default=5, help="facility updates per tick"
+    )
+    monitor.add_argument(
+        "--mix",
+        choices=("skyline", "topk", "mixed"),
+        default="mixed",
+        help="query mix of the subscriptions",
+    )
+    monitor.add_argument("--k", type=int, default=4, help="k of the top-k subscriptions")
+    monitor.add_argument(
+        "--locality",
+        type=float,
+        default=0.5,
+        help="fraction of inserts placed next to existing facilities",
+    )
+    monitor.add_argument("--seed", type=int, default=7, help="random seed")
+    monitor.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard the fallback recompute passes across N workers (1 = sequential)",
+    )
+    monitor.add_argument(
+        "--routing",
+        choices=("round-robin", "locality"),
+        default="round-robin",
+        help="how fallback requests are routed to shards",
+    )
+    monitor.add_argument(
+        "--executor",
+        choices=("process", "thread", "serial"),
+        default="thread",
+        help="pool kind backing the sharded fallback passes",
     )
 
     commands.add_parser("list", help="list the available experiments")
@@ -165,6 +223,37 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
     return 0 if report.identical_results and report.counters_consistent else 1
 
 
+def _run_monitor(args: argparse.Namespace) -> int:
+    try:
+        spec = MonitorReplaySpec(
+            workload=WorkloadSpec(
+                num_nodes=args.nodes,
+                num_facilities=args.facilities,
+                num_cost_types=args.cost_types,
+                num_queries=args.subscriptions,
+                seed=args.seed,
+            ),
+            stream=UpdateStreamSpec(
+                num_ticks=args.ticks,
+                updates_per_tick=args.updates_per_tick,
+                locality=args.locality,
+                seed=args.seed + 1,
+            ),
+            subscriptions=args.subscriptions,
+            mix=args.mix,
+            k=args.k,
+            workers=args.workers,
+            routing=args.routing.replace("-", "_"),
+            executor=args.executor,
+        )
+        report = replay_update_stream(spec)
+    except ReproError as error:
+        print(f"monitor: {error}", file=sys.stderr)
+        return 2
+    print(format_monitor_report(report), end="")
+    return 0 if report.identical_results else 1
+
+
 def _run_list() -> int:
     width = max(len(name) for name in EXPERIMENTS)
     for name in sorted(EXPERIMENTS):
@@ -183,6 +272,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_experiment(args)
     if args.command == "serve-batch":
         return _run_serve_batch(args)
+    if args.command == "monitor":
+        return _run_monitor(args)
     return _run_list()
 
 

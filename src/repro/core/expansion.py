@@ -161,6 +161,18 @@ class NearestFacilityExpansion:
         self._allowed_facilities = {
             record.facility_id for records in candidates.values() for record in records
         }
+        # Re-seed candidates lying on the query's own edge with their direct
+        # along-edge cost.  For candidates that were in the facility set when
+        # the expansion was constructed this only adds a harmless duplicate
+        # heap entry; for candidates supplied *externally* (the maintenance
+        # layer costing a facility before it is inserted) it is required —
+        # the path along the query edge may be shorter than any path through
+        # the end-nodes, and _seed() could not have known the record.
+        if self._seeds.query_edge is not None:
+            for record in self._candidate_edges.get(self._seeds.query_edge, []):
+                cost = self._direct_cost_on_query_edge(record)
+                if cost is not None:
+                    self._push_facility(record, cost)
 
     # ------------------------------------------------------------------ #
     # Search

@@ -11,6 +11,12 @@ from repro.datagen.road_network import (
     euclidean_edge_lengths,
     generate_road_network,
 )
+from repro.datagen.updates import (
+    UpdateStreamSpec,
+    make_update_stream,
+    update_stream_spec_from_payload,
+    update_stream_spec_to_payload,
+)
 from repro.datagen.workload import (
     Workload,
     WorkloadSpec,
@@ -22,6 +28,7 @@ from repro.datagen.workload import (
 __all__ = [
     "CostDistribution",
     "RoadNetworkSpec",
+    "UpdateStreamSpec",
     "Workload",
     "WorkloadSpec",
     "assign_edge_costs",
@@ -31,7 +38,10 @@ __all__ = [
     "generate_query_locations",
     "generate_road_network",
     "generate_uniform_facilities",
+    "make_update_stream",
     "make_workload",
+    "update_stream_spec_from_payload",
+    "update_stream_spec_to_payload",
     "workload_spec_from_payload",
     "workload_spec_to_payload",
 ]

@@ -1,0 +1,202 @@
+"""Synthetic facility-update streams for the continuous monitoring service.
+
+:class:`UpdateStreamSpec` captures the shape of an update workload — how many
+ticks, how many updates per tick, the insert/delete/relocate mix and how
+*local* insertions are (locality models the real-world pattern that new
+points of interest open near existing ones, which is also the pattern that
+exercises the maintainers' incremental paths hardest, because local inserts
+keep landing inside the expansion frontier of the cached results).
+
+:func:`make_update_stream` materialises a spec into an
+:class:`~repro.monitor.UpdateStream` against a concrete graph and facility
+set.  Generation is fully deterministic per spec (given the same graph,
+facility ids and subscription ids), so a spec payload pins a stream forever
+— the same fixture contract as :func:`repro.datagen.workload.make_workload`.
+The input facility set is only *read*; the stream simulates its own view of
+which ids are live.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.datagen.queries import generate_query_locations
+from repro.errors import DataGenerationError
+from repro.monitor.stream import (
+    FacilityDelete,
+    FacilityInsert,
+    FacilityUpdate,
+    QueryRelocation,
+    UpdateStream,
+    UpdateTick,
+)
+from repro.network.facilities import FacilitySet
+from repro.network.graph import EdgeId, MultiCostGraph
+
+__all__ = [
+    "UpdateStreamSpec",
+    "make_update_stream",
+    "update_stream_spec_to_payload",
+    "update_stream_spec_from_payload",
+]
+
+
+@dataclass(frozen=True)
+class UpdateStreamSpec:
+    """All generation parameters of one synthetic update stream.
+
+    ``insert_fraction`` / ``delete_fraction`` / ``relocate_fraction`` must be
+    non-negative and sum to 1; ``locality`` is the probability that an insert
+    lands on an edge incident to an edge already hosting a facility (the
+    rest land on uniformly random edges).  Relocations are only generated
+    when subscription ids are supplied to :func:`make_update_stream`;
+    otherwise their probability mass folds into inserts and deletes.
+    """
+
+    num_ticks: int = 20
+    updates_per_tick: int = 5
+    insert_fraction: float = 0.45
+    delete_fraction: float = 0.45
+    relocate_fraction: float = 0.10
+    locality: float = 0.5
+    min_live_facilities: int = 2
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_ticks < 0:
+            raise DataGenerationError("the number of ticks cannot be negative")
+        if self.updates_per_tick < 1:
+            raise DataGenerationError("each tick needs at least one update")
+        fractions = (self.insert_fraction, self.delete_fraction, self.relocate_fraction)
+        if any(fraction < 0 for fraction in fractions):
+            raise DataGenerationError("update-mix fractions cannot be negative")
+        if abs(sum(fractions) - 1.0) > 1e-9:
+            raise DataGenerationError(
+                f"update-mix fractions must sum to 1, got {sum(fractions)}"
+            )
+        if not 0.0 <= self.locality <= 1.0:
+            raise DataGenerationError("locality must lie in [0, 1]")
+        if self.min_live_facilities < 1:
+            raise DataGenerationError("min_live_facilities must be a positive integer")
+
+
+def update_stream_spec_to_payload(spec: UpdateStreamSpec) -> dict[str, object]:
+    """A plain-JSON dictionary describing ``spec`` (the fixture contract)."""
+    return {
+        "num_ticks": spec.num_ticks,
+        "updates_per_tick": spec.updates_per_tick,
+        "insert_fraction": spec.insert_fraction,
+        "delete_fraction": spec.delete_fraction,
+        "relocate_fraction": spec.relocate_fraction,
+        "locality": spec.locality,
+        "min_live_facilities": spec.min_live_facilities,
+        "seed": spec.seed,
+    }
+
+
+def update_stream_spec_from_payload(payload: dict[str, object]) -> UpdateStreamSpec:
+    """Rebuild an :class:`UpdateStreamSpec` from its payload dictionary."""
+    try:
+        return UpdateStreamSpec(
+            num_ticks=int(payload["num_ticks"]),  # type: ignore[arg-type]
+            updates_per_tick=int(payload["updates_per_tick"]),  # type: ignore[arg-type]
+            insert_fraction=float(payload["insert_fraction"]),  # type: ignore[arg-type]
+            delete_fraction=float(payload["delete_fraction"]),  # type: ignore[arg-type]
+            relocate_fraction=float(payload["relocate_fraction"]),  # type: ignore[arg-type]
+            locality=float(payload["locality"]),  # type: ignore[arg-type]
+            min_live_facilities=int(payload["min_live_facilities"]),  # type: ignore[arg-type]
+            seed=int(payload["seed"]),  # type: ignore[arg-type]
+        )
+    except KeyError as missing:
+        raise DataGenerationError(f"update-stream payload missing {missing}") from None
+
+
+def make_update_stream(
+    graph: MultiCostGraph,
+    facilities: FacilitySet,
+    spec: UpdateStreamSpec,
+    *,
+    subscription_ids: Sequence[int] = (),
+) -> UpdateStream:
+    """Generate a deterministic update stream against ``graph`` and ``facilities``.
+
+    The facility set is read, never mutated: the generator simulates which
+    facility ids are live as the stream progresses, so every delete names a
+    facility that exists at that point of the stream and every insert uses a
+    fresh id.  Deletes are converted to inserts whenever they would push the
+    live population below ``spec.min_live_facilities``.
+    """
+    rng = random.Random(spec.seed)
+    edges = sorted(graph.edges(), key=lambda edge: edge.edge_id)
+    if not edges:
+        raise DataGenerationError("the graph has no edges to place facilities on")
+    edge_by_id = {edge.edge_id: edge for edge in edges}
+
+    live: dict[int, EdgeId] = {
+        facility.facility_id: facility.edge_id for facility in facilities
+    }
+    hosting_count: dict[EdgeId, int] = {}
+    for edge_id in live.values():
+        hosting_count[edge_id] = hosting_count.get(edge_id, 0) + 1
+    next_id = max(live, default=-1) + 1
+
+    relocate_fraction = spec.relocate_fraction if subscription_ids else 0.0
+    insert_fraction = spec.insert_fraction
+    if not subscription_ids and spec.relocate_fraction:
+        # Fold the relocation mass into inserts/deletes proportionally.
+        scale = 1.0 / (spec.insert_fraction + spec.delete_fraction or 1.0)
+        insert_fraction = spec.insert_fraction * scale
+
+    def local_edge() -> EdgeId:
+        """An edge incident to an edge already hosting a facility (or hosting one)."""
+        hosts = sorted(hosting_count)
+        if not hosts:
+            return rng.choice(edges).edge_id
+        anchor = edge_by_id[rng.choice(hosts)]
+        incident: list[EdgeId] = []
+        for node in (anchor.u, anchor.v):
+            for _neighbor, edge in graph.neighbors(node):
+                incident.append(edge.edge_id)
+        return rng.choice(sorted(set(incident))) if incident else anchor.edge_id
+
+    def draw_insert() -> FacilityInsert:
+        nonlocal next_id
+        if rng.random() < spec.locality:
+            edge_id = local_edge()
+        else:
+            edge_id = rng.choice(edges).edge_id
+        edge = edge_by_id[edge_id]
+        update = FacilityInsert(next_id, edge_id, rng.uniform(0.0, edge.length))
+        next_id += 1
+        live[update.facility_id] = edge_id
+        hosting_count[edge_id] = hosting_count.get(edge_id, 0) + 1
+        return update
+
+    def draw_delete() -> FacilityDelete:
+        victim = rng.choice(sorted(live))
+        edge_id = live.pop(victim)
+        hosting_count[edge_id] -= 1
+        if not hosting_count[edge_id]:
+            del hosting_count[edge_id]
+        return FacilityDelete(victim)
+
+    def draw_relocation() -> QueryRelocation:
+        subscription = rng.choice(sorted(subscription_ids))
+        location = generate_query_locations(graph, 1, seed=rng.randrange(1 << 30))[0]
+        return QueryRelocation(subscription, location)
+
+    ticks = []
+    for _tick_index in range(spec.num_ticks):
+        updates: list[FacilityUpdate] = []
+        for _position in range(spec.updates_per_tick):
+            roll = rng.random()
+            if roll < relocate_fraction:
+                updates.append(draw_relocation())
+            elif roll < relocate_fraction + insert_fraction or len(live) <= spec.min_live_facilities:
+                updates.append(draw_insert())
+            else:
+                updates.append(draw_delete())
+        ticks.append(UpdateTick(tuple(updates)))
+    return UpdateStream(tuple(ticks))

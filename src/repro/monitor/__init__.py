@@ -1,0 +1,54 @@
+"""Continuous monitoring over facility-update streams.
+
+The paper's Section VII names incremental maintenance under facility and
+query updates as the key open extension; :mod:`repro.core.maintenance`
+implements the per-query maintainers, and this package turns them into a
+*service*: :class:`MonitoringService` registers long-lived skyline / top-k
+subscriptions, consumes an :class:`UpdateStream` of facility inserts,
+deletes and query relocations one :class:`UpdateTick` at a time, routes
+every update through the cheap incremental maintenance paths, falls back to
+one batched — optionally sharded — CEA pass per tick for the hard cases,
+and emits a :class:`DeltaReport` per subscription per tick.
+"""
+
+from repro.monitor.service import (
+    DeltaReport,
+    MonitoringService,
+    TickReport,
+    delta_report_to_payload,
+    tick_report_to_payload,
+)
+from repro.monitor.stream import (
+    FacilityDelete,
+    FacilityInsert,
+    FacilityUpdate,
+    QueryRelocation,
+    UpdateStream,
+    UpdateTick,
+    stream_from_payload,
+    stream_to_payload,
+    tick_from_payload,
+    tick_to_payload,
+    update_from_payload,
+    update_to_payload,
+)
+
+__all__ = [
+    "DeltaReport",
+    "FacilityDelete",
+    "FacilityInsert",
+    "FacilityUpdate",
+    "MonitoringService",
+    "QueryRelocation",
+    "TickReport",
+    "UpdateStream",
+    "UpdateTick",
+    "delta_report_to_payload",
+    "stream_from_payload",
+    "stream_to_payload",
+    "tick_from_payload",
+    "tick_to_payload",
+    "tick_report_to_payload",
+    "update_from_payload",
+    "update_to_payload",
+]

@@ -1,0 +1,205 @@
+"""The facility-update stream model consumed by the monitoring service.
+
+A stream is a sequence of *ticks*; a tick is an ordered batch of updates
+applied atomically between two result emissions.  Three update kinds cover
+the paper's Section-VII maintenance setting:
+
+* :class:`FacilityInsert` — a new facility appears on an edge;
+* :class:`FacilityDelete` — an existing facility disappears;
+* :class:`QueryRelocation` — one subscription's query location moves.
+
+All types are small frozen dataclasses, so updates are hashable, picklable
+(the sharded fallback can ship work to pool workers) and round-trip through
+plain-JSON payloads via :func:`update_to_payload` / :func:`stream_to_payload`
+— the same portability contract the request trace codecs of
+:mod:`repro.service.requests` established, which is what lets update streams
+be checked in as golden fixtures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator
+from typing import Union
+
+from repro.errors import QueryError
+from repro.network.facilities import FacilityId
+from repro.network.graph import EdgeId
+from repro.network.location import NetworkLocation
+from repro.service.requests import location_from_payload, location_to_payload
+
+__all__ = [
+    "FacilityInsert",
+    "FacilityDelete",
+    "QueryRelocation",
+    "FacilityUpdate",
+    "UpdateTick",
+    "UpdateStream",
+    "update_to_payload",
+    "update_from_payload",
+    "tick_to_payload",
+    "tick_from_payload",
+    "stream_to_payload",
+    "stream_from_payload",
+]
+
+
+@dataclass(frozen=True)
+class FacilityInsert:
+    """A new facility appears on ``edge_id`` at ``offset`` from the first end-node."""
+
+    facility_id: FacilityId
+    edge_id: EdgeId
+    offset: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "offset", float(self.offset))
+
+
+@dataclass(frozen=True)
+class FacilityDelete:
+    """An existing facility disappears."""
+
+    facility_id: FacilityId
+
+
+@dataclass(frozen=True)
+class QueryRelocation:
+    """One subscription's query point moves to ``location``."""
+
+    subscription_id: int
+    location: NetworkLocation
+
+
+FacilityUpdate = Union[FacilityInsert, FacilityDelete, QueryRelocation]
+
+_UPDATE_KINDS = (FacilityInsert, FacilityDelete, QueryRelocation)
+
+
+@dataclass(frozen=True)
+class UpdateTick:
+    """One ordered batch of updates, applied atomically by the service."""
+
+    updates: tuple[FacilityUpdate, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "updates", tuple(self.updates))
+        for update in self.updates:
+            if not isinstance(update, _UPDATE_KINDS):
+                raise QueryError(
+                    f"expected a facility update, got {type(update).__name__}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def __iter__(self) -> Iterator[FacilityUpdate]:
+        return iter(self.updates)
+
+
+@dataclass(frozen=True)
+class UpdateStream:
+    """A whole replayable stream: ticks in arrival order."""
+
+    ticks: tuple[UpdateTick, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ticks", tuple(self.ticks))
+        for tick in self.ticks:
+            if not isinstance(tick, UpdateTick):
+                raise QueryError(f"expected an UpdateTick, got {type(tick).__name__}")
+
+    @property
+    def num_updates(self) -> int:
+        """Total updates across every tick."""
+        return sum(len(tick) for tick in self.ticks)
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """How many inserts / deletes / relocations the stream carries."""
+        counts = {"insert": 0, "delete": 0, "relocate": 0}
+        for tick in self.ticks:
+            for update in tick:
+                if isinstance(update, FacilityInsert):
+                    counts["insert"] += 1
+                elif isinstance(update, FacilityDelete):
+                    counts["delete"] += 1
+                else:
+                    counts["relocate"] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.ticks)
+
+    def __iter__(self) -> Iterator[UpdateTick]:
+        return iter(self.ticks)
+
+
+# --------------------------------------------------------------------- #
+# JSON-payload serialization (golden fixtures, cross-process streams)
+# --------------------------------------------------------------------- #
+def update_to_payload(update: FacilityUpdate) -> dict[str, object]:
+    """A plain-JSON dictionary describing ``update`` (see :func:`update_from_payload`)."""
+    if isinstance(update, FacilityInsert):
+        return {
+            "type": "insert",
+            "facility": update.facility_id,
+            "edge": update.edge_id,
+            "offset": update.offset,
+        }
+    if isinstance(update, FacilityDelete):
+        return {"type": "delete", "facility": update.facility_id}
+    if isinstance(update, QueryRelocation):
+        return {
+            "type": "relocate",
+            "subscription": update.subscription_id,
+            "location": location_to_payload(update.location),
+        }
+    raise QueryError(f"expected a facility update, got {type(update).__name__}")
+
+
+def update_from_payload(payload: dict[str, object]) -> FacilityUpdate:
+    """Rebuild an update from an :func:`update_to_payload` dictionary."""
+    kind = payload.get("type")
+    try:
+        if kind == "insert":
+            return FacilityInsert(
+                facility_id=int(payload["facility"]),  # type: ignore[arg-type]
+                edge_id=int(payload["edge"]),  # type: ignore[arg-type]
+                offset=float(payload["offset"]),  # type: ignore[arg-type]
+            )
+        if kind == "delete":
+            return FacilityDelete(facility_id=int(payload["facility"]))  # type: ignore[arg-type]
+        if kind == "relocate":
+            return QueryRelocation(
+                subscription_id=int(payload["subscription"]),  # type: ignore[arg-type]
+                location=location_from_payload(payload["location"]),  # type: ignore[arg-type]
+            )
+    except KeyError as missing:
+        raise QueryError(f"{kind} update payload missing {missing}") from None
+    raise QueryError(
+        f"unknown update type {kind!r}; expected 'insert', 'delete' or 'relocate'"
+    )
+
+
+def tick_to_payload(tick: UpdateTick) -> list[dict[str, object]]:
+    """The payloads of one tick's updates, in order."""
+    return [update_to_payload(update) for update in tick]
+
+
+def tick_from_payload(payload: list[dict[str, object]]) -> UpdateTick:
+    """Rebuild a tick from a :func:`tick_to_payload` list."""
+    return UpdateTick(tuple(update_from_payload(entry) for entry in payload))
+
+
+def stream_to_payload(stream: UpdateStream) -> dict[str, object]:
+    """A plain-JSON dictionary describing a whole stream."""
+    return {"ticks": [tick_to_payload(tick) for tick in stream]}
+
+
+def stream_from_payload(payload: dict[str, object]) -> UpdateStream:
+    """Rebuild a stream from a :func:`stream_to_payload` dictionary."""
+    try:
+        ticks = payload["ticks"]
+    except KeyError as missing:
+        raise QueryError(f"stream payload missing {missing}") from None
+    return UpdateStream(tuple(tick_from_payload(entry) for entry in ticks))  # type: ignore[union-attr]

@@ -53,10 +53,14 @@ class FacilitySet:
         """The graph these facilities live on."""
         return self._graph
 
-    def add(self, facility: Facility) -> None:
-        """Add a facility, validating its placement."""
-        if facility.facility_id in self._facilities:
-            raise FacilityError(f"facility id {facility.facility_id} already exists")
+    def validate_placement(self, facility: Facility) -> None:
+        """Raise :class:`FacilityError` when the placement is invalid.
+
+        Checks that the edge exists and the offset lies within the edge
+        length, ignoring the facility id — callers that simulate their own
+        view of which ids are live (tick validation in the monitoring
+        service) combine this with their own uniqueness check.
+        """
         try:
             edge = self._graph.edge(facility.edge_id)
         except GraphError as exc:
@@ -66,6 +70,21 @@ class FacilitySet:
                 f"facility {facility.facility_id} offset {facility.offset} outside edge "
                 f"{facility.edge_id} of length {edge.length}"
             )
+
+    def validate_new(self, facility: Facility) -> None:
+        """Raise :class:`FacilityError` if ``facility`` could not be added.
+
+        Checks id uniqueness and placement without mutating the set — the
+        maintenance layer validates whole update batches up front so a
+        rejected update never leaves the set half-applied.
+        """
+        if facility.facility_id in self._facilities:
+            raise FacilityError(f"facility id {facility.facility_id} already exists")
+        self.validate_placement(facility)
+
+    def add(self, facility: Facility) -> None:
+        """Add a facility, validating its placement."""
+        self.validate_new(facility)
         self._facilities[facility.facility_id] = facility
         self._by_edge.setdefault(facility.edge_id, []).append(facility.facility_id)
 

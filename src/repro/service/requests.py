@@ -38,6 +38,8 @@ __all__ = [
     "request_from_payload",
     "encode_requests",
     "decode_requests",
+    "location_to_payload",
+    "location_from_payload",
 ]
 
 _ALGORITHMS = ("cea", "lsa", "baseline")
@@ -102,19 +104,29 @@ QueryRequest = Union[SkylineRequest, TopKRequest]
 _AGGREGATE_KINDS = {"weighted-sum": WeightedSum, "lp-norm": WeightedLpNorm, "max-cost": MaxCost}
 
 
-def _location_to_payload(location: NetworkLocation) -> dict[str, object]:
+def location_to_payload(location: NetworkLocation) -> dict[str, object]:
+    """A plain-JSON dictionary describing a network location.
+
+    Shared by the request codecs here and the update-stream codecs of
+    :mod:`repro.monitor` so every serialized location looks the same.
+    """
     if location.node_id is not None:
         return {"node": location.node_id}
     return {"edge": location.edge_id, "offset": location.offset}
 
 
-def _location_from_payload(payload: dict[str, object]) -> NetworkLocation:
+def location_from_payload(payload: dict[str, object]) -> NetworkLocation:
+    """Rebuild a :class:`NetworkLocation` from a :func:`location_to_payload` dictionary."""
     if "node" in payload:
         return NetworkLocation.at_node(int(payload["node"]))  # type: ignore[arg-type]
     try:
         return NetworkLocation.on_edge(int(payload["edge"]), float(payload["offset"]))  # type: ignore[arg-type]
     except KeyError as missing:
         raise QueryError(f"location payload missing {missing}") from None
+
+
+_location_to_payload = location_to_payload
+_location_from_payload = location_from_payload
 
 
 def _aggregate_to_payload(aggregate: AggregateFunction) -> dict[str, object]:

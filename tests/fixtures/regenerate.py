@@ -1,16 +1,23 @@
-"""Regenerate the golden workload fixtures.
+"""Regenerate the golden workload and delta-stream fixtures.
 
 Run from the repo root after an *intentional* change to query results or I/O
 accounting::
 
     PYTHONPATH=src python tests/fixtures/regenerate.py
 
-Each fixture file pins one small workload — the deterministic generation
-spec, the serialized request trace, every query's exact answer and the
-sequential batch's page-read/buffer-hit totals — so any future change that
-silently alters answers or regresses I/O accounting fails
+Each ``golden_*`` fixture pins one small workload — the deterministic
+generation spec, the serialized request trace, every query's exact answer
+and the sequential batch's page-read/buffer-hit totals — so any future
+change that silently alters answers or regresses I/O accounting fails
 ``tests/test_golden_regression.py`` and has to be acknowledged by re-running
 this script and committing the diff.
+
+Each ``delta_stream_*`` fixture pins one monitoring run — the workload and
+update-stream specs, the subscription trace, the generated stream itself and
+every tick's :class:`~repro.monitor.DeltaReport`\\ s *plus* the
+incremental-vs-fallback maintenance-path counters — so a change that routes
+updates down a different maintenance path is caught by
+``tests/test_golden_deltas.py`` even when the final answers stay correct.
 """
 
 from __future__ import annotations
@@ -19,7 +26,16 @@ import json
 from pathlib import Path
 
 from repro.core.engine import MCNQueryEngine
-from repro.datagen import WorkloadSpec, make_workload, workload_spec_to_payload
+from repro.datagen import (
+    UpdateStreamSpec,
+    WorkloadSpec,
+    make_update_stream,
+    make_workload,
+    update_stream_spec_to_payload,
+    workload_spec_to_payload,
+)
+from repro.monitor import MonitoringService, stream_to_payload, tick_report_to_payload
+from repro.network.facilities import FacilitySet
 from repro.service import QueryService, SkylineRequest, TopKRequest
 from repro.service.requests import encode_requests
 from repro.storage.scheme import NetworkStorage
@@ -114,9 +130,83 @@ def regenerate_case(name: str, case: dict) -> Path:
     return path
 
 
+#: name -> (workload spec, stream spec, subscription shape) for delta fixtures
+MONITOR_CASES = {
+    "delta_stream_d2": dict(
+        spec=WorkloadSpec(
+            num_nodes=150,
+            num_facilities=60,
+            num_cost_types=2,
+            clustered=True,
+            num_queries=6,
+            seed=51,
+        ),
+        stream=UpdateStreamSpec(num_ticks=12, updates_per_tick=4, seed=52),
+        mix="mixed",
+        k=3,
+    ),
+    "delta_stream_d3": dict(
+        spec=WorkloadSpec(
+            num_nodes=180,
+            num_facilities=70,
+            num_cost_types=3,
+            clustered=False,
+            num_queries=5,
+            seed=53,
+        ),
+        stream=UpdateStreamSpec(
+            num_ticks=10,
+            updates_per_tick=5,
+            insert_fraction=0.4,
+            delete_fraction=0.4,
+            relocate_fraction=0.2,
+            seed=54,
+        ),
+        mix="topk",
+        k=4,
+    ),
+}
+
+
+def regenerate_monitor_case(name: str, case: dict) -> Path:
+    workload = make_workload(case["spec"])
+    facilities = FacilitySet(workload.graph, iter(workload.facilities))
+    service = MonitoringService(workload.graph, facilities)
+    requests = build_trace(workload, case["mix"], case["k"])
+    sids = [service.subscribe(request) for request in requests]
+    stream = make_update_stream(
+        workload.graph, workload.facilities, case["stream"], subscription_ids=sids
+    )
+    reports = service.run(stream)
+    counters = service.statistics
+    fixture = {
+        "name": name,
+        "workload": workload_spec_to_payload(case["spec"]),
+        "stream_spec": update_stream_spec_to_payload(case["stream"]),
+        "requests": encode_requests(requests),
+        "stream": stream_to_payload(stream),
+        "expected": {
+            "ticks": [tick_report_to_payload(report) for report in reports],
+            "final_counters": {
+                "insertions": counters.insertions,
+                "deletions": counters.deletions,
+                "incremental_updates": counters.incremental_updates,
+                "recomputations": counters.recomputations,
+                "query_moves": counters.query_moves,
+            },
+        },
+    }
+    path = FIXTURES_DIR / f"{name}.json"
+    path.write_text(json.dumps(fixture, indent=1) + "\n")
+    return path
+
+
 def main() -> None:
     for name, case in CASES.items():
         path = regenerate_case(name, case)
+        print(f"wrote {path}")
+    for name, case in MONITOR_CASES.items():
+        path = regenerate_monitor_case(name, case)
         print(f"wrote {path}")
 
 

@@ -16,7 +16,15 @@ import pytest
 
 from repro.core.aggregates import MaxCost, WeightedLpNorm, WeightedSum
 from repro.core.engine import MCNQueryEngine
-from repro.datagen import CostDistribution, WorkloadSpec, make_workload
+from repro.datagen import (
+    CostDistribution,
+    UpdateStreamSpec,
+    WorkloadSpec,
+    make_update_stream,
+    make_workload,
+)
+from repro.monitor import MonitoringService
+from repro.network.facilities import FacilitySet
 from repro.parallel import ShardedQueryService
 from repro.service import QueryService, SkylineRequest, TopKRequest
 from repro.storage.scheme import NetworkStorage
@@ -162,6 +170,94 @@ class TestDifferentialOracle:
                 assert skyline_ids(outcome_a.result) == skyline_ids(outcome_b.result)
             else:
                 assert topk_signature(outcome_a.result) == topk_signature(outcome_b.result)
+
+    def test_maintenance_matches_recompute_oracle_on_update_stream(self, case):
+        """The maintenance differential oracle: drive a random update stream
+        through the MonitoringService and assert that after *every* tick,
+        every subscription's maintained result equals a fresh brute-force
+        Dijkstra recompute over the mutated facility set — across the same
+        dims / aggregates / layouts as the one-shot oracle above."""
+        workload, _engine, aggregate, requests = case
+        facilities = FacilitySet(workload.graph, iter(workload.facilities))
+        service = MonitoringService(workload.graph, facilities)
+        sids = [service.subscribe(request) for request in requests[:4]]
+        stream = make_update_stream(
+            workload.graph,
+            workload.facilities,
+            UpdateStreamSpec(num_ticks=10, updates_per_tick=5, seed=61),
+            subscription_ids=sids,
+        )
+        for tick in stream:
+            service.apply_tick(tick)
+            for sid in sids:
+                maintainer = service.maintainer_of(sid)
+                vectors = facility_vectors(workload.graph, facilities, maintainer.query)
+                if isinstance(service.request_of(sid), SkylineRequest):
+                    assert maintainer.skyline_ids() == exact_skyline(vectors)
+                    truth_vectors = {
+                        fid: pytest.approx(vectors[fid], abs=1e-6)
+                        for fid in maintainer.skyline_ids()
+                    }
+                    assert maintainer.skyline == truth_vectors
+                else:
+                    oracle = exact_top_k(vectors, aggregate, K)
+                    assert [round(s, 6) for _f, s in maintainer.ranking()] == [
+                        round(s, 6) for _f, s in oracle
+                    ]
+
+    def test_maintenance_oracle_200_update_stream_with_majority_incremental(self):
+        """The PR's acceptance criterion: a 200-update random stream, every
+        post-tick result identical to brute force, and the counters showing
+        the cheap incremental path handled the majority of inserts and
+        irrelevant deletes."""
+        workload = make_workload(
+            WorkloadSpec(
+                num_nodes=200,
+                num_facilities=80,
+                num_cost_types=3,
+                clustered=True,
+                num_queries=6,
+                seed=47,
+            )
+        )
+        facilities = FacilitySet(workload.graph, iter(workload.facilities))
+        service = MonitoringService(workload.graph, facilities)
+        aggregate = WeightedSum((0.5, 0.3, 0.2))
+        requests = []
+        for index, query in enumerate(workload.queries):
+            if index % 2 == 0:
+                requests.append(SkylineRequest(query))
+            else:
+                requests.append(TopKRequest(query, k=4, aggregate=aggregate))
+        sids = [service.subscribe(request) for request in requests]
+        baseline = service.statistics  # subscribe-time recomputations excluded below
+        stream = make_update_stream(
+            workload.graph,
+            workload.facilities,
+            UpdateStreamSpec(num_ticks=40, updates_per_tick=5, seed=48),
+            subscription_ids=sids,
+        )
+        assert stream.num_updates == 200
+        for tick in stream:
+            service.apply_tick(tick)
+            for sid, request in zip(sids, requests):
+                maintainer = service.maintainer_of(sid)
+                vectors = facility_vectors(workload.graph, facilities, maintainer.query)
+                if isinstance(request, SkylineRequest):
+                    assert maintainer.skyline_ids() == exact_skyline(vectors)
+                else:
+                    oracle = exact_top_k(vectors, aggregate, 4)
+                    assert [round(s, 6) for _f, s in maintainer.ranking()] == [
+                        round(s, 6) for _f, s in oracle
+                    ]
+        stats = service.statistics.since(baseline)
+        counts = stream.counts_by_kind()
+        # Every insert and every irrelevant delete must have taken the cheap
+        # path; together they dominate the stream, so incremental updates
+        # outnumber fallback recomputations by construction *and* by count.
+        assert stats.incremental_updates > stats.recomputations
+        cheap_per_subscription = stats.incremental_updates / len(sids)
+        assert cheap_per_subscription >= counts["insert"] * 0.9
 
     def test_sharded_matches_sequential_on_mixed_100_query_workload(self):
         """The PR's acceptance criterion: >= 2 workers, 100 mixed queries,

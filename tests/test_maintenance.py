@@ -7,9 +7,9 @@ import random
 import pytest
 
 from repro.core.aggregates import WeightedSum
-from repro.core.maintenance import SkylineMaintainer, TopKMaintainer
+from repro.core.maintenance import MaintenanceStatistics, SkylineMaintainer, TopKMaintainer
 from repro.errors import FacilityError, QueryError
-from repro.network import Facility, FacilitySet, InMemoryAccessor, NetworkLocation
+from repro.network import Facility, FacilitySet, InMemoryAccessor, MultiCostGraph, NetworkLocation
 from tests.helpers import exact_skyline, exact_top_k, facility_vectors, random_mcn, random_query
 
 
@@ -189,6 +189,209 @@ class TestTopKMaintainer:
         new_query = NetworkLocation.at_node(8)
         maintainer.move_query(new_query)
         assert maintainer.facility_ids() == self.oracle(tiny_graph, tiny_facilities, new_query, aggregate, 2)
+
+
+def disconnected_instance():
+    """Two components: the query lives in one, edge B sits unreachable in the other."""
+    graph = MultiCostGraph(num_cost_types=2)
+    for node_id in range(4):
+        graph.add_node(node_id, float(node_id), 0.0)
+    edge_a = graph.add_edge(0, 1, (2.0, 3.0))
+    edge_b = graph.add_edge(2, 3, (1.0, 1.0))
+    facilities = FacilitySet(graph)
+    facilities.add(Facility(0, edge_a.edge_id, 0.5))
+    return graph, facilities, NetworkLocation.at_node(0), edge_b.edge_id
+
+
+class TestAtomicUpdates:
+    """A rejected update must leave the facility set and the result untouched
+    — the regression the mid-batch validation fix guards (previously an
+    unreachable insert mutated the set before raising)."""
+
+    @pytest.mark.parametrize("kind", ["skyline", "topk"])
+    def test_unreachable_insert_leaves_everything_unchanged(self, kind):
+        graph, facilities, query, unreachable_edge = disconnected_instance()
+        if kind == "skyline":
+            maintainer = SkylineMaintainer(graph, facilities, query)
+            result_before = maintainer.skyline_ids()
+        else:
+            maintainer = TopKMaintainer(graph, facilities, query, WeightedSum((0.5, 0.5)), 2)
+            result_before = maintainer.ranking()
+        ids_before = set(facilities.facility_ids())
+        stats_before = maintainer.statistics.snapshot()
+        with pytest.raises(QueryError):
+            maintainer.insert(Facility(99, unreachable_edge, 0.5))
+        assert set(facilities.facility_ids()) == ids_before
+        assert 99 not in facilities
+        if kind == "skyline":
+            assert maintainer.skyline_ids() == result_before
+        else:
+            assert maintainer.ranking() == result_before
+        assert maintainer.statistics.since(stats_before) == MaintenanceStatistics()
+
+    def test_invalid_offset_insert_leaves_everything_unchanged(
+        self, tiny_graph, tiny_facilities, tiny_query
+    ):
+        maintainer = SkylineMaintainer(tiny_graph, tiny_facilities, tiny_query)
+        before = maintainer.skyline_ids()
+        edge = tiny_graph.edge_between(0, 1)
+        with pytest.raises(FacilityError):
+            maintainer.insert(Facility(99, edge.edge_id, edge.length + 10.0))
+        assert 99 not in tiny_facilities
+        assert maintainer.skyline_ids() == before
+
+    def test_duplicate_id_insert_leaves_everything_unchanged(
+        self, tiny_graph, tiny_facilities, tiny_query
+    ):
+        maintainer = TopKMaintainer(
+            tiny_graph, tiny_facilities, tiny_query, WeightedSum((0.5, 0.5)), 2
+        )
+        before = maintainer.ranking()
+        edge = tiny_graph.edge_between(0, 1)
+        with pytest.raises(FacilityError):
+            maintainer.insert(Facility(1, edge.edge_id, 0.5))
+        assert maintainer.ranking() == before
+
+
+class TestDeferredMaintenance:
+    """The defer/refresh protocol used by the monitoring service."""
+
+    def test_deferred_delete_marks_stale_and_guards_reads(
+        self, tiny_graph, tiny_facilities, tiny_query
+    ):
+        maintainer = SkylineMaintainer(tiny_graph, tiny_facilities, tiny_query)
+        member = next(iter(maintainer.skyline_ids()))
+        recomputations = maintainer.statistics.recomputations
+        changed = maintainer.delete(member, defer_recompute=True)
+        assert changed
+        assert maintainer.stale
+        assert maintainer.statistics.recomputations == recomputations
+        with pytest.raises(QueryError):
+            maintainer.skyline_ids()
+        maintainer.refresh()
+        assert not maintainer.stale
+        assert maintainer.skyline_ids() == exact_skyline(
+            facility_vectors(tiny_graph, tiny_facilities, tiny_query)
+        )
+
+    def test_deferred_move_then_refresh_matches_oracle(
+        self, tiny_graph, tiny_facilities, tiny_query
+    ):
+        aggregate = WeightedSum((0.5, 0.5))
+        maintainer = TopKMaintainer(tiny_graph, tiny_facilities, tiny_query, aggregate, 2)
+        target = NetworkLocation.at_node(8)
+        maintainer.move_query(target, defer_recompute=True)
+        assert maintainer.stale
+        with pytest.raises(QueryError):
+            maintainer.ranking()
+        maintainer.refresh()
+        expected = exact_top_k(
+            facility_vectors(tiny_graph, tiny_facilities, target), aggregate, 2
+        )
+        assert [(fid, pytest.approx(score)) for fid, score in maintainer.ranking()] == [
+            (fid, pytest.approx(score)) for fid, score in expected
+        ]
+
+    def test_refresh_with_external_result(self, tiny_graph, tiny_facilities, tiny_query):
+        from repro.core.engine import MCNQueryEngine
+
+        maintainer = SkylineMaintainer(tiny_graph, tiny_facilities, tiny_query)
+        member = next(iter(maintainer.skyline_ids()))
+        maintainer.delete(member, defer_recompute=True)
+        engine = MCNQueryEngine(tiny_graph, tiny_facilities)
+        recomputations = maintainer.statistics.recomputations
+        maintainer.refresh(engine.skyline(tiny_query, algorithm="cea"))
+        assert maintainer.statistics.recomputations == recomputations + 1
+        assert maintainer.skyline_ids() == exact_skyline(
+            facility_vectors(tiny_graph, tiny_facilities, tiny_query)
+        )
+
+    def test_note_hooks_over_a_shared_set(self, tiny_graph, tiny_facilities, tiny_query):
+        """Two maintainers over one set: the caller mutates once and notifies
+        both; results match independent maintenance."""
+        accessor = InMemoryAccessor(tiny_graph, tiny_facilities)
+        sky = SkylineMaintainer(tiny_graph, tiny_facilities, tiny_query, accessor=accessor)
+        top = TopKMaintainer(
+            tiny_graph, tiny_facilities, tiny_query, WeightedSum((0.5, 0.5)), 2, accessor=accessor
+        )
+        close_edge = tiny_graph.edge_between(3, 4)
+        facility = Facility(99, close_edge.edge_id, 0.0)
+        tiny_facilities.add(facility)
+        sky.note_insert(facility)
+        top.note_insert(facility)
+        assert 99 in sky.skyline_ids()
+        assert top.facility_ids()[0] == 99
+        tiny_facilities.remove(99)
+        sky.note_delete(99, defer_recompute=True)
+        top.note_delete(99, defer_recompute=True)
+        sky.refresh()
+        top.refresh()
+        vectors = facility_vectors(tiny_graph, tiny_facilities, tiny_query)
+        assert sky.skyline_ids() == exact_skyline(vectors)
+        assert [fid for fid, _score in top.ranking()] == [
+            fid for fid, _score in exact_top_k(vectors, WeightedSum((0.5, 0.5)), 2)
+        ]
+
+    def test_stale_note_delete_of_non_member_reports_no_change(
+        self, tiny_graph, tiny_facilities, tiny_query
+    ):
+        maintainer = SkylineMaintainer(tiny_graph, tiny_facilities, tiny_query)
+        member = next(iter(maintainer.skyline_ids()))
+        non_member = next(
+            fid for fid in (0, 1, 2) if fid not in maintainer.skyline_ids()
+        )
+        maintainer.delete(member, defer_recompute=True)
+        assert maintainer.stale
+        # While stale, deleting a facility outside the cached result must not
+        # claim the result changed.
+        assert maintainer.delete(non_member, defer_recompute=True) is False
+
+    def test_insert_with_precomputed_costs_matches_plain_insert(self):
+        graph, facilities, query = build_dynamic_instance(seed=91)
+        twin = FacilitySet(graph, iter(facilities))
+        plain = SkylineMaintainer(graph, facilities, query)
+        primed = SkylineMaintainer(graph, twin, query)
+        edge = next(iter(graph.edges()))
+        facility = Facility(700, edge.edge_id, 0.25 * edge.length)
+        costs = primed.cost_vector(facility)
+        plain.insert(Facility(700, edge.edge_id, 0.25 * edge.length))
+        primed.insert(facility, costs=costs)
+        assert plain.skyline == primed.skyline
+
+
+class TestCostVectorPricing:
+    def test_cost_vector_matches_dijkstra_oracle(self):
+        """The O(d) distance-map pricing must equal an independent Dijkstra."""
+        graph, facilities, query = build_dynamic_instance(seed=92, num_facilities=10)
+        maintainer = SkylineMaintainer(graph, facilities, query)
+        rng = random.Random(4)
+        edges = list(graph.edges())
+        for index in range(12):
+            edge = rng.choice(edges)
+            facility = Facility(600 + index, edge.edge_id, rng.uniform(0, edge.length))
+            priced = maintainer.cost_vector(facility)
+            probe = FacilitySet(graph, iter(facilities))
+            probe.add(facility)
+            truth = facility_vectors(graph, probe, query)[facility.facility_id]
+            assert priced == pytest.approx(truth, abs=1e-9)
+
+    def test_cost_vector_on_query_edge_uses_direct_path(self, tiny_graph, tiny_facilities):
+        edge = tiny_graph.edge_between(3, 4)
+        query = NetworkLocation.on_edge(edge.edge_id, 0.5)
+        maintainer = SkylineMaintainer(tiny_graph, tiny_facilities, query)
+        facility = Facility(99, edge.edge_id, 1.5)
+        priced = maintainer.cost_vector(facility)
+        probe = FacilitySet(tiny_graph, iter(tiny_facilities))
+        probe.add(facility)
+        truth = facility_vectors(tiny_graph, probe, query)[99]
+        assert priced == pytest.approx(truth, abs=1e-12)
+
+    def test_cost_vector_does_not_mutate(self, tiny_graph, tiny_facilities, tiny_query):
+        maintainer = SkylineMaintainer(tiny_graph, tiny_facilities, tiny_query)
+        edge = tiny_graph.edge_between(0, 1)
+        maintainer.cost_vector(Facility(99, edge.edge_id, 0.5))
+        assert 99 not in tiny_facilities
+        assert 99 not in maintainer.skyline_ids()
 
 
 class TestFacilitySetRemoval:

@@ -1,0 +1,237 @@
+"""Tests for the update-stream model, its JSON codecs and the stream generator."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.datagen import (
+    UpdateStreamSpec,
+    WorkloadSpec,
+    make_update_stream,
+    make_workload,
+    update_stream_spec_from_payload,
+    update_stream_spec_to_payload,
+)
+from repro.errors import DataGenerationError, QueryError
+from repro.monitor import (
+    FacilityDelete,
+    FacilityInsert,
+    QueryRelocation,
+    UpdateStream,
+    UpdateTick,
+    stream_from_payload,
+    stream_to_payload,
+    tick_from_payload,
+    tick_to_payload,
+    update_from_payload,
+    update_to_payload,
+)
+from repro.network.location import NetworkLocation
+
+
+def sample_updates():
+    return (
+        FacilityInsert(7, 3, 1.5),
+        FacilityDelete(2),
+        QueryRelocation(0, NetworkLocation.at_node(4)),
+        QueryRelocation(1, NetworkLocation.on_edge(9, 0.25)),
+    )
+
+
+class TestStreamModel:
+    def test_tick_is_iterable_and_sized(self):
+        tick = UpdateTick(sample_updates())
+        assert len(tick) == 4
+        assert list(tick) == list(sample_updates())
+
+    def test_tick_rejects_non_updates(self):
+        with pytest.raises(QueryError):
+            UpdateTick(("not an update",))
+
+    def test_stream_rejects_non_ticks(self):
+        with pytest.raises(QueryError):
+            UpdateStream((UpdateTick(()), "not a tick"))
+
+    def test_stream_counts(self):
+        stream = UpdateStream(
+            (UpdateTick(sample_updates()), UpdateTick((FacilityInsert(8, 0, 0.0),)))
+        )
+        assert len(stream) == 2
+        assert stream.num_updates == 5
+        assert stream.counts_by_kind() == {"insert": 2, "delete": 1, "relocate": 2}
+
+    def test_updates_are_hashable_and_picklable(self):
+        stream = UpdateStream((UpdateTick(sample_updates()),))
+        assert len({update for tick in stream for update in tick}) == 4
+        clone = pickle.loads(pickle.dumps(stream))
+        assert clone == stream
+
+
+class TestStreamCodecs:
+    def test_update_payloads_round_trip(self):
+        for update in sample_updates():
+            payload = update_to_payload(update)
+            assert update_from_payload(json.loads(json.dumps(payload))) == update
+
+    def test_tick_payload_round_trips(self):
+        tick = UpdateTick(sample_updates())
+        assert tick_from_payload(tick_to_payload(tick)) == tick
+
+    def test_stream_payload_round_trips_through_json(self):
+        stream = UpdateStream(
+            (UpdateTick(sample_updates()), UpdateTick((FacilityDelete(7),)))
+        )
+        payload = json.loads(json.dumps(stream_to_payload(stream)))
+        assert stream_from_payload(payload) == stream
+
+    def test_unknown_update_type_rejected(self):
+        with pytest.raises(QueryError):
+            update_from_payload({"type": "teleport"})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(QueryError):
+            update_from_payload({"type": "insert", "facility": 1})
+
+    def test_stream_payload_missing_ticks_rejected(self):
+        with pytest.raises(QueryError):
+            stream_from_payload({})
+
+
+class TestUpdateStreamSpec:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(DataGenerationError):
+            UpdateStreamSpec(insert_fraction=0.5, delete_fraction=0.2, relocate_fraction=0.1)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(DataGenerationError):
+            UpdateStreamSpec(insert_fraction=-0.1, delete_fraction=1.0, relocate_fraction=0.1)
+
+    def test_locality_bounds(self):
+        with pytest.raises(DataGenerationError):
+            UpdateStreamSpec(locality=1.5)
+
+    def test_updates_per_tick_positive(self):
+        with pytest.raises(DataGenerationError):
+            UpdateStreamSpec(updates_per_tick=0)
+
+    def test_spec_payload_round_trips(self):
+        spec = UpdateStreamSpec(num_ticks=7, updates_per_tick=3, locality=0.25, seed=99)
+        assert update_stream_spec_from_payload(update_stream_spec_to_payload(spec)) == spec
+
+
+@pytest.fixture(scope="module")
+def generation_workload():
+    return make_workload(
+        WorkloadSpec(num_nodes=120, num_facilities=40, num_cost_types=2, num_queries=0, seed=23)
+    )
+
+
+class TestMakeUpdateStream:
+    def test_deterministic_per_spec(self, generation_workload):
+        w = generation_workload
+        spec = UpdateStreamSpec(num_ticks=6, updates_per_tick=4, seed=5)
+        first = make_update_stream(w.graph, w.facilities, spec, subscription_ids=[0, 1])
+        second = make_update_stream(w.graph, w.facilities, spec, subscription_ids=[0, 1])
+        assert first == second
+
+    def test_does_not_mutate_the_facility_set(self, generation_workload):
+        w = generation_workload
+        before = set(w.facilities.facility_ids())
+        make_update_stream(
+            w.graph, w.facilities, UpdateStreamSpec(num_ticks=10, updates_per_tick=6, seed=2)
+        )
+        assert set(w.facilities.facility_ids()) == before
+
+    def test_shape_matches_spec(self, generation_workload):
+        w = generation_workload
+        spec = UpdateStreamSpec(num_ticks=9, updates_per_tick=3, seed=4)
+        stream = make_update_stream(w.graph, w.facilities, spec)
+        assert len(stream) == 9
+        assert all(len(tick) == 3 for tick in stream)
+
+    def test_no_relocations_without_subscriptions(self, generation_workload):
+        w = generation_workload
+        spec = UpdateStreamSpec(
+            num_ticks=10, updates_per_tick=5, relocate_fraction=0.4,
+            insert_fraction=0.3, delete_fraction=0.3, seed=6,
+        )
+        stream = make_update_stream(w.graph, w.facilities, spec)
+        assert stream.counts_by_kind()["relocate"] == 0
+
+    def test_relocations_target_given_subscriptions(self, generation_workload):
+        w = generation_workload
+        spec = UpdateStreamSpec(
+            num_ticks=12, updates_per_tick=5, relocate_fraction=0.4,
+            insert_fraction=0.3, delete_fraction=0.3, seed=6,
+        )
+        stream = make_update_stream(w.graph, w.facilities, spec, subscription_ids=[3, 8])
+        relocations = [
+            update for tick in stream for update in tick
+            if isinstance(update, QueryRelocation)
+        ]
+        assert relocations, "the 40% relocate mix produced no relocations"
+        assert {update.subscription_id for update in relocations} <= {3, 8}
+        for update in relocations:
+            update.location.validate(w.graph)
+
+    def test_stream_is_sequentially_valid(self, generation_workload):
+        """Every delete names a live id; every insert uses a fresh id."""
+        w = generation_workload
+        spec = UpdateStreamSpec(num_ticks=30, updates_per_tick=6, seed=11)
+        stream = make_update_stream(w.graph, w.facilities, spec)
+        live = set(w.facilities.facility_ids())
+        for tick in stream:
+            for update in tick:
+                if isinstance(update, FacilityInsert):
+                    assert update.facility_id not in live
+                    edge = w.graph.edge(update.edge_id)
+                    assert 0.0 <= update.offset <= edge.length
+                    live.add(update.facility_id)
+                elif isinstance(update, FacilityDelete):
+                    assert update.facility_id in live
+                    live.remove(update.facility_id)
+            assert len(live) >= spec.min_live_facilities
+
+    def test_mix_fractions_roughly_respected(self, generation_workload):
+        w = generation_workload
+        spec = UpdateStreamSpec(
+            num_ticks=40, updates_per_tick=5,
+            insert_fraction=0.6, delete_fraction=0.4, relocate_fraction=0.0, seed=13,
+        )
+        counts = make_update_stream(w.graph, w.facilities, spec).counts_by_kind()
+        total = counts["insert"] + counts["delete"]
+        assert total == 200
+        assert 0.45 <= counts["insert"] / total <= 0.75
+
+    def test_full_locality_places_inserts_near_existing_facilities(self, generation_workload):
+        w = generation_workload
+        spec = UpdateStreamSpec(
+            num_ticks=10, updates_per_tick=4, locality=1.0,
+            insert_fraction=1.0, delete_fraction=0.0, relocate_fraction=0.0, seed=8,
+        )
+        stream = make_update_stream(w.graph, w.facilities, spec)
+        hosting = {facility.edge_id for facility in w.facilities}
+        for tick in stream:
+            for update in tick:
+                # Each localised insert lands on an edge incident to an edge
+                # hosting a facility at that point of the stream.
+                edge = w.graph.edge(update.edge_id)
+                incident_hosts = {
+                    e.edge_id
+                    for node in (edge.u, edge.v)
+                    for _n, e in w.graph.neighbors(node)
+                } | {update.edge_id}
+                assert incident_hosts & hosting or update.edge_id in hosting
+                hosting.add(update.edge_id)
+
+    def test_empty_graph_rejected(self):
+        from repro.network.graph import MultiCostGraph
+        from repro.network.facilities import FacilitySet
+
+        graph = MultiCostGraph(num_cost_types=1)
+        graph.add_node(0, 0.0, 0.0)
+        with pytest.raises(DataGenerationError):
+            make_update_stream(graph, FacilitySet(graph), UpdateStreamSpec(num_ticks=1))
