@@ -1,0 +1,27 @@
+"""Perf-harness smoke: the pinned ``bench perf`` suite at miniature scale.
+
+Runs the whole perf-baseline suite (every case, both paths) on micro
+populations, asserting the harness's built-in verification verdicts —
+identical results and identical I/O accounting between the accessor path
+and the compiled-graph kernel.  CI runs this under the ``bench_smoke``
+marker, so the fast path is exercised end to end (one-shot replays, the
+batched service, the sharded service and the monitoring stream) on every
+push without paying full-benchmark cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.perf import HEADLINE_CASE, format_perf_report, run_perf_suite
+
+
+@pytest.mark.bench_smoke
+def test_perf_suite_smoke():
+    report = run_perf_suite(smoke=True, repeats=1)
+    assert report.all_identical, "fast path diverged from the accessor path"
+    assert report.all_io_identical, "fast path charged different I/O"
+    assert report.headline.name == HEADLINE_CASE
+    assert len(report.cases) == 6
+    rendered = format_perf_report(report)
+    assert "speedup" in rendered

@@ -53,11 +53,19 @@ facilities are inserted and deleted — see :mod:`repro.monitor`)::
         UpdateTick((FacilityInsert(9000, edge_id=5, offset=1.0),))
     )
     tick_report.deltas[0].entered  # facilities that joined the skyline
+
+Fast path (the columnar expansion kernel; answers and I/O accounting are
+bit-identical to the accessor path, queries are just faster)::
+
+    engine = MCNQueryEngine(workload.graph, workload.facilities, compiled=True)
+    engine.skyline(query)          # runs on the ExpansionKernel
+    # or globally: REPRO_COMPILED=1 in the environment
 """
 
 from repro.core.aggregates import MaxCost, WeightedLpNorm, WeightedSum
 from repro.core.engine import MCNQueryEngine
 from repro.core.incremental import IncrementalTopK
+from repro.core.kernel import ExpansionKernel
 from repro.core.maintenance import SkylineMaintainer, TopKMaintainer
 from repro.core.results import (
     QueryStatistics,
@@ -86,6 +94,7 @@ from repro.monitor import (
     UpdateStream,
     UpdateTick,
 )
+from repro.network.compiled import CompiledGraph
 from repro.network.costs import CostVector
 from repro.network.facilities import Facility, FacilitySet
 from repro.network.graph import MultiCostGraph
@@ -105,14 +114,16 @@ from repro.service import (
 )
 from repro.storage.scheme import NetworkStorage, StorageSnapshotView
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BatchReport",
+    "CompiledGraph",
     "CostVector",
     "CrossQueryExpansionCache",
     "DataGenerationError",
     "DeltaReport",
+    "ExpansionKernel",
     "Facility",
     "FacilityDelete",
     "FacilityError",

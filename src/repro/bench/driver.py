@@ -87,6 +87,9 @@ class ReplaySpec:
     workers: int = 1
     routing: str = "round_robin"
     executor: str = "process"
+    # Also replay one-shot and batched through a compiled-graph engine and
+    # report the two paths side by side (results are verified identical).
+    fast_path: bool = False
 
     def __post_init__(self) -> None:
         if self.mix not in _MIXES:
@@ -158,13 +161,32 @@ class ReplayReport:
     cache: CacheStatistics
     sharded: ReplayMeasurement | None = None
     counters_consistent: bool = True
+    # The compiled-graph runs (present when the spec asked for fast_path);
+    # identical_results then also covers them, and fast-path page reads are
+    # verified equal to the accessor path's per run.
+    fast_one_shot: ReplayMeasurement | None = None
+    fast_batched: ReplayMeasurement | None = None
 
     @property
     def measurements(self) -> list[ReplayMeasurement]:
         runs = [self.one_shot, self.batched]
         if self.sharded is not None:
             runs.append(self.sharded)
+        if self.fast_one_shot is not None:
+            runs.append(self.fast_one_shot)
+        if self.fast_batched is not None:
+            runs.append(self.fast_batched)
         return runs
+
+    @property
+    def fast_path_speedup(self) -> float | None:
+        """Median-latency speedup of the compiled one-shot run over one-shot."""
+        if self.fast_one_shot is None or not self.fast_one_shot.latencies_ms:
+            return None
+        fast_median = self.fast_one_shot.latency_percentile(50)
+        if fast_median <= 0:
+            return None
+        return self.one_shot.latency_percentile(50) / fast_median
 
     @property
     def page_reads_saved(self) -> int:
@@ -184,28 +206,15 @@ def _result_signature(request: QueryRequest, result) -> object:
     return tuple((item.facility_id, round(item.score, 9)) for item in result)
 
 
-def replay_workload(spec: ReplaySpec, *, workload: Workload | None = None) -> ReplayReport:
-    """Replay a workload trace one-shot and batched, and compare the runs.
-
-    Both runs execute against the *same* storage object; the one-shot run
-    resets counters and clears the buffer before every query (each call is
-    as cold as an independent engine invocation), while the batched run only
-    goes cold once at the start.
-    """
-    workload = workload or make_workload(spec.workload)
-    if not workload.queries:
-        raise QueryError("the workload has no queries to replay")
-    storage = NetworkStorage.build(
-        workload.graph,
-        workload.facilities,
-        page_size=spec.page_size,
-        buffer_fraction=spec.buffer_fraction,
-    )
-    engine = MCNQueryEngine(workload.graph, workload.facilities, storage=storage)
-    requests = build_requests(workload, spec)
-
-    one_shot = ReplayMeasurement(label="one-shot", queries=len(requests))
-    signatures = []
+def _replay_one_shot(
+    engine: MCNQueryEngine,
+    storage: NetworkStorage,
+    requests: list[QueryRequest],
+    label: str,
+) -> tuple[ReplayMeasurement, list[object]]:
+    """Replay every request as an independent cold engine call."""
+    measurement = ReplayMeasurement(label=label, queries=len(requests))
+    signatures: list[object] = []
     start = time.perf_counter()
     for request in requests:
         storage.reset_statistics(clear_buffer=True)
@@ -225,11 +234,37 @@ def replay_workload(spec: ReplaySpec, *, workload: Workload | None = None) -> Re
                 aggregate=request.aggregate,
                 algorithm=request.algorithm,
             )
-        one_shot.latencies_ms.append((time.perf_counter() - query_start) * 1000.0)
-        one_shot.page_reads += result.statistics.io.page_reads
-        one_shot.buffer_hits += result.statistics.io.buffer_hits
+        measurement.latencies_ms.append((time.perf_counter() - query_start) * 1000.0)
+        measurement.page_reads += result.statistics.io.page_reads
+        measurement.buffer_hits += result.statistics.io.buffer_hits
         signatures.append(_result_signature(request, result))
-    one_shot.elapsed_seconds = time.perf_counter() - start
+    measurement.elapsed_seconds = time.perf_counter() - start
+    return measurement, signatures
+
+
+def replay_workload(spec: ReplaySpec, *, workload: Workload | None = None) -> ReplayReport:
+    """Replay a workload trace one-shot and batched, and compare the runs.
+
+    Both runs execute against the *same* storage object; the one-shot run
+    resets counters and clears the buffer before every query (each call is
+    as cold as an independent engine invocation), while the batched run only
+    goes cold once at the start.  With ``fast_path`` in the spec, both runs
+    are additionally replayed through a compiled-graph engine over the same
+    storage and reported side by side.
+    """
+    workload = workload or make_workload(spec.workload)
+    if not workload.queries:
+        raise QueryError("the workload has no queries to replay")
+    storage = NetworkStorage.build(
+        workload.graph,
+        workload.facilities,
+        page_size=spec.page_size,
+        buffer_fraction=spec.buffer_fraction,
+    )
+    engine = MCNQueryEngine(workload.graph, workload.facilities, storage=storage, compiled=False)
+    requests = build_requests(workload, spec)
+
+    one_shot, signatures = _replay_one_shot(engine, storage, requests, "one-shot")
 
     storage.reset_statistics(clear_buffer=True)
     service = QueryService(engine)
@@ -273,6 +308,40 @@ def replay_workload(spec: ReplaySpec, *, workload: Workload | None = None) -> Re
             shard.report.io.buffer_hits for shard in sharded_report.shards
         )
 
+    fast_one_shot = None
+    fast_batched = None
+    if spec.fast_path:
+        fast_engine = MCNQueryEngine(
+            workload.graph, workload.facilities, storage=storage, compiled=True
+        )
+        fast_one_shot, fast_signatures = _replay_one_shot(
+            fast_engine, storage, requests, "one-shot*"
+        )
+        identical = identical and fast_signatures == signatures
+        # The fast path must also charge the identical physical I/O.
+        counters_consistent = counters_consistent and (
+            fast_one_shot.page_reads == one_shot.page_reads
+            and fast_one_shot.buffer_hits == one_shot.buffer_hits
+        )
+        storage.reset_statistics(clear_buffer=True)
+        fast_report = QueryService(fast_engine).run_batch(requests)
+        fast_batched = ReplayMeasurement(
+            label="batched*",
+            queries=len(fast_report.outcomes),
+            elapsed_seconds=fast_report.elapsed_seconds,
+            page_reads=fast_report.io.page_reads,
+            buffer_hits=fast_report.io.buffer_hits,
+            latencies_ms=[o.elapsed_seconds * 1000.0 for o in fast_report.outcomes],
+        )
+        identical = identical and len(fast_report.outcomes) == len(signatures) and all(
+            _result_signature(outcome.request, outcome.result) == signature
+            for outcome, signature in zip(fast_report.outcomes, signatures)
+        )
+        counters_consistent = counters_consistent and (
+            fast_batched.page_reads == batched.page_reads
+            and fast_batched.buffer_hits == batched.buffer_hits
+        )
+
     return ReplayReport(
         spec=spec,
         one_shot=one_shot,
@@ -281,6 +350,8 @@ def replay_workload(spec: ReplaySpec, *, workload: Workload | None = None) -> Re
         cache=report.cache,
         sharded=sharded_measurement,
         counters_consistent=counters_consistent,
+        fast_one_shot=fast_one_shot,
+        fast_batched=fast_batched,
     )
 
 
@@ -588,6 +659,12 @@ def format_replay_report(report: ReplayReport) -> str:
         f"({report.savings_fraction:.1%} of one-shot)"
     )
     lines.append(f"cache record hit rate: {report.cache.hit_rate():.1%}")
+    speedup = report.fast_path_speedup
+    if speedup is not None:
+        lines.append(
+            f"fast path (*): compiled-graph kernel, {speedup:.2f}x one-shot "
+            "median latency, identical page reads"
+        )
     if report.sharded is not None:
         lines.append(
             f"sharded run: {report.spec.workers} workers, {report.spec.routing} routing, "

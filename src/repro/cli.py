@@ -12,6 +12,8 @@ Sub-commands:
 * ``monitor`` — replay a facility-update stream through the continuous
   :class:`~repro.monitor.MonitoringService` and compare incremental
   maintenance against recompute-every-tick.
+* ``bench perf`` — run the pinned perf-baseline suite (accessor path vs the
+  compiled-graph kernel, side by side) and write ``BENCH_4.json``.
 * ``list`` — list the available experiments.
 """
 
@@ -31,6 +33,7 @@ from repro.bench.driver import (
     replay_workload,
 )
 from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.perf import format_perf_report, run_perf_suite, write_perf_report
 from repro.bench.reporting import format_series_table, series_to_csv, summarize_speedups
 from repro.core.engine import MCNQueryEngine
 from repro.datagen.updates import UpdateStreamSpec
@@ -97,6 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="process",
         help="pool kind backing the sharded run",
     )
+    serve.add_argument(
+        "--fast-path",
+        action="store_true",
+        help="also replay through the compiled-graph kernel and report it side by side",
+    )
 
     monitor = commands.add_parser(
         "monitor",
@@ -143,6 +151,31 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("process", "thread", "serial"),
         default="thread",
         help="pool kind backing the sharded fallback passes",
+    )
+
+    bench = commands.add_parser(
+        "bench", help="performance harnesses (perf-baseline trajectory)"
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+    perf = bench_commands.add_parser(
+        "perf",
+        help="run the pinned perf suite (accessor vs compiled kernel) and write BENCH_4.json",
+    )
+    perf.add_argument(
+        "--smoke",
+        action="store_true",
+        help="miniature populations so the suite finishes in seconds (CI)",
+    )
+    perf.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="replays of each query trace per path (default: 3 full, 1 smoke)",
+    )
+    perf.add_argument(
+        "--output",
+        default=None,
+        help="where to write the JSON payload (default: BENCH_4.json; '-' skips writing)",
     )
 
     commands.add_parser("list", help="list the available experiments")
@@ -214,6 +247,7 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
             workers=args.workers,
             routing=args.routing.replace("-", "_"),
             executor=args.executor,
+            fast_path=args.fast_path,
         )
         report = replay_workload(spec)
     except ReproError as error:
@@ -221,6 +255,22 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
         return 2
     print(format_replay_report(report), end="")
     return 0 if report.identical_results and report.counters_consistent else 1
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    try:
+        report = run_perf_suite(smoke=args.smoke, repeats=args.repeats)
+    except ReproError as error:
+        print(f"bench perf: {error}", file=sys.stderr)
+        return 2
+    print(format_perf_report(report), end="")
+    output = args.output
+    if output is None:
+        output = "BENCH_4.json"
+    if output != "-":
+        write_perf_report(report, output)
+        print(f"wrote {output}")
+    return 0 if report.all_identical and report.all_io_identical else 1
 
 
 def _run_monitor(args: argparse.Namespace) -> int:
@@ -274,6 +324,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_serve_batch(args)
     if args.command == "monitor":
         return _run_monitor(args)
+    if args.command == "bench":
+        return _run_bench(args)
     return _run_list()
 
 

@@ -12,6 +12,14 @@ from repro.core.candidates import CandidateEntry, CandidatePool
 from repro.core.engine import MCNQueryEngine
 from repro.core.expansion import ExpansionSeeds, FacilityHit, NearestFacilityExpansion
 from repro.core.incremental import IncrementalTopK
+from repro.core.kernel import (
+    DirectChargeLayer,
+    ExpansionKernel,
+    FetchOnceChargeLayer,
+    ForwardingLayer,
+    KernelDataLayer,
+    make_kernel_data_layer,
+)
 from repro.core.maintenance import MaintenanceStatistics, SkylineMaintainer, TopKMaintainer
 from repro.core.results import (
     QueryStatistics,
@@ -27,9 +35,15 @@ __all__ = [
     "AggregateFunction",
     "CandidateEntry",
     "CandidatePool",
+    "DirectChargeLayer",
+    "ExpansionKernel",
     "ExpansionSeeds",
     "FacilityHit",
+    "FetchOnceChargeLayer",
+    "ForwardingLayer",
     "IncrementalTopK",
+    "KernelDataLayer",
+    "make_kernel_data_layer",
     "MaintenanceStatistics",
     "MaxCost",
     "MCNQueryEngine",

@@ -34,11 +34,20 @@ class CandidateEntry:
     reported: bool = False
     eliminated: bool = False
     pin_order: int | None = None
+    # Number of still-unknown cost components; -1 means "derive from costs"
+    # (entries built by hand in tests).  Kept in sync by CandidatePool.observe
+    # so is_pinned is O(1) — it is evaluated on every dominance probe.
+    missing: int = -1
+    _known_cache: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.missing < 0:
+            self.missing = sum(1 for value in self.costs if value is None)
 
     @property
     def is_pinned(self) -> bool:
         """True once every cost component is known."""
-        return all(value is not None for value in self.costs)
+        return self.missing == 0
 
     @property
     def is_resolved(self) -> bool:
@@ -47,10 +56,19 @@ class CandidateEntry:
 
     @property
     def known_costs(self) -> tuple[float, ...]:
-        """The complete cost vector, asserting that the entry is pinned."""
-        if not self.is_pinned:
+        """The complete cost vector, asserting that the entry is pinned.
+
+        Costs never change once pinned, so the tuple is built once and
+        cached — dominance checks read it on every probe.
+        """
+        cached = self._known_cache
+        if cached is not None:
+            return cached
+        if self.missing != 0:
             raise QueryError(f"facility {self.facility_id} is not pinned yet")
-        return tuple(float(value) for value in self.costs)  # type: ignore[arg-type]
+        cached = tuple(float(value) for value in self.costs)  # type: ignore[arg-type]
+        self._known_cache = cached
+        return cached
 
     def cost_tuple(self) -> tuple[float | None, ...]:
         return tuple(self.costs)
@@ -95,7 +113,8 @@ class CandidatePool:
             self._entries[facility_id] = entry
         if entry.costs[cost_index] is None:
             entry.costs[cost_index] = cost
-            if entry.is_pinned and entry.pin_order is None:
+            entry.missing -= 1
+            if entry.missing == 0 and entry.pin_order is None:
                 entry.pin_order = self._pin_counter
                 self._pin_counter += 1
         return entry

@@ -17,6 +17,7 @@ small API:
 
 from __future__ import annotations
 
+import os
 import random
 from collections.abc import Iterator, Sequence
 
@@ -35,14 +36,26 @@ from repro.core.skyline import MCNSkylineSearch, ProbingPolicy
 from repro.core.topk import MCNTopKSearch
 from repro.errors import QueryError
 from repro.network.accessor import GraphAccessor, InMemoryAccessor
+from repro.network.compiled import CompiledGraph
 from repro.network.facilities import FacilitySet
 from repro.network.graph import MultiCostGraph
 from repro.network.location import NetworkLocation
 from repro.storage.scheme import NetworkStorage
 
-__all__ = ["MCNQueryEngine"]
+__all__ = ["MCNQueryEngine", "COMPILED_ENV_VAR", "compiled_default_enabled"]
 
 _ALGORITHMS = ("cea", "lsa", "baseline")
+
+#: Environment toggle for the columnar fast path.  When an engine is built
+#: without an explicit ``compiled=`` argument, a truthy value here turns the
+#: fast path on globally — CI uses it to drive the *entire* test suite
+#: through the kernel, which is the strongest differential guarantee we run.
+COMPILED_ENV_VAR = "REPRO_COMPILED"
+
+
+def compiled_default_enabled() -> bool:
+    """Whether the fast path is enabled by default (the env toggle)."""
+    return os.environ.get(COMPILED_ENV_VAR, "").strip().lower() in {"1", "true", "yes", "on"}
 
 
 class MCNQueryEngine:
@@ -58,6 +71,7 @@ class MCNQueryEngine:
         use_disk: bool = False,
         page_size: int = 4096,
         buffer_fraction: float = 0.01,
+        compiled: bool | CompiledGraph | None = None,
     ):
         """Create an engine over ``graph`` and ``facilities``.
 
@@ -69,6 +83,16 @@ class MCNQueryEngine:
         parallel service gives each shard worker an engine over a read-only
         :meth:`~repro.storage.NetworkStorage.snapshot_view` of one shared
         storage instead of a private copy.
+
+        ``compiled`` controls the columnar fast path.  ``True`` compiles the
+        engine's data layer into a :class:`~repro.network.compiled.CompiledGraph`
+        so LSA/CEA (skyline, top-k, incremental top-k) run on the
+        :class:`~repro.core.kernel.ExpansionKernel` — answers and all I/O
+        counters stay bit-identical, queries just get faster.  An existing
+        :class:`CompiledGraph` is adopted as-is (this is how shard workers
+        share one snapshot instead of each re-reading the network).
+        ``None`` (the default) consults the ``REPRO_COMPILED`` environment
+        toggle; ``False`` disables the fast path outright.
         """
         self._graph = graph
         self._facilities = facilities
@@ -95,6 +119,25 @@ class MCNQueryEngine:
         else:
             self._storage = None
             self._accessor = InMemoryAccessor(graph, facilities)
+        if compiled is None:
+            compiled = compiled_default_enabled()
+        if isinstance(compiled, CompiledGraph):
+            if compiled.graph is not graph:
+                raise QueryError("the compiled graph was built over a different graph")
+            if compiled.facilities is not facilities:
+                raise QueryError(
+                    "the compiled graph was built over a different facility set"
+                )
+            self._compiled: CompiledGraph | None = compiled
+        elif isinstance(compiled, bool):
+            self._compiled = (
+                CompiledGraph.from_accessor(self._accessor) if compiled else None
+            )
+        else:
+            raise QueryError(
+                f"compiled must be a bool, None or a CompiledGraph, "
+                f"got {type(compiled).__name__}"
+            )
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -116,6 +159,17 @@ class MCNQueryEngine:
     def storage(self) -> NetworkStorage | None:
         """The disk-resident storage, when the engine was built with one."""
         return self._storage
+
+    @property
+    def compiled_graph(self) -> CompiledGraph | None:
+        """The columnar snapshot the fast path runs on (``None`` when disabled)."""
+        return self._compiled
+
+    def _search_compiled(self) -> CompiledGraph | None:
+        """The snapshot to hand a new search, refreshed against facility mutations."""
+        if self._compiled is None:
+            return None
+        return self._compiled.ensure_fresh()
 
     # ------------------------------------------------------------------ #
     # Skyline
@@ -209,6 +263,7 @@ class MCNQueryEngine:
             first_nn_shortcut=first_nn_shortcut,
             data_layer=data_layer,
             seeds=seeds,
+            compiled=self._search_compiled(),
         )
 
     def iter_skyline(
@@ -321,6 +376,7 @@ class MCNQueryEngine:
             share_accesses=(algorithm == "cea"),
             data_layer=data_layer,
             seeds=seeds,
+            compiled=self._search_compiled(),
         )
 
     def iter_top(
@@ -357,6 +413,7 @@ class MCNQueryEngine:
             query,
             function,
             share_accesses=(algorithm == "cea"),
+            compiled=self._search_compiled(),
         )
 
     # ------------------------------------------------------------------ #

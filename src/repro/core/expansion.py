@@ -16,8 +16,9 @@ adjacency list and each edge's facility list reach the disk at most once.
 from __future__ import annotations
 
 import heapq
-import itertools
+from collections.abc import Mapping
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import NamedTuple
 
 from repro.errors import QueryError
@@ -27,9 +28,6 @@ from repro.network.graph import EdgeId, MultiCostGraph, NodeId
 from repro.network.location import NetworkLocation
 
 __all__ = ["FacilityHit", "ExpansionSeeds", "NearestFacilityExpansion"]
-
-_NODE = 0
-_FACILITY = 1
 
 
 class FacilityHit(NamedTuple):
@@ -90,8 +88,13 @@ class NearestFacilityExpansion:
         self._accessor = accessor
         self._seeds = seeds
         self._cost_index = cost_index
-        self._heap: list[tuple[float, int, int, int, FacilityRecord | None]] = []
-        self._tiebreak = itertools.count()
+        # Heap entries are flat 4-tuples (key, tiebreak, ident, record);
+        # ``record`` is None for node entries, so no separate kind field is
+        # needed.  The tiebreak is a plain int counter: it makes every entry
+        # unique (comparisons never reach ``record``) and resolves equal keys
+        # in push order, exactly as the paper's round-robin probing expects.
+        self._heap: list[tuple[float, int, int, FacilityRecord | None]] = []
+        self._tiebreak = 0
         self._visited_nodes: dict[NodeId, float] = {}
         self._reported: dict[FacilityId, float] = {}
         self._candidate_edges: dict[EdgeId, list[FacilityRecord]] | None = None
@@ -113,20 +116,26 @@ class NearestFacilityExpansion:
         return not self._heap
 
     @property
-    def reported_costs(self) -> dict[FacilityId, float]:
-        """Facilities already returned, with their network distance under this cost."""
-        return dict(self._reported)
+    def reported_costs(self) -> Mapping[FacilityId, float]:
+        """Facilities already returned, with their network distance under this cost.
+
+        A read-only live view (not a copy): harvesting it is O(1) no matter
+        how much of the network the expansion visited.
+        """
+        return MappingProxyType(self._reported)
 
     @property
-    def settled_costs(self) -> dict[NodeId, float]:
+    def settled_costs(self) -> Mapping[NodeId, float]:
         """Nodes already expanded, with their settled distance under this cost type.
 
         A node is settled when it is de-heaped, at which point its distance is
         final (the Dijkstra invariant), so these values can safely be reused
         by later expansions that start from the very same seeds — the hook the
         cross-query cache of :mod:`repro.service` harvests after every query.
+        Returned as a read-only live view; callers that need a frozen copy
+        (none in-tree do) must copy explicitly.
         """
-        return dict(self._visited_nodes)
+        return MappingProxyType(self._visited_nodes)
 
     @property
     def heap_pops(self) -> int:
@@ -195,9 +204,9 @@ class NearestFacilityExpansion:
         """
         if not self._heap:
             return None
-        key, _tie, kind, ident, record = heapq.heappop(self._heap)
+        key, _tie, ident, record = heapq.heappop(self._heap)
         self._heap_pops += 1
-        if kind == _NODE:
+        if record is None:
             self._expand_node(ident, key)
             return None
         return self._handle_facility(ident, key, record)
@@ -225,16 +234,18 @@ class NearestFacilityExpansion:
         return self._seeds.query_edge_costs[self._cost_index] * fraction
 
     def _push_node(self, node: NodeId, key: float) -> None:
-        if node in self._visited_nodes:
-            return
-        heapq.heappush(self._heap, (key, next(self._tiebreak), _NODE, node, None))
+        # Settled nodes are filtered by the caller (_expand_node) and on pop;
+        # a third check here would be pure overhead on the hottest push path.
+        self._tiebreak = tie = self._tiebreak + 1
+        heapq.heappush(self._heap, (key, tie, node, None))
 
     def _push_facility(self, record: FacilityRecord, key: float) -> None:
         if record.facility_id in self._reported:
             return
         if self._allowed_facilities is not None and record.facility_id not in self._allowed_facilities:
             return
-        heapq.heappush(self._heap, (key, next(self._tiebreak), _FACILITY, record.facility_id, record))
+        self._tiebreak = tie = self._tiebreak + 1
+        heapq.heappush(self._heap, (key, tie, record.facility_id, record))
 
     def _expand_node(self, node: NodeId, distance: float) -> None:
         if node in self._visited_nodes:
@@ -274,7 +285,6 @@ class NearestFacilityExpansion:
             return None
         if self._allowed_facilities is not None and facility_id not in self._allowed_facilities:
             return None
-        assert record is not None
         self._reported[facility_id] = key
         self._facilities_retrieved += 1
         return FacilityHit(facility_id, key, self._cost_index, record)

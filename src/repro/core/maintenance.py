@@ -44,11 +44,13 @@ from dataclasses import dataclass
 
 from repro.core.aggregates import AggregateFunction
 from repro.core.expansion import ExpansionSeeds, NearestFacilityExpansion
+from repro.core.kernel import ExpansionKernel, make_kernel_data_layer
 from repro.core.results import SkylineResult, TopKResult
 from repro.core.skyline import MCNSkylineSearch
 from repro.core.topk import MCNTopKSearch
 from repro.errors import FacilityError, QueryError
 from repro.network.accessor import FetchOnceCache, InMemoryAccessor
+from repro.network.compiled import CompiledGraph
 from repro.network.costs import dominates
 from repro.network.facilities import Facility, FacilityId, FacilitySet
 from repro.network.graph import MultiCostGraph
@@ -114,24 +116,52 @@ class _QueryDistanceMaps:
     what :class:`NearestFacilityExpansion` would report.
     """
 
-    def __init__(self, accessor: InMemoryAccessor, graph: MultiCostGraph, query: NetworkLocation):
+    def __init__(
+        self,
+        accessor: InMemoryAccessor,
+        graph: MultiCostGraph,
+        query: NetworkLocation,
+        compiled: CompiledGraph | None = None,
+    ):
         self._accessor = accessor
         self._graph = graph
+        self._compiled = compiled
         self._seeds = ExpansionSeeds.from_query(graph, query)
         self._settled: list[dict[int, float]] | None = None
 
     def _materialise(self) -> list[dict[int, float]]:
         if self._settled is None:
-            shared = FetchOnceCache(self._accessor)
             maps = []
-            for cost_index in range(self._graph.num_cost_types):
-                expansion = NearestFacilityExpansion(shared, self._seeds, cost_index)
-                # No candidates: the expansion drains the whole node heap
-                # without ever reading a facility file.
-                expansion.enter_candidate_mode({})
-                while expansion.next_facility() is not None:  # pragma: no cover - no candidates
-                    pass
-                maps.append(expansion.settled_costs)
+            if self._compiled is not None:
+                # The kernel fast path: candidate mode with no candidates
+                # drains the node heap over the CSR columns.  The charge
+                # layer mirrors the FetchOnceCache the legacy path uses, so
+                # the accessor counters move identically.  Deliberately no
+                # ensure_fresh(): settled distances depend only on the static
+                # arc columns, and the query-edge facility slots a possibly
+                # stale snapshot seeds are all discarded by the empty
+                # candidate set — skipping the refresh keeps per-update
+                # insertion pricing from rebuilding facility columns on
+                # every monitoring tick.
+                layer = make_kernel_data_layer(
+                    self._compiled, target=self._accessor, fetch_once=True
+                )
+                for cost_index in range(self._graph.num_cost_types):
+                    kernel = ExpansionKernel(layer, self._seeds, cost_index)
+                    kernel.enter_candidate_mode({})
+                    while kernel.next_facility() is not None:  # pragma: no cover - no candidates
+                        pass
+                    maps.append(kernel.settled_costs)
+            else:
+                shared = FetchOnceCache(self._accessor)
+                for cost_index in range(self._graph.num_cost_types):
+                    expansion = NearestFacilityExpansion(shared, self._seeds, cost_index)
+                    # No candidates: the expansion drains the whole node heap
+                    # without ever reading a facility file.
+                    expansion.enter_candidate_mode({})
+                    while expansion.next_facility() is not None:  # pragma: no cover - no candidates
+                        pass
+                    maps.append(expansion.settled_costs)
             self._settled = maps
         return self._settled
 
@@ -187,6 +217,7 @@ class _MaintainerBase:
         facilities: FacilitySet,
         query: NetworkLocation,
         accessor: InMemoryAccessor | None = None,
+        compiled: CompiledGraph | None = None,
     ):
         self._graph = graph
         self._facilities = facilities
@@ -195,10 +226,24 @@ class _MaintainerBase:
             accessor = InMemoryAccessor(graph, facilities)
         elif accessor.graph is not graph:
             raise QueryError("the accessor was built over a different graph")
+        if compiled is not None:
+            if compiled.graph is not graph:
+                raise QueryError("the compiled graph was built over a different graph")
+            if compiled.facilities is not facilities:
+                raise QueryError(
+                    "the compiled graph was built over a different facility set"
+                )
         self._accessor = accessor
-        self._distances = _QueryDistanceMaps(accessor, graph, query)
+        self._compiled = compiled
+        self._distances = _QueryDistanceMaps(accessor, graph, query, compiled)
         self._statistics = MaintenanceStatistics()
         self._stale = False
+
+    def _search_compiled(self) -> CompiledGraph | None:
+        """The compiled snapshot for a fallback search, refreshed if present."""
+        if self._compiled is None:
+            return None
+        return self._compiled.ensure_fresh()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -297,7 +342,7 @@ class _MaintainerBase:
         """Relocate the query point (always a fallback recomputation)."""
         query.validate(self._graph)
         self._query = query
-        self._distances = _QueryDistanceMaps(self._accessor, self._graph, query)
+        self._distances = _QueryDistanceMaps(self._accessor, self._graph, query, self._compiled)
         self._statistics.query_moves += 1
         if defer_recompute:
             self._stale = True
@@ -354,8 +399,9 @@ class SkylineMaintainer(_MaintainerBase):
         query: NetworkLocation,
         *,
         accessor: InMemoryAccessor | None = None,
+        compiled: CompiledGraph | None = None,
     ):
-        super().__init__(graph, facilities, query, accessor)
+        super().__init__(graph, facilities, query, accessor, compiled)
         self._skyline: dict[FacilityId, tuple[float, ...]] = {}
         self._recompute()
 
@@ -395,7 +441,11 @@ class SkylineMaintainer(_MaintainerBase):
     def _recompute(self) -> None:
         self._statistics.recomputations += 1
         search = MCNSkylineSearch(
-            self._accessor, self._graph, self._query, share_accesses=True
+            self._accessor,
+            self._graph,
+            self._query,
+            share_accesses=True,
+            compiled=self._search_compiled(),
         )
         self._install(search.run())
 
@@ -422,10 +472,11 @@ class TopKMaintainer(_MaintainerBase):
         k: int,
         *,
         accessor: InMemoryAccessor | None = None,
+        compiled: CompiledGraph | None = None,
     ):
         if k < 1:
             raise QueryError("k must be a positive integer")
-        super().__init__(graph, facilities, query, accessor)
+        super().__init__(graph, facilities, query, accessor, compiled)
         self._aggregate = aggregate
         self._k = k
         self._top: list[tuple[float, FacilityId, tuple[float, ...]]] = []
@@ -479,7 +530,13 @@ class TopKMaintainer(_MaintainerBase):
     def _recompute(self) -> None:
         self._statistics.recomputations += 1
         result = MCNTopKSearch(
-            self._accessor, self._graph, self._query, self._aggregate, self._k, share_accesses=True
+            self._accessor,
+            self._graph,
+            self._query,
+            self._aggregate,
+            self._k,
+            share_accesses=True,
+            compiled=self._search_compiled(),
         ).run()
         self._install(result)
 

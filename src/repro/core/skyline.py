@@ -29,9 +29,11 @@ from collections.abc import Iterator
 
 from repro.core.candidates import CandidateEntry, CandidatePool
 from repro.core.expansion import ExpansionSeeds, NearestFacilityExpansion
+from repro.core.kernel import ExpansionKernel, make_kernel_data_layer
 from repro.core.results import QueryStatistics, SkylineFacility, SkylineResult
 from repro.errors import QueryError
 from repro.network.accessor import FetchOnceCache, GraphAccessor
+from repro.network.compiled import CompiledGraph
 from repro.network.graph import MultiCostGraph
 from repro.network.location import NetworkLocation
 
@@ -92,6 +94,12 @@ class MCNSkylineSearch:
         Optional precomputed :class:`~repro.core.expansion.ExpansionSeeds`
         for ``query`` (memoised by the service); computed on the fly when
         omitted.
+    compiled:
+        Optional :class:`~repro.network.compiled.CompiledGraph` snapshot.
+        When given, the search runs its expansions on the columnar
+        :class:`~repro.core.kernel.ExpansionKernel` fast path instead of the
+        record-walking expansion — results and all I/O accounting are
+        bit-identical, only wall-clock changes.
     """
 
     def __init__(
@@ -105,6 +113,7 @@ class MCNSkylineSearch:
         probing: ProbingPolicy = ProbingPolicy.ROUND_ROBIN,
         data_layer: GraphAccessor | None = None,
         seeds: ExpansionSeeds | None = None,
+        compiled: CompiledGraph | None = None,
     ):
         if graph.num_cost_types != accessor.num_cost_types:
             raise QueryError("graph and accessor disagree on the number of cost types")
@@ -114,14 +123,24 @@ class MCNSkylineSearch:
         self._first_nn_shortcut = first_nn_shortcut
         self._share_accesses = share_accesses
         self._base_accessor = accessor
-        if data_layer is None:
-            data_layer = FetchOnceCache(accessor) if share_accesses else accessor
         if seeds is None:
             seeds = ExpansionSeeds.from_query(graph, query)
-        self._expansions = [
-            NearestFacilityExpansion(data_layer, seeds, index)
-            for index in range(accessor.num_cost_types)
-        ]
+        if compiled is not None:
+            layer = make_kernel_data_layer(
+                compiled, target=accessor, external=data_layer, fetch_once=share_accesses
+            )
+            self._expansions = [
+                ExpansionKernel(layer, seeds, index)
+                for index in range(accessor.num_cost_types)
+            ]
+            data_layer = layer
+        else:
+            if data_layer is None:
+                data_layer = FetchOnceCache(accessor) if share_accesses else accessor
+            self._expansions = [
+                NearestFacilityExpansion(data_layer, seeds, index)
+                for index in range(accessor.num_cost_types)
+            ]
         self._data_layer = data_layer
         self._pool = CandidatePool(accessor.num_cost_types)
         self._stage = _Stage.GROWING

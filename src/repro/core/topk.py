@@ -26,9 +26,11 @@ import time
 from repro.core.aggregates import AggregateFunction
 from repro.core.candidates import CandidateEntry, CandidatePool
 from repro.core.expansion import ExpansionSeeds, NearestFacilityExpansion
+from repro.core.kernel import ExpansionKernel, make_kernel_data_layer
 from repro.core.results import QueryStatistics, RankedFacility, TopKResult
 from repro.errors import QueryError
 from repro.network.accessor import FetchOnceCache, GraphAccessor
+from repro.network.compiled import CompiledGraph
 from repro.network.graph import MultiCostGraph
 from repro.network.location import NetworkLocation
 
@@ -49,6 +51,7 @@ class MCNTopKSearch:
         share_accesses: bool = False,
         data_layer: GraphAccessor | None = None,
         seeds: ExpansionSeeds | None = None,
+        compiled: CompiledGraph | None = None,
     ):
         if k < 1:
             raise QueryError("k must be a positive integer")
@@ -59,15 +62,25 @@ class MCNTopKSearch:
         self._aggregate = aggregate
         self._k = k
         self._base_accessor = accessor
-        if data_layer is None:
-            data_layer = FetchOnceCache(accessor) if share_accesses else accessor
-        self._data_layer: GraphAccessor = data_layer
         if seeds is None:
             seeds = ExpansionSeeds.from_query(graph, query)
-        self._expansions = [
-            NearestFacilityExpansion(self._data_layer, seeds, index)
-            for index in range(accessor.num_cost_types)
-        ]
+        if compiled is not None:
+            layer = make_kernel_data_layer(
+                compiled, target=accessor, external=data_layer, fetch_once=share_accesses
+            )
+            self._expansions = [
+                ExpansionKernel(layer, seeds, index)
+                for index in range(accessor.num_cost_types)
+            ]
+            self._data_layer = layer
+        else:
+            if data_layer is None:
+                data_layer = FetchOnceCache(accessor) if share_accesses else accessor
+            self._data_layer = data_layer
+            self._expansions = [
+                NearestFacilityExpansion(self._data_layer, seeds, index)
+                for index in range(accessor.num_cost_types)
+            ]
         self._pool = CandidatePool(accessor.num_cost_types)
         self._statistics = QueryStatistics()
         # Tentative result: facility id -> RankedFacility.
@@ -137,8 +150,13 @@ class MCNTopKSearch:
         for expansion in self._expansions:
             expansion.enter_candidate_mode(candidate_edges)
         active = [not expansion.exhausted for expansion in self._expansions]
-        while self._open_candidates():
-            self._deactivate(active)
+        # The pool cannot gain entries during shrinking (candidate mode only
+        # re-reports facilities already tracked), so the open set is filtered
+        # incrementally instead of rescanning the whole pool per iteration —
+        # membership at every decision point is identical to a fresh scan.
+        open_candidates = self._open_candidates()
+        while open_candidates:
+            self._deactivate(active, open_candidates)
             if not any(active):
                 break
             for index, expansion in enumerate(self._expansions):
@@ -154,7 +172,15 @@ class MCNTopKSearch:
                 if entry.is_pinned and not entry.eliminated:
                     self._statistics.facilities_pinned += 1
                     self._resolve_pinned_candidate(entry)
-            self._apply_lower_bound_pruning()
+            open_candidates = [
+                entry
+                for entry in open_candidates
+                if not entry.eliminated and not entry.is_pinned
+            ]
+            self._apply_lower_bound_pruning(open_candidates)
+            open_candidates = [
+                entry for entry in open_candidates if not entry.eliminated
+            ]
 
     def _open_candidates(self) -> list[CandidateEntry]:
         return [
@@ -163,8 +189,7 @@ class MCNTopKSearch:
             if not entry.eliminated and not entry.is_pinned
         ]
 
-    def _deactivate(self, active: list[bool]) -> None:
-        open_candidates = self._open_candidates()
+    def _deactivate(self, active: list[bool], open_candidates: list[CandidateEntry]) -> None:
         for index in range(len(self._expansions)):
             if not active[index]:
                 continue
@@ -198,12 +223,12 @@ class MCNTopKSearch:
     def _resolve_pinned_candidate(self, entry: CandidateEntry) -> None:
         self._admit(entry)
 
-    def _apply_lower_bound_pruning(self) -> None:
+    def _apply_lower_bound_pruning(self, open_candidates: list[CandidateEntry]) -> None:
         threshold = self._kth_score()
         if threshold == float("inf"):
             return
         frontiers = [expansion.head_key() for expansion in self._expansions]
-        for entry in self._open_candidates():
+        for entry in open_candidates:
             bound_vector = [
                 value if value is not None else frontiers[index]
                 for index, value in enumerate(entry.costs)

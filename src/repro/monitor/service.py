@@ -201,6 +201,14 @@ class MonitoringService:
     shard_fallback_threshold:
         Minimum number of stale subscriptions before sharding the fallback
         pass (the pool is not worth spinning up for one or two queries).
+    compiled:
+        Columnar fast-path toggle, forwarded to the shared
+        :class:`~repro.MCNQueryEngine`.  When enabled, insertion pricing
+        (:class:`~repro.core.maintenance.SkylineMaintainer` distance maps)
+        and the batched end-of-tick CEA pass run on the
+        :class:`~repro.core.kernel.ExpansionKernel`; the compiled facility
+        columns refresh automatically as ticks mutate the set.  ``None``
+        (default) consults the ``REPRO_COMPILED`` environment toggle.
     """
 
     def __init__(
@@ -210,6 +218,7 @@ class MonitoringService:
         *,
         parallel: ParallelExecution | None = None,
         shard_fallback_threshold: int = 4,
+        compiled: bool | None = None,
     ):
         if facilities.graph is not graph:
             raise QueryError("facility set was built for a different graph")
@@ -217,7 +226,7 @@ class MonitoringService:
             raise QueryError("shard_fallback_threshold must be a positive integer")
         self._graph = graph
         self._facilities = facilities
-        self._engine = MCNQueryEngine(graph, facilities)
+        self._engine = MCNQueryEngine(graph, facilities, compiled=compiled)
         self._accessor = self._engine.accessor
         self._parallel = parallel
         self._shard_threshold = shard_fallback_threshold
@@ -298,9 +307,14 @@ class MonitoringService:
         identical answers anyway).
         """
         validate_request(self._engine, request)
+        compiled = self._engine.compiled_graph
         if isinstance(request, SkylineRequest):
             maintainer: SkylineMaintainer | TopKMaintainer = SkylineMaintainer(
-                self._graph, self._facilities, request.location, accessor=self._accessor
+                self._graph,
+                self._facilities,
+                request.location,
+                accessor=self._accessor,
+                compiled=compiled,
             )
         else:
             aggregate = self._engine.resolve_aggregate(request.aggregate, request.weights)
@@ -311,6 +325,7 @@ class MonitoringService:
                 aggregate,
                 request.k,
                 accessor=self._accessor,
+                compiled=compiled,
             )
         subscription_id = self._next_sid
         self._next_sid += 1

@@ -9,6 +9,7 @@ from repro.network.accessor import (
     InMemoryAccessor,
 )
 from repro.network.builder import graph_from_edge_list, validate_graph
+from repro.network.compiled import CompiledGraph
 from repro.network.costs import CostVector, dominates, dominates_or_equal
 from repro.network.dijkstra import (
     all_facility_cost_vectors,
@@ -26,6 +27,7 @@ from repro.network.paths import Path
 __all__ = [
     "AccessStatistics",
     "AdjacencyRecord",
+    "CompiledGraph",
     "CostVector",
     "Edge",
     "EdgeId",

@@ -7,6 +7,7 @@ pro-rated by the offset, exactly as described in Section III of the paper.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Iterator, Mapping
 
@@ -16,6 +17,11 @@ from repro.network.graph import EdgeId, MultiCostGraph
 __all__ = ["Facility", "FacilitySet"]
 
 FacilityId = int
+
+# How many recent mutations a set remembers for incremental snapshot
+# refreshes; a consumer further behind than this falls back to a full
+# rebuild.  Bounds the log's memory on unbounded update streams.
+_CHANGELOG_LIMIT = 1024
 
 
 @dataclass(frozen=True)
@@ -45,6 +51,8 @@ class FacilitySet:
         self._graph = graph
         self._facilities: dict[FacilityId, Facility] = {}
         self._by_edge: dict[EdgeId, list[FacilityId]] = {}
+        self._revision = 0
+        self._log: deque[Facility] = deque(maxlen=_CHANGELOG_LIMIT)
         for facility in facilities:
             self.add(facility)
 
@@ -52,6 +60,39 @@ class FacilitySet:
     def graph(self) -> MultiCostGraph:
         """The graph these facilities live on."""
         return self._graph
+
+    @property
+    def revision(self) -> int:
+        """Monotone mutation counter (bumped by every :meth:`add` / :meth:`remove`).
+
+        Snapshot consumers — the compiled-graph fast path — record the
+        revision they were derived from and rebuild their facility columns
+        when it moved, so a mutated set can never be queried through a stale
+        snapshot.
+        """
+        return self._revision
+
+    def changed_facilities_since(self, revision: int) -> list[Facility] | None:
+        """The facilities touched by every mutation after ``revision``.
+
+        Each :meth:`add` / :meth:`remove` logs the facility it touched
+        (revisions advance by exactly one per mutation).  Returns the
+        touched facilities in mutation order, or ``None`` when ``revision``
+        is further behind than the bounded changelog reaches — the caller
+        must then rebuild from scratch.  Used by
+        :meth:`repro.network.compiled.CompiledGraph.ensure_fresh` to refresh
+        only the edges a tick actually mutated.
+        """
+        if revision > self._revision:
+            raise FacilityError(
+                f"revision {revision} is ahead of the set's revision {self._revision}"
+            )
+        needed = self._revision - revision
+        if needed == 0:
+            return []
+        if needed > len(self._log):
+            return None
+        return list(self._log)[-needed:]
 
     def validate_placement(self, facility: Facility) -> None:
         """Raise :class:`FacilityError` when the placement is invalid.
@@ -87,6 +128,8 @@ class FacilitySet:
         self.validate_new(facility)
         self._facilities[facility.facility_id] = facility
         self._by_edge.setdefault(facility.edge_id, []).append(facility.facility_id)
+        self._revision += 1
+        self._log.append(facility)
 
     def add_on_edge(
         self,
@@ -113,6 +156,8 @@ class FacilitySet:
             self._by_edge[facility.edge_id] = remaining
         else:
             del self._by_edge[facility.edge_id]
+        self._revision += 1
+        self._log.append(facility)
         return facility
 
     def __len__(self) -> int:

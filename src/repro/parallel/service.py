@@ -188,8 +188,17 @@ class _ServiceKnobs:
 
 
 def _make_worker_service(engine: MCNQueryEngine, knobs: _ServiceKnobs) -> QueryService:
+    # Workers adopt the parent engine's CompiledGraph instead of re-reading
+    # (or re-compiling) the network per worker: the snapshot is immutable, so
+    # fork workers inherit it copy-on-write and thread workers read it
+    # concurrently, while every worker still charges its own snapshot-view
+    # buffer and counters.  With no parent snapshot this passes None, which
+    # defers to the per-engine default (the REPRO_COMPILED environment toggle).
     worker_engine = MCNQueryEngine(
-        engine.graph, engine.facilities, accessor=_snapshot_accessor(engine)
+        engine.graph,
+        engine.facilities,
+        accessor=_snapshot_accessor(engine),
+        compiled=engine.compiled_graph,
     )
     return QueryService(
         worker_engine,
@@ -355,6 +364,13 @@ class ShardedQueryService:
         """
         for request in requests:
             validate_request(self._engine, request)
+        if self._engine.compiled_graph is not None:
+            # Refresh the shared snapshot once, here in the caller's thread,
+            # before any worker exists.  The facility set is frozen for the
+            # duration of the batch, so every worker's own ensure_fresh()
+            # is then a no-op revision check — without this, thread-executor
+            # workers could race to patch the same stale snapshot mid-search.
+            self._engine.compiled_graph.ensure_fresh()
         start = time.perf_counter()
         plan = self.plan(requests)
         if not plan.shards:

@@ -110,21 +110,42 @@ class StaticBPlusTree:
             self._height += 1
         return level[0][1]
 
+    def _traverse(self, key: int, read) -> tuple[list[int], object]:
+        """Root-to-leaf descent for ``key``: the visited page ids and the value.
+
+        ``read`` supplies each page — the buffered (counted) reader for live
+        lookups, :meth:`SimulatedDisk.peek` for plan extraction — so both
+        callers share one descent and can never diverge.  Raises
+        :class:`StorageError` when the key is absent.
+        """
+        if self._root_page_id is None:
+            raise StorageError(f"key {key} not found in empty index")
+        path: list[int] = []
+        page_id = self._root_page_id
+        while True:
+            path.append(page_id)
+            record = read(page_id).records[0]
+            if isinstance(record, _LeafRecord):
+                position = bisect.bisect_left(record.keys, key)
+                if position < len(record.keys) and record.keys[position] == key:
+                    return path, record.values[position]
+                raise StorageError(f"key {key} not found in index")
+            child_index = bisect.bisect_right(record.separators, key)
+            page_id = record.children[child_index]
+
     def lookup(self, key: int, buffer: LRUBufferPool) -> object:
         """Return the value stored under ``key``; every page visited is a buffered read.
 
         Raises :class:`StorageError` when the key is absent.
         """
-        if self._root_page_id is None:
-            raise StorageError(f"key {key} not found in empty index")
-        page_id = self._root_page_id
-        while True:
-            page = buffer.read(page_id)
-            record = page.records[0]
-            if isinstance(record, _LeafRecord):
-                position = bisect.bisect_left(record.keys, key)
-                if position < len(record.keys) and record.keys[position] == key:
-                    return record.values[position]
-                raise StorageError(f"key {key} not found in index")
-            child_index = bisect.bisect_right(record.separators, key)
-            page_id = record.children[child_index]
+        return self._traverse(key, buffer.read)[1]
+
+    def path_pages(self, key: int) -> tuple[int, ...]:
+        """The root-to-leaf page ids a :meth:`lookup` of ``key`` would read.
+
+        The tree is static, so the path is fixed at build time; the compiled
+        graph precomputes it per key and replays it through a buffer pool to
+        charge exactly the page reads a live traversal would cost.  Reads go
+        through :meth:`SimulatedDisk.peek`, so no counter moves here.
+        """
+        return tuple(self._traverse(key, self._disk.peek)[0])

@@ -72,6 +72,18 @@ class SimulatedDisk:
             self._stats.page_reads += 1
         return page
 
+    def peek(self, page_id: int) -> Page:
+        """Read a page without touching any counter.
+
+        Used only at *build* time — the compiled-graph snapshot walks the
+        index trees once to precompute per-request page plans, and that walk
+        must not perturb the physical-read accounting the experiments measure.
+        """
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise StorageError(f"unknown page {page_id}") from None
+
     def pages_of_kind(self, kind: PageKind) -> int:
         """Number of pages of a given kind (used to size the LRU buffer)."""
         return sum(1 for page in self._pages.values() if page.kind is kind)

@@ -212,6 +212,32 @@ class NetworkStorage:
             raise StorageError(f"facility {facility_id} not present in the facility tree") from None
         return edge_id
 
+    # ------------------------------------------------------------------ #
+    # Page plans (the compiled-graph fast path)
+    # ------------------------------------------------------------------ #
+    # Every accessor request touches a fixed page sequence: the files and
+    # index trees are bulk-loaded and never mutated, so the sequence can be
+    # precomputed once and replayed through any buffer pool.  Replaying a
+    # plan performs exactly the buffered reads the record-materialising read
+    # path performs — same pages, same order — which is how the expansion
+    # kernel keeps page-read/buffer-hit counters bit-identical without
+    # scanning page records.  Plan extraction itself reads via
+    # :meth:`SimulatedDisk.peek` and moves no counter.
+
+    def adjacency_page_plan(self, node_id: NodeId) -> tuple[int, ...]:
+        """Page ids an :meth:`adjacency` request for ``node_id`` reads, in order."""
+        return self._adjacency_tree.path_pages(node_id) + self._adjacency_layout.node_pages.get(
+            node_id, ()
+        )
+
+    def facility_page_plan(self, edge_id: EdgeId) -> tuple[int, ...]:
+        """Page ids an :meth:`edge_facilities` request for ``edge_id`` reads, in order."""
+        return self._facility_layout.edge_pages.get(edge_id, ())
+
+    def facility_tree_page_plan(self, facility_id: FacilityId) -> tuple[int, ...]:
+        """Page ids a :meth:`facility_edge` request for ``facility_id`` reads, in order."""
+        return self._facility_tree.path_pages(facility_id)
+
     def snapshot_view(self, *, buffer_capacity: int | None = None) -> "StorageSnapshotView":
         """A read-only view sharing this storage's pages but owning its buffer.
 

@@ -1,0 +1,202 @@
+"""Structure tests of the CSR snapshot (:mod:`repro.network.compiled`).
+
+The differential suite proves the kernel behaves like the legacy expansion;
+these tests pin the snapshot itself: CSR columns mirror the accessor's
+record order, page plans replay the exact buffered reads a live request
+performs, and the charge-layer factory rejects mismatched pairings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kernel import (
+    DirectChargeLayer,
+    FetchOnceChargeLayer,
+    ForwardingLayer,
+    make_kernel_data_layer,
+)
+from repro.datagen import WorkloadSpec, make_workload
+from repro.errors import QueryError
+from repro.network.accessor import InMemoryAccessor
+from repro.network.compiled import CompiledGraph
+from repro.network.facilities import FacilitySet
+from repro.service import CrossQueryExpansionCache
+from repro.storage.scheme import NetworkStorage
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(
+        WorkloadSpec(num_nodes=160, num_facilities=45, num_cost_types=3, num_queries=2, seed=13)
+    )
+
+
+@pytest.fixture(scope="module")
+def accessor(workload):
+    return InMemoryAccessor(workload.graph, workload.facilities)
+
+
+@pytest.fixture(scope="module")
+def compiled(accessor):
+    return CompiledGraph.from_accessor(accessor)
+
+
+class TestTopologyColumns:
+    def test_arcs_mirror_accessor_adjacency_order(self, workload, compiled):
+        probe = InMemoryAccessor(workload.graph, workload.facilities)
+        for node_id in workload.graph.node_ids():
+            node_idx = compiled.node_index[node_id]
+            start = compiled.arc_indptr[node_idx]
+            end = compiled.arc_indptr[node_idx + 1]
+            records = probe.adjacency(node_id)
+            assert end - start == len(records)
+            for arc, record in zip(range(start, end), records):
+                assert compiled.node_ids[compiled.arc_neighbor[arc]] == record.neighbor
+                assert compiled.edge_ids[compiled.arc_edge[arc]] == record.edge_id
+                for cost_index in range(compiled.num_cost_types):
+                    assert compiled.arc_costs[cost_index][arc] == record.costs[cost_index]
+                edge = workload.graph.edge(record.edge_id)
+                assert bool(compiled.arc_forward[arc]) == (node_id == edge.u)
+
+    def test_facility_buckets_mirror_edge_facilities(self, workload, compiled):
+        probe = InMemoryAccessor(workload.graph, workload.facilities)
+        for edge in workload.graph.edges():
+            records = probe.edge_facilities(edge.edge_id)
+            bucket = compiled.edge_facility_records(compiled.edge_index[edge.edge_id])
+            assert list(bucket) == records
+
+    def test_hot_facility_deltas_match_legacy_arithmetic(self, workload, compiled):
+        # delta must be exactly edge_cost * (offset / length) — the legacy
+        # expansion's expression, evaluated at build time.
+        for cost_index in range(compiled.num_cost_types):
+            table = compiled.hot_facilities(cost_index)
+            for edge in workload.graph.edges():
+                edge_idx = compiled.edge_index[edge.edge_id]
+                for fid, delta, record in table[edge_idx * 2 + 1]:
+                    fraction = record.offset / edge.length if edge.length > 0 else 0.0
+                    assert delta == edge.costs.values[cost_index] * fraction
+                    assert fid == record.facility_id
+
+    def test_memoryviews_and_describe(self, compiled, workload):
+        views = compiled.memoryview_columns()
+        assert len(views["node_ids"]) == workload.graph.num_nodes
+        assert len(views["fac_ids"]) == len(workload.facilities)
+        summary = compiled.describe()
+        assert summary["nodes"] == workload.graph.num_nodes
+        assert summary["facilities"] == len(workload.facilities)
+        assert summary["page_plans"] is False
+
+
+class TestPagePlans:
+    def test_plan_replay_equals_live_request_io(self, workload):
+        storage = NetworkStorage.build(
+            workload.graph, workload.facilities, page_size=1024, buffer_fraction=0.01
+        )
+        compiled = CompiledGraph.from_accessor(storage)
+        assert compiled.has_page_plans
+        # Two fresh snapshot views: one serves real requests, the other
+        # replays the plans.  Buffer statistics must agree exactly.
+        live = storage.snapshot_view()
+        replay = storage.snapshot_view()
+        some_nodes = list(workload.graph.node_ids())[:25]
+        some_edges = [edge.edge_id for edge in workload.graph.edges()][:25]
+        some_facilities = [facility.facility_id for facility in workload.facilities][:10]
+        for node_id in some_nodes:
+            live.adjacency(node_id)
+            for page_id in compiled.adjacency_plans[compiled.node_index[node_id]]:
+                replay.buffer.read(page_id)
+        for edge_id in some_edges:
+            live.edge_facilities(edge_id)
+            for page_id in compiled.facility_plans[compiled.edge_index[edge_id]]:
+                replay.buffer.read(page_id)
+        for facility_id in some_facilities:
+            live.facility_edge(facility_id)
+            for page_id in compiled.facility_tree_plans[facility_id]:
+                replay.buffer.read(page_id)
+        assert replay.buffer.statistics.requests == live.buffer.statistics.requests
+        assert replay.buffer.statistics.hits == live.buffer.statistics.hits
+        assert replay.buffer.statistics.misses == live.buffer.statistics.misses
+
+    def test_compiling_does_not_touch_counters(self, workload):
+        storage = NetworkStorage.build(workload.graph, workload.facilities, page_size=1024)
+        before_reads = storage.disk.statistics.page_reads
+        before_stats = storage.statistics.snapshot()
+        CompiledGraph.from_accessor(storage)
+        assert storage.disk.statistics.page_reads == before_reads
+        after = storage.statistics
+        assert after.adjacency_requests == before_stats.adjacency_requests
+        assert after.page_reads == before_stats.page_reads
+        assert after.buffer_hits == before_stats.buffer_hits
+
+
+class TestLayerFactory:
+    def test_layer_kinds(self, compiled, accessor):
+        assert isinstance(
+            make_kernel_data_layer(compiled, target=accessor), DirectChargeLayer
+        )
+        assert isinstance(
+            make_kernel_data_layer(compiled, target=accessor, fetch_once=True),
+            FetchOnceChargeLayer,
+        )
+        cache = CrossQueryExpansionCache(accessor)
+        assert isinstance(
+            make_kernel_data_layer(compiled, target=accessor, external=cache),
+            ForwardingLayer,
+        )
+
+    def test_mismatched_storage_rejected(self, workload, compiled, accessor):
+        storage = NetworkStorage.build(workload.graph, workload.facilities, page_size=1024)
+        with pytest.raises(QueryError):
+            make_kernel_data_layer(compiled, target=storage)
+        disk_compiled = CompiledGraph.from_accessor(storage)
+        with pytest.raises(QueryError):
+            make_kernel_data_layer(disk_compiled, target=accessor)
+        other = NetworkStorage.build(workload.graph, workload.facilities, page_size=1024)
+        with pytest.raises(QueryError):
+            make_kernel_data_layer(disk_compiled, target=other)
+
+    def test_unsupported_source_rejected(self, accessor):
+        cache = CrossQueryExpansionCache(accessor)
+        with pytest.raises(QueryError):
+            CompiledGraph.from_accessor(cache)
+
+    def test_engine_rejects_foreign_snapshot(self, workload, compiled):
+        from repro.core.engine import MCNQueryEngine
+
+        other_facilities = FacilitySet(workload.graph, iter(workload.facilities))
+        with pytest.raises(QueryError):
+            MCNQueryEngine(workload.graph, other_facilities, compiled=compiled)
+        # Same graph AND same facility set: adopted fine.
+        engine = MCNQueryEngine(workload.graph, workload.facilities, compiled=compiled)
+        assert engine.compiled_graph is compiled
+
+
+class TestFreshnessGuards:
+    def test_topology_change_is_rejected(self):
+        workload = make_workload(
+            WorkloadSpec(num_nodes=60, num_facilities=15, num_cost_types=2, num_queries=1, seed=3)
+        )
+        facilities = FacilitySet(workload.graph, iter(workload.facilities))
+        compiled = CompiledGraph(workload.graph, facilities)
+        nodes = list(workload.graph.node_ids())
+        workload.graph.add_node(max(nodes) + 1)
+        with pytest.raises(QueryError):
+            compiled.ensure_fresh()
+
+    def test_changelog_overflow_falls_back_to_full_rebuild(self):
+        workload = make_workload(
+            WorkloadSpec(num_nodes=60, num_facilities=15, num_cost_types=2, num_queries=1, seed=4)
+        )
+        facilities = FacilitySet(workload.graph, iter(workload.facilities))
+        compiled = CompiledGraph(workload.graph, facilities)
+        edge_id = next(iter(workload.graph.edges())).edge_id
+        # Blow straight past the bounded changelog.
+        for index in range(1200):
+            facilities.add_on_edge(10_000 + index, edge_id, offset=0.0)
+            facilities.remove(10_000 + index)
+        assert facilities.changed_facilities_since(compiled.facilities_revision) is None
+        compiled.ensure_fresh()
+        rebuilt = CompiledGraph(workload.graph, facilities)
+        assert compiled.facility_edge_of == rebuilt.facility_edge_of
+        assert compiled.hot_facilities(0) == rebuilt.hot_facilities(0)

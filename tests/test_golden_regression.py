@@ -30,7 +30,7 @@ def load_fixture(path: Path) -> dict:
     return json.loads(path.read_text())
 
 
-def build_engine(fixture: dict) -> MCNQueryEngine:
+def build_engine(fixture: dict, *, compiled: bool = False) -> MCNQueryEngine:
     workload = make_workload(workload_spec_from_payload(fixture["workload"]))
     storage = NetworkStorage.build(
         workload.graph,
@@ -38,7 +38,9 @@ def build_engine(fixture: dict) -> MCNQueryEngine:
         page_size=fixture["page_size"],
         buffer_fraction=fixture["buffer_fraction"],
     )
-    return MCNQueryEngine(workload.graph, workload.facilities, storage=storage)
+    return MCNQueryEngine(
+        workload.graph, workload.facilities, storage=storage, compiled=compiled
+    )
 
 
 def observed_payload(request, result) -> dict:
@@ -105,3 +107,19 @@ class TestGoldenReplay:
         fixture = load_fixture(path)
         requests = decode_requests(fixture["requests"])
         assert encode_requests(requests) == fixture["requests"]
+
+    def test_fast_path_replay_is_bit_identical(self, path):
+        """The compiled-kernel fast path must reproduce every golden fixture
+        exactly — answers AND the pinned page-read/buffer-hit totals."""
+        fixture = load_fixture(path)
+        engine = build_engine(fixture, compiled=True)
+        assert engine.compiled_graph is not None and engine.compiled_graph.has_page_plans
+        requests = decode_requests(fixture["requests"])
+        report = QueryService(engine).run_batch(requests)
+        expected = fixture["expected"]
+        for outcome, expected_result in zip(report.outcomes, expected["results"]):
+            assert_results_match(
+                expected_result, observed_payload(outcome.request, outcome.result)
+            )
+        assert report.io.page_reads == expected["page_reads"]
+        assert report.io.buffer_hits == expected["buffer_hits"]

@@ -1,0 +1,106 @@
+"""The perf-baseline harness (``bench perf``) and the driver's fast-path runs."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.driver import ReplaySpec, format_replay_report, replay_workload
+from repro.bench.perf import (
+    HEADLINE_CASE,
+    PERF_SCHEMA,
+    format_perf_report,
+    run_perf_suite,
+    write_perf_report,
+)
+from repro.cli import main
+from repro.datagen import WorkloadSpec
+
+
+class TestPerfSuite:
+    def test_smoke_suite_verifies_and_serialises(self, tmp_path):
+        report = run_perf_suite(smoke=True, repeats=1)
+        # The harness is itself a differential check: every case must agree
+        # between the accessor path and the kernel on results and I/O.
+        assert report.all_identical
+        assert report.all_io_identical
+        assert report.headline.name == HEADLINE_CASE
+        names = [case.name for case in report.cases]
+        assert names == [
+            "replay_lsa_memory",
+            "replay_cea_memory",
+            "replay_cea_disk",
+            "batched_service",
+            "sharded_service",
+            "monitor_tick",
+        ]
+        for case in report.cases:
+            assert case.legacy.samples_ms and case.fast.samples_ms
+            assert case.speedup_median > 0
+            assert case.legacy.heap_pops == case.fast.heap_pops
+            assert case.legacy.logical_requests == case.fast.logical_requests
+            assert case.legacy.page_reads == case.fast.page_reads
+        path = tmp_path / "bench.json"
+        write_perf_report(report, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == PERF_SCHEMA
+        assert payload["smoke"] is True
+        assert payload["headline"]["case"] == HEADLINE_CASE
+        assert payload["all_identical_results"] is True
+        assert payload["all_io_identical"] is True
+        assert len(payload["cases"]) == 6
+        text = format_perf_report(report)
+        assert HEADLINE_CASE in text
+        assert "I/O accounting identical" in text
+
+    def test_cli_bench_perf_smoke(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_smoke.json"
+        exit_code = main(["bench", "perf", "--smoke", "--output", str(output)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "headline" in captured
+        assert json.loads(output.read_text())["schema"] == PERF_SCHEMA
+
+    def test_cli_bench_perf_can_skip_writing(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        exit_code = main(["bench", "perf", "--smoke", "--repeats", "1", "--output", "-"])
+        assert exit_code == 0
+        assert not (tmp_path / "BENCH_4.json").exists()
+
+
+class TestDriverFastPath:
+    def test_replay_reports_fast_runs_side_by_side(self):
+        spec = ReplaySpec(
+            workload=WorkloadSpec(
+                num_nodes=150, num_facilities=50, num_cost_types=2, num_queries=8, seed=19
+            ),
+            page_size=1024,
+            fast_path=True,
+        )
+        report = replay_workload(spec)
+        assert report.identical_results
+        assert report.counters_consistent
+        assert report.fast_one_shot is not None and report.fast_batched is not None
+        assert report.fast_one_shot.page_reads == report.one_shot.page_reads
+        assert report.fast_batched.page_reads == report.batched.page_reads
+        assert report.fast_path_speedup is not None and report.fast_path_speedup > 0
+        labels = [measurement.label for measurement in report.measurements]
+        assert labels == ["one-shot", "batched", "one-shot*", "batched*"]
+        text = format_replay_report(report)
+        assert "fast path (*)" in text
+
+    def test_cli_serve_batch_fast_path(self, capsys):
+        exit_code = main(
+            [
+                "serve-batch",
+                "--nodes", "120",
+                "--facilities", "40",
+                "--queries", "6",
+                "--seed", "3",
+                "--page-size", "1024",
+                "--fast-path",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "one-shot*" in captured
+        assert "fast path (*)" in captured
