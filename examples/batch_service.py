@@ -1,9 +1,12 @@
-"""Batch service: serve a whole workload of queries from one shared engine.
+"""Batch service: serve a whole workload of queries from one shared session.
 
 Beyond the paper's per-query evaluation, the service layer executes a trace
 of mixed skyline / top-k requests through one cross-query expansion cache:
 records fetched for an early query are reused by every later one, and exact
 repeats are answered from a result memo without touching the disk at all.
+The :class:`~repro.api.Session` facade fronts that machinery — callers pick
+the behaviour with an :class:`~repro.api.ExecutionPolicy` instead of wiring
+engines and services by hand.
 
 Run with::
 
@@ -12,7 +15,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import MCNQueryEngine, QueryService, SkylineRequest, TopKRequest
+from repro import SkylineRequest, TopKRequest
+from repro.api import ExecutionPolicy, Session
 from repro.bench.driver import ReplaySpec, format_replay_report, replay_workload
 from repro.datagen import WorkloadSpec, make_workload
 
@@ -22,33 +26,39 @@ def main() -> None:
         num_nodes=400, num_facilities=150, num_cost_types=3, num_queries=30, seed=17
     )
     workload = make_workload(spec)
-    engine = MCNQueryEngine(workload.graph, workload.facilities, use_disk=True, page_size=1024)
-    service = QueryService(engine)
+    session = Session(
+        workload.graph,
+        workload.facilities,
+        policy=ExecutionPolicy(residency="disk", page_size=1024),
+    )
 
-    print("=== Streaming interface: submit(), then drain() ===")
-    for index, query in enumerate(workload.queries[:6]):
-        if index % 2 == 0:
-            service.submit(SkylineRequest(query))
-        else:
-            service.submit(TopKRequest(query, k=3, weights=(0.5, 0.3, 0.2)))
-    print(f"pending requests: {service.pending_count}")
-    for outcome in service.drain():
-        kind = "skyline" if isinstance(outcome.request, SkylineRequest) else "top-k"
+    print("=== One batch through the session's shared expansion cache ===")
+    requests = [
+        SkylineRequest(q) if index % 2 == 0 else TopKRequest(q, k=3, weights=(0.5, 0.3, 0.2))
+        for index, q in enumerate(workload.queries[:6])
+    ]
+    batch = session.run_batch(requests)
+    for response in batch:
         print(
-            f"  ticket {outcome.ticket} ({kind}): {len(outcome.result)} facilities, "
-            f"{outcome.io.page_reads} page reads, {outcome.elapsed_seconds * 1000:.2f} ms"
+            f"  ticket {response.ticket} ({response.kind}): {len(response)} facilities, "
+            f"{response.io.page_reads} page reads, {response.elapsed_seconds * 1000:.2f} ms"
         )
-    print(f"cache after the stream: {service.cache.describe()}")
+    print(f"batch totals: {batch.describe()}")
 
     print()
-    print("=== Re-submitting the same queries: answered from the result memo ===")
-    tickets = [service.submit(SkylineRequest(q)) for q in workload.queries[:6:2]]
-    outcomes = service.drain()
-    for ticket, outcome in zip(tickets, outcomes):
+    print("=== Re-running the same queries: answered from the result memo ===")
+    for response in session.run_batch(requests[:3]):
         print(
-            f"  ticket {ticket}: memo hit = {outcome.served_from_memo}, "
-            f"{outcome.io.page_reads} page reads"
+            f"  ticket {response.ticket}: memo hit = {response.served_from_memo}, "
+            f"{response.io.page_reads} page reads"
         )
+
+    print()
+    print("=== The same batch sharded across two workers (policy override) ===")
+    sharded = session.run_batch(
+        requests, policy=session.policy.replace(workers=2, executor="thread")
+    )
+    print(f"sharded totals: {sharded.describe()}")
 
     print()
     print("=== Replay driver: one-shot engine calls vs the batch service ===")

@@ -2,10 +2,11 @@
 
 The paper's Section VII names incremental maintenance under facility and
 query updates as the key open extension.  This example registers skyline and
-top-k subscriptions with the :class:`~repro.MonitoringService`, feeds it a
-synthetic update stream (inserts, deletes, a query relocation), and prints
-the per-tick delta reports — which facilities entered or left each result —
-plus the incremental-vs-fallback maintenance accounting.
+top-k subscriptions through the :class:`~repro.api.Session` facade, feeds
+the returned :class:`~repro.api.MonitorHandle` a synthetic update stream
+(inserts, deletes, a query relocation), and prints the per-tick delta
+reports — which facilities entered or left each result — plus the
+incremental-vs-fallback maintenance accounting.
 
 Run with::
 
@@ -14,7 +15,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import MonitoringService, SkylineRequest, TopKRequest
+from repro import SkylineRequest, TopKRequest
+from repro.api import Session
 from repro.bench.driver import MonitorReplaySpec, format_monitor_report, replay_update_stream
 from repro.datagen import UpdateStreamSpec, WorkloadSpec, make_update_stream, make_workload
 
@@ -26,11 +28,16 @@ def main() -> None:
     workload = make_workload(spec)
 
     print("=== Subscriptions over a live facility set ===")
-    service = MonitoringService(workload.graph, workload.facilities)
-    sky = service.subscribe(SkylineRequest(workload.queries[0]))
-    top = service.subscribe(TopKRequest(workload.queries[1], k=4, weights=(0.5, 0.3, 0.2)))
-    print(f"skyline subscription {sky}: {sorted(service.result_signature(sky))}")
-    print(f"top-4 subscription {top}:   {sorted(service.result_signature(top))}")
+    session = Session(workload.graph, workload.facilities)
+    handle = session.monitor(
+        [
+            SkylineRequest(workload.queries[0]),
+            TopKRequest(workload.queries[1], k=4, weights=(0.5, 0.3, 0.2)),
+        ]
+    )
+    sky, top = handle.subscription_ids
+    print(f"skyline subscription {sky}: {sorted(handle.result_signature(sky))}")
+    print(f"top-4 subscription {top}:   {sorted(handle.result_signature(top))}")
 
     stream = make_update_stream(
         workload.graph,
@@ -38,18 +45,16 @@ def main() -> None:
         UpdateStreamSpec(num_ticks=5, updates_per_tick=4, seed=3),
         subscription_ids=[sky, top],
     )
-    print(f"\nstream: {len(stream)} ticks, {stream.num_updates} updates "
-          f"({service.ticks_applied} applied so far)")
-    for tick in stream:
-        report = service.apply_tick(tick)
-        for delta in report.deltas:
+    print(f"\nstream: {len(stream)} ticks, {stream.num_updates} updates")
+    for response in handle.run(stream):
+        for delta in response.deltas:
             if delta.changed:
                 print(
-                    f"  tick {report.index} sub {delta.subscription_id} ({delta.kind}): "
+                    f"  tick {response.index} sub {delta.subscription_id} ({delta.kind}): "
                     f"+{list(delta.entered)} -{list(delta.left)} "
                     f"~{list(delta.rescored)} -> {delta.size} facilities"
                 )
-    counters = service.statistics
+    counters = handle.statistics
     print(
         f"\nmaintenance paths: {counters.incremental_updates} incremental, "
         f"{counters.recomputations} recomputations "

@@ -12,6 +12,7 @@ Run with::
 from __future__ import annotations
 
 from repro import FacilitySet, MCNQueryEngine, MultiCostGraph, NetworkLocation
+from repro.api import ExecutionPolicy, Session
 
 
 def build_network() -> tuple[MultiCostGraph, FacilitySet]:
@@ -76,6 +77,18 @@ def main() -> None:
         print(f"  next best: facility {item.facility_id} with aggregate cost {item.score:.2f}")
         if rank == len(facilities):
             break
+
+    print()
+    print("=== The same queries through the Session facade ===")
+    # A Session owns the dataset and picks the execution stack from a
+    # declarative policy — here the disk-resident layer, so responses
+    # additionally report page reads.
+    session = Session(graph, facilities, policy=ExecutionPolicy(residency="disk"))
+    response = session.skyline(port)
+    print(f"  skyline: {len(response)} facilities, {response.io.page_reads} page reads")
+    response = session.top_k(port, k=2, weights=[0.9, 0.1])
+    ranking = ", ".join(f"{item.facility_id} ({item.score:.2f})" for item in response.result)
+    print(f"  top-2 under 0.9*time + 0.1*dollars: {ranking}")
 
 
 if __name__ == "__main__":

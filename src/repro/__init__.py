@@ -4,64 +4,70 @@ A from-scratch reproduction of Mouratidis, Lin & Yiu, "Preference Queries in
 Large Multi-Cost Transportation Networks" (ICDE 2010): skyline and top-k
 queries over facilities located on a road network whose edges carry multiple
 cost types, processed with the Local Search Algorithm (LSA) and the Combined
-Expansion Algorithm (CEA) over a disk-resident storage scheme — plus a
-service layer (:mod:`repro.service`) that executes whole batches of queries
-against one shared engine through a cross-query expansion cache.
+Expansion Algorithm (CEA) over a disk-resident storage scheme — grown into a
+query-serving system with batched, sharded-parallel and continuously
+monitored execution.
 
-Typical single-query usage::
+The public entry point is the :mod:`repro.api` facade: one
+:class:`~repro.api.Session` owns the dataset, one declarative
+:class:`~repro.api.ExecutionPolicy` (frozen, JSON-serialisable) says how to
+execute, and every call returns a uniform response envelope::
 
-    from repro import MCNQueryEngine, NetworkLocation
+    from repro import SkylineRequest, TopKRequest
+    from repro.api import ExecutionPolicy, Session
     from repro.datagen import WorkloadSpec, make_workload
 
     workload = make_workload(WorkloadSpec(num_nodes=900, num_facilities=300))
-    engine = MCNQueryEngine(workload.graph, workload.facilities, use_disk=True)
+    session = Session(workload.graph, workload.facilities,
+                      policy=ExecutionPolicy(residency="disk"))
     query = workload.queries[0]
 
-    skyline = engine.skyline(query, algorithm="cea")
-    best = engine.top_k(query, k=4, weights=[0.4, 0.3, 0.2, 0.1])
+    # One-shot: a Response with the answer, I/O counters and the policy.
+    response = session.skyline(query)
+    best = session.top_k(query, k=4, weights=[0.4, 0.3, 0.2, 0.1])
 
-Batch usage (shared expansion state across queries)::
+    # Batch: one shared cross-query expansion cache; page reads are far
+    # fewer than the sum of one-shot queries.
+    batch = session.run_batch([SkylineRequest(q) for q in workload.queries])
 
-    from repro import QueryService, SkylineRequest, TopKRequest
-
-    service = QueryService(engine)
-    report = service.run_batch(
-        [SkylineRequest(q) for q in workload.queries]
-    )
-    report.page_reads  # far fewer than the sum of one-shot queries
-
-Parallel usage (the batch sharded across workers, each with its own
-data-layer snapshot and cross-query cache; results and their order are
-identical to the sequential service)::
-
-    from repro import ParallelExecution
-
-    report = service.run_batch(
+    # Parallel: the same batch sharded across workers (identical results,
+    # merged counters) — just a policy override.
+    sharded = session.run_batch(
         [SkylineRequest(q) for q in workload.queries],
-        parallel=ParallelExecution(workers=4, routing="locality"),
+        policy=session.policy.replace(workers=4, routing="locality"),
     )
 
-Continuous usage (long-lived subscriptions maintained incrementally while
-facilities are inserted and deleted — see :mod:`repro.monitor`)::
-
-    from repro import MonitoringService
+    # Continuous: long-lived subscriptions maintained incrementally while
+    # facilities are inserted and deleted (see repro.monitor).
     from repro.monitor import FacilityInsert, UpdateTick
 
-    monitor = MonitoringService(workload.graph, workload.facilities)
-    sid = monitor.subscribe(SkylineRequest(query))
-    tick_report = monitor.apply_tick(
-        UpdateTick((FacilityInsert(9000, edge_id=5, offset=1.0),))
+    handle = session.monitor([SkylineRequest(query)])
+    tick = handle.tick(UpdateTick((FacilityInsert(9000, edge_id=5, offset=1.0),)))
+    tick.deltas[0].entered  # facilities that joined the skyline
+
+    # Fast path: the columnar expansion kernel — answers and I/O accounting
+    # bit-identical, queries just faster.  Or globally: REPRO_COMPILED=1.
+    fast = session.run_batch(
+        [SkylineRequest(query)], policy=session.policy.replace(compiled="on")
     )
-    tick_report.deltas[0].entered  # facilities that joined the skyline
 
-Fast path (the columnar expansion kernel; answers and I/O accounting are
-bit-identical to the accessor path, queries are just faster)::
-
-    engine = MCNQueryEngine(workload.graph, workload.facilities, compiled=True)
-    engine.skyline(query)          # runs on the ExpansionKernel
-    # or globally: REPRO_COMPILED=1 in the environment
+The pre-facade stacks stay available for low-level work:
+:class:`MCNQueryEngine` (one-shot calls and search objects),
+:class:`QueryService` (batch + submit/drain streaming),
+:class:`ShardedQueryService` and :class:`MonitoringService`.  Their
+pre-policy keyword arguments keep working behind thin shims that emit
+:class:`DeprecationWarning`\\ s; new code passes ``policy=`` or goes through
+the session.
 """
 
+from repro.api import (
+    BatchResponse,
+    ExecutionPolicy,
+    MonitorHandle,
+    Response,
+    Session,
+    TickResponse,
+)
 from repro.core.aggregates import MaxCost, WeightedLpNorm, WeightedSum
 from repro.core.engine import MCNQueryEngine
 from repro.core.incremental import IncrementalTopK
@@ -80,6 +86,7 @@ from repro.errors import (
     FacilityError,
     GraphError,
     LocationError,
+    PolicyError,
     QueryError,
     ReproError,
     StorageError,
@@ -114,15 +121,17 @@ from repro.service import (
 )
 from repro.storage.scheme import NetworkStorage, StorageSnapshotView
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BatchReport",
+    "BatchResponse",
     "CompiledGraph",
     "CostVector",
     "CrossQueryExpansionCache",
     "DataGenerationError",
     "DeltaReport",
+    "ExecutionPolicy",
     "ExpansionKernel",
     "Facility",
     "FacilityDelete",
@@ -134,11 +143,13 @@ __all__ = [
     "LocationError",
     "MaxCost",
     "MCNQueryEngine",
+    "MonitorHandle",
     "MonitoringService",
     "MultiCostGraph",
     "NetworkLocation",
     "NetworkStorage",
     "ParallelExecution",
+    "PolicyError",
     "ProbingPolicy",
     "QueryError",
     "QueryOutcome",
@@ -147,6 +158,8 @@ __all__ = [
     "QueryStatistics",
     "RankedFacility",
     "ReproError",
+    "Response",
+    "Session",
     "SkylineFacility",
     "ShardedBatchReport",
     "ShardedQueryService",
@@ -156,6 +169,7 @@ __all__ = [
     "StorageError",
     "StorageSnapshotView",
     "TickReport",
+    "TickResponse",
     "TopKRequest",
     "TopKMaintainer",
     "TopKResult",

@@ -1,0 +1,347 @@
+"""The declarative execution configuration: :class:`ExecutionPolicy`.
+
+Before the :class:`~repro.api.Session` facade existed, each execution stack
+grew its own overlapping knobs — ``use_disk=`` on the engine, ``compiled=``
+in three places, ``memoize_results=`` on the batch service,
+``parallel=ParallelExecution(...)`` on ``run_batch`` and the monitoring
+service.  An :class:`ExecutionPolicy` replaces all of them with one frozen,
+hashable, JSON-serialisable value object: *where* the data lives
+(``residency``), *how* searches run (``algorithm``, ``compiled``), *how wide*
+(``workers`` / ``routing`` / ``executor``), and *what is shared* across
+queries (``memoize_results`` / ``harvest_settled`` / ``max_cached_entries``).
+
+Every field is validated at construction — a bad policy raises
+:class:`~repro.errors.PolicyError` with an actionable message before any
+engine, pool or subscription exists, never mid-batch.
+
+This module is also the single source of truth for the ``REPRO_COMPILED``
+environment toggle: :func:`compiled_env_default` is the only place the
+variable is parsed, and :func:`resolve_compiled` maps the policy's
+``"auto"``/``"on"``/``"off"`` modes onto it.  :mod:`repro.core.engine`, the
+sharded workers and the monitoring service all defer here.
+
+Example
+-------
+>>> policy = ExecutionPolicy(residency="disk", compiled="on", workers=4)
+>>> policy_from_payload(policy_to_payload(policy)) == policy
+True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import warnings
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import PolicyError
+
+if TYPE_CHECKING:  # pragma: no cover - runtime import would be circular
+    from repro.parallel import ParallelExecution
+
+__all__ = [
+    "ALGORITHMS",
+    "COMPILED_ENV_VAR",
+    "COMPILED_MODES",
+    "DEFAULT_POLICY",
+    "EXECUTORS",
+    "ExecutionPolicy",
+    "RESIDENCIES",
+    "ROUTINGS",
+    "compiled_env_default",
+    "legacy_kwargs_warning",
+    "policy_from_payload",
+    "policy_to_payload",
+    "resolve_compiled",
+]
+
+#: Environment toggle for the columnar fast path.  A policy (or engine) in
+#: ``"auto"`` mode consults it; CI sets it to drive the whole test suite
+#: through the :class:`~repro.core.kernel.ExpansionKernel`.
+COMPILED_ENV_VAR = "REPRO_COMPILED"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+ALGORITHMS = ("cea", "lsa", "baseline")
+RESIDENCIES = ("memory", "disk")
+COMPILED_MODES = ("auto", "on", "off")
+
+#: Canonical parallel-execution vocabulary.  Defined here (the only module
+#: every execution stack can import without a cycle) and re-exported by
+#: :mod:`repro.parallel` for backwards compatibility.
+ROUTINGS = ("round_robin", "locality")
+EXECUTORS = ("process", "thread", "serial")
+
+
+def compiled_env_default() -> bool:
+    """Whether ``REPRO_COMPILED`` currently enables the fast path.
+
+    The only place the variable is parsed — the engine, the sharded workers
+    and the monitoring service all route their env handling through here.
+    """
+    return os.environ.get(COMPILED_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def resolve_compiled(mode: str) -> bool:
+    """Resolve a policy ``compiled`` mode to the effective on/off decision.
+
+    ``"on"`` and ``"off"`` are unconditional; ``"auto"`` defers to the
+    ``REPRO_COMPILED`` environment toggle at resolution time.
+    """
+    if mode == "on":
+        return True
+    if mode == "off":
+        return False
+    if mode == "auto":
+        return compiled_env_default()
+    raise PolicyError(
+        f"unknown compiled mode {mode!r}; expected one of {COMPILED_MODES}"
+    )
+
+
+def legacy_kwargs_warning(owner: str, names: Iterable[str], hint: str) -> None:
+    """Emit the shared deprecation warning for pre-policy keyword arguments.
+
+    The old kwargs keep working (they are folded into an equivalent
+    :class:`ExecutionPolicy`), but new code should pass ``policy=`` or go
+    through :class:`repro.api.Session`.
+    """
+    listed = ", ".join(f"{name}=..." for name in sorted(names))
+    warnings.warn(
+        f"{owner}({listed}) is deprecated; pass "
+        f"policy=ExecutionPolicy({hint}) instead, or drive execution through "
+        "repro.api.Session",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """One serialisable description of *how* queries execute.
+
+    Parameters
+    ----------
+    algorithm:
+        Default search algorithm (``"cea"``, ``"lsa"`` or ``"baseline"``)
+        used by the :class:`~repro.api.Session` convenience builders.
+        Requests that carry their own ``algorithm`` field are untouched.
+    residency:
+        ``"memory"`` runs against the in-memory accessor; ``"disk"`` against
+        the simulated disk-resident :class:`~repro.storage.NetworkStorage`
+        (page reads are then counted).
+    compiled:
+        Columnar fast-path mode: ``"on"``, ``"off"`` or ``"auto"`` (defer to
+        the ``REPRO_COMPILED`` environment toggle at resolution time).
+        Answers and I/O counters are identical either way.
+    page_size / buffer_fraction:
+        Storage-scheme knobs, used only under ``residency="disk"``.
+    workers / routing / executor:
+        Parallelism: with ``workers > 1`` batches run through the sharded
+        service (``routing`` in ``("round_robin", "locality")``, ``executor``
+        in ``("process", "thread", "serial")``); with ``workers == 1``
+        execution is sequential and ``routing``/``executor`` are inert.
+    memoize_results / harvest_settled / max_cached_entries:
+        Cross-query cache behaviour of the batch service (and of every shard
+        worker): result memoisation, settled-cost harvesting, and the LRU
+        bound of the shared record cache (``None`` = unbounded).
+    shard_fallback_threshold:
+        Monitoring only: minimum number of stale subscriptions in one tick
+        before the end-of-tick recompute pass is sharded across workers.
+    """
+
+    algorithm: str = "cea"
+    residency: str = "memory"
+    compiled: str = "auto"
+    page_size: int = 4096
+    buffer_fraction: float = 0.01
+    workers: int = 1
+    routing: str = "round_robin"
+    executor: str = "process"
+    memoize_results: bool = True
+    harvest_settled: bool = True
+    max_cached_entries: int | None = None
+    shard_fallback_threshold: int = 4
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise PolicyError(
+                f"unknown algorithm {self.algorithm!r}; expected one of {ALGORITHMS}"
+            )
+        if self.residency not in RESIDENCIES:
+            raise PolicyError(
+                f"unknown residency {self.residency!r}; expected one of "
+                f"{RESIDENCIES} (disk builds the simulated storage scheme)"
+            )
+        if self.compiled not in COMPILED_MODES:
+            raise PolicyError(
+                f"unknown compiled mode {self.compiled!r}; expected one of "
+                f"{COMPILED_MODES} ('auto' defers to {COMPILED_ENV_VAR})"
+            )
+        if not isinstance(self.page_size, int) or isinstance(self.page_size, bool) or self.page_size < 128:
+            raise PolicyError(
+                f"page_size must be an integer of at least 128 bytes, got "
+                f"{self.page_size!r}"
+            )
+        if isinstance(self.buffer_fraction, bool) or not isinstance(
+            self.buffer_fraction, (int, float)
+        ):
+            raise PolicyError(
+                f"buffer_fraction must be a number in (0, 1], got "
+                f"{self.buffer_fraction!r}"
+            )
+        # Store the canonical float so the value is usable (and hashable
+        # consistently) everywhere downstream.
+        object.__setattr__(self, "buffer_fraction", float(self.buffer_fraction))
+        if not 0.0 < self.buffer_fraction <= 1.0:
+            raise PolicyError(
+                f"buffer_fraction must lie in (0, 1], got {self.buffer_fraction!r}"
+            )
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool) or self.workers < 1:
+            raise PolicyError(
+                f"workers must be a positive integer, got {self.workers!r} "
+                "(1 = sequential execution)"
+            )
+        if self.routing not in ROUTINGS:
+            raise PolicyError(
+                f"unknown routing {self.routing!r}; expected one of {ROUTINGS}"
+            )
+        if self.executor not in EXECUTORS:
+            raise PolicyError(
+                f"unknown executor {self.executor!r}; expected one of {EXECUTORS}"
+            )
+        for flag_name in ("memoize_results", "harvest_settled"):
+            value = getattr(self, flag_name)
+            if not isinstance(value, bool):
+                raise PolicyError(
+                    f"{flag_name} must be a bool, got {type(value).__name__}"
+                )
+        if self.max_cached_entries is not None and (
+            not isinstance(self.max_cached_entries, int)
+            or isinstance(self.max_cached_entries, bool)
+            or self.max_cached_entries < 1
+        ):
+            raise PolicyError(
+                f"max_cached_entries must be a positive integer or None "
+                f"(unbounded), got {self.max_cached_entries!r}"
+            )
+        if (
+            not isinstance(self.shard_fallback_threshold, int)
+            or isinstance(self.shard_fallback_threshold, bool)
+            or self.shard_fallback_threshold < 1
+        ):
+            raise PolicyError(
+                f"shard_fallback_threshold must be a positive integer, got "
+                f"{self.shard_fallback_threshold!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    def replace(self, **changes: object) -> "ExecutionPolicy":
+        """A copy of this policy with ``changes`` applied (and re-validated)."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    def resolved_compiled(self) -> bool:
+        """The effective fast-path decision (``"auto"`` resolved against the env)."""
+        return resolve_compiled(self.compiled)
+
+    @property
+    def parallel(self) -> "ParallelExecution | None":
+        """The equivalent :class:`~repro.parallel.ParallelExecution`, or ``None``.
+
+        ``None`` when ``workers == 1`` — sequential execution needs no
+        parallelism spec.
+        """
+        if self.workers == 1:
+            return None
+        from repro.parallel import ParallelExecution
+
+        return ParallelExecution(
+            workers=self.workers, routing=self.routing, executor=self.executor
+        )
+
+    # ------------------------------------------------------------------ #
+    # JSON payload codecs
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> dict[str, object]:
+        """A plain-JSON dictionary describing this policy (see :func:`policy_to_payload`)."""
+        return policy_to_payload(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, object]) -> "ExecutionPolicy":
+        """Rebuild a policy from a :func:`policy_to_payload` dictionary."""
+        return policy_from_payload(payload)
+
+
+#: The all-defaults policy: in-memory, sequential, env-controlled fast path.
+DEFAULT_POLICY = ExecutionPolicy()
+
+_PAYLOAD_FIELDS = tuple(field.name for field in dataclasses.fields(ExecutionPolicy))
+
+
+def policy_to_payload(policy: ExecutionPolicy) -> dict[str, object]:
+    """A plain-JSON dictionary that round-trips through :func:`policy_from_payload`.
+
+    The payload is a flat field mapping, so a whole execution configuration
+    ships alongside the request payloads of
+    :mod:`repro.service.requests` — one JSON document fully describes *what*
+    to run and *how* to run it.
+    """
+    if not isinstance(policy, ExecutionPolicy):
+        raise PolicyError(
+            f"expected an ExecutionPolicy, got {type(policy).__name__}"
+        )
+    return {name: getattr(policy, name) for name in _PAYLOAD_FIELDS}
+
+
+def policy_from_payload(payload: dict[str, object]) -> ExecutionPolicy:
+    """Rebuild an :class:`ExecutionPolicy` from its payload dictionary.
+
+    Missing fields take their defaults (so old payloads keep decoding as the
+    policy schema grows); unknown fields are rejected to catch typos like
+    ``"worker"`` for ``"workers"`` early.
+    """
+    if not isinstance(payload, dict):
+        raise PolicyError(f"expected a policy payload dict, got {type(payload).__name__}")
+    unknown = sorted(set(payload) - set(_PAYLOAD_FIELDS))
+    if unknown:
+        raise PolicyError(
+            f"unknown policy field(s) {unknown}; expected a subset of "
+            f"{sorted(_PAYLOAD_FIELDS)}"
+        )
+    kwargs: dict[str, object] = dict(payload)
+    if "max_cached_entries" in kwargs and kwargs["max_cached_entries"] is not None:
+        kwargs["max_cached_entries"] = _integer_field(
+            "max_cached_entries", kwargs["max_cached_entries"]
+        )
+    for name in ("page_size", "workers", "shard_fallback_threshold"):
+        if name in kwargs:
+            kwargs[name] = _integer_field(name, kwargs[name])
+    if "buffer_fraction" in kwargs:
+        value = kwargs["buffer_fraction"]
+        try:
+            kwargs["buffer_fraction"] = float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            raise PolicyError(
+                f"policy field buffer_fraction must be a number, got {value!r}"
+            ) from None
+    return ExecutionPolicy(**kwargs)  # type: ignore[arg-type]
+
+
+def _integer_field(name: str, value: object) -> int:
+    """Decode one integer policy field, rejecting anything lossy or non-numeric."""
+    if isinstance(value, bool):
+        raise PolicyError(f"policy field {name} must be an integer, got {value!r}")
+    if isinstance(value, float) and not value.is_integer():
+        raise PolicyError(
+            f"policy field {name} must be an integer, got the non-integral {value!r}"
+        )
+    try:
+        return int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise PolicyError(
+            f"policy field {name} must be an integer, got {value!r}"
+        ) from None

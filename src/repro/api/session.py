@@ -1,0 +1,635 @@
+"""The unified execution facade: :class:`Session`.
+
+The reproduction grew four entry points — :class:`~repro.MCNQueryEngine`
+(one-shot), :class:`~repro.QueryService` (batched),
+:class:`~repro.ShardedQueryService` (parallel) and
+:class:`~repro.MonitoringService` (continuous) — each with its own
+overlapping construction knobs.  A :class:`Session` owns the *dataset* (one
+graph, one facility set, optionally a pre-built storage or accessor) and
+hides all four stacks behind three verbs:
+
+* :meth:`Session.query` (plus the :meth:`skyline` / :meth:`top_k`
+  convenience builders) — one request, one :class:`Response`;
+* :meth:`Session.run_batch` — a request sequence, executed sequentially or
+  sharded depending on the policy's ``workers``, one :class:`BatchResponse`;
+* :meth:`Session.monitor` — long-lived subscriptions over the session's live
+  facility set, returning a :class:`MonitorHandle` whose ticks yield
+  :class:`TickResponse` envelopes.
+
+All three accept the same request types
+(:class:`~repro.service.SkylineRequest` / :class:`~repro.service.TopKRequest`)
+and an optional per-call :class:`~repro.api.policy.ExecutionPolicy` override.
+Engines, storages, compiled graphs, cross-query caches and shard pools are
+constructed lazily and cached per resolved policy, so repeated calls with
+the same configuration reuse one warm stack.
+
+Policy/dataset conflicts (e.g. a parallel policy over an accessor that
+cannot be snapshotted) are rejected with
+:class:`~repro.errors.PolicyError` when the policy is *resolved* — at
+session construction or call entry — never mid-batch.
+
+Note that monitoring mutates the session's facility set: engines built for
+``residency="disk"`` snapshot the set at build time and keep answering over
+that snapshot, exactly as a directly-constructed
+:class:`~repro.storage.NetworkStorage` would.
+
+Example
+-------
+>>> from repro.api import ExecutionPolicy, Session
+>>> from repro.datagen import WorkloadSpec, make_workload
+>>> w = make_workload(WorkloadSpec(num_nodes=150, num_facilities=60, num_queries=2, seed=5))
+>>> session = Session(w.graph, w.facilities)
+>>> len(session.skyline(w.queries[0]).result) >= 1
+True
+>>> batch = session.run_batch(
+...     [SkylineRequest(q) for q in w.queries],
+...     policy=ExecutionPolicy(workers=2, executor="serial"),
+... )
+>>> len(batch)
+2
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.api.policy import DEFAULT_POLICY, ExecutionPolicy
+from repro.core.aggregates import AggregateFunction
+from repro.core.engine import MCNQueryEngine
+from repro.core.maintenance import MaintenanceStatistics, SkylineMaintainer, TopKMaintainer
+from repro.core.results import SkylineResult, TopKResult
+from repro.errors import PolicyError, QueryError
+from repro.network.accessor import AccessStatistics, GraphAccessor
+from repro.network.facilities import FacilityId, FacilitySet
+from repro.network.graph import MultiCostGraph
+from repro.network.location import NetworkLocation
+from repro.service.cache import CacheStatistics
+from repro.service.requests import (
+    QueryOutcome,
+    QueryRequest,
+    SkylineRequest,
+    TopKRequest,
+)
+from repro.service.service import QueryService
+from repro.storage.scheme import NetworkStorage
+
+__all__ = [
+    "BatchResponse",
+    "MonitorHandle",
+    "Response",
+    "Session",
+    "TickResponse",
+]
+
+
+@dataclass(frozen=True)
+class Response:
+    """The uniform envelope of one executed query.
+
+    Carries the answer (:class:`~repro.core.results.SkylineResult` or
+    :class:`~repro.core.results.TopKResult`), the per-query I/O counter
+    delta, the wall-clock latency and the *resolved* policy the query ran
+    under — one shape regardless of which execution stack did the work.
+    """
+
+    request: QueryRequest
+    result: SkylineResult | TopKResult
+    io: AccessStatistics
+    elapsed_seconds: float
+    policy: ExecutionPolicy
+    served_from_memo: bool = False
+    ticket: int = 0
+
+    @property
+    def kind(self) -> str:
+        """``"skyline"`` or ``"topk"``."""
+        return "skyline" if isinstance(self.request, SkylineRequest) else "topk"
+
+    def __len__(self) -> int:
+        return len(self.result)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.result)
+
+    @classmethod
+    def from_outcome(cls, outcome: QueryOutcome, policy: ExecutionPolicy) -> "Response":
+        """Wrap a service-layer :class:`~repro.service.QueryOutcome`."""
+        return cls(
+            request=outcome.request,
+            result=outcome.result,
+            io=outcome.io,
+            elapsed_seconds=outcome.elapsed_seconds,
+            policy=policy,
+            served_from_memo=outcome.served_from_memo,
+            ticket=outcome.ticket,
+        )
+
+
+@dataclass(frozen=True)
+class BatchResponse:
+    """The uniform envelope of one executed batch.
+
+    One shape for sequential and sharded runs: per-request
+    :class:`Response` envelopes in submission order, the batch's summed I/O
+    and cache counter deltas, and the resolved policy.  For a sharded run
+    ``workers``/``routing``/``executor`` echo the policy, ``shard_sizes``
+    records how the batch was partitioned and ``shard_io`` carries each
+    shard's own counter delta (their sum equals :attr:`io`).
+    """
+
+    responses: tuple[Response, ...]
+    elapsed_seconds: float
+    io: AccessStatistics
+    cache: CacheStatistics
+    policy: ExecutionPolicy
+    shard_sizes: tuple[int, ...] = ()
+    shard_io: tuple[AccessStatistics, ...] = ()
+
+    @property
+    def workers(self) -> int:
+        return self.policy.workers
+
+    @property
+    def sharded(self) -> bool:
+        """Whether the batch ran through the sharded parallel service."""
+        return bool(self.shard_sizes)
+
+    @property
+    def page_reads(self) -> int:
+        return self.io.page_reads
+
+    @property
+    def memo_hits(self) -> int:
+        return sum(1 for response in self.responses if response.served_from_memo)
+
+    def throughput_qps(self) -> float:
+        """Queries answered per wall-clock second (0.0 for an empty batch)."""
+        if not self.responses or self.elapsed_seconds <= 0:
+            return 0.0
+        return len(self.responses) / self.elapsed_seconds
+
+    def describe(self) -> dict[str, object]:
+        """Summary dictionary (CLI / replay-driver friendly)."""
+        summary: dict[str, object] = {
+            "queries": len(self.responses),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "throughput_qps": round(self.throughput_qps(), 1),
+            "page_reads": self.io.page_reads,
+            "buffer_hits": self.io.buffer_hits,
+            "memo_hits": self.memo_hits,
+            "cache_hit_rate": round(self.cache.hit_rate(), 4),
+        }
+        if self.sharded:
+            summary.update(
+                workers=self.policy.workers,
+                routing=self.policy.routing,
+                executor=self.policy.executor,
+                shards=list(self.shard_sizes),
+            )
+        return summary
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+    def __iter__(self) -> Iterator[Response]:
+        return iter(self.responses)
+
+    @classmethod
+    def from_report(cls, report, policy: ExecutionPolicy) -> "BatchResponse":
+        """Wrap a :class:`~repro.service.BatchReport` (sharded or not)."""
+        shards = tuple(getattr(report, "shards", ()))
+        return cls(
+            responses=tuple(
+                Response.from_outcome(outcome, policy) for outcome in report.outcomes
+            ),
+            elapsed_seconds=report.elapsed_seconds,
+            io=report.io,
+            cache=report.cache,
+            policy=policy,
+            shard_sizes=tuple(shard.size for shard in shards),
+            shard_io=tuple(shard.report.io for shard in shards),
+        )
+
+
+@dataclass(frozen=True)
+class TickResponse:
+    """The uniform envelope of one applied monitoring tick.
+
+    Mirrors :class:`~repro.monitor.TickReport` (per-subscription deltas,
+    maintenance-path counters, I/O) with the resolved policy attached.
+    """
+
+    index: int
+    updates: int
+    deltas: tuple
+    counters: MaintenanceStatistics
+    fallback_subscriptions: tuple[int, ...]
+    sharded: bool
+    elapsed_seconds: float
+    io: AccessStatistics
+    policy: ExecutionPolicy
+
+    @property
+    def incremental_updates(self) -> int:
+        return self.counters.incremental_updates
+
+    @property
+    def recomputations(self) -> int:
+        return self.counters.recomputations
+
+    @property
+    def changed_subscriptions(self) -> tuple[int, ...]:
+        return tuple(delta.subscription_id for delta in self.deltas if delta.changed)
+
+    @classmethod
+    def from_report(cls, report, policy: ExecutionPolicy) -> "TickResponse":
+        """Wrap a :class:`~repro.monitor.TickReport`."""
+        return cls(
+            index=report.index,
+            updates=report.updates,
+            deltas=tuple(report.deltas),
+            counters=report.counters,
+            fallback_subscriptions=report.fallback_subscriptions,
+            sharded=report.sharded,
+            elapsed_seconds=report.elapsed_seconds,
+            io=report.io,
+            policy=policy,
+        )
+
+
+class MonitorHandle:
+    """The subscriptions one :meth:`Session.monitor` call registered.
+
+    A thin, policy-carrying view over the session's shared
+    :class:`~repro.MonitoringService`: ticks applied through any handle
+    advance *all* of the session's subscriptions (they share one live
+    facility set); the handle's :attr:`subscription_ids` identify the
+    subset this call created.
+    """
+
+    def __init__(
+        self,
+        service,
+        subscription_ids: tuple[int, ...],
+        policy: ExecutionPolicy,
+    ):
+        self._service = service
+        self._subscription_ids = subscription_ids
+        self._policy = policy
+
+    @property
+    def service(self):
+        """The underlying :class:`~repro.MonitoringService` (escape hatch)."""
+        return self._service
+
+    @property
+    def subscription_ids(self) -> tuple[int, ...]:
+        return self._subscription_ids
+
+    @property
+    def policy(self) -> ExecutionPolicy:
+        return self._policy
+
+    @property
+    def statistics(self) -> MaintenanceStatistics:
+        """The service's lifetime maintenance counters."""
+        return self._service.statistics
+
+    def tick(self, tick) -> TickResponse:
+        """Apply one :class:`~repro.monitor.UpdateTick` atomically."""
+        return TickResponse.from_report(self._service.apply_tick(tick), self._policy)
+
+    def run(self, stream) -> list[TickResponse]:
+        """Apply a whole :class:`~repro.monitor.UpdateStream` tick by tick."""
+        return [self.tick(tick) for tick in stream]
+
+    def result_signature(self, subscription_id: int) -> dict[FacilityId, object]:
+        """The subscription's current result as a comparable mapping."""
+        return self._service.result_signature(subscription_id)
+
+    def maintainer_of(self, subscription_id: int) -> SkylineMaintainer | TopKMaintainer:
+        """The maintainer behind one subscription (current result + counters)."""
+        return self._service.maintainer_of(subscription_id)
+
+    def unsubscribe(self, subscription_id: int) -> None:
+        """Drop one subscription from the underlying service."""
+        self._service.unsubscribe(subscription_id)
+        self._subscription_ids = tuple(
+            sid for sid in self._subscription_ids if sid != subscription_id
+        )
+
+
+class Session:
+    """One dataset, one object, every execution stack.
+
+    Parameters
+    ----------
+    graph:
+        The multi-cost network.
+    facilities:
+        The facility set over ``graph``.  Monitoring mutates it in place.
+    storage:
+        Optional pre-built :class:`~repro.storage.NetworkStorage`; it backs
+        every ``residency="disk"`` policy regardless of the policy's page
+        knobs (the knobs only shape storages the session builds itself).
+    accessor:
+        Optional explicit :class:`~repro.network.accessor.GraphAccessor`
+        that fixes the data layer outright (mutually exclusive with
+        ``storage``).  A parallel policy then requires the accessor to
+        support ``snapshot_view`` — checked when the policy resolves, not
+        mid-batch.
+    policy:
+        The session's default :class:`~repro.api.policy.ExecutionPolicy`;
+        every call accepts a per-call override.
+    """
+
+    def __init__(
+        self,
+        graph: MultiCostGraph,
+        facilities: FacilitySet,
+        *,
+        storage: NetworkStorage | None = None,
+        accessor: GraphAccessor | None = None,
+        policy: ExecutionPolicy | None = None,
+    ):
+        if facilities.graph is not graph:
+            raise QueryError("facility set was built for a different graph")
+        if storage is not None and accessor is not None:
+            raise PolicyError(
+                "pass either a pre-built storage or an explicit accessor, not "
+                "both — they each fix the session's data layer"
+            )
+        self._graph = graph
+        self._facilities = facilities
+        self._explicit_storage = storage
+        self._explicit_accessor = accessor
+        self._default_policy = self._coerce_policy(policy)
+        self._check_policy(self._default_policy)
+        self._storages: dict[tuple[int, float], NetworkStorage] = {}
+        self._engines: dict[tuple, MCNQueryEngine] = {}
+        self._services: dict[tuple, QueryService] = {}
+        self._sharded: dict[tuple, object] = {}
+        self._monitor = None
+        self._monitor_key: tuple | None = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> MultiCostGraph:
+        return self._graph
+
+    @property
+    def facilities(self) -> FacilitySet:
+        """The session's live facility set (mutated by monitoring ticks)."""
+        return self._facilities
+
+    @property
+    def policy(self) -> ExecutionPolicy:
+        """The session's default execution policy."""
+        return self._default_policy
+
+    def storage_for(self, policy: ExecutionPolicy | None = None) -> NetworkStorage | None:
+        """The disk storage the resolved policy runs against (``None`` for memory).
+
+        Built lazily (and cached per ``page_size``/``buffer_fraction``) the
+        first time a disk policy needs it.
+        """
+        resolved = self._resolve(policy)
+        if self._explicit_accessor is not None:
+            accessor = self._explicit_accessor
+            return accessor if isinstance(accessor, NetworkStorage) else None
+        if resolved.residency != "disk":
+            return None
+        if self._explicit_storage is not None:
+            return self._explicit_storage
+        key = (resolved.page_size, float(resolved.buffer_fraction))
+        if key not in self._storages:
+            self._storages[key] = NetworkStorage.build(
+                self._graph,
+                self._facilities,
+                page_size=resolved.page_size,
+                buffer_fraction=resolved.buffer_fraction,
+            )
+        return self._storages[key]
+
+    def engine_for(self, policy: ExecutionPolicy | None = None) -> MCNQueryEngine:
+        """The (cached) engine the resolved policy executes on."""
+        resolved = self._resolve(policy)
+        key = self._engine_key(resolved)
+        if key not in self._engines:
+            compiled = resolved.resolved_compiled()
+            if self._explicit_accessor is not None:
+                engine = MCNQueryEngine(
+                    self._graph,
+                    self._facilities,
+                    accessor=self._explicit_accessor,
+                    compiled=compiled,
+                )
+            elif resolved.residency == "disk":
+                engine = MCNQueryEngine(
+                    self._graph,
+                    self._facilities,
+                    storage=self.storage_for(resolved),
+                    compiled=compiled,
+                )
+            else:
+                engine = MCNQueryEngine(self._graph, self._facilities, compiled=compiled)
+            self._engines[key] = engine
+        return self._engines[key]
+
+    # ------------------------------------------------------------------ #
+    # One-shot execution
+    # ------------------------------------------------------------------ #
+    def query(self, request: QueryRequest, *, policy: ExecutionPolicy | None = None) -> Response:
+        """Execute one request and return its :class:`Response` envelope.
+
+        The request runs through the policy's (cached) batch service, so
+        repeated sessions calls share the cross-query expansion cache and —
+        when the policy enables it — the result memo.
+        """
+        resolved = self._resolve(policy)
+        outcome = self._service_for(resolved).execute(request)
+        return Response.from_outcome(outcome, resolved)
+
+    def skyline(
+        self, location: NetworkLocation, *, policy: ExecutionPolicy | None = None
+    ) -> Response:
+        """Convenience: a skyline request at ``location`` under the policy's algorithm."""
+        resolved = self._resolve(policy)
+        return self.query(
+            SkylineRequest(location, algorithm=resolved.algorithm), policy=resolved
+        )
+
+    def top_k(
+        self,
+        location: NetworkLocation,
+        k: int,
+        *,
+        weights: Sequence[float] | None = None,
+        aggregate: AggregateFunction | None = None,
+        policy: ExecutionPolicy | None = None,
+    ) -> Response:
+        """Convenience: a top-``k`` request at ``location`` under the policy's algorithm."""
+        resolved = self._resolve(policy)
+        request = TopKRequest(
+            location,
+            k,
+            weights=tuple(float(w) for w in weights) if weights is not None else None,
+            aggregate=aggregate,
+            algorithm=resolved.algorithm,
+        )
+        return self.query(request, policy=resolved)
+
+    # ------------------------------------------------------------------ #
+    # Batch execution
+    # ------------------------------------------------------------------ #
+    def run_batch(
+        self,
+        requests: Sequence[QueryRequest],
+        *,
+        policy: ExecutionPolicy | None = None,
+    ) -> BatchResponse:
+        """Execute ``requests`` under the resolved policy.
+
+        With ``workers == 1`` the batch runs through the policy's sequential
+        :class:`~repro.QueryService`; with ``workers > 1`` it is sharded
+        across a (cached) :class:`~repro.ShardedQueryService`.  Either way
+        the answers, their order and the summed counters are identical to
+        the corresponding direct-service run.
+        """
+        resolved = self._resolve(policy)
+        if resolved.workers > 1:
+            report = self._sharded_for(resolved).run_batch(requests)
+        else:
+            report = self._service_for(resolved).run_batch(requests)
+        return BatchResponse.from_report(report, resolved)
+
+    # ------------------------------------------------------------------ #
+    # Continuous monitoring
+    # ------------------------------------------------------------------ #
+    def monitor(
+        self,
+        requests: Sequence[QueryRequest],
+        *,
+        policy: ExecutionPolicy | None = None,
+    ) -> MonitorHandle:
+        """Register long-lived subscriptions and return their :class:`MonitorHandle`.
+
+        Monitoring always runs on the in-memory layer over the session's
+        *live* facility set (the policy's ``residency`` / page knobs do not
+        apply); ``compiled``, ``workers``/``routing``/``executor`` and
+        ``shard_fallback_threshold`` configure it.  Because every
+        subscription shares that one mutable set, all :meth:`monitor` calls
+        of a session must resolve to the same monitoring configuration —
+        a conflicting override raises :class:`~repro.errors.PolicyError`.
+        """
+        resolved = self._resolve(policy)
+        key = (
+            resolved.resolved_compiled(),
+            resolved.workers,
+            resolved.routing,
+            resolved.executor,
+            resolved.shard_fallback_threshold,
+        )
+        if self._monitor is None:
+            from repro.monitor.service import MonitoringService
+
+            self._monitor = MonitoringService(
+                self._graph,
+                self._facilities,
+                policy=resolved.replace(residency="memory"),
+            )
+            self._monitor_key = key
+        elif key != self._monitor_key:
+            raise PolicyError(
+                "this session already monitors with a different configuration "
+                f"{self._monitor_key} (compiled, workers, routing, executor, "
+                "shard_fallback_threshold); subscriptions share one live "
+                "facility set, so either reuse the original policy or open a "
+                "separate Session"
+            )
+        subscription_ids = tuple(self._monitor.subscribe(request) for request in requests)
+        return MonitorHandle(self._monitor, subscription_ids, resolved)
+
+    # ------------------------------------------------------------------ #
+    # Policy resolution internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _coerce_policy(policy: ExecutionPolicy | None) -> ExecutionPolicy:
+        if policy is None:
+            return DEFAULT_POLICY
+        if not isinstance(policy, ExecutionPolicy):
+            raise PolicyError(
+                f"expected an ExecutionPolicy, got {type(policy).__name__} "
+                "(build one with repro.api.ExecutionPolicy(...))"
+            )
+        return policy
+
+    def _resolve(self, policy: ExecutionPolicy | None) -> ExecutionPolicy:
+        if policy is None:
+            return self._default_policy
+        resolved = self._coerce_policy(policy)
+        if resolved is not self._default_policy:
+            self._check_policy(resolved)
+        return resolved
+
+    def _check_policy(self, policy: ExecutionPolicy) -> None:
+        """Reject policy/dataset conflicts before any execution starts."""
+        accessor = self._explicit_accessor
+        if accessor is None:
+            return
+        if policy.residency == "disk" and not isinstance(accessor, NetworkStorage):
+            raise PolicyError(
+                "residency='disk' conflicts with the session's explicit "
+                f"{type(accessor).__name__}: the accessor already fixes the "
+                "data layer; use residency='memory' or hand the session a "
+                "NetworkStorage instead"
+            )
+        if policy.workers > 1 and not hasattr(accessor, "snapshot_view"):
+            raise PolicyError(
+                f"workers={policy.workers} needs a data layer that supports "
+                f"read-only snapshot views, but the session's explicit "
+                f"{type(accessor).__name__} does not; use workers=1 or a "
+                "NetworkStorage / InMemoryAccessor data layer"
+            )
+
+    def _engine_key(self, policy: ExecutionPolicy) -> tuple:
+        compiled = policy.resolved_compiled()
+        if self._explicit_accessor is not None:
+            return ("accessor", compiled)
+        if policy.residency == "disk":
+            if self._explicit_storage is not None:
+                return ("disk", "explicit", compiled)
+            return ("disk", policy.page_size, float(policy.buffer_fraction), compiled)
+        return ("memory", compiled)
+
+    def _service_for(self, policy: ExecutionPolicy) -> QueryService:
+        key = self._engine_key(policy) + (
+            policy.memoize_results,
+            policy.harvest_settled,
+            policy.max_cached_entries,
+        )
+        if key not in self._services:
+            self._services[key] = QueryService(
+                self.engine_for(policy), policy=policy.replace(workers=1)
+            )
+        return self._services[key]
+
+    def _sharded_for(self, policy: ExecutionPolicy):
+        key = self._engine_key(policy) + (
+            policy.workers,
+            policy.routing,
+            policy.executor,
+            policy.memoize_results,
+            policy.harvest_settled,
+            policy.max_cached_entries,
+        )
+        if key not in self._sharded:
+            from repro.parallel.service import ShardedQueryService
+
+            self._sharded[key] = ShardedQueryService(
+                self.engine_for(policy), policy=policy
+            )
+        return self._sharded[key]

@@ -28,16 +28,17 @@ import random
 import time
 from dataclasses import dataclass, field
 
+from repro.api import BatchResponse, ExecutionPolicy, Session
 from repro.core.engine import MCNQueryEngine
 from repro.core.aggregates import WeightedSum
 from repro.core.maintenance import MaintenanceStatistics
 from repro.datagen.updates import UpdateStreamSpec, make_update_stream
 from repro.datagen.workload import Workload, WorkloadSpec, make_workload
 from repro.errors import QueryError
-from repro.monitor import FacilityInsert, MonitoringService, QueryRelocation
+from repro.monitor import FacilityInsert, QueryRelocation
 from repro.network.facilities import FacilitySet
-from repro.parallel import ParallelExecution, ShardedQueryService
-from repro.service import QueryRequest, QueryService, SkylineRequest, TopKRequest
+from repro.parallel import ParallelExecution
+from repro.service import QueryRequest, SkylineRequest, TopKRequest
 from repro.service.cache import CacheStatistics
 from repro.storage.scheme import NetworkStorage
 
@@ -242,78 +243,81 @@ def _replay_one_shot(
     return measurement, signatures
 
 
+def _batch_measurement(label: str, batch: BatchResponse) -> ReplayMeasurement:
+    """A replay measurement over one :class:`~repro.api.BatchResponse`."""
+    return ReplayMeasurement(
+        label=label,
+        queries=len(batch.responses),
+        elapsed_seconds=batch.elapsed_seconds,
+        page_reads=batch.io.page_reads,
+        buffer_hits=batch.io.buffer_hits,
+        latencies_ms=[response.elapsed_seconds * 1000.0 for response in batch.responses],
+    )
+
+
+def _matches_signatures(batch: BatchResponse, signatures: list[object]) -> bool:
+    return len(batch.responses) == len(signatures) and all(
+        _result_signature(response.request, response.result) == signature
+        for response, signature in zip(batch.responses, signatures)
+    )
+
+
 def replay_workload(spec: ReplaySpec, *, workload: Workload | None = None) -> ReplayReport:
     """Replay a workload trace one-shot and batched, and compare the runs.
 
-    Both runs execute against the *same* storage object; the one-shot run
-    resets counters and clears the buffer before every query (each call is
-    as cold as an independent engine invocation), while the batched run only
-    goes cold once at the start.  With ``fast_path`` in the spec, both runs
-    are additionally replayed through a compiled-graph engine over the same
-    storage and reported side by side.
+    All runs go through one :class:`~repro.api.Session` over the workload
+    data, so they execute against the *same* storage object; the one-shot
+    run resets counters and clears the buffer before every query (each call
+    is as cold as an independent engine invocation), while the batched run
+    only goes cold once at the start.  The sharded and fast-path runs are
+    the same batch under per-call policy overrides (``workers`` > 1,
+    ``compiled="on"``).
     """
     workload = workload or make_workload(spec.workload)
     if not workload.queries:
         raise QueryError("the workload has no queries to replay")
-    storage = NetworkStorage.build(
-        workload.graph,
-        workload.facilities,
+    base_policy = ExecutionPolicy(
+        algorithm=spec.algorithm,
+        residency="disk",
+        compiled="off",
         page_size=spec.page_size,
         buffer_fraction=spec.buffer_fraction,
+        routing=spec.routing,
+        executor=spec.executor,
     )
-    engine = MCNQueryEngine(workload.graph, workload.facilities, storage=storage, compiled=False)
+    session = Session(workload.graph, workload.facilities, policy=base_policy)
+    storage = session.storage_for()
+    assert storage is not None  # disk residency always materialises one
+    engine = session.engine_for()
     requests = build_requests(workload, spec)
 
     one_shot, signatures = _replay_one_shot(engine, storage, requests, "one-shot")
 
     storage.reset_statistics(clear_buffer=True)
-    service = QueryService(engine)
-    report = service.run_batch(requests)
-    batched = ReplayMeasurement(
-        label="batched",
-        queries=len(report.outcomes),
-        elapsed_seconds=report.elapsed_seconds,
-        page_reads=report.io.page_reads,
-        buffer_hits=report.io.buffer_hits,
-        latencies_ms=[outcome.elapsed_seconds * 1000.0 for outcome in report.outcomes],
-    )
-    identical = len(report.outcomes) == len(signatures) and all(
-        _result_signature(outcome.request, outcome.result) == signature
-        for outcome, signature in zip(report.outcomes, signatures)
-    )
+    batch = session.run_batch(requests)
+    batched = _batch_measurement("batched", batch)
+    identical = _matches_signatures(batch, signatures)
 
     sharded_measurement = None
     counters_consistent = True
     if spec.workers > 1:
         storage.reset_statistics(clear_buffer=True)
-        sharded_service = ShardedQueryService(
-            engine, workers=spec.workers, routing=spec.routing, executor=spec.executor
+        sharded_batch = session.run_batch(
+            requests, policy=base_policy.replace(workers=spec.workers)
         )
-        sharded_report = sharded_service.run_batch(requests)
-        sharded_measurement = ReplayMeasurement(
-            label=f"sharded-{spec.workers}",
-            queries=len(sharded_report.outcomes),
-            elapsed_seconds=sharded_report.elapsed_seconds,
-            page_reads=sharded_report.io.page_reads,
-            buffer_hits=sharded_report.io.buffer_hits,
-            latencies_ms=[o.elapsed_seconds * 1000.0 for o in sharded_report.outcomes],
-        )
-        identical = identical and len(sharded_report.outcomes) == len(signatures) and all(
-            _result_signature(outcome.request, outcome.result) == signature
-            for outcome, signature in zip(sharded_report.outcomes, signatures)
-        )
-        counters_consistent = sharded_report.io.page_reads == sum(
-            shard.report.io.page_reads for shard in sharded_report.shards
-        ) and sharded_report.io.buffer_hits == sum(
-            shard.report.io.buffer_hits for shard in sharded_report.shards
+        sharded_measurement = _batch_measurement(f"sharded-{spec.workers}", sharded_batch)
+        identical = identical and _matches_signatures(sharded_batch, signatures)
+        counters_consistent = sharded_batch.io.page_reads == sum(
+            io.page_reads for io in sharded_batch.shard_io
+        ) and sharded_batch.io.buffer_hits == sum(
+            io.buffer_hits for io in sharded_batch.shard_io
         )
 
     fast_one_shot = None
     fast_batched = None
     if spec.fast_path:
-        fast_engine = MCNQueryEngine(
-            workload.graph, workload.facilities, storage=storage, compiled=True
-        )
+        fast_policy = base_policy.replace(compiled="on")
+        fast_engine = session.engine_for(fast_policy)
         fast_one_shot, fast_signatures = _replay_one_shot(
             fast_engine, storage, requests, "one-shot*"
         )
@@ -324,19 +328,9 @@ def replay_workload(spec: ReplaySpec, *, workload: Workload | None = None) -> Re
             and fast_one_shot.buffer_hits == one_shot.buffer_hits
         )
         storage.reset_statistics(clear_buffer=True)
-        fast_report = QueryService(fast_engine).run_batch(requests)
-        fast_batched = ReplayMeasurement(
-            label="batched*",
-            queries=len(fast_report.outcomes),
-            elapsed_seconds=fast_report.elapsed_seconds,
-            page_reads=fast_report.io.page_reads,
-            buffer_hits=fast_report.io.buffer_hits,
-            latencies_ms=[o.elapsed_seconds * 1000.0 for o in fast_report.outcomes],
-        )
-        identical = identical and len(fast_report.outcomes) == len(signatures) and all(
-            _result_signature(outcome.request, outcome.result) == signature
-            for outcome, signature in zip(fast_report.outcomes, signatures)
-        )
+        fast_batch = session.run_batch(requests, policy=fast_policy)
+        fast_batched = _batch_measurement("batched*", fast_batch)
+        identical = identical and _matches_signatures(fast_batch, signatures)
         counters_consistent = counters_consistent and (
             fast_batched.page_reads == batched.page_reads
             and fast_batched.buffer_hits == batched.buffer_hits
@@ -347,7 +341,7 @@ def replay_workload(spec: ReplaySpec, *, workload: Workload | None = None) -> Re
         one_shot=one_shot,
         batched=batched,
         identical_results=identical,
-        cache=report.cache,
+        cache=batch.cache,
         sharded=sharded_measurement,
         counters_consistent=counters_consistent,
         fast_one_shot=fast_one_shot,
@@ -510,21 +504,18 @@ def replay_update_stream(
     monitor_facilities = FacilitySet(graph, iter(workload.facilities))
     recompute_facilities = FacilitySet(graph, iter(workload.facilities))
 
-    parallel = None
-    if spec.workers > 1:
-        parallel = ParallelExecution(
-            workers=spec.workers, routing=spec.routing, executor=spec.executor
-        )
-    service = MonitoringService(
-        graph,
-        monitor_facilities,
-        parallel=parallel,
+    monitor_policy = ExecutionPolicy(
+        workers=spec.workers,
+        routing=spec.routing,
+        executor=spec.executor,
         shard_fallback_threshold=spec.shard_fallback_threshold,
     )
-    sids = [service.subscribe(request) for request in requests]
+    session = Session(graph, monitor_facilities, policy=monitor_policy)
+    handle = session.monitor(requests)
+    sids = list(handle.subscription_ids)
     # Exclude subscribe-time setup computations from the reported
     # incremental-vs-fallback split: only tick-driven maintenance counts.
-    counters_baseline = service.statistics
+    counters_baseline = handle.statistics
     stream = make_update_stream(
         graph, workload.facilities, spec.stream, subscription_ids=sids
     )
@@ -538,16 +529,16 @@ def replay_update_stream(
     maintained_signatures: list[dict[int, object]] = []
     start = time.perf_counter()
     for tick in stream:
-        report = service.apply_tick(tick)
-        incremental.tick_latencies_ms.append(report.elapsed_seconds * 1000.0)
-        incremental.accessor_requests += report.io.total_requests
-        if report.fallback_subscriptions:
+        response = handle.tick(tick)
+        incremental.tick_latencies_ms.append(response.elapsed_seconds * 1000.0)
+        incremental.accessor_requests += response.io.total_requests
+        if response.fallback_subscriptions:
             fallback_ticks += 1
-        if report.sharded:
+        if response.sharded:
             sharded_ticks += 1
         maintained_signatures.append(
             {
-                sid: _maintained_signature(request, service.maintainer_of(sid))
+                sid: _maintained_signature(request, handle.maintainer_of(sid))
                 for sid, request in zip(sids, requests)
             }
         )
@@ -571,7 +562,6 @@ def replay_update_stream(
                 )
             else:
                 recompute_facilities.remove(update.facility_id)
-        engine = MCNQueryEngine(graph, recompute_facilities)
         tick_requests: list[QueryRequest] = []
         for sid, request in zip(sids, requests):
             if isinstance(request, SkylineRequest):
@@ -580,12 +570,17 @@ def replay_update_stream(
                 tick_requests.append(
                     TopKRequest(locations[sid], request.k, weights=request.weights)
                 )
-        batch = QueryService(engine, memoize_results=False).run_batch(tick_requests)
+        # A fresh per-tick session: the straw man recomputes from scratch,
+        # so nothing (engine, cache, memo) may survive the previous tick.
+        tick_session = Session(
+            graph, recompute_facilities, policy=ExecutionPolicy(memoize_results=False)
+        )
+        batch = tick_session.run_batch(tick_requests)
         recompute.tick_latencies_ms.append((time.perf_counter() - tick_start) * 1000.0)
         recompute.accessor_requests += batch.io.total_requests
-        for sid, outcome in zip(sids, batch.outcomes):
+        for sid, response in zip(sids, batch.responses):
             if (
-                _monitor_signature(outcome.request, outcome.result)
+                _monitor_signature(response.request, response.result)
                 != maintained_signatures[tick_index][sid]
             ):
                 identical = False
@@ -596,7 +591,7 @@ def replay_update_stream(
         incremental=incremental,
         recompute=recompute,
         identical_results=identical,
-        counters=service.statistics.since(counters_baseline),
+        counters=handle.statistics.since(counters_baseline),
         fallback_ticks=fallback_ticks,
         sharded_ticks=sharded_ticks,
     )

@@ -23,6 +23,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.api import ExecutionPolicy, Session
 from repro.bench.config import DEFAULT_SCALE, SMALL_SCALE, ExperimentScale
 from repro.bench.driver import (
     MonitorReplaySpec,
@@ -35,7 +36,6 @@ from repro.bench.driver import (
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.perf import format_perf_report, run_perf_suite, write_perf_report
 from repro.bench.reporting import format_series_table, series_to_csv, summarize_speedups
-from repro.core.engine import MCNQueryEngine
 from repro.datagen.updates import UpdateStreamSpec
 from repro.datagen.workload import WorkloadSpec, make_workload
 from repro.errors import ReproError
@@ -191,13 +191,22 @@ def _run_demo(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     workload = make_workload(spec)
-    engine = MCNQueryEngine(workload.graph, workload.facilities, use_disk=True, page_size=1024)
+    # One Session owns the dataset; the demo pulls the engine + storage out
+    # of it because it deliberately compares *cold* per-algorithm runs (the
+    # facade's cached batch service would share expansions between them).
+    session = Session(
+        workload.graph,
+        workload.facilities,
+        policy=ExecutionPolicy(residency="disk", page_size=1024),
+    )
+    engine = session.engine_for()
+    storage = session.storage_for()
     query = workload.queries[0]
     print("workload:", workload.describe())
-    print("storage:", engine.storage.describe() if engine.storage else {})
+    print("storage:", storage.describe() if storage else {})
     print("query at", query.describe(workload.graph))
     for algorithm in ("lsa", "cea"):
-        engine.storage.reset_statistics(clear_buffer=True)  # type: ignore[union-attr]
+        storage.reset_statistics(clear_buffer=True)  # type: ignore[union-attr]
         result = engine.skyline(query, algorithm=algorithm)
         io = result.statistics.io
         print(
@@ -207,7 +216,7 @@ def _run_demo(args: argparse.Namespace) -> int:
         )
     weights = engine.random_weights()
     for algorithm in ("lsa", "cea"):
-        engine.storage.reset_statistics(clear_buffer=True)  # type: ignore[union-attr]
+        storage.reset_statistics(clear_buffer=True)  # type: ignore[union-attr]
         result = engine.top_k(query, args.k, aggregate=weights, algorithm=algorithm)
         io = result.statistics.io
         ranking = ", ".join(f"p{item.facility_id} ({item.score:.1f})" for item in result)

@@ -17,10 +17,10 @@ small API:
 
 from __future__ import annotations
 
-import os
 import random
 from collections.abc import Iterator, Sequence
 
+from repro.api.policy import COMPILED_ENV_VAR, compiled_env_default
 from repro.core.aggregates import (
     AggregateFunction,
     MaxCost,
@@ -46,16 +46,20 @@ __all__ = ["MCNQueryEngine", "COMPILED_ENV_VAR", "compiled_default_enabled"]
 
 _ALGORITHMS = ("cea", "lsa", "baseline")
 
-#: Environment toggle for the columnar fast path.  When an engine is built
-#: without an explicit ``compiled=`` argument, a truthy value here turns the
-#: fast path on globally — CI uses it to drive the *entire* test suite
-#: through the kernel, which is the strongest differential guarantee we run.
-COMPILED_ENV_VAR = "REPRO_COMPILED"
+# The REPRO_COMPILED environment toggle is parsed in exactly one place —
+# repro.api.policy — and consulted here when an engine is built without an
+# explicit ``compiled=`` argument.  CI sets it to drive the *entire* test
+# suite through the kernel, the strongest differential guarantee we run.
+# ``COMPILED_ENV_VAR`` is re-exported for backwards compatibility.
 
 
 def compiled_default_enabled() -> bool:
-    """Whether the fast path is enabled by default (the env toggle)."""
-    return os.environ.get(COMPILED_ENV_VAR, "").strip().lower() in {"1", "true", "yes", "on"}
+    """Whether the fast path is enabled by default (the ``REPRO_COMPILED`` toggle).
+
+    Thin alias of :func:`repro.api.policy.compiled_env_default`, the single
+    source of truth for the environment toggle.
+    """
+    return compiled_env_default()
 
 
 class MCNQueryEngine:

@@ -32,5 +32,14 @@ class QueryError(ReproError):
     """An invalid preference-query specification (bad k, bad weights...)."""
 
 
+class PolicyError(QueryError):
+    """An invalid or conflicting :class:`repro.api.ExecutionPolicy`.
+
+    Subclasses :class:`QueryError` so call sites written before the policy
+    layer existed (which catch ``QueryError`` around service construction)
+    keep catching the same failures.
+    """
+
+
 class DataGenerationError(ReproError):
     """Invalid parameters passed to one of the synthetic data generators."""

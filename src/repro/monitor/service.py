@@ -53,9 +53,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.api.policy import DEFAULT_POLICY, ExecutionPolicy, legacy_kwargs_warning
 from repro.core.engine import MCNQueryEngine
 from repro.core.maintenance import MaintenanceStatistics, SkylineMaintainer, TopKMaintainer
-from repro.errors import FacilityError, QueryError
+from repro.errors import FacilityError, PolicyError, QueryError
 from repro.network.accessor import AccessStatistics
 from repro.network.facilities import Facility, FacilityId, FacilitySet
 from repro.network.graph import MultiCostGraph
@@ -192,48 +193,106 @@ class MonitoringService:
     facilities:
         The live facility set.  The service owns and mutates it as ticks are
         applied; hand it a private copy if the caller needs the original.
-    parallel:
-        Optional :class:`~repro.parallel.ParallelExecution`.  When set (with
-        ``workers > 1``) and at least ``shard_fallback_threshold``
-        subscriptions went stale in one tick, the end-of-tick CEA fallback
-        pass runs through the sharded parallel service instead of the
-        sequential batch service.
-    shard_fallback_threshold:
-        Minimum number of stale subscriptions before sharding the fallback
-        pass (the pool is not worth spinning up for one or two queries).
-    compiled:
-        Columnar fast-path toggle, forwarded to the shared
-        :class:`~repro.MCNQueryEngine`.  When enabled, insertion pricing
-        (:class:`~repro.core.maintenance.SkylineMaintainer` distance maps)
-        and the batched end-of-tick CEA pass run on the
-        :class:`~repro.core.kernel.ExpansionKernel`; the compiled facility
-        columns refresh automatically as ticks mutate the set.  ``None``
-        (default) consults the ``REPRO_COMPILED`` environment toggle.
+    policy:
+        An :class:`~repro.api.ExecutionPolicy` supplying the monitoring
+        knobs: ``compiled`` (the columnar fast-path mode — insertion pricing
+        and the batched end-of-tick CEA pass then run on the
+        :class:`~repro.core.kernel.ExpansionKernel`, with the compiled
+        facility columns refreshing automatically as ticks mutate the set),
+        ``workers`` / ``routing`` / ``executor`` (with ``workers > 1`` and
+        at least ``shard_fallback_threshold`` stale subscriptions in one
+        tick, the end-of-tick fallback pass is sharded across workers), and
+        ``shard_fallback_threshold`` itself (the pool is not worth spinning
+        up for one or two queries).  Monitoring always runs on the in-memory
+        data layer; the policy's residency / page knobs do not apply.  This
+        is the constructor the :class:`repro.api.Session` facade uses.
+    parallel / shard_fallback_threshold / compiled:
+        **Deprecated** keyword equivalents of the policy fields, kept
+        working for pre-policy call sites (a :class:`DeprecationWarning` is
+        emitted).  ``parallel`` is a
+        :class:`~repro.parallel.ParallelExecution` or ``None``; ``compiled``
+        is ``True`` / ``False`` / ``None`` (``None`` consults the
+        ``REPRO_COMPILED`` environment toggle).
     """
+
+    _UNSET = object()
 
     def __init__(
         self,
         graph: MultiCostGraph,
         facilities: FacilitySet,
         *,
-        parallel: ParallelExecution | None = None,
-        shard_fallback_threshold: int = 4,
-        compiled: bool | None = None,
+        parallel: ParallelExecution | None = _UNSET,  # type: ignore[assignment]
+        shard_fallback_threshold: int = _UNSET,  # type: ignore[assignment]
+        compiled: bool | None = _UNSET,  # type: ignore[assignment]
+        policy: ExecutionPolicy | None = None,
     ):
+        legacy = {
+            name: value
+            for name, value in (
+                ("parallel", parallel),
+                ("shard_fallback_threshold", shard_fallback_threshold),
+                ("compiled", compiled),
+            )
+            if value is not MonitoringService._UNSET
+        }
+        if policy is not None:
+            if legacy:
+                raise PolicyError(
+                    f"pass either policy= or the legacy knobs {sorted(legacy)}, "
+                    "not both"
+                )
+            if not isinstance(policy, ExecutionPolicy):
+                raise PolicyError(
+                    f"expected an ExecutionPolicy, got {type(policy).__name__}"
+                )
+        else:
+            if legacy:
+                legacy_kwargs_warning(
+                    "MonitoringService",
+                    legacy,
+                    "compiled=..., workers=..., shard_fallback_threshold=...",
+                )
+            policy = self._policy_from_legacy(legacy)
         if facilities.graph is not graph:
             raise QueryError("facility set was built for a different graph")
-        if shard_fallback_threshold < 1:
-            raise QueryError("shard_fallback_threshold must be a positive integer")
         self._graph = graph
         self._facilities = facilities
-        self._engine = MCNQueryEngine(graph, facilities, compiled=compiled)
+        self._policy = policy
+        self._engine = MCNQueryEngine(
+            graph, facilities, compiled=policy.resolved_compiled()
+        )
         self._accessor = self._engine.accessor
-        self._parallel = parallel
-        self._shard_threshold = shard_fallback_threshold
         self._subscriptions: dict[int, _Subscription] = {}
         self._retired = MaintenanceStatistics()
         self._next_sid = 0
         self._ticks_applied = 0
+
+    @staticmethod
+    def _policy_from_legacy(legacy: dict[str, object]) -> ExecutionPolicy:
+        """Fold the pre-policy keyword arguments into an equivalent policy."""
+        fields: dict[str, object] = {}
+        parallel = legacy.get("parallel")
+        if parallel is not None:
+            if not isinstance(parallel, ParallelExecution):
+                raise QueryError(
+                    f"expected a ParallelExecution, got {type(parallel).__name__}"
+                )
+            fields.update(
+                workers=parallel.workers,
+                routing=parallel.routing,
+                executor=parallel.executor,
+            )
+        if "shard_fallback_threshold" in legacy:
+            fields["shard_fallback_threshold"] = legacy["shard_fallback_threshold"]
+        if "compiled" in legacy:
+            mode = legacy["compiled"]
+            if mode not in (True, False, None):
+                raise QueryError(
+                    f"compiled must be True, False or None, got {mode!r}"
+                )
+            fields["compiled"] = {True: "on", False: "off", None: "auto"}[mode]
+        return DEFAULT_POLICY.replace(**fields) if fields else DEFAULT_POLICY
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -241,6 +300,11 @@ class MonitoringService:
     @property
     def graph(self) -> MultiCostGraph:
         return self._graph
+
+    @property
+    def policy(self) -> ExecutionPolicy:
+        """The execution policy supplying the monitoring knobs."""
+        return self._policy
 
     @property
     def facilities(self) -> FacilitySet:
@@ -526,13 +590,16 @@ class MonitoringService:
                 requests.append(
                     TopKRequest(maintainer.query, maintainer.k, aggregate=maintainer.aggregate)
                 )
-        service = QueryService(self._engine, memoize_results=False, harvest_settled=False)
-        use_shards = (
-            self._parallel is not None
-            and self._parallel.workers > 1
-            and len(requests) >= self._shard_threshold
+        pass_policy = self._policy.replace(
+            memoize_results=False, harvest_settled=False, max_cached_entries=None
         )
-        report = service.run_batch(requests, parallel=self._parallel if use_shards else None)
+        service = QueryService(self._engine, policy=pass_policy.replace(workers=1))
+        use_shards = (
+            self._policy.workers > 1 and len(requests) >= self._policy.shard_fallback_threshold
+        )
+        report = service.run_batch(
+            requests, policy=pass_policy if use_shards else None
+        )
         for sub, outcome in zip(stale, report.outcomes):
             sub.maintainer.refresh(outcome.result)
         return use_shards, (report.io if use_shards else None)

@@ -22,14 +22,13 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.api.policy import ROUTINGS
 from repro.errors import QueryError
 from repro.network.graph import MultiCostGraph
 from repro.network.location import NetworkLocation
 from repro.service.requests import QueryRequest
 
 __all__ = ["ROUTINGS", "Shard", "ShardPlan", "plan_shards"]
-
-ROUTINGS = ("round_robin", "locality")
 
 _MORTON_BITS = 16
 

@@ -42,8 +42,14 @@ from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.api.policy import (
+    DEFAULT_POLICY,
+    EXECUTORS,
+    ExecutionPolicy,
+    legacy_kwargs_warning,
+)
 from repro.core.engine import MCNQueryEngine
-from repro.errors import QueryError
+from repro.errors import PolicyError, QueryError
 from repro.parallel.routing import ROUTINGS, Shard, ShardPlan, plan_shards
 from repro.service.cache import CacheStatistics
 from repro.service.requests import BatchReport, QueryOutcome, QueryRequest
@@ -58,9 +64,6 @@ __all__ = [
     "ShardedQueryService",
     "merge_shard_reports",
 ]
-
-EXECUTORS = ("process", "thread", "serial")
-
 
 @dataclass(frozen=True)
 class ParallelExecution:
@@ -178,16 +181,7 @@ def _snapshot_accessor(engine: MCNQueryEngine):
     return snapshot()
 
 
-@dataclass(frozen=True)
-class _ServiceKnobs:
-    """The QueryService knobs replicated into every worker."""
-
-    memoize_results: bool = True
-    harvest_settled: bool = True
-    max_cached_entries: int | None = None
-
-
-def _make_worker_service(engine: MCNQueryEngine, knobs: _ServiceKnobs) -> QueryService:
+def _make_worker_service(engine: MCNQueryEngine, policy: ExecutionPolicy) -> QueryService:
     # Workers adopt the parent engine's CompiledGraph instead of re-reading
     # (or re-compiling) the network per worker: the snapshot is immutable, so
     # fork workers inherit it copy-on-write and thread workers read it
@@ -200,12 +194,8 @@ def _make_worker_service(engine: MCNQueryEngine, knobs: _ServiceKnobs) -> QueryS
         accessor=_snapshot_accessor(engine),
         compiled=engine.compiled_graph,
     )
-    return QueryService(
-        worker_engine,
-        memoize_results=knobs.memoize_results,
-        harvest_settled=knobs.harvest_settled,
-        max_cached_entries=knobs.max_cached_entries,
-    )
+    # workers=1 so a worker's own run_batch could never re-shard recursively.
+    return QueryService(worker_engine, policy=policy.replace(workers=1))
 
 
 def _execute_shard(service: QueryService, shard: Shard) -> ShardReport:
@@ -230,7 +220,7 @@ def _execute_shard(service: QueryService, shard: Shard) -> ShardReport:
 # concurrent process-pool launches in one parent: the global must not be
 # swapped (or cleared) between another run's pool creation and its fork.
 # ------------------------------------------------------------------ #
-_FORK_CONTEXT: tuple[MCNQueryEngine, _ServiceKnobs] | None = None
+_FORK_CONTEXT: tuple[MCNQueryEngine, ExecutionPolicy] | None = None
 _FORK_SERVICE: QueryService | None = None
 _FORK_LOCK = threading.Lock()
 
@@ -239,8 +229,8 @@ def _init_fork_worker() -> None:
     global _FORK_SERVICE
     if _FORK_CONTEXT is None:  # pragma: no cover - defensive; set before forking
         raise QueryError("fork worker started without a parent context")
-    engine, knobs = _FORK_CONTEXT
-    _FORK_SERVICE = _make_worker_service(engine, knobs)
+    engine, policy = _FORK_CONTEXT
+    _FORK_SERVICE = _make_worker_service(engine, policy)
 
 
 def _run_shard_in_fork(shard: Shard) -> ShardReport:
@@ -257,16 +247,19 @@ class ShardedQueryService:
     engine:
         The shared engine; its graph, facility set and built storage are the
         read-only substrate every worker snapshots.
-    workers:
-        Number of shards / pool size (>= 1).
-    routing:
-        ``"round_robin"`` (default) or ``"locality"`` — see
-        :mod:`repro.parallel.routing`.
-    executor:
-        ``"process"`` (default; requires the ``fork`` start method),
-        ``"thread"`` or ``"serial"``.
-    memoize_results / harvest_settled / max_cached_entries:
-        Forwarded to every worker's :class:`~repro.service.QueryService`.
+    policy:
+        An :class:`~repro.api.ExecutionPolicy` supplying the parallelism
+        spec (``workers`` / ``routing`` / ``executor``) and the caching
+        knobs replicated into every worker.  This is the constructor the
+        :class:`repro.api.Session` facade uses.
+    workers / routing / executor / memoize_results / harvest_settled / max_cached_entries:
+        **Deprecated** keyword equivalents of the policy fields, kept
+        working for pre-policy call sites (a :class:`DeprecationWarning` is
+        emitted).  ``workers`` is the number of shards / pool size (>= 1,
+        default 2); ``routing`` is ``"round_robin"`` or ``"locality"``;
+        ``executor`` is ``"process"`` (default; requires the ``fork`` start
+        method), ``"thread"`` or ``"serial"``; the caching knobs are
+        forwarded to every worker's :class:`~repro.service.QueryService`.
 
     Example
     -------
@@ -281,20 +274,54 @@ class ShardedQueryService:
     (4, 2)
     """
 
+    _UNSET = object()
+
     def __init__(
         self,
         engine: MCNQueryEngine,
         *,
-        workers: int = 2,
-        routing: str = "round_robin",
-        executor: str = "process",
-        memoize_results: bool = True,
-        harvest_settled: bool = True,
-        max_cached_entries: int | None = None,
+        workers: int = _UNSET,  # type: ignore[assignment]
+        routing: str = _UNSET,  # type: ignore[assignment]
+        executor: str = _UNSET,  # type: ignore[assignment]
+        memoize_results: bool = _UNSET,  # type: ignore[assignment]
+        harvest_settled: bool = _UNSET,  # type: ignore[assignment]
+        max_cached_entries: int | None = _UNSET,  # type: ignore[assignment]
+        policy: ExecutionPolicy | None = None,
     ):
-        # ParallelExecution owns the workers/routing/executor validation.
-        ParallelExecution(workers=workers, routing=routing, executor=executor)
-        if executor == "process" and "fork" not in multiprocessing.get_all_start_methods():
+        legacy = {
+            name: value
+            for name, value in (
+                ("workers", workers),
+                ("routing", routing),
+                ("executor", executor),
+                ("memoize_results", memoize_results),
+                ("harvest_settled", harvest_settled),
+                ("max_cached_entries", max_cached_entries),
+            )
+            if value is not ShardedQueryService._UNSET
+        }
+        if policy is not None:
+            if legacy:
+                raise PolicyError(
+                    f"pass either policy= or the legacy knobs {sorted(legacy)}, "
+                    "not both"
+                )
+            if not isinstance(policy, ExecutionPolicy):
+                raise PolicyError(
+                    f"expected an ExecutionPolicy, got {type(policy).__name__}"
+                )
+        else:
+            if legacy:
+                legacy_kwargs_warning(
+                    "ShardedQueryService",
+                    legacy,
+                    "workers=..., routing=..., executor=..., memoize_results=...",
+                )
+            # The pre-policy constructor defaulted to two process workers.
+            fields = {"workers": 2, "executor": "process"}
+            fields.update(legacy)
+            policy = DEFAULT_POLICY.replace(**fields)
+        if policy.executor == "process" and "fork" not in multiprocessing.get_all_start_methods():
             raise QueryError(
                 "the process executor needs the 'fork' start method (unavailable on "
                 "this platform); use executor='thread' instead"
@@ -302,14 +329,7 @@ class ShardedQueryService:
         # Fail fast if the data layer cannot be snapshotted at all.
         _snapshot_accessor(engine)
         self._engine = engine
-        self._workers = workers
-        self._routing = routing
-        self._executor = executor
-        self._knobs = _ServiceKnobs(
-            memoize_results=memoize_results,
-            harvest_settled=harvest_settled,
-            max_cached_entries=max_cached_entries,
-        )
+        self._policy = policy
 
     @classmethod
     def from_service(
@@ -318,12 +338,12 @@ class ShardedQueryService:
         """A sharded service mirroring an existing sequential service's knobs."""
         return cls(
             service.engine,
-            workers=parallel.workers,
-            routing=parallel.routing,
-            executor=parallel.executor,
-            memoize_results=service.memoize_results,
-            harvest_settled=service.harvest_settled,
-            max_cached_entries=service.cache.max_entries,
+            policy=service.policy.replace(
+                workers=parallel.workers,
+                routing=parallel.routing,
+                executor=parallel.executor,
+                max_cached_entries=service.cache.max_entries,
+            ),
         )
 
     # ------------------------------------------------------------------ #
@@ -334,16 +354,21 @@ class ShardedQueryService:
         return self._engine
 
     @property
+    def policy(self) -> ExecutionPolicy:
+        """The execution policy (parallelism spec + per-worker caching knobs)."""
+        return self._policy
+
+    @property
     def workers(self) -> int:
-        return self._workers
+        return self._policy.workers
 
     @property
     def routing(self) -> str:
-        return self._routing
+        return self._policy.routing
 
     @property
     def executor(self) -> str:
-        return self._executor
+        return self._policy.executor
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -351,7 +376,7 @@ class ShardedQueryService:
     def plan(self, requests: Sequence[QueryRequest]) -> ShardPlan:
         """The shard plan ``run_batch`` would use for ``requests``."""
         return plan_shards(
-            requests, self._workers, routing=self._routing, graph=self._engine.graph
+            requests, self._policy.workers, routing=self._policy.routing, graph=self._engine.graph
         )
 
     def run_batch(self, requests: Sequence[QueryRequest]) -> ShardedBatchReport:
@@ -375,18 +400,18 @@ class ShardedQueryService:
         plan = self.plan(requests)
         if not plan.shards:
             shard_reports: list[ShardReport] = []
-        elif self._executor == "process" and len(plan.shards) > 1:
+        elif self._policy.executor == "process" and len(plan.shards) > 1:
             shard_reports = self._run_process(plan)
-        elif self._executor == "thread" and len(plan.shards) > 1:
+        elif self._policy.executor == "thread" and len(plan.shards) > 1:
             shard_reports = self._run_thread(plan)
         else:
             shard_reports = self._run_serial(plan)
         return merge_shard_reports(
             shard_reports,
             elapsed_seconds=time.perf_counter() - start,
-            routing=self._routing,
-            executor=self._executor,
-            workers=self._workers,
+            routing=self._policy.routing,
+            executor=self._policy.executor,
+            workers=self._policy.workers,
         )
 
     # ------------------------------------------------------------------ #
@@ -394,12 +419,12 @@ class ShardedQueryService:
     # ------------------------------------------------------------------ #
     def _run_serial(self, plan: ShardPlan) -> list[ShardReport]:
         return [
-            _execute_shard(_make_worker_service(self._engine, self._knobs), shard)
+            _execute_shard(_make_worker_service(self._engine, self._policy), shard)
             for shard in plan.shards
         ]
 
     def _run_thread(self, plan: ShardPlan) -> list[ShardReport]:
-        services = [_make_worker_service(self._engine, self._knobs) for _ in plan.shards]
+        services = [_make_worker_service(self._engine, self._policy) for _ in plan.shards]
         with ThreadPoolExecutor(max_workers=len(plan.shards)) as pool:
             return list(pool.map(_execute_shard, services, plan.shards))
 
@@ -408,10 +433,10 @@ class ShardedQueryService:
         self._check_picklable(plan)
         context = multiprocessing.get_context("fork")
         with _FORK_LOCK:
-            _FORK_CONTEXT = (self._engine, self._knobs)
+            _FORK_CONTEXT = (self._engine, self._policy)
             try:
                 with ProcessPoolExecutor(
-                    max_workers=min(self._workers, len(plan.shards)),
+                    max_workers=min(self._policy.workers, len(plan.shards)),
                     mp_context=context,
                     initializer=_init_fork_worker,
                 ) as pool:

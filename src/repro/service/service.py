@@ -38,10 +38,11 @@ import time
 from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
+from repro.api.policy import DEFAULT_POLICY, ExecutionPolicy, legacy_kwargs_warning
 from repro.core.baseline import baseline_skyline, baseline_top_k
 from repro.core.engine import MCNQueryEngine
 from repro.core.results import SkylineResult, TopKResult
-from repro.errors import QueryError
+from repro.errors import PolicyError, QueryError
 from repro.network.accessor import AccessStatistics
 from repro.service.cache import CacheStatistics, CrossQueryExpansionCache
 from repro.service.requests import (
@@ -86,44 +87,75 @@ class QueryService:
     cache:
         Optional pre-built :class:`CrossQueryExpansionCache`; it must wrap
         the engine's own accessor.  By default a fresh cache is created.
-    memoize_results:
-        When ``True`` (default) identical requests are answered from a
-        result memo with zero engine work.
-    harvest_settled:
-        When ``True`` (default) every query's settled node distances are
-        merged into the cache's settle-cost store (keyed by seeds and cost
-        type) for introspection and co-located-query reuse.  Disable for
-        long-running services over very many distinct query locations where
-        the per-query copy and the store's memory are not worth it (or
-        bound the store with ``max_cached_entries``).
-    max_cached_entries:
-        Bound forwarded to the default cache (LRU eviction); ``None`` caches
-        without bound.  Mutually exclusive with ``cache`` — a pre-built
-        cache carries its own bound.
+    policy:
+        An :class:`~repro.api.ExecutionPolicy` supplying the caching knobs
+        (``memoize_results`` / ``harvest_settled`` / ``max_cached_entries``).
+        This is the constructor the :class:`repro.api.Session` facade uses;
+        the policy's parallelism fields are ignored here (sharding is the
+        caller's concern — see :meth:`run_batch`).
+    memoize_results / harvest_settled / max_cached_entries:
+        **Deprecated** keyword equivalents of the policy's caching fields,
+        kept working for pre-policy call sites (a :class:`DeprecationWarning`
+        is emitted).  ``memoize_results`` answers identical repeat requests
+        from a result memo; ``harvest_settled`` keeps finished queries'
+        settled node distances in the cache; ``max_cached_entries`` bounds
+        the default cache (LRU, ``None`` = unbounded) and is mutually
+        exclusive with ``cache``.
     """
+
+    _UNSET = object()
 
     def __init__(
         self,
         engine: MCNQueryEngine,
         *,
         cache: CrossQueryExpansionCache | None = None,
-        memoize_results: bool = True,
-        harvest_settled: bool = True,
-        max_cached_entries: int | None = None,
+        memoize_results: bool = _UNSET,  # type: ignore[assignment]
+        harvest_settled: bool = _UNSET,  # type: ignore[assignment]
+        max_cached_entries: int | None = _UNSET,  # type: ignore[assignment]
+        policy: ExecutionPolicy | None = None,
     ):
+        legacy = {
+            name: value
+            for name, value in (
+                ("memoize_results", memoize_results),
+                ("harvest_settled", harvest_settled),
+                ("max_cached_entries", max_cached_entries),
+            )
+            if value is not QueryService._UNSET
+        }
+        if policy is not None:
+            if legacy:
+                raise PolicyError(
+                    f"pass either policy= or the legacy knobs {sorted(legacy)}, "
+                    "not both"
+                )
+            if not isinstance(policy, ExecutionPolicy):
+                raise PolicyError(
+                    f"expected an ExecutionPolicy, got {type(policy).__name__}"
+                )
+        else:
+            if legacy:
+                legacy_kwargs_warning(
+                    "QueryService",
+                    legacy,
+                    "memoize_results=..., harvest_settled=..., max_cached_entries=...",
+                )
+            policy = DEFAULT_POLICY.replace(**legacy) if legacy else DEFAULT_POLICY
         if cache is not None:
             if cache.base_accessor is not engine.accessor:
                 raise QueryError("the cache must wrap the engine's own accessor")
-            if max_cached_entries is not None:
+            if policy.max_cached_entries is not None:
                 raise QueryError(
                     "pass either a pre-built cache or max_cached_entries, not both"
                 )
         self._engine = engine
+        self._policy = policy
         self._cache = cache or CrossQueryExpansionCache(
-            engine.accessor, max_entries=max_cached_entries
+            engine.accessor, max_entries=policy.max_cached_entries
         )
-        self._memoize_results = memoize_results
-        self._harvest_settled = harvest_settled
+        self._memoize_results = policy.memoize_results
+        self._harvest_settled = policy.harvest_settled
         self._memo: dict[QueryRequest, SkylineResult | TopKResult] = {}
         self._pending: list[tuple[int, QueryRequest]] = []
         self._next_ticket = 0
@@ -135,6 +167,11 @@ class QueryService:
     def engine(self) -> MCNQueryEngine:
         """The engine queries are executed against."""
         return self._engine
+
+    @property
+    def policy(self) -> ExecutionPolicy:
+        """The execution policy supplying this service's caching knobs."""
+        return self._policy
 
     @property
     def cache(self) -> CrossQueryExpansionCache:
@@ -206,7 +243,11 @@ class QueryService:
     # Batch interface
     # ------------------------------------------------------------------ #
     def run_batch(
-        self, requests: Sequence[QueryRequest], *, parallel: "ParallelExecution | None" = None
+        self,
+        requests: Sequence[QueryRequest],
+        *,
+        parallel: "ParallelExecution | None" = None,
+        policy: ExecutionPolicy | None = None,
     ) -> BatchReport:
         """Execute ``requests`` in order and return a :class:`BatchReport`.
 
@@ -214,24 +255,62 @@ class QueryService:
         batch totals: wall-clock time and the per-batch deltas of the
         base-accessor I/O counters and the cache counters.
 
-        Passing a :class:`~repro.parallel.ParallelExecution` with more than
-        one worker delegates to a :class:`~repro.parallel.ShardedQueryService`
-        over this service's engine and knobs: the batch is partitioned into
-        shards executed concurrently (each worker with its own data layer and
-        cross-query cache — *not* this service's cache), and the returned
-        report is the merged per-shard report with outcomes in submission
-        order, exactly as a sequential run would order them.
+        A ``policy`` override with ``workers > 1`` delegates to a
+        :class:`~repro.parallel.ShardedQueryService` over this service's
+        engine: the batch is partitioned into shards executed concurrently
+        (each worker with its own data layer, cross-query cache — *not* this
+        service's cache — and the *override's* caching knobs), and the
+        returned report is the merged per-shard report with outcomes in
+        submission order, exactly as a sequential run would order them.
+        With ``workers == 1`` (or no override) the batch runs sequentially
+        through this service's own cache.
+
+        ``parallel=`` is the **deprecated** pre-policy spelling of the same
+        delegation; the shard workers then inherit this service's caching
+        knobs.
 
         Example
         -------
         >>> report = service.run_batch([SkylineRequest(q) for q in queries])  # doctest: +SKIP
         >>> report.page_reads  # doctest: +SKIP
         """
-        if parallel is not None and parallel.workers > 1:
-            # Imported lazily: repro.parallel depends on this module.
-            from repro.parallel import ShardedQueryService
+        if parallel is not None:
+            if policy is not None:
+                raise PolicyError("pass either parallel= or policy=, not both")
+            legacy_kwargs_warning(
+                "QueryService.run_batch", ("parallel",), "workers=..., routing=..., executor=..."
+            )
+            if parallel.workers > 1:
+                # Imported lazily: repro.parallel depends on this module.
+                from repro.parallel import ShardedQueryService
 
-            return ShardedQueryService.from_service(self, parallel).run_batch(requests)
+                return ShardedQueryService.from_service(self, parallel).run_batch(requests)
+        elif policy is not None:
+            if policy.workers > 1:
+                from repro.parallel import ShardedQueryService
+
+                return ShardedQueryService(self._engine, policy=policy).run_batch(requests)
+            caching = (
+                policy.memoize_results,
+                policy.harvest_settled,
+                policy.max_cached_entries,
+            )
+            if caching != (
+                self._policy.memoize_results,
+                self._policy.harvest_settled,
+                self._policy.max_cached_entries,
+            ):
+                # A sequential batch runs through THIS service's cache and
+                # memo, which were fixed at construction — silently ignoring
+                # the override's caching knobs would be worse than refusing.
+                raise PolicyError(
+                    "a workers=1 policy override cannot change this service's "
+                    "caching knobs (memoize_results / harvest_settled / "
+                    "max_cached_entries are fixed at construction); build a "
+                    "QueryService with the desired policy, or go through "
+                    "repro.api.Session, which caches one service per "
+                    "configuration"
+                )
         start = time.perf_counter()
         io_before = self._engine.accessor.statistics.snapshot()
         cache_before = self._cache.cache_statistics.snapshot()

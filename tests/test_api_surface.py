@@ -1,0 +1,186 @@
+"""Public-API snapshot: accidental surface breaks must fail CI.
+
+Pins ``repro.api.__all__`` plus the signatures of :class:`Session`, the
+:class:`ExecutionPolicy` schema and the response envelopes.  A deliberate
+API change updates the pinned constants here — in the same commit, visibly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.api import ExecutionPolicy, Session
+from repro.api.session import BatchResponse, MonitorHandle, Response, TickResponse
+
+API_ALL = [
+    "ALGORITHMS",
+    "BatchResponse",
+    "COMPILED_ENV_VAR",
+    "COMPILED_MODES",
+    "DEFAULT_POLICY",
+    "EXECUTORS",
+    "ExecutionPolicy",
+    "MonitorHandle",
+    "RESIDENCIES",
+    "ROUTINGS",
+    "Response",
+    "Session",
+    "TickResponse",
+    "compiled_env_default",
+    "policy_from_payload",
+    "policy_to_payload",
+    "resolve_compiled",
+]
+
+SESSION_SIGNATURES = {
+    "__init__": (
+        "(self, graph: 'MultiCostGraph', facilities: 'FacilitySet', *, "
+        "storage: 'NetworkStorage | None' = None, "
+        "accessor: 'GraphAccessor | None' = None, "
+        "policy: 'ExecutionPolicy | None' = None)"
+    ),
+    "query": (
+        "(self, request: 'QueryRequest', *, policy: 'ExecutionPolicy | None' = None)"
+        " -> 'Response'"
+    ),
+    "skyline": (
+        "(self, location: 'NetworkLocation', *, policy: 'ExecutionPolicy | None' = None)"
+        " -> 'Response'"
+    ),
+    "top_k": (
+        "(self, location: 'NetworkLocation', k: 'int', *, "
+        "weights: 'Sequence[float] | None' = None, "
+        "aggregate: 'AggregateFunction | None' = None, "
+        "policy: 'ExecutionPolicy | None' = None) -> 'Response'"
+    ),
+    "run_batch": (
+        "(self, requests: 'Sequence[QueryRequest]', *, "
+        "policy: 'ExecutionPolicy | None' = None) -> 'BatchResponse'"
+    ),
+    "monitor": (
+        "(self, requests: 'Sequence[QueryRequest]', *, "
+        "policy: 'ExecutionPolicy | None' = None) -> 'MonitorHandle'"
+    ),
+    "engine_for": "(self, policy: 'ExecutionPolicy | None' = None) -> 'MCNQueryEngine'",
+    "storage_for": (
+        "(self, policy: 'ExecutionPolicy | None' = None) -> 'NetworkStorage | None'"
+    ),
+}
+
+POLICY_SCHEMA = [
+    ("algorithm", "cea"),
+    ("residency", "memory"),
+    ("compiled", "auto"),
+    ("page_size", 4096),
+    ("buffer_fraction", 0.01),
+    ("workers", 1),
+    ("routing", "round_robin"),
+    ("executor", "process"),
+    ("memoize_results", True),
+    ("harvest_settled", True),
+    ("max_cached_entries", None),
+    ("shard_fallback_threshold", 4),
+]
+
+RESPONSE_FIELDS = [
+    "request",
+    "result",
+    "io",
+    "elapsed_seconds",
+    "policy",
+    "served_from_memo",
+    "ticket",
+]
+
+BATCH_RESPONSE_FIELDS = [
+    "responses",
+    "elapsed_seconds",
+    "io",
+    "cache",
+    "policy",
+    "shard_sizes",
+    "shard_io",
+]
+
+TICK_RESPONSE_FIELDS = [
+    "index",
+    "updates",
+    "deltas",
+    "counters",
+    "fallback_subscriptions",
+    "sharded",
+    "elapsed_seconds",
+    "io",
+    "policy",
+]
+
+
+class TestApiSurface:
+    def test_api_all_pinned(self):
+        assert list(api.__all__) == API_ALL
+
+    def test_every_exported_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+        assert sorted(api.__all__) == [n for n in dir(api) if not n.startswith("_")]
+
+    @pytest.fixture(params=sorted(SESSION_SIGNATURES))
+    def method_name(self, request):
+        return request.param
+
+    def test_session_signatures_pinned(self, method_name):
+        actual = str(inspect.signature(getattr(Session, method_name)))
+        assert actual == SESSION_SIGNATURES[method_name], method_name
+
+    def test_policy_schema_pinned(self):
+        actual = [
+            (field.name, field.default)
+            for field in dataclasses.fields(ExecutionPolicy)
+        ]
+        assert actual == POLICY_SCHEMA
+
+    def test_response_envelopes_pinned(self):
+        assert [f.name for f in dataclasses.fields(Response)] == RESPONSE_FIELDS
+        assert (
+            [f.name for f in dataclasses.fields(BatchResponse)]
+            == BATCH_RESPONSE_FIELDS
+        )
+        assert (
+            [f.name for f in dataclasses.fields(TickResponse)] == TICK_RESPONSE_FIELDS
+        )
+
+    def test_monitor_handle_surface(self):
+        public = sorted(
+            name
+            for name in dir(MonitorHandle)
+            if not name.startswith("_")
+        )
+        assert public == [
+            "maintainer_of",
+            "policy",
+            "result_signature",
+            "run",
+            "service",
+            "statistics",
+            "subscription_ids",
+            "tick",
+            "unsubscribe",
+        ]
+
+    def test_top_level_exports_include_the_facade(self):
+        for name in (
+            "Session",
+            "ExecutionPolicy",
+            "Response",
+            "BatchResponse",
+            "TickResponse",
+            "MonitorHandle",
+            "PolicyError",
+        ):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
