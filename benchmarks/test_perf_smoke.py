@@ -22,6 +22,6 @@ def test_perf_suite_smoke():
     assert report.all_identical, "fast path diverged from the accessor path"
     assert report.all_io_identical, "fast path charged different I/O"
     assert report.headline.name == HEADLINE_CASE
-    assert len(report.cases) == 6
+    assert len(report.cases) == 7
     rendered = format_perf_report(report)
     assert "speedup" in rendered

@@ -121,7 +121,7 @@ from repro.service import (
 )
 from repro.storage.scheme import NetworkStorage, StorageSnapshotView
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BatchReport",

@@ -420,12 +420,14 @@ class Session:
         key = self._engine_key(resolved)
         if key not in self._engines:
             compiled = resolved.resolved_compiled()
+            vector = resolved.resolved_vector()
             if self._explicit_accessor is not None:
                 engine = MCNQueryEngine(
                     self._graph,
                     self._facilities,
                     accessor=self._explicit_accessor,
                     compiled=compiled,
+                    vector=vector,
                 )
             elif resolved.residency == "disk":
                 engine = MCNQueryEngine(
@@ -433,9 +435,12 @@ class Session:
                     self._facilities,
                     storage=self.storage_for(resolved),
                     compiled=compiled,
+                    vector=vector,
                 )
             else:
-                engine = MCNQueryEngine(self._graph, self._facilities, compiled=compiled)
+                engine = MCNQueryEngine(
+                    self._graph, self._facilities, compiled=compiled, vector=vector
+                )
             self._engines[key] = engine
         return self._engines[key]
 
@@ -528,6 +533,7 @@ class Session:
         resolved = self._resolve(policy)
         key = (
             resolved.resolved_compiled(),
+            resolved.resolved_vector(),
             resolved.workers,
             resolved.routing,
             resolved.executor,
@@ -597,13 +603,20 @@ class Session:
 
     def _engine_key(self, policy: ExecutionPolicy) -> tuple:
         compiled = policy.resolved_compiled()
+        vector = policy.resolved_vector()
         if self._explicit_accessor is not None:
-            return ("accessor", compiled)
+            return ("accessor", compiled, vector)
         if policy.residency == "disk":
             if self._explicit_storage is not None:
-                return ("disk", "explicit", compiled)
-            return ("disk", policy.page_size, float(policy.buffer_fraction), compiled)
-        return ("memory", compiled)
+                return ("disk", "explicit", compiled, vector)
+            return (
+                "disk",
+                policy.page_size,
+                float(policy.buffer_fraction),
+                compiled,
+                vector,
+            )
+        return ("memory", compiled, vector)
 
     def _service_for(self, policy: ExecutionPolicy) -> QueryService:
         key = self._engine_key(policy) + (

@@ -29,8 +29,10 @@ import sys
 import time
 from dataclasses import dataclass, field
 
+from repro.api.policy import ExecutionPolicy
 from repro.bench.driver import build_requests, percentile, ReplaySpec
 from repro.core.engine import MCNQueryEngine
+from repro.core.vector import kernel_class_for
 from repro.datagen.updates import UpdateStreamSpec, make_update_stream
 from repro.datagen.workload import WorkloadSpec, make_workload
 from repro.errors import QueryError
@@ -47,17 +49,26 @@ __all__ = [
     "PathMeasurement",
     "PerfCaseReport",
     "PerfSuiteReport",
+    "PerfRegression",
     "run_perf_suite",
     "format_perf_report",
     "write_perf_report",
+    "load_perf_baseline",
+    "compare_perf_reports",
+    "format_perf_comparison",
 ]
 
-PERF_SCHEMA = "repro-perf/1"
+PERF_SCHEMA = "repro-perf/2"
 
-#: The pinned replay workload whose fast-path speedup is the headline number
-#: (the expansion-bound regime the kernel exists for: LSA runs d independent
-#: expansions, so the NE inner loop dominates end to end).
-HEADLINE_CASE = "replay_lsa_memory"
+#: The pinned replay workload whose fast-path speedup is the headline number:
+#: a deep-expansion regime (many nodes, sparse facilities) where LSA's d
+#: independent expansions each settle long stretches of network before the
+#: skyline converges, so the NE inner loop dominates end to end.
+HEADLINE_CASE = "replay_lsa_deep"
+
+#: Speedups may only erode by this fraction between baselines before the
+#: compare mode (``bench perf --against``) fails the run.
+REGRESSION_TOLERANCE = 0.10
 
 
 @dataclass
@@ -159,6 +170,7 @@ class PerfSuiteReport:
             "repeats": self.repeats,
             "python": sys.version.split()[0],
             "platform": platform.platform(),
+            "fast_kernel": kernel_class_for(None).__name__,
             "headline": {
                 "case": HEADLINE_CASE,
                 "speedup_median": round(self.headline.speedup_median, 3),
@@ -325,7 +337,8 @@ def _batch_case(
 
 def _run_monitor(workload, requests, stream, compiled: bool, label: str) -> tuple[PathMeasurement, list]:
     facilities = FacilitySet(workload.graph, iter(workload.facilities))
-    service = MonitoringService(workload.graph, facilities, compiled=compiled)
+    policy = ExecutionPolicy(compiled="on" if compiled else "off")
+    service = MonitoringService(workload.graph, facilities, policy=policy)
     for request in requests:
         service.subscribe(request)
     measurement = PathMeasurement(label=label)
@@ -394,16 +407,53 @@ def run_perf_suite(*, smoke: bool = False, repeats: int | None = None) -> PerfSu
         if smoke
         else {"nodes": 900, "facilities": 300, "queries": 40}
     )
+    batch_size = (
+        {"nodes": 240, "facilities": 80, "queries": 8}
+        if smoke
+        # Deeper than the one-shot CEA case: with 40 queries on a 900-node
+        # graph the cross-query cache makes the median query a sub-ms warm
+        # replay where scheduler jitter decides the ratio; 25 queries over
+        # 3000 nodes keep the cache regime but leave the median query real
+        # expansion work to measure.
+        else {"nodes": 3000, "facilities": 300, "queries": 25}
+    )
     monitor_scale = (
         {"nodes": 200, "facilities": 50, "subscriptions": 3, "ticks": 4, "updates_per_tick": 3}
         if smoke
-        else {"nodes": 700, "facilities": 220, "subscriptions": 8, "ticks": 15, "updates_per_tick": 5}
+        # Deep enough that the median tick carries real expansion work; at
+        # the old 700-node scale the median tick was a sub-millisecond
+        # bookkeeping tick where per-tick jitter swamped the kernels.
+        else {"nodes": 4000, "facilities": 120, "subscriptions": 8, "ticks": 15, "updates_per_tick": 20}
+    )
+    deep_size = (
+        {"nodes": 500, "facilities": 10, "queries": 4}
+        if smoke
+        else {"nodes": 20000, "facilities": 200, "queries": 10}
     )
     cases = [
         _replay_case(
             HEADLINE_CASE,
+            "one-shot skyline replay, LSA, in-memory, deep sparse-facility "
+            "expansions (the regime the vectorised kernel targets: long "
+            "settle stretches between facility hits)",
+            ReplaySpec(
+                workload=WorkloadSpec(
+                    num_nodes=deep_size["nodes"],
+                    num_facilities=deep_size["facilities"],
+                    num_cost_types=3,
+                    num_queries=deep_size["queries"],
+                    seed=47,
+                ),
+                mix="skyline",
+                algorithm="lsa",
+            ),
+            use_disk=False,
+            repeats=repeats,
+        ),
+        _replay_case(
+            "replay_lsa_memory",
             "one-shot skyline replay, LSA, in-memory (the paper's primary "
-            "query type in the expansion-bound regime the kernel targets)",
+            "query type at the dense facility mix of BENCH_4)",
             ReplaySpec(
                 workload=WorkloadSpec(
                     num_nodes=size["nodes"],
@@ -458,10 +508,10 @@ def run_perf_suite(*, smoke: bool = False, repeats: int | None = None) -> PerfSu
             "batched replay through QueryService (cross-query cache), disk-resident",
             ReplaySpec(
                 workload=WorkloadSpec(
-                    num_nodes=cea_size["nodes"],
-                    num_facilities=cea_size["facilities"],
+                    num_nodes=batch_size["nodes"],
+                    num_facilities=batch_size["facilities"],
                     num_cost_types=3,
-                    num_queries=cea_size["queries"],
+                    num_queries=batch_size["queries"],
                     seed=44,
                 ),
                 mix="mixed",
@@ -539,3 +589,105 @@ def write_perf_report(report: PerfSuiteReport, path: str) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report.to_payload(), handle, indent=2, sort_keys=False)
         handle.write("\n")
+
+
+# --------------------------------------------------------------------- #
+# Baseline comparison (``bench perf --against BENCH_<n>.json``)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PerfRegression:
+    """One metric that regressed beyond tolerance against a pinned baseline."""
+
+    case: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def change(self) -> float:
+        """Signed fractional change relative to the baseline."""
+        if self.baseline == 0:
+            return 0.0
+        return (self.current - self.baseline) / self.baseline
+
+    def describe(self) -> str:
+        return (
+            f"{self.case}: {self.metric} {self.baseline:.3f} -> "
+            f"{self.current:.3f} ({self.change:+.1%})"
+        )
+
+
+def load_perf_baseline(path: str) -> dict:
+    """Read and sanity-check a ``BENCH_<n>.json`` payload for comparison."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    schema = payload.get("schema", "")
+    if not isinstance(schema, str) or not schema.startswith("repro-perf/"):
+        raise QueryError(f"{path} is not a perf-suite payload (schema {schema!r})")
+    if not isinstance(payload.get("cases"), list):
+        raise QueryError(f"{path} has no case list to compare against")
+    return payload
+
+
+def compare_perf_reports(
+    current: dict, baseline: dict, *, tolerance: float = REGRESSION_TOLERANCE
+) -> list[PerfRegression]:
+    """Regressions of ``current`` against ``baseline``, beyond ``tolerance``.
+
+    Cases are matched by name; cases only one side knows about are skipped
+    (new baselines add cases, old ones lack them).  Two metrics are policed:
+
+    * ``speedup_median`` may not erode by more than ``tolerance`` — this is
+      scale-free, so it holds even when a smoke run is compared against a
+      full-scale baseline;
+    * the fast path's ``median_ms`` may not grow by more than ``tolerance``,
+      but only when both payloads ran the same scale (``smoke`` flags match)
+      — absolute latencies across scales are incomparable.
+    """
+    if tolerance <= 0:
+        raise QueryError("the regression tolerance must be positive")
+    baseline_cases = {
+        case.get("name"): case for case in baseline.get("cases", [])
+    }
+    same_scale = bool(current.get("smoke")) == bool(baseline.get("smoke"))
+    regressions: list[PerfRegression] = []
+    for case in current.get("cases", []):
+        reference = baseline_cases.get(case.get("name"))
+        if reference is None:
+            continue
+        base_speedup = float(reference.get("speedup_median", 0.0))
+        cur_speedup = float(case.get("speedup_median", 0.0))
+        if base_speedup > 0 and cur_speedup < base_speedup * (1.0 - tolerance):
+            regressions.append(
+                PerfRegression(
+                    case=case["name"],
+                    metric="speedup_median",
+                    baseline=base_speedup,
+                    current=cur_speedup,
+                )
+            )
+        if not same_scale:
+            continue
+        base_median = float(reference.get("fast", {}).get("median_ms", 0.0))
+        cur_median = float(case.get("fast", {}).get("median_ms", 0.0))
+        if base_median > 0 and cur_median > base_median * (1.0 + tolerance):
+            regressions.append(
+                PerfRegression(
+                    case=case["name"],
+                    metric="fast median_ms",
+                    baseline=base_median,
+                    current=cur_median,
+                )
+            )
+    return regressions
+
+
+def format_perf_comparison(
+    regressions: list[PerfRegression], *, baseline_label: str
+) -> str:
+    """Human-readable verdict of a ``--against`` comparison."""
+    if not regressions:
+        return f"baseline {baseline_label}: no regressions beyond tolerance\n"
+    lines = [f"baseline {baseline_label}: {len(regressions)} regression(s)"]
+    lines.extend(f"  {regression.describe()}" for regression in regressions)
+    return "\n".join(lines) + "\n"

@@ -20,6 +20,7 @@ Sub-commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
@@ -34,7 +35,14 @@ from repro.bench.driver import (
     replay_workload,
 )
 from repro.bench.experiments import EXPERIMENTS, run_experiment
-from repro.bench.perf import format_perf_report, run_perf_suite, write_perf_report
+from repro.bench.perf import (
+    compare_perf_reports,
+    format_perf_comparison,
+    format_perf_report,
+    load_perf_baseline,
+    run_perf_suite,
+    write_perf_report,
+)
 from repro.bench.reporting import format_series_table, series_to_csv, summarize_speedups
 from repro.datagen.updates import UpdateStreamSpec
 from repro.datagen.workload import WorkloadSpec, make_workload
@@ -175,7 +183,23 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--output",
         default=None,
-        help="where to write the JSON payload (default: BENCH_4.json; '-' skips writing)",
+        help="where to write the JSON payload (default: BENCH_5.json; '-' skips writing)",
+    )
+    perf.add_argument(
+        "--against",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a pinned BENCH_<n>.json and fail on >10%% "
+        "median regression (speedups always; absolute latency at equal scale)",
+    )
+    perf.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        metavar="FRACTION",
+        help="allowed fractional erosion before --against fails the run "
+        "(default 0.10; smoke-scale medians jitter far more than full-scale "
+        "ones, so CI self-baselines compare with a loose tolerance)",
     )
 
     commands.add_parser("list", help="list the available experiments")
@@ -275,11 +299,23 @@ def _run_bench(args: argparse.Namespace) -> int:
     print(format_perf_report(report), end="")
     output = args.output
     if output is None:
-        output = "BENCH_4.json"
+        output = "BENCH_5.json"
     if output != "-":
         write_perf_report(report, output)
         print(f"wrote {output}")
-    return 0 if report.all_identical and report.all_io_identical else 1
+    regressed = False
+    if args.against is not None:
+        try:
+            baseline = load_perf_baseline(args.against)
+            regressions = compare_perf_reports(
+                report.to_payload(), baseline, tolerance=args.tolerance
+            )
+        except (ReproError, OSError, json.JSONDecodeError) as error:
+            print(f"bench perf: {error}", file=sys.stderr)
+            return 2
+        print(format_perf_comparison(regressions, baseline_label=args.against), end="")
+        regressed = bool(regressions)
+    return 0 if report.all_identical and report.all_io_identical and not regressed else 1
 
 
 def _run_monitor(args: argparse.Namespace) -> int:

@@ -20,7 +20,7 @@ from __future__ import annotations
 import random
 from collections.abc import Iterator, Sequence
 
-from repro.api.policy import COMPILED_ENV_VAR, compiled_env_default
+from repro.api.policy import COMPILED_ENV_VAR, compiled_env_default, vector_env_default
 from repro.core.aggregates import (
     AggregateFunction,
     MaxCost,
@@ -76,6 +76,7 @@ class MCNQueryEngine:
         page_size: int = 4096,
         buffer_fraction: float = 0.01,
         compiled: bool | CompiledGraph | None = None,
+        vector: bool | None = None,
     ):
         """Create an engine over ``graph`` and ``facilities``.
 
@@ -97,6 +98,13 @@ class MCNQueryEngine:
         share one snapshot instead of each re-reading the network).
         ``None`` (the default) consults the ``REPRO_COMPILED`` environment
         toggle; ``False`` disables the fast path outright.
+
+        ``vector`` picks the fast path's kernel implementation: ``True``
+        the numpy-vectorised :class:`~repro.core.vector.VectorExpansionKernel`,
+        ``False`` the pure-python fallback, ``None`` (default) the
+        ``REPRO_VECTOR``/numpy-availability selection — resolved once, here.
+        Either kernel is bit-identical to the legacy expansion; the knob
+        only matters when the fast path is active.
         """
         self._graph = graph
         self._facilities = facilities
@@ -123,6 +131,7 @@ class MCNQueryEngine:
         else:
             self._storage = None
             self._accessor = InMemoryAccessor(graph, facilities)
+        self._vector = vector_env_default() if vector is None else bool(vector)
         if compiled is None:
             compiled = compiled_default_enabled()
         if isinstance(compiled, CompiledGraph):
@@ -168,6 +177,11 @@ class MCNQueryEngine:
     def compiled_graph(self) -> CompiledGraph | None:
         """The columnar snapshot the fast path runs on (``None`` when disabled)."""
         return self._compiled
+
+    @property
+    def vector_enabled(self) -> bool:
+        """Whether fast-path searches use the vectorised kernel (resolved once)."""
+        return self._vector
 
     def _search_compiled(self) -> CompiledGraph | None:
         """The snapshot to hand a new search, refreshed against facility mutations."""
@@ -268,6 +282,7 @@ class MCNQueryEngine:
             data_layer=data_layer,
             seeds=seeds,
             compiled=self._search_compiled(),
+            vector=self._vector,
         )
 
     def iter_skyline(
@@ -381,6 +396,7 @@ class MCNQueryEngine:
             data_layer=data_layer,
             seeds=seeds,
             compiled=self._search_compiled(),
+            vector=self._vector,
         )
 
     def iter_top(
@@ -418,6 +434,7 @@ class MCNQueryEngine:
             function,
             share_accesses=(algorithm == "cea"),
             compiled=self._search_compiled(),
+            vector=self._vector,
         )
 
     # ------------------------------------------------------------------ #

@@ -87,6 +87,20 @@ class KernelDataLayer:
     def facility_edge(self, facility_id: FacilityId) -> EdgeId:
         raise NotImplementedError
 
+    def batch_charges(self) -> tuple[str, object]:
+        """How a batching kernel may fold this layer's request accounting.
+
+        ``("count", stats)`` — every request is one unconditional counter
+        increment; a kernel may tally locally and add the totals in bulk at
+        its public-method boundaries.  ``("count_once", (stats, seen_nodes,
+        seen_edges))`` — ditto, but deduplicated through the shared seen
+        flags (CEA).  ``("generic", None)`` — the layer has per-request side
+        effects (page-plan replay through an LRU buffer, forwarding to an
+        external cache), so charges must stay synchronous per request.
+        Counters are exact whenever no kernel method is mid-call either way.
+        """
+        return ("generic", None)
+
 
 def _check_charge_pairing(compiled: CompiledGraph, target: GraphAccessor) -> None:
     """Reject a snapshot/accessor pairing whose charges could not be exact.
@@ -167,6 +181,11 @@ class DirectChargeLayer(KernelDataLayer):
                 read(page_id)
         return self.compiled.facility_edge_of[facility_id]
 
+    def batch_charges(self) -> tuple[str, object]:
+        if self._buffer is not None:
+            return ("generic", None)
+        return ("count", self._stats)
+
 
 class FetchOnceChargeLayer(DirectChargeLayer):
     """Charge each node/edge/facility at most once per query (CEA semantics).
@@ -201,6 +220,11 @@ class FetchOnceChargeLayer(DirectChargeLayer):
             return self.compiled.facility_edge_of[facility_id]
         self._seen_facilities.add(facility_id)
         return DirectChargeLayer.facility_edge(self, facility_id)
+
+    def batch_charges(self) -> tuple[str, object]:
+        if self._buffer is not None:
+            return ("generic", None)
+        return ("count_once", (self._stats, self._seen_nodes, self._seen_edges))
 
 
 class ForwardingLayer(KernelDataLayer):
@@ -242,14 +266,23 @@ def make_kernel_data_layer(
 ) -> KernelDataLayer:
     """The data layer a search should hand its kernels.
 
-    ``external`` (an injected data layer such as the cross-query cache) wins
-    and gets a forwarding layer; otherwise ``target`` (the engine's base
-    accessor) is charged directly, deduplicated per query when ``fetch_once``
-    (the CEA regime).  Raises :class:`QueryError` when the snapshot and the
-    target belong to different data layers (e.g. plans compiled from one
-    storage charged against another).
+    ``external`` (an injected data layer such as the cross-query cache) wins.
+    An external accessor that knows how to charge itself without record
+    materialisation may provide a ``kernel_charge_layer(compiled)`` hook
+    returning a :class:`KernelDataLayer` (or ``None`` to decline) — the
+    batch service's :class:`~repro.service.CrossQueryExpansionCache` does;
+    anything else gets a :class:`ForwardingLayer`.  Otherwise ``target``
+    (the engine's base accessor) is charged directly, deduplicated per query
+    when ``fetch_once`` (the CEA regime).  Raises :class:`QueryError` when
+    the snapshot and the target belong to different data layers (e.g. plans
+    compiled from one storage charged against another).
     """
     if external is not None:
+        maker = getattr(external, "kernel_charge_layer", None)
+        if maker is not None:
+            layer = maker(compiled)
+            if layer is not None:
+                return layer
         return ForwardingLayer(compiled, external)
     if fetch_once:
         return FetchOnceChargeLayer(compiled, target)

@@ -44,7 +44,8 @@ from dataclasses import dataclass
 
 from repro.core.aggregates import AggregateFunction
 from repro.core.expansion import ExpansionSeeds, NearestFacilityExpansion
-from repro.core.kernel import ExpansionKernel, make_kernel_data_layer
+from repro.core.kernel import make_kernel_data_layer
+from repro.core.vector import kernel_class_for
 from repro.core.results import SkylineResult, TopKResult
 from repro.core.skyline import MCNSkylineSearch
 from repro.core.topk import MCNTopKSearch
@@ -122,10 +123,12 @@ class _QueryDistanceMaps:
         graph: MultiCostGraph,
         query: NetworkLocation,
         compiled: CompiledGraph | None = None,
+        vector: bool | None = None,
     ):
         self._accessor = accessor
         self._graph = graph
         self._compiled = compiled
+        self._vector = vector
         self._seeds = ExpansionSeeds.from_query(graph, query)
         self._settled: list[dict[int, float]] | None = None
 
@@ -146,8 +149,9 @@ class _QueryDistanceMaps:
                 layer = make_kernel_data_layer(
                     self._compiled, target=self._accessor, fetch_once=True
                 )
+                kernel_class = kernel_class_for(self._vector)
                 for cost_index in range(self._graph.num_cost_types):
-                    kernel = ExpansionKernel(layer, self._seeds, cost_index)
+                    kernel = kernel_class(layer, self._seeds, cost_index)
                     kernel.enter_candidate_mode({})
                     while kernel.next_facility() is not None:  # pragma: no cover - no candidates
                         pass
@@ -218,6 +222,7 @@ class _MaintainerBase:
         query: NetworkLocation,
         accessor: InMemoryAccessor | None = None,
         compiled: CompiledGraph | None = None,
+        vector: bool | None = None,
     ):
         self._graph = graph
         self._facilities = facilities
@@ -235,7 +240,8 @@ class _MaintainerBase:
                 )
         self._accessor = accessor
         self._compiled = compiled
-        self._distances = _QueryDistanceMaps(accessor, graph, query, compiled)
+        self._vector = vector
+        self._distances = _QueryDistanceMaps(accessor, graph, query, compiled, vector)
         self._statistics = MaintenanceStatistics()
         self._stale = False
 
@@ -400,8 +406,9 @@ class SkylineMaintainer(_MaintainerBase):
         *,
         accessor: InMemoryAccessor | None = None,
         compiled: CompiledGraph | None = None,
+        vector: bool | None = None,
     ):
-        super().__init__(graph, facilities, query, accessor, compiled)
+        super().__init__(graph, facilities, query, accessor, compiled, vector)
         self._skyline: dict[FacilityId, tuple[float, ...]] = {}
         self._recompute()
 
@@ -446,6 +453,7 @@ class SkylineMaintainer(_MaintainerBase):
             self._query,
             share_accesses=True,
             compiled=self._search_compiled(),
+            vector=self._vector,
         )
         self._install(search.run())
 
@@ -473,10 +481,11 @@ class TopKMaintainer(_MaintainerBase):
         *,
         accessor: InMemoryAccessor | None = None,
         compiled: CompiledGraph | None = None,
+        vector: bool | None = None,
     ):
         if k < 1:
             raise QueryError("k must be a positive integer")
-        super().__init__(graph, facilities, query, accessor, compiled)
+        super().__init__(graph, facilities, query, accessor, compiled, vector)
         self._aggregate = aggregate
         self._k = k
         self._top: list[tuple[float, FacilityId, tuple[float, ...]]] = []
@@ -537,6 +546,7 @@ class TopKMaintainer(_MaintainerBase):
             self._k,
             share_accesses=True,
             compiled=self._search_compiled(),
+            vector=self._vector,
         ).run()
         self._install(result)
 

@@ -29,7 +29,8 @@ from collections.abc import Iterator
 
 from repro.core.candidates import CandidateEntry, CandidatePool
 from repro.core.expansion import ExpansionSeeds, NearestFacilityExpansion
-from repro.core.kernel import ExpansionKernel, make_kernel_data_layer
+from repro.core.kernel import make_kernel_data_layer
+from repro.core.vector import kernel_class_for
 from repro.core.results import QueryStatistics, SkylineFacility, SkylineResult
 from repro.errors import QueryError
 from repro.network.accessor import FetchOnceCache, GraphAccessor
@@ -114,6 +115,7 @@ class MCNSkylineSearch:
         data_layer: GraphAccessor | None = None,
         seeds: ExpansionSeeds | None = None,
         compiled: CompiledGraph | None = None,
+        vector: bool | None = None,
     ):
         if graph.num_cost_types != accessor.num_cost_types:
             raise QueryError("graph and accessor disagree on the number of cost types")
@@ -129,8 +131,9 @@ class MCNSkylineSearch:
             layer = make_kernel_data_layer(
                 compiled, target=accessor, external=data_layer, fetch_once=share_accesses
             )
+            kernel_class = kernel_class_for(vector)
             self._expansions = [
-                ExpansionKernel(layer, seeds, index)
+                kernel_class(layer, seeds, index)
                 for index in range(accessor.num_cost_types)
             ]
             data_layer = layer
@@ -360,9 +363,37 @@ class MCNSkylineSearch:
         self._deactivate_finished_expansions()
 
     def _deactivate_finished_expansions(self) -> None:
-        for index in range(len(self._expansions)):
+        needed = self._deferred_dominator_dims()
+        for index, expansion in enumerate(self._expansions):
+            if index in needed:
+                # A dimension required to resolve a deferred entry must keep
+                # (or resume) expanding even if every unresolved entry has it.
+                if not expansion.exhausted:
+                    self._active[index] = True
+                continue
             if self._active[index] and not self._pool.any_unresolved_missing_cost(index):
                 self._active[index] = False
+
+    def _deferred_dominator_dims(self) -> set[int]:
+        """Cost dimensions still unknown for potential dominators of deferred entries.
+
+        A deferred pinned entry waits on unpinned candidates that might still
+        dominate it.  Such a candidate can be *reported* already (via the
+        first-NN shortcut) and therefore invisible to
+        ``any_unresolved_missing_cost`` — but its missing costs must still be
+        expanded, or the deferred entry can never be resolved exactly and
+        would be mis-reported at finalisation.  Only exact cost ties ever
+        populate ``_deferred``, so this is empty (and free) otherwise.
+        """
+        pending = [e for e in self._deferred if not e.eliminated and not e.reported]
+        if not pending:
+            return set()
+        frontiers = self._frontiers()
+        needed: set[int] = set()
+        for entry in pending:
+            for dominator in self._pool.potential_dominators(entry, frontiers):
+                needed.update(dominator.missing_indices())
+        return needed
 
     def _emit(self, entry: CandidateEntry) -> SkylineFacility:
         facility = SkylineFacility(

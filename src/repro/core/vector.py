@@ -1,0 +1,641 @@
+"""The vectorised expansion kernel and its columnar frontier.
+
+This module is the numpy half of the dual-implementation fast path.  The
+selection contract (decided once, at import/resolution time — see
+:func:`repro.api.policy.resolve_vector`):
+
+* numpy importable and ``REPRO_VECTOR`` not vetoing → searches run on
+  :class:`VectorExpansionKernel` (this module);
+* numpy absent, or ``REPRO_VECTOR=0`` → the pure-python
+  :class:`~repro.core.kernel.ExpansionKernel` serves as the fallback with
+  identical semantics.
+
+Both kernels — and the legacy record-walking
+:class:`~repro.core.expansion.NearestFacilityExpansion` — pass the one
+shared conformance suite (``tests/expansion_conformance.py``), so the
+fallback can never silently diverge from the fast path.
+
+What "vectorised" buys over the already-columnar ``ExpansionKernel``:
+
+* **One flat serving loop.**  The pop/settle/relax cycle is a single loop
+  with every hot structure bound once per call, instead of a per-settle
+  ``_expand_node`` invocation that re-binds its locals thousands of times
+  per query.
+* **A columnar frontier.**  :class:`ColumnarFrontier` owns the heap
+  representation and provides *batched* sifts: a block of entries is
+  appended and re-heapified in one C-level pass when the block is large
+  relative to the heap, instead of ``len(block)`` individual sift-ups.
+  Pop order is exactly heapq's ``(key, push-order tie)`` order either way —
+  the Hypothesis drain-parity suite pins this pop by pop.
+* **Charge accounting folded into bulk adds.**  For counter-only charge
+  layers (in-memory LSA/CEA) the kernel tallies adjacency/facility requests
+  in locals and adds them to the accessor's counters once per public call,
+  instead of two layer calls per settle.  Layers with per-request side
+  effects (page-plan replay, cross-query caches) keep synchronous charges —
+  the request *order* is part of the bit-identity contract for LRU buffers.
+* **Batched settled-map flushes.**  Settled nodes accumulate in flat
+  columns and are folded into the ``settled_costs`` dict once per call —
+  via a zero-copy numpy gather over the dense→real node-id column when the
+  batch is large.  Views are exact whenever no kernel method is mid-call,
+  which is the only time the searches (and the conformance suite) look.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Mapping
+from types import MappingProxyType
+
+try:  # pragma: no cover - exercised implicitly by the selection layer
+    import numpy as _np
+except ImportError:  # pragma: no cover - the numpy-less environment
+    _np = None
+
+from repro.api.policy import vector_env_default
+from repro.core.expansion import ExpansionSeeds, FacilityHit
+from repro.core.kernel import ExpansionKernel, KernelDataLayer
+from repro.errors import QueryError
+from repro.network.accessor import FacilityRecord
+from repro.network.facilities import FacilityId
+from repro.network.graph import EdgeId, NodeId
+
+__all__ = [
+    "NUMPY_AVAILABLE",
+    "ColumnarFrontier",
+    "VectorExpansionKernel",
+    "kernel_class_for",
+]
+
+NUMPY_AVAILABLE = _np is not None
+
+#: Settled batches at least this long take the numpy gather path of the
+#: flush; shorter batches stay on zip(), whose fixed cost is lower.
+_GATHER_THRESHOLD = 1024
+
+# Charge-folding modes, resolved once per kernel from the layer's
+# batch_charges() capability (ints: the serving loop compares them per pop).
+_GENERIC = 0  # per-request side effects: charge synchronously, like the fallback
+_COUNT = 1  # unconditional counters: tally locally, bulk-add at call exit
+_COUNT_ONCE = 2  # dedup through shared seen-flags, then tally (CEA)
+
+
+def kernel_class_for(vector: bool | None = None) -> type:
+    """The kernel class the selection layer picks for new searches.
+
+    ``None`` defers to :func:`repro.api.policy.vector_env_default` (numpy
+    presence gated by ``REPRO_VECTOR``); an explicit boolean is still capped
+    by numpy availability, so this function can never hand out a kernel that
+    cannot run.
+    """
+    if vector is None:
+        vector = vector_env_default()
+    if vector and _np is not None:
+        return VectorExpansionKernel
+    return ExpansionKernel
+
+
+class ColumnarFrontier:
+    """A min-frontier with heapq-identical ``(key, push-order)`` semantics.
+
+    The heap holds flat ``(key, tie, payload)`` tuples; ``count`` is the
+    monotone push counter whose value *is* the tie-break, so two frontiers
+    fed the same pushes pop in exactly the same order — the invariant the
+    whole bit-identity story rests on.  :meth:`extend` is the batched sift:
+    blocks large relative to the heap are appended and re-heapified in one
+    O(n + k) C pass (the resulting internal layout may differ from k
+    sift-ups, but the pop order cannot — the comparator is total because
+    ties are unique).  The serving loops of :class:`VectorExpansionKernel`
+    bind :attr:`heap` directly and write :attr:`count` back on exit; the
+    method surface here is the primitive's contract, pinned pop-by-pop
+    against raw ``heapq`` by the Hypothesis drain-parity suite.
+    """
+
+    __slots__ = ("heap", "count")
+
+    def __init__(self) -> None:
+        self.heap: list[tuple] = []
+        self.count = 0
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    def push(self, key: float, payload: object) -> None:
+        """Push one entry; its tie-break is the next counter value."""
+        self.count = tie = self.count + 1
+        heapq.heappush(self.heap, (key, tie, payload))
+
+    def extend(self, keys, payloads) -> None:
+        """Push a block of entries in order (the batched heap sift).
+
+        ``keys``/``payloads`` may be any same-length sequences (numpy arrays
+        included).  Tie-breaks are assigned in block order, so the result is
+        indistinguishable — pop by pop — from pushing the pairs one at a
+        time.
+        """
+        if _np is not None and isinstance(keys, _np.ndarray):
+            keys = keys.tolist()
+        heap = self.heap
+        tie = self.count
+        entries = []
+        append = entries.append
+        for index, key in enumerate(keys):
+            tie += 1
+            append((key, tie, payloads[index]))
+        self.count = tie
+        if len(entries) > max(8, len(heap) >> 3):
+            heap.extend(entries)
+            heapq.heapify(heap)
+        else:
+            push = heapq.heappush
+            for entry in entries:
+                push(heap, entry)
+
+    def pop(self) -> tuple:
+        """Pop and return the smallest ``(key, tie, payload)`` entry."""
+        return heapq.heappop(self.heap)
+
+    def head_key(self) -> float:
+        """The smallest pending key (``inf`` when empty)."""
+        heap = self.heap
+        return heap[0][0] if heap else float("inf")
+
+
+class VectorExpansionKernel:
+    """Batched incremental nearest-facility expansion over CSR columns.
+
+    A drop-in sibling of :class:`~repro.core.kernel.ExpansionKernel` — same
+    constructor, same ``next_facility`` / ``pop_step`` / ``head_key`` /
+    ``enter_candidate_mode`` surface, same read-only views, bit-identical
+    behaviour — with the serving loop restructured around batching (see the
+    module docstring).  Requires numpy only for the large-batch gather path;
+    the selection layer never instantiates it when numpy is absent.
+    """
+
+    __slots__ = (
+        "_layer",
+        "_seeds",
+        "_cost_index",
+        "_node_ids",
+        "_node_ids_np",
+        "_edge_ids",
+        "_indptr",
+        "_arc_neighbor",
+        "_arc_edge",
+        "_arc_cost",
+        "_arc_forward",
+        "_edge_length",
+        "_hot_arcs",
+        "_hot_facs",
+        "_fac_nodes",
+        "_frontier",
+        "_settled_flags",
+        "_settled",
+        "_pending_idx",
+        "_pending_keys",
+        "_reported",
+        "_candidate_edges",
+        "_cand_nodes",
+        "_allowed",
+        "_heap_pops",
+        "_facilities_retrieved",
+        "_charge_mode",
+        "_charge_stats",
+        "_seen_nodes",
+        "_seen_edges",
+    )
+
+    def __init__(self, layer: KernelDataLayer, seeds: ExpansionSeeds, cost_index: int):
+        compiled = layer.compiled
+        if not 0 <= cost_index < compiled.num_cost_types:
+            raise QueryError(
+                f"cost index {cost_index} out of range for a "
+                f"{compiled.num_cost_types}-cost network"
+            )
+        self._layer = layer
+        self._seeds = seeds
+        self._cost_index = cost_index
+        self._node_ids = compiled.node_ids
+        self._node_ids_np = (
+            _np.frombuffer(compiled.node_ids, dtype=_np.int64)
+            if _np is not None and len(compiled.node_ids)
+            else None
+        )
+        self._edge_ids = compiled.edge_ids
+        self._indptr = compiled.arc_indptr
+        self._arc_neighbor = compiled.arc_neighbor
+        self._arc_edge = compiled.arc_edge
+        self._arc_cost = compiled.arc_costs[cost_index]
+        self._arc_forward = compiled.arc_forward
+        self._edge_length = compiled.edge_length
+        self._hot_arcs = compiled.hot_arcs(cost_index)
+        self._hot_facs = compiled.hot_facilities(cost_index)
+        self._fac_nodes = compiled.hot_facility_node_flags()
+        self._frontier = ColumnarFrontier()
+        self._settled_flags = bytearray(compiled.num_nodes)
+        self._settled: dict[NodeId, float] = {}
+        self._pending_idx: list[int] = []
+        self._pending_keys: list[float] = []
+        self._reported: dict[FacilityId, float] = {}
+        self._candidate_edges: dict[EdgeId, list[FacilityRecord]] | None = None
+        self._cand_nodes: set[int] | None = set()
+        self._allowed: set[FacilityId] | None = None
+        self._heap_pops = 0
+        self._facilities_retrieved = 0
+        mode, context = layer.batch_charges()
+        if mode == "count":
+            self._charge_mode = _COUNT
+            self._charge_stats = context
+            self._seen_nodes = self._seen_edges = None
+        elif mode == "count_once":
+            self._charge_mode = _COUNT_ONCE
+            self._charge_stats, self._seen_nodes, self._seen_edges = context
+        else:
+            self._charge_mode = _GENERIC
+            self._charge_stats = None
+            self._seen_nodes = self._seen_edges = None
+        self._seed()
+
+    # ------------------------------------------------------------------ #
+    # Introspection (mirror of the legacy expansion)
+    # ------------------------------------------------------------------ #
+    @property
+    def cost_index(self) -> int:
+        return self._cost_index
+
+    @property
+    def exhausted(self) -> bool:
+        return not self._frontier.heap
+
+    @property
+    def reported_costs(self) -> Mapping[FacilityId, float]:
+        """Facilities already returned (read-only live view)."""
+        return MappingProxyType(self._reported)
+
+    @property
+    def settled_costs(self) -> Mapping[NodeId, float]:
+        """Settled node distances keyed by *real* node id (read-only live view)."""
+        return MappingProxyType(self._settled)
+
+    @property
+    def heap_pops(self) -> int:
+        return self._heap_pops
+
+    @property
+    def facilities_retrieved(self) -> int:
+        return self._facilities_retrieved
+
+    def head_key(self) -> float:
+        return self._frontier.head_key()
+
+    # ------------------------------------------------------------------ #
+    # Candidate-only mode
+    # ------------------------------------------------------------------ #
+    def enter_candidate_mode(self, candidates: dict[EdgeId, list[FacilityRecord]]) -> None:
+        """Restrict the expansion to the given candidate facilities.
+
+        Semantics identical to the legacy expansion's candidate mode,
+        including the re-seeding of candidates on the query's own edge.
+        """
+        self._candidate_edges = {
+            edge: list(records) for edge, records in candidates.items()
+        }
+        self._allowed = {
+            record.facility_id
+            for records in candidates.values()
+            for record in records
+        }
+        # Nodes incident to a candidate-bearing edge: every other settle can
+        # take a pure arc-relaxation branch with no per-arc candidate probes.
+        # Candidate edges absent from the snapshot can never match an arc,
+        # so they contribute no incident nodes.  Only worth materialising for
+        # small candidate sets (insertion pricing: one or two edges) — a CEA
+        # fallback recompute enters with hundreds of edges, where building
+        # the set costs more than the probes it saves.
+        if len(self._candidate_edges) <= 32:
+            compiled = self._layer.compiled
+            edge_index = compiled.edge_index
+            edge_nodes = compiled._edge_endpoint_nodes()
+            incident: set[int] = set()
+            for edge_id in self._candidate_edges:
+                dense_edge = edge_index.get(edge_id)
+                if dense_edge is not None:
+                    incident.update(edge_nodes[dense_edge])
+            self._cand_nodes = incident
+        else:
+            self._cand_nodes = None
+        seeds = self._seeds
+        if seeds.query_edge is not None:
+            for record in self._candidate_edges.get(seeds.query_edge, []):
+                cost = self._direct_cost_on_query_edge(record.offset)
+                if cost is not None:
+                    self._push_candidate(record, cost)
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def next_facility(self) -> FacilityHit | None:
+        """Retrieve the next nearest facility, or ``None`` when exhausted."""
+        frontier = self._frontier
+        heap = frontier.heap
+        pop = heapq.heappop
+        push = heapq.heappush
+        reported = self._reported
+        flags = self._settled_flags
+        hot_arcs = self._hot_arcs
+        fac_table = self._hot_facs
+        fac_nodes = self._fac_nodes
+        allowed = self._allowed
+        candidate_mode = self._candidate_edges is not None
+        mode = self._charge_mode
+        counting = mode != _GENERIC
+        dedup = mode == _COUNT_ONCE
+        if dedup:
+            seen_nodes = self._seen_nodes
+            seen_edges = self._seen_edges
+        if not counting:
+            note_adjacency = self._layer.note_adjacency
+            note_edge = self._layer.note_edge_facilities
+        pending_idx = self._pending_idx
+        pending_keys = self._pending_keys
+        pend_idx = pending_idx.append
+        pend_key = pending_keys.append
+        tie = frontier.count
+        pops = 0
+        n_adj = 0
+        n_edge = 0
+        try:
+            while heap:
+                key, _t, payload = pop(heap)
+                pops += 1
+                if type(payload) is int:
+                    if flags[payload]:
+                        continue
+                    flags[payload] = 1
+                    pend_idx(payload)
+                    pend_key(key)
+                    if counting:
+                        if dedup:
+                            if not seen_nodes[payload]:
+                                seen_nodes[payload] = 1
+                                n_adj += 1
+                        else:
+                            n_adj += 1
+                    else:
+                        note_adjacency(payload)
+                    if candidate_mode:
+                        frontier.count = tie
+                        self._expand_node_candidates(payload, key)
+                        tie = frontier.count
+                        continue
+                    if not fac_nodes[payload]:
+                        # Facility-free settle (the overwhelmingly common
+                        # case under sparse facilities): pure arc relaxation,
+                        # no facility-table probes.  Push order is identical
+                        # — the skipped cells were all empty.
+                        for edge_cost, neighbor, _cell in hot_arcs[payload]:
+                            if not flags[neighbor]:
+                                tie += 1
+                                push(heap, (key + edge_cost, tie, neighbor))
+                        continue
+                    for edge_cost, neighbor, cell in hot_arcs[payload]:
+                        if not flags[neighbor]:
+                            tie += 1
+                            push(heap, (key + edge_cost, tie, neighbor))
+                        facs = fac_table[cell]
+                        if facs:
+                            if counting:
+                                if dedup:
+                                    edge_idx = cell >> 1
+                                    if not seen_edges[edge_idx]:
+                                        seen_edges[edge_idx] = 1
+                                        n_edge += 1
+                                else:
+                                    n_edge += 1
+                            else:
+                                note_edge(cell >> 1)
+                            for facility_id, delta, record in facs:
+                                if facility_id in reported:
+                                    continue
+                                tie += 1
+                                push(heap, (key + delta, tie, record))
+                    continue
+                facility_id = payload.facility_id
+                if facility_id in reported:
+                    continue
+                if allowed is not None and facility_id not in allowed:
+                    continue
+                reported[facility_id] = key
+                self._facilities_retrieved += 1
+                return FacilityHit(facility_id, key, self._cost_index, payload)
+            return None
+        finally:
+            frontier.count = tie
+            self._heap_pops += pops
+            if n_adj or n_edge:
+                stats = self._charge_stats
+                stats.adjacency_requests += n_adj
+                stats.facility_requests += n_edge
+            if pending_idx:
+                self._flush_settled()
+
+    def pop_step(self) -> FacilityHit | None:
+        """Pop and process a single heap element (shrinking-stage granularity)."""
+        frontier = self._frontier
+        heap = frontier.heap
+        if not heap:
+            return None
+        key, _tie, payload = heapq.heappop(heap)
+        self._heap_pops += 1
+        if type(payload) is int:
+            self._settle_one(payload, key)
+            return None
+        facility_id = payload.facility_id
+        if facility_id in self._reported:
+            return None
+        if self._allowed is not None and facility_id not in self._allowed:
+            return None
+        self._reported[facility_id] = key
+        self._facilities_retrieved += 1
+        return FacilityHit(facility_id, key, self._cost_index, payload)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _seed(self) -> None:
+        compiled = self._layer.compiled
+        cost_index = self._cost_index
+        seeds = self._seeds
+        anchors = seeds.anchors
+        if anchors:
+            node_index = compiled.node_index
+            self._frontier.extend(
+                [costs[cost_index] for _node, costs in anchors],
+                [node_index[node] for node, _costs in anchors],
+            )
+        query_edge = seeds.query_edge
+        if query_edge is not None:
+            # The legacy expansion reads the query edge's facility list here
+            # unconditionally (even when empty); charge the same request.
+            self._layer.note_seed_edge(query_edge)
+            edge_idx = compiled.edge_index[query_edge]
+            for record in compiled.edge_facility_records(edge_idx):
+                cost = self._direct_cost_on_query_edge(record.offset)
+                if cost is not None:
+                    self._push_candidate(record, cost)
+
+    def _direct_cost_on_query_edge(self, offset: float) -> float | None:
+        seeds = self._seeds
+        if seeds.query_edge_costs is None:
+            return None
+        if seeds.directed and offset < seeds.query_offset:
+            return None
+        length = seeds.query_edge_length
+        fraction = abs(offset - seeds.query_offset) / length if length else 0.0
+        return seeds.query_edge_costs[self._cost_index] * fraction
+
+    def _push_candidate(self, record: FacilityRecord, key: float) -> None:
+        if record.facility_id in self._reported:
+            return
+        if self._allowed is not None and record.facility_id not in self._allowed:
+            return
+        self._frontier.push(key, record)
+
+    def _charge_adjacency(self, node_idx: int) -> None:
+        """One synchronous adjacency charge (the non-batched paths)."""
+        mode = self._charge_mode
+        if mode == _GENERIC:
+            self._layer.note_adjacency(node_idx)
+        elif mode == _COUNT:
+            self._charge_stats.adjacency_requests += 1
+        else:
+            if not self._seen_nodes[node_idx]:
+                self._seen_nodes[node_idx] = 1
+                self._charge_stats.adjacency_requests += 1
+
+    def _charge_edge_facilities(self, edge_idx: int) -> None:
+        """One synchronous facility-list charge (the non-batched paths)."""
+        mode = self._charge_mode
+        if mode == _GENERIC:
+            self._layer.note_edge_facilities(edge_idx)
+        elif mode == _COUNT:
+            self._charge_stats.facility_requests += 1
+        else:
+            if not self._seen_edges[edge_idx]:
+                self._seen_edges[edge_idx] = 1
+                self._charge_stats.facility_requests += 1
+
+    def _settle_one(self, node_idx: int, distance: float) -> None:
+        """Settle one node outside the batched loop (the ``pop_step`` path)."""
+        flags = self._settled_flags
+        if flags[node_idx]:
+            return
+        flags[node_idx] = 1
+        self._settled[self._node_ids[node_idx]] = distance
+        self._charge_adjacency(node_idx)
+        if self._candidate_edges is not None:
+            self._expand_node_candidates(node_idx, distance)
+            return
+        frontier = self._frontier
+        heap = frontier.heap
+        push = heapq.heappush
+        tie = frontier.count
+        if not self._fac_nodes[node_idx]:
+            for edge_cost, neighbor, _cell in self._hot_arcs[node_idx]:
+                if not flags[neighbor]:
+                    tie += 1
+                    push(heap, (distance + edge_cost, tie, neighbor))
+            frontier.count = tie
+            return
+        reported = self._reported
+        fac_table = self._hot_facs
+        for edge_cost, neighbor, cell in self._hot_arcs[node_idx]:
+            if not flags[neighbor]:
+                tie += 1
+                push(heap, (distance + edge_cost, tie, neighbor))
+            facs = fac_table[cell]
+            if facs:
+                self._charge_edge_facilities(cell >> 1)
+                for facility_id, delta, record in facs:
+                    if facility_id in reported:
+                        continue
+                    tie += 1
+                    push(heap, (distance + delta, tie, record))
+        frontier.count = tie
+
+    def _expand_node_candidates(self, node_idx: int, distance: float) -> None:
+        """Candidate-mode arc walk over the CSR columns (the cold path).
+
+        Candidate records may be external — facilities not present in the
+        compiled columns, e.g. a prospective insertion being priced — so
+        this path evaluates the legacy per-record arithmetic verbatim
+        instead of the precomputed deltas.
+        """
+        frontier = self._frontier
+        heap = frontier.heap
+        push = heapq.heappush
+        tie = frontier.count
+        flags = self._settled_flags
+        cand_nodes = self._cand_nodes
+        if cand_nodes is not None and node_idx not in cand_nodes:
+            # No incident edge carries candidates: relax arcs off the hot
+            # rows (same CSR order, so identical pushes) and skip the
+            # per-arc candidate probes entirely.
+            for edge_cost, neighbor, _cell in self._hot_arcs[node_idx]:
+                if not flags[neighbor]:
+                    tie += 1
+                    push(heap, (distance + edge_cost, tie, neighbor))
+            frontier.count = tie
+            return
+        indptr = self._indptr
+        start = indptr[node_idx]
+        end = indptr[node_idx + 1]
+        neighbors = self._arc_neighbor
+        arc_edge = self._arc_edge
+        arc_cost = self._arc_cost
+        forward = self._arc_forward
+        reported = self._reported
+        candidates = self._candidate_edges
+        allowed = self._allowed
+        for arc in range(start, end):
+            edge_cost = arc_cost[arc]
+            neighbor = neighbors[arc]
+            if not flags[neighbor]:
+                tie += 1
+                push(heap, (distance + edge_cost, tie, neighbor))
+            edge_idx = arc_edge[arc]
+            records = candidates.get(self._edge_ids[edge_idx])
+            if not records:
+                continue
+            length = self._edge_length[edge_idx]
+            is_forward = forward[arc]
+            for record in records:
+                facility_id = record.facility_id
+                if facility_id in reported:
+                    continue
+                if allowed is not None and facility_id not in allowed:
+                    continue
+                if length > 0:
+                    if is_forward:
+                        fraction = record.offset / length
+                    else:
+                        fraction = (length - record.offset) / length
+                else:
+                    fraction = 0.0
+                tie += 1
+                push(heap, (distance + edge_cost * fraction, tie, record))
+        frontier.count = tie
+
+    def _flush_settled(self) -> None:
+        """Fold the pending settled columns into the settled-costs dict."""
+        pending_idx = self._pending_idx
+        pending_keys = self._pending_keys
+        node_ids_np = self._node_ids_np
+        if node_ids_np is not None and len(pending_idx) >= _GATHER_THRESHOLD:
+            ids = node_ids_np[_np.array(pending_idx, dtype=_np.intp)].tolist()
+            self._settled.update(zip(ids, pending_keys))
+        else:
+            self._settled.update(
+                zip(map(self._node_ids.__getitem__, pending_idx), pending_keys)
+            )
+        pending_idx.clear()
+        pending_keys.clear()

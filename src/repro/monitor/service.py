@@ -260,7 +260,10 @@ class MonitoringService:
         self._facilities = facilities
         self._policy = policy
         self._engine = MCNQueryEngine(
-            graph, facilities, compiled=policy.resolved_compiled()
+            graph,
+            facilities,
+            compiled=policy.resolved_compiled(),
+            vector=policy.resolved_vector(),
         )
         self._accessor = self._engine.accessor
         self._subscriptions: dict[int, _Subscription] = {}
@@ -372,6 +375,7 @@ class MonitoringService:
         """
         validate_request(self._engine, request)
         compiled = self._engine.compiled_graph
+        vector = self._engine.vector_enabled
         if isinstance(request, SkylineRequest):
             maintainer: SkylineMaintainer | TopKMaintainer = SkylineMaintainer(
                 self._graph,
@@ -379,6 +383,7 @@ class MonitoringService:
                 request.location,
                 accessor=self._accessor,
                 compiled=compiled,
+                vector=vector,
             )
         else:
             aggregate = self._engine.resolve_aggregate(request.aggregate, request.weights)
@@ -390,6 +395,7 @@ class MonitoringService:
                 request.k,
                 accessor=self._accessor,
                 compiled=compiled,
+                vector=vector,
             )
         subscription_id = self._next_sid
         self._next_sid += 1

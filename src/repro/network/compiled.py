@@ -152,6 +152,9 @@ class CompiledGraph:
         self.arc_costs = arc_costs
         # Per-cost hot arc structures (topology-only, never invalidated).
         self._hot_arcs: dict[int, list[tuple]] = {}
+        # Dense edge -> incident dense nodes (topology-only, built lazily by
+        # hot_facility_node_flags' maintenance).
+        self._edge_nodes: list[tuple[int, ...]] | None = None
 
     def _build_facility_store(self) -> None:
         # One O(|F|) grouping pass over the set (iterating the set preserves
@@ -180,9 +183,18 @@ class CompiledGraph:
         self.facility_edge_of = facility_edge_of
         self._hosting = set(grouped)
         self._facilities_revision = facilities.revision
+        # Reconstructed AdjacencyRecord lists (see adjacency_records), keyed
+        # by dense node.  facility_count is facility-set state, so the cache
+        # follows the facility columns' revision, not the static topology.
+        self._adj_records: dict[int, list] = {}
+        self._adj_records_revision = facilities.revision
         # The facility store feeds the per-cost hot facility tables; a full
         # rebuild drops them (the arc structure is topology-only and survives).
         self._hot_facilities: dict[int, list[tuple]] = {}
+        # Per-node "some incident edge hosts facilities" bitmap (see
+        # hot_facility_node_flags); dropped with the store, patched on
+        # incremental refreshes.
+        self._fac_node_flags: bytearray | None = None
 
     def _facility_cells(self, dense_edge: int, cost_index: int) -> tuple[tuple, tuple]:
         """The (backward, forward) hot-table cells of one edge under one cost.
@@ -235,7 +247,67 @@ class CompiledGraph:
                 backward, forward = self._facility_cells(dense_edge, cost_index)
                 table[dense_edge * 2] = backward
                 table[dense_edge * 2 + 1] = forward
+            self._patch_fac_node_flags(dense_edge)
+            # Reconstructed adjacency records embed facility_count, so only
+            # the nodes incident to a refreshed edge go stale — dropping
+            # just those keeps mutation-heavy monitor ticks from rebuilding
+            # the whole cache every revision.
+            for node_idx in self._edge_endpoint_nodes()[dense_edge]:
+                self._adj_records.pop(node_idx, None)
         self._facilities_revision = facilities.revision
+        self._adj_records_revision = facilities.revision
+
+    def _edge_endpoint_nodes(self) -> list[tuple[int, ...]]:
+        """Dense edge -> the dense nodes whose arc lists traverse it."""
+        cached = self._edge_nodes
+        if cached is not None:
+            return cached
+        touching: list[list[int]] = [[] for _ in range(self.num_edges)]
+        arc_edge = self.arc_edge
+        indptr = self.arc_indptr
+        for node_idx in range(self.num_nodes):
+            for arc in range(indptr[node_idx], indptr[node_idx + 1]):
+                bucket = touching[arc_edge[arc]]
+                if node_idx not in bucket:
+                    bucket.append(node_idx)
+        self._edge_nodes = [tuple(bucket) for bucket in touching]
+        return self._edge_nodes
+
+    def hot_facility_node_flags(self) -> bytearray:
+        """Per-dense-node flag: some incident edge hosts facilities.
+
+        The kernels' serving loops use this to take a facility-free fast
+        branch when settling a node — in sparse-facility regimes that's
+        nearly every settle.  The bitmap is facility-set state: it is
+        dropped with the facility store and patched in place by the
+        incremental refresh, so a kernel that bound it at construction sees
+        mutations exactly as it sees the hot facility tables it also bound.
+        """
+        flags = self._fac_node_flags
+        if flags is None:
+            flags = bytearray(self.num_nodes)
+            edge_nodes = self._edge_endpoint_nodes()
+            for dense_edge in self._hosting:
+                for node_idx in edge_nodes[dense_edge]:
+                    flags[node_idx] = 1
+            self._fac_node_flags = flags
+        return flags
+
+    def _patch_fac_node_flags(self, dense_edge: int) -> None:
+        """Recompute the flag of every node incident to one refreshed edge."""
+        flags = self._fac_node_flags
+        if flags is None:
+            return
+        hosting = self._hosting
+        arc_edge = self.arc_edge
+        indptr = self.arc_indptr
+        for node_idx in self._edge_endpoint_nodes()[dense_edge]:
+            bit = 0
+            for arc in range(indptr[node_idx], indptr[node_idx + 1]):
+                if arc_edge[arc] in hosting:
+                    bit = 1
+                    break
+            flags[node_idx] = bit
 
     def _build_page_plans(self, storage) -> None:
         self._adjacency_plans = [
@@ -457,3 +529,51 @@ class CompiledGraph:
     def edge_facility_records(self, dense_edge: int) -> tuple:
         """The facility records on one dense edge (bucket order = accessor order)."""
         return self._edge_records[dense_edge]
+
+    def adjacency_records(self, node_idx: int) -> list:
+        """The exact adjacency list an accessor would return for a dense node.
+
+        Reconstructed from the CSR columns — same values, same order, no
+        accessor request.  This is how the batch service's charge layer
+        keeps its cross-query record cache populated without routing reads
+        through the base accessor: the list compares equal (and stays
+        results-identical) to what :meth:`InMemoryAccessor.adjacency
+        <repro.network.accessor.InMemoryAccessor.adjacency>` or the storage
+        scheme would have produced.  Lists are cached per node for the
+        lifetime of the facility columns; ``facility_count`` is facility-set
+        state, so the cache is dropped whenever the columns refresh.
+        """
+        from repro.network.accessor import AdjacencyRecord  # lazy: avoids import cycle
+
+        if self._adj_records_revision != self._facilities_revision:
+            self._adj_records.clear()
+            self._adj_records_revision = self._facilities_revision
+        cached = self._adj_records.get(node_idx)
+        if cached is not None:
+            return cached
+        node_ids = self.node_ids
+        edge_ids = self.edge_ids
+        edge_costs = self._edge_costs
+        edge_length = self.edge_length
+        edge_records = self._edge_records
+        arc_edge = self.arc_edge
+        arc_neighbor = self.arc_neighbor
+        arc_forward = self.arc_forward
+        node_id = node_ids[node_idx]
+        num_costs = len(edge_costs)
+        records = []
+        for arc in range(self.arc_indptr[node_idx], self.arc_indptr[node_idx + 1]):
+            edge_idx = arc_edge[arc]
+            neighbor_id = node_ids[arc_neighbor[arc]]
+            records.append(
+                AdjacencyRecord(
+                    neighbor=neighbor_id,
+                    edge_id=edge_ids[edge_idx],
+                    costs=tuple(edge_costs[ci][edge_idx] for ci in range(num_costs)),
+                    length=edge_length[edge_idx],
+                    first_node=node_id if arc_forward[arc] else neighbor_id,
+                    facility_count=len(edge_records[edge_idx]),
+                )
+            )
+        self._adj_records[node_idx] = records
+        return records

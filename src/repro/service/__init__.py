@@ -9,7 +9,11 @@ expansion seeds and node settle-costs are reused across queries instead of
 being rebuilt per query.
 """
 
-from repro.service.cache import CacheStatistics, CrossQueryExpansionCache
+from repro.service.cache import (
+    CacheStatistics,
+    CrossQueryExpansionCache,
+    SharedCacheChargeLayer,
+)
 from repro.service.requests import (
     BatchReport,
     QueryOutcome,
@@ -26,6 +30,7 @@ __all__ = [
     "QueryOutcome",
     "QueryRequest",
     "QueryService",
+    "SharedCacheChargeLayer",
     "SkylineRequest",
     "TopKRequest",
 ]

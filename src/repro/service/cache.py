@@ -30,6 +30,7 @@ from collections.abc import Mapping
 from dataclasses import dataclass
 
 from repro.core.expansion import ExpansionSeeds
+from repro.core.kernel import DirectChargeLayer, KernelDataLayer
 from repro.errors import QueryError
 from repro.network.accessor import (
     AccessStatistics,
@@ -37,11 +38,12 @@ from repro.network.accessor import (
     FacilityRecord,
     GraphAccessor,
 )
+from repro.network.compiled import CompiledGraph
 from repro.network.facilities import FacilityId
 from repro.network.graph import EdgeId, MultiCostGraph, NodeId
 from repro.network.location import NetworkLocation
 
-__all__ = ["CacheStatistics", "CrossQueryExpansionCache"]
+__all__ = ["CacheStatistics", "CrossQueryExpansionCache", "SharedCacheChargeLayer"]
 
 
 @dataclass
@@ -258,6 +260,24 @@ class CrossQueryExpansionCache:
         return self._settled.get((seeds, cost_index), {}).get(node_id)
 
     # ------------------------------------------------------------------ #
+    # Kernel fast path
+    # ------------------------------------------------------------------ #
+    def kernel_charge_layer(self, compiled: CompiledGraph) -> KernelDataLayer | None:
+        """A charge layer the kernel factory may use instead of forwarding.
+
+        Returns a :class:`SharedCacheChargeLayer` bound to this cache, or
+        ``None`` when the base accessor cannot be charged through page plans
+        (an exotic accessor type, or plans compiled over a different
+        storage) — the factory then falls back to a
+        :class:`~repro.core.kernel.ForwardingLayer`, which is always
+        correct.
+        """
+        try:
+            return SharedCacheChargeLayer(compiled, self)
+        except QueryError:
+            return None
+
+    # ------------------------------------------------------------------ #
     # LRU plumbing
     # ------------------------------------------------------------------ #
     def _touch(self, store: dict, key) -> None:
@@ -270,3 +290,92 @@ class CrossQueryExpansionCache:
         if self._max_entries is not None and len(store) > self._max_entries:
             store.pop(next(iter(store)))
             self._stats.evictions += 1
+
+
+class SharedCacheChargeLayer(DirectChargeLayer):
+    """Charge a :class:`CrossQueryExpansionCache` without routing reads through it.
+
+    The forwarding path re-enacts every kernel request as a real accessor
+    call so the cache's counters, LRU order and the base accessor's I/O stay
+    exactly what the legacy expansions would have produced — at the price of
+    materialising records the kernel never looks at.  This layer produces
+    the *same observable state* directly: a hit is a dict probe plus a hit
+    counter (and the LRU touch a bounded cache would have performed); a miss
+    charges the base accessor through :class:`~repro.core.kernel.
+    DirectChargeLayer` (counter increment, page-plan replay through the
+    storage buffer) and then populates the cache with records rebuilt from
+    the compiled columns — value-identical to what the base accessor would
+    have returned, so later queries (including legacy-path ones sharing the
+    cache) read the very same data.  Nothing about cache contents, hit/miss
+    statistics, eviction counts or base-accessor I/O differs from the
+    forwarding path; only the per-request Python overhead does.
+    """
+
+    __slots__ = (
+        "_cache",
+        "_cache_stats",
+        "_adj_store",
+        "_fac_store",
+        "_edge_store",
+        "_bounded",
+        "_node_id_of",
+        "_edge_id_of",
+    )
+
+    def __init__(self, compiled: CompiledGraph, cache: CrossQueryExpansionCache):
+        super().__init__(compiled, cache.base_accessor)
+        self._cache = cache
+        self._cache_stats = cache._stats
+        self._adj_store = cache._adjacency
+        self._fac_store = cache._edge_facilities
+        self._edge_store = cache._facility_edges
+        # An unbounded cache's LRU touch is a no-op; hits are the hot path,
+        # so skip the move-to-back entirely instead of re-deciding per
+        # request (the touch is inlined below for the same reason).
+        self._bounded = cache._max_entries is not None
+        self._node_id_of = compiled.node_ids
+        self._edge_id_of = compiled.edge_ids
+
+    def note_adjacency(self, node_idx: int) -> None:
+        key = self._node_id_of[node_idx]
+        store = self._adj_store
+        if key in store:
+            self._cache_stats.adjacency_hits += 1
+            if self._bounded:
+                store[key] = store.pop(key)
+            return
+        self._cache_stats.adjacency_misses += 1
+        DirectChargeLayer.note_adjacency(self, node_idx)
+        self._cache._insert(store, key, self.compiled.adjacency_records(node_idx))
+
+    def note_edge_facilities(self, edge_idx: int) -> None:
+        key = self._edge_id_of[edge_idx]
+        store = self._fac_store
+        if key in store:
+            self._cache_stats.facility_hits += 1
+            if self._bounded:
+                store[key] = store.pop(key)
+            return
+        self._cache_stats.facility_misses += 1
+        DirectChargeLayer.note_edge_facilities(self, edge_idx)
+        self._cache._insert(
+            store, key, list(self.compiled.edge_facility_records(edge_idx))
+        )
+
+    def note_seed_edge(self, edge_id: EdgeId) -> None:
+        self.note_edge_facilities(self.compiled.edge_index[edge_id])
+
+    def facility_edge(self, facility_id: FacilityId) -> EdgeId:
+        cached = self._edge_store.get(facility_id)
+        if cached is not None:
+            self._cache_stats.facility_edge_hits += 1
+            return cached
+        self._cache_stats.facility_edge_misses += 1
+        edge_id = DirectChargeLayer.facility_edge(self, facility_id)
+        self._edge_store[facility_id] = edge_id
+        return edge_id
+
+    def batch_charges(self) -> tuple[str, object]:
+        # Every request flips cache state (counters, LRU order), so charges
+        # must stay synchronous per request even over in-memory accessors.
+        return ("generic", None)

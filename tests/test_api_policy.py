@@ -160,6 +160,7 @@ GOLDEN_POLICY = ExecutionPolicy(
     algorithm="lsa",
     residency="disk",
     compiled="on",
+    vector="off",
     page_size=1024,
     buffer_fraction=0.05,
     workers=3,
@@ -175,6 +176,7 @@ GOLDEN_PAYLOAD = {
     "algorithm": "lsa",
     "residency": "disk",
     "compiled": "on",
+    "vector": "off",
     "page_size": 1024,
     "buffer_fraction": 0.05,
     "workers": 3,

@@ -31,10 +31,15 @@ API_ALL = [
     "Response",
     "Session",
     "TickResponse",
+    "VECTOR_ENV_VAR",
+    "VECTOR_MODES",
     "compiled_env_default",
+    "numpy_available",
     "policy_from_payload",
     "policy_to_payload",
     "resolve_compiled",
+    "resolve_vector",
+    "vector_env_default",
 ]
 
 SESSION_SIGNATURES = {
@@ -76,6 +81,7 @@ POLICY_SCHEMA = [
     ("algorithm", "cea"),
     ("residency", "memory"),
     ("compiled", "auto"),
+    ("vector", "auto"),
     ("page_size", 4096),
     ("buffer_fraction", 0.01),
     ("workers", 1),

@@ -21,7 +21,7 @@ from repro.errors import QueryError
 from repro.network.accessor import InMemoryAccessor
 from repro.network.compiled import CompiledGraph
 from repro.network.facilities import FacilitySet
-from repro.service import CrossQueryExpansionCache
+from repro.service import CrossQueryExpansionCache, SharedCacheChargeLayer
 from repro.storage.scheme import NetworkStorage
 
 
@@ -139,9 +139,16 @@ class TestLayerFactory:
             make_kernel_data_layer(compiled, target=accessor, fetch_once=True),
             FetchOnceChargeLayer,
         )
+        # The cross-query cache offers its own charge layer (no record
+        # materialisation through the accessor chain)...
         cache = CrossQueryExpansionCache(accessor)
         assert isinstance(
             make_kernel_data_layer(compiled, target=accessor, external=cache),
+            SharedCacheChargeLayer,
+        )
+        # ...while a plain external accessor still gets verbatim forwarding.
+        assert isinstance(
+            make_kernel_data_layer(compiled, target=accessor, external=accessor),
             ForwardingLayer,
         )
 

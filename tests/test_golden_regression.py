@@ -16,6 +16,7 @@ from pathlib import Path
 import pytest
 
 from repro.core.engine import MCNQueryEngine
+from repro.core.vector import NUMPY_AVAILABLE
 from repro.datagen import make_workload, workload_spec_from_payload
 from repro.parallel import ShardedQueryService
 from repro.service import QueryService, SkylineRequest
@@ -30,7 +31,9 @@ def load_fixture(path: Path) -> dict:
     return json.loads(path.read_text())
 
 
-def build_engine(fixture: dict, *, compiled: bool = False) -> MCNQueryEngine:
+def build_engine(
+    fixture: dict, *, compiled: bool = False, vector: bool | None = None
+) -> MCNQueryEngine:
     workload = make_workload(workload_spec_from_payload(fixture["workload"]))
     storage = NetworkStorage.build(
         workload.graph,
@@ -39,7 +42,11 @@ def build_engine(fixture: dict, *, compiled: bool = False) -> MCNQueryEngine:
         buffer_fraction=fixture["buffer_fraction"],
     )
     return MCNQueryEngine(
-        workload.graph, workload.facilities, storage=storage, compiled=compiled
+        workload.graph,
+        workload.facilities,
+        storage=storage,
+        compiled=compiled,
+        vector=vector,
     )
 
 
@@ -114,6 +121,40 @@ class TestGoldenReplay:
         fixture = load_fixture(path)
         engine = build_engine(fixture, compiled=True)
         assert engine.compiled_graph is not None and engine.compiled_graph.has_page_plans
+        requests = decode_requests(fixture["requests"])
+        report = QueryService(engine).run_batch(requests)
+        expected = fixture["expected"]
+        for outcome, expected_result in zip(report.outcomes, expected["results"]):
+            assert_results_match(
+                expected_result, observed_payload(outcome.request, outcome.result)
+            )
+        assert report.io.page_reads == expected["page_reads"]
+        assert report.io.buffer_hits == expected["buffer_hits"]
+
+    @pytest.mark.parametrize(
+        "vector",
+        [
+            pytest.param(
+                True,
+                id="vectorised",
+                marks=pytest.mark.skipif(
+                    not NUMPY_AVAILABLE, reason="numpy not importable"
+                ),
+            ),
+            pytest.param(False, id="fallback"),
+        ],
+    )
+    def test_kernel_selection_replay_is_bit_identical(self, path, vector):
+        """Both kernel selections reproduce every golden fixture exactly.
+
+        Pinned independently of the ``REPRO_VECTOR`` environment: the
+        vectorised kernel and the pure-python fallback must each hit the
+        same answers AND the same page-read/buffer-hit totals the fixture
+        recorded for the legacy path.
+        """
+        fixture = load_fixture(path)
+        engine = build_engine(fixture, compiled=True, vector=vector)
+        assert engine.vector_enabled is vector
         requests = decode_requests(fixture["requests"])
         report = QueryService(engine).run_batch(requests)
         expected = fixture["expected"]

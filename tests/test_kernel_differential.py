@@ -1,269 +1,52 @@
-"""Differential tests: the expansion kernel versus the accessor path.
+"""Differential tests: every expansion-kernel implementation versus the accessor path.
 
-The columnar fast path promises *bit-identical* behaviour: same facility
-streams, same settled maps, same results, same heap pops, and exactly the
-same logical and physical I/O accounting.  These tests pin that promise
-across random graphs, dimensions, buffer sizes, both sharing regimes and
-candidate-mode restrictions — if the kernel ever drifts from the legacy
-expansion in any observable way, something here fails.
+The shared battery lives in :mod:`tests.expansion_conformance`; here it is
+instantiated once per implementation:
+
+* ``TestLegacyKernelConformance`` — the pure-python ``ExpansionKernel``
+  constructed directly (the PR-4 fast path, now the fallback);
+* ``TestFallbackSelectionConformance`` — whatever the selection layer
+  resolves for ``vector=False`` (pinned to be the pure-python kernel, so the
+  ``REPRO_VECTOR=0`` escape hatch provably preserves semantics);
+* ``TestVectorKernelConformance`` — the numpy ``VectorExpansionKernel``
+  (skipped wholesale when numpy is unavailable).
+
+Freshness semantics of the compiled snapshot (shared by all kernels) stay
+here, as do any checks that are not per-implementation.
 """
 
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.core.engine import MCNQueryEngine
-from repro.core.expansion import ExpansionSeeds, NearestFacilityExpansion
-from repro.core.kernel import ExpansionKernel, make_kernel_data_layer
+from repro.core.kernel import ExpansionKernel
+from repro.core.vector import NUMPY_AVAILABLE, VectorExpansionKernel, kernel_class_for
 from repro.datagen import WorkloadSpec, make_workload
-from repro.monitor import MonitoringService
-from repro.monitor.service import tick_report_to_payload
-from repro.datagen.updates import UpdateStreamSpec, make_update_stream
-from repro.network.accessor import FetchOnceCache, InMemoryAccessor
+from repro.network.accessor import InMemoryAccessor
 from repro.network.compiled import CompiledGraph
 from repro.network.facilities import FacilitySet
-from repro.service import QueryService, SkylineRequest, TopKRequest
 from repro.storage.scheme import NetworkStorage
+from tests.expansion_conformance import ExpansionConformanceSuite
 
 
-def _io_tuple(stats):
-    return (
-        stats.adjacency_requests,
-        stats.facility_requests,
-        stats.facility_tree_requests,
-        stats.page_reads,
-        stats.buffer_hits,
-    )
+class TestLegacyKernelConformance(ExpansionConformanceSuite):
+    kernel_class = ExpansionKernel
+    vector = False
 
 
-def _drain(expansion):
-    hits = []
-    while True:
-        hit = expansion.next_facility()
-        if hit is None:
-            break
-        hits.append((hit.facility_id, hit.cost, hit.cost_index, hit.record))
-    return hits
+class TestFallbackSelectionConformance(ExpansionConformanceSuite):
+    kernel_class = kernel_class_for(False)
+    vector = False
+
+    def test_fallback_is_the_pure_python_kernel(self):
+        assert self.kernel_class is ExpansionKernel
 
 
-def _make_engines(workload, *, use_disk, page_size=1024, buffer_fraction=0.01):
-    if use_disk:
-        legacy = MCNQueryEngine(
-            workload.graph,
-            workload.facilities,
-            use_disk=True,
-            page_size=page_size,
-            buffer_fraction=buffer_fraction,
-            compiled=False,
-        )
-        fast = MCNQueryEngine(
-            workload.graph,
-            workload.facilities,
-            use_disk=True,
-            page_size=page_size,
-            buffer_fraction=buffer_fraction,
-            compiled=True,
-        )
-    else:
-        legacy = MCNQueryEngine(workload.graph, workload.facilities, compiled=False)
-        fast = MCNQueryEngine(workload.graph, workload.facilities, compiled=True)
-    return legacy, fast
-
-
-def _reset(engine):
-    if engine.storage is not None:
-        engine.storage.reset_statistics(clear_buffer=True)
-
-
-class TestRawExpansionParity:
-    """Kernel vs legacy expansion, drained facility by facility."""
-
-    @pytest.mark.parametrize("share", [False, True], ids=["direct", "fetch-once"])
-    def test_full_drain_is_bit_identical(self, share):
-        workload = make_workload(
-            WorkloadSpec(num_nodes=180, num_facilities=50, num_cost_types=2, num_queries=4, seed=11)
-        )
-        accessor_a = InMemoryAccessor(workload.graph, workload.facilities)
-        accessor_b = InMemoryAccessor(workload.graph, workload.facilities)
-        compiled = CompiledGraph.from_accessor(accessor_b)
-        for query in workload.queries:
-            seeds = ExpansionSeeds.from_query(workload.graph, query)
-            legacy_layer = FetchOnceCache(accessor_a) if share else accessor_a
-            kernel_layer = make_kernel_data_layer(
-                compiled, target=accessor_b, fetch_once=share
-            )
-            for cost_index in range(workload.graph.num_cost_types):
-                legacy = NearestFacilityExpansion(legacy_layer, seeds, cost_index)
-                kernel = ExpansionKernel(kernel_layer, seeds, cost_index)
-                while True:
-                    assert kernel.head_key() == legacy.head_key()
-                    legacy_hit = legacy.next_facility()
-                    kernel_hit = kernel.next_facility()
-                    assert kernel_hit == legacy_hit
-                    assert kernel.heap_pops == legacy.heap_pops
-                    if legacy_hit is None:
-                        break
-                assert dict(kernel.settled_costs) == dict(legacy.settled_costs)
-                assert dict(kernel.reported_costs) == dict(legacy.reported_costs)
-                assert kernel.facilities_retrieved == legacy.facilities_retrieved
-        assert _io_tuple(accessor_a.statistics) == _io_tuple(accessor_b.statistics)
-
-    def test_candidate_mode_restriction_parity(self):
-        workload = make_workload(
-            WorkloadSpec(num_nodes=150, num_facilities=40, num_cost_types=2, num_queries=2, seed=23)
-        )
-        accessor_a = InMemoryAccessor(workload.graph, workload.facilities)
-        accessor_b = InMemoryAccessor(workload.graph, workload.facilities)
-        compiled = CompiledGraph.from_accessor(accessor_b)
-        query = workload.queries[0]
-        seeds = ExpansionSeeds.from_query(workload.graph, query)
-        legacy = NearestFacilityExpansion(accessor_a, seeds, 0)
-        kernel = ExpansionKernel(
-            make_kernel_data_layer(compiled, target=accessor_b), seeds, 0
-        )
-        # Report two facilities, then restrict both to the records of the
-        # first few remaining facilities and drain.
-        for _ in range(2):
-            assert kernel.next_facility() == legacy.next_facility()
-        remaining = [
-            facility
-            for facility in workload.facilities
-            if facility.facility_id not in dict(legacy.reported_costs)
-        ][:5]
-        candidates = {}
-        for facility in remaining:
-            record_list = accessor_a.edge_facilities(facility.edge_id)
-            accessor_b.edge_facilities(facility.edge_id)  # keep counters aligned
-            for record in record_list:
-                if record.facility_id == facility.facility_id:
-                    candidates.setdefault(facility.edge_id, []).append(record)
-        legacy.enter_candidate_mode(candidates)
-        kernel.enter_candidate_mode(candidates)
-        assert _drain(kernel) == _drain(legacy)
-        assert kernel.heap_pops == legacy.heap_pops
-        assert _io_tuple(accessor_a.statistics) == _io_tuple(accessor_b.statistics)
-
-    def test_settled_views_are_read_only(self):
-        workload = make_workload(
-            WorkloadSpec(num_nodes=60, num_facilities=15, num_cost_types=2, num_queries=1, seed=3)
-        )
-        accessor = InMemoryAccessor(workload.graph, workload.facilities)
-        compiled = CompiledGraph.from_accessor(accessor)
-        seeds = ExpansionSeeds.from_query(workload.graph, workload.queries[0])
-        for expansion in (
-            NearestFacilityExpansion(accessor, seeds, 0),
-            ExpansionKernel(make_kernel_data_layer(compiled, target=accessor), seeds, 0),
-        ):
-            expansion.next_facility()
-            with pytest.raises(TypeError):
-                expansion.settled_costs[0] = 0.0  # type: ignore[index]
-            with pytest.raises(TypeError):
-                expansion.reported_costs[0] = 0.0  # type: ignore[index]
-
-
-class TestSearchParity:
-    """Full skyline / top-k searches through the engine toggle."""
-
-    @settings(max_examples=20, deadline=None)
-    @given(
-        seed=st.integers(min_value=0, max_value=10_000),
-        dims=st.integers(min_value=1, max_value=4),
-        use_disk=st.booleans(),
-        buffer_fraction=st.sampled_from([0.0, 0.01, 0.02]),
-        algorithm=st.sampled_from(["lsa", "cea"]),
-    )
-    def test_query_results_and_counters_identical(
-        self, seed, dims, use_disk, buffer_fraction, algorithm
-    ):
-        workload = make_workload(
-            WorkloadSpec(
-                num_nodes=90,
-                num_facilities=25,
-                num_cost_types=dims,
-                num_queries=2,
-                seed=seed,
-            )
-        )
-        legacy, fast = _make_engines(
-            workload, use_disk=use_disk, buffer_fraction=buffer_fraction
-        )
-        weights = [1.0 / dims] * dims
-        for query in workload.queries:
-            _reset(legacy), _reset(fast)
-            legacy_result = legacy.skyline(query, algorithm=algorithm)
-            fast_result = fast.skyline(query, algorithm=algorithm)
-            assert [(f.facility_id, f.costs) for f in fast_result] == [
-                (f.facility_id, f.costs) for f in legacy_result
-            ]
-            assert fast_result.statistics.heap_pops == legacy_result.statistics.heap_pops
-            assert fast_result.statistics.nn_retrievals == legacy_result.statistics.nn_retrievals
-            assert _io_tuple(fast_result.statistics.io) == _io_tuple(legacy_result.statistics.io)
-            _reset(legacy), _reset(fast)
-            legacy_top = legacy.top_k(query, 3, weights=weights, algorithm=algorithm)
-            fast_top = fast.top_k(query, 3, weights=weights, algorithm=algorithm)
-            assert [(f.facility_id, f.score, f.costs) for f in fast_top] == [
-                (f.facility_id, f.score, f.costs) for f in legacy_top
-            ]
-            assert fast_top.statistics.heap_pops == legacy_top.statistics.heap_pops
-            assert _io_tuple(fast_top.statistics.io) == _io_tuple(legacy_top.statistics.io)
-
-    def test_incremental_top_k_parity(self):
-        workload = make_workload(
-            WorkloadSpec(num_nodes=160, num_facilities=45, num_cost_types=3, num_queries=2, seed=9)
-        )
-        legacy, fast = _make_engines(workload, use_disk=False)
-        for query in workload.queries:
-            legacy_stream = legacy.iter_top(query, weights=[0.5, 0.3, 0.2])
-            fast_stream = fast.iter_top(query, weights=[0.5, 0.3, 0.2])
-            legacy_items = legacy_stream.take(10)
-            fast_items = fast_stream.take(10)
-            assert [(i.facility_id, i.score) for i in fast_items] == [
-                (i.facility_id, i.score) for i in legacy_items
-            ]
-
-    def test_batched_service_reports_identical(self):
-        workload = make_workload(
-            WorkloadSpec(num_nodes=200, num_facilities=70, num_cost_types=2, num_queries=12, seed=31)
-        )
-        legacy, fast = _make_engines(workload, use_disk=True, page_size=1024)
-        requests = []
-        for index, query in enumerate(workload.queries):
-            if index % 2 == 0:
-                requests.append(SkylineRequest(query))
-            else:
-                requests.append(TopKRequest(query, k=3, weights=[0.6, 0.4]))
-        legacy_report = QueryService(legacy).run_batch(requests)
-        fast_report = QueryService(fast).run_batch(requests)
-        for legacy_outcome, fast_outcome in zip(legacy_report.outcomes, fast_report.outcomes):
-            assert fast_outcome.result.facility_ids() == legacy_outcome.result.facility_ids()
-            assert _io_tuple(fast_outcome.io) == _io_tuple(legacy_outcome.io)
-        assert _io_tuple(fast_report.io) == _io_tuple(legacy_report.io)
-        # The cross-query cache sees the identical request stream, so every
-        # hit/miss counter matches too.
-        assert vars(fast_report.cache) == vars(legacy_report.cache)
-
-    def test_monitor_ticks_identical(self):
-        workload = make_workload(
-            WorkloadSpec(num_nodes=150, num_facilities=45, num_cost_types=2, num_queries=4, seed=17)
-        )
-        stream = make_update_stream(
-            workload.graph,
-            workload.facilities,
-            UpdateStreamSpec(num_ticks=6, updates_per_tick=4, seed=18),
-        )
-        payloads = {}
-        io_totals = {}
-        for compiled in (False, True):
-            facilities = FacilitySet(workload.graph, iter(workload.facilities))
-            service = MonitoringService(workload.graph, facilities, compiled=compiled)
-            for query in workload.queries:
-                service.subscribe(SkylineRequest(query))
-            reports = [service.apply_tick(tick) for tick in stream]
-            payloads[compiled] = [tick_report_to_payload(report) for report in reports]
-            io_totals[compiled] = sum(report.io.total_requests for report in reports)
-        assert payloads[True] == payloads[False]
-        assert io_totals[True] == io_totals[False]
+@pytest.mark.skipif(not NUMPY_AVAILABLE, reason="numpy not importable")
+class TestVectorKernelConformance(ExpansionConformanceSuite):
+    kernel_class = VectorExpansionKernel
+    vector = True
 
 
 class TestFreshness:

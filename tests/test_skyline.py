@@ -240,3 +240,30 @@ class TestDirectedNetworks:
             accessor = InMemoryAccessor(graph, facilities)
             search = MCNSkylineSearch(accessor, graph, query, share_accesses=share)
             assert search.run().facility_ids() == truth
+
+
+class TestDeferredDominatorResolution:
+    def test_shortcut_reported_dominator_still_gets_resolved(self):
+        """A dominator reported via the first-NN shortcut must keep expanding.
+
+        Regression: with exact cost ties, a facility reported early through
+        the first-NN shortcut (and hence "resolved" for the expansion
+        shutdown test) can still be the only potential dominator of a
+        deferred pinned entry.  Its missing dimensions must stay active until
+        it is pinned, or the deferred entry is mis-reported at finalisation
+        and the skyline contains a dominated member.
+        """
+        graph, facilities = random_mcn(
+            num_nodes=25,
+            num_edges=28,
+            num_cost_types=4,
+            num_facilities=4,
+            seed=4,
+            integer_costs=True,
+        )
+        query = random_query(graph, seed=5)
+        truth = exact_skyline(facility_vectors(graph, facilities, query))
+        for share in (False, True):
+            accessor = InMemoryAccessor(graph, facilities)
+            search = MCNSkylineSearch(accessor, graph, query, share_accesses=share)
+            assert search.run().facility_ids() == truth

@@ -1,0 +1,162 @@
+"""Property tests for the batched heap-sift primitive and the selection layer.
+
+:class:`~repro.core.vector.ColumnarFrontier` is the one data structure the
+vectorised kernel's bit-identity rests on: its pop order must be
+indistinguishable from a raw ``heapq`` driven by per-entry pushes with a
+monotone tie counter — including exact key ties, where the integer counter
+is the only thing keeping the order deterministic.  The Hypothesis drain
+suite here interleaves single pushes, block extends (both the sift-up and
+the append-and-reheapify path) and pops, and compares pop by pop against
+the reference.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from unittest import mock
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api.policy import ExecutionPolicy, resolve_vector, vector_env_default
+from repro.core.kernel import ExpansionKernel
+from repro.core.vector import (
+    NUMPY_AVAILABLE,
+    ColumnarFrontier,
+    VectorExpansionKernel,
+    kernel_class_for,
+)
+from repro.errors import PolicyError
+
+
+class HeapqReference:
+    """The semantics the frontier must match: heapq + monotone tie counter."""
+
+    def __init__(self) -> None:
+        self.heap: list[tuple] = []
+        self.count = 0
+
+    def push(self, key: float, payload: object) -> None:
+        self.count += 1
+        heapq.heappush(self.heap, (key, self.count, payload))
+
+    def extend(self, keys, payloads) -> None:
+        for key, payload in zip(keys, payloads):
+            self.push(key, payload)
+
+    def pop(self) -> tuple:
+        return heapq.heappop(self.heap)
+
+    def head_key(self) -> float:
+        return self.heap[0][0] if self.heap else float("inf")
+
+
+# Few distinct keys → plenty of exact cost ties, the regime where only the
+# push-order counter keeps the pop order deterministic.
+_KEYS = st.sampled_from([0.0, 1.0, 1.5, 2.0, 2.5, 3.0])
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), _KEYS),
+        st.tuples(st.just("extend"), st.lists(_KEYS, min_size=0, max_size=40)),
+        st.tuples(st.just("pop"), st.none()),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestFrontierDrainParity:
+    @settings(max_examples=200, deadline=None)
+    @given(ops=_OPS)
+    def test_interleaved_ops_pop_identically(self, ops):
+        frontier = ColumnarFrontier()
+        reference = HeapqReference()
+        serial = 0
+        for op, value in ops:
+            if op == "push":
+                serial += 1
+                frontier.push(value, serial)
+                reference.push(value, serial)
+            elif op == "extend":
+                payloads = list(range(serial + 1, serial + 1 + len(value)))
+                serial += len(value)
+                frontier.extend(value, payloads)
+                reference.extend(value, payloads)
+            else:
+                assert frontier.head_key() == reference.head_key()
+                if reference.heap:
+                    assert frontier.pop() == reference.pop()
+                assert len(frontier) == len(reference.heap)
+                assert frontier.count == reference.count
+        # Full drain: every remaining entry in exactly reference order.
+        assert frontier.head_key() == reference.head_key()
+        while reference.heap:
+            assert frontier.pop() == reference.pop()
+        assert len(frontier) == 0
+        assert frontier.head_key() == float("inf")
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        prefix=st.lists(_KEYS, min_size=0, max_size=10),
+        block=st.lists(_KEYS, min_size=9, max_size=64),
+    )
+    def test_reheapify_path_matches_sift_path(self, prefix, block):
+        """A block big enough to trigger heapify pops like k single pushes.
+
+        ``extend`` switches to append-and-reheapify when the block dwarfs
+        the heap; the internal array layout may then differ from repeated
+        sift-ups, but the pop stream must not.
+        """
+        sifted = ColumnarFrontier()
+        bulk = ColumnarFrontier()
+        for index, key in enumerate(prefix):
+            sifted.push(key, index)
+            bulk.push(key, index)
+        payloads = list(range(100, 100 + len(block)))
+        for key, payload in zip(block, payloads):
+            sifted.push(key, payload)
+        bulk.extend(block, payloads)
+        assert len(block) > max(8, len(prefix) >> 3)  # the heapify branch ran
+        assert bulk.count == sifted.count
+        while len(sifted):
+            assert bulk.pop() == sifted.pop()
+        assert len(bulk) == 0
+
+    @pytest.mark.skipif(not NUMPY_AVAILABLE, reason="numpy not importable")
+    def test_extend_accepts_numpy_arrays(self):
+        import numpy as np
+
+        frontier = ColumnarFrontier()
+        reference = HeapqReference()
+        keys = np.asarray([3.0, 1.0, 2.0, 1.0], dtype=np.float64)
+        payloads = ["a", "b", "c", "d"]
+        frontier.extend(keys, payloads)
+        reference.extend(keys.tolist(), payloads)
+        while reference.heap:
+            assert frontier.pop() == reference.pop()
+
+
+class TestKernelSelection:
+    def test_explicit_flags(self):
+        assert kernel_class_for(False) is ExpansionKernel
+        if NUMPY_AVAILABLE:
+            assert kernel_class_for(True) is VectorExpansionKernel
+
+    def test_env_toggle_disables_vectorisation(self):
+        with mock.patch.dict(os.environ, {"REPRO_VECTOR": "0"}):
+            assert vector_env_default() is False
+            assert kernel_class_for(None) is ExpansionKernel
+        with mock.patch.dict(os.environ, {"REPRO_VECTOR": ""}):
+            assert vector_env_default() is NUMPY_AVAILABLE
+
+    def test_policy_modes(self):
+        assert resolve_vector("off") is False
+        assert ExecutionPolicy(vector="off").resolved_vector() is False
+        assert ExecutionPolicy().vector == "auto"
+        if NUMPY_AVAILABLE:
+            assert resolve_vector("on") is True
+        with pytest.raises(PolicyError):
+            resolve_vector("sideways")
+        with pytest.raises(PolicyError):
+            ExecutionPolicy(vector="sideways")
