@@ -51,6 +51,13 @@ execute, and every call returns a uniform response envelope::
         [SkylineRequest(query)], policy=session.policy.replace(compiled="on")
     )
 
+The :mod:`repro.serve` tier puts the session behind a wire: a
+dependency-free asyncio serving layer (pure HTTP/1.1 + SSE transport, an
+in-process test transport and an optional ASGI adapter) with admission
+control, per-request deadlines, rolling latency percentiles and streamed
+per-subscription deltas — every concurrent workload provably bit-identical
+to sequential library calls (``repro-mcn serve --replay``).
+
 The pre-facade stacks stay available for low-level work:
 :class:`MCNQueryEngine` (one-shot calls and search objects),
 :class:`QueryService` (batch + submit/drain streaming),
@@ -121,7 +128,7 @@ from repro.service import (
 )
 from repro.storage.scheme import NetworkStorage, StorageSnapshotView
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BatchReport",

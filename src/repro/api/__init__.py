@@ -45,6 +45,12 @@ from repro.api.policy import (
     resolve_vector,
     vector_env_default,
 )
+from repro.api.stats import (
+    DEFAULT_TRACKED_QUANTILES,
+    LatencyRecorder,
+    P2Quantile,
+    RollingLatencyStats,
+)
 
 __all__ = [
     "ALGORITHMS",
@@ -52,12 +58,16 @@ __all__ = [
     "COMPILED_ENV_VAR",
     "COMPILED_MODES",
     "DEFAULT_POLICY",
+    "DEFAULT_TRACKED_QUANTILES",
     "EXECUTORS",
     "ExecutionPolicy",
+    "LatencyRecorder",
     "MonitorHandle",
+    "P2Quantile",
     "RESIDENCIES",
     "ROUTINGS",
     "Response",
+    "RollingLatencyStats",
     "Session",
     "TickResponse",
     "VECTOR_ENV_VAR",

@@ -55,6 +55,7 @@ from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.api.policy import DEFAULT_POLICY, ExecutionPolicy
+from repro.api.stats import LatencyRecorder
 from repro.core.aggregates import AggregateFunction
 from repro.core.engine import MCNQueryEngine
 from repro.core.maintenance import MaintenanceStatistics, SkylineMaintainer, TopKMaintainer
@@ -273,10 +274,12 @@ class MonitorHandle:
         service,
         subscription_ids: tuple[int, ...],
         policy: ExecutionPolicy,
+        recorder: LatencyRecorder | None = None,
     ):
         self._service = service
         self._subscription_ids = subscription_ids
         self._policy = policy
+        self._recorder = recorder
 
     @property
     def service(self):
@@ -298,7 +301,10 @@ class MonitorHandle:
 
     def tick(self, tick) -> TickResponse:
         """Apply one :class:`~repro.monitor.UpdateTick` atomically."""
-        return TickResponse.from_report(self._service.apply_tick(tick), self._policy)
+        response = TickResponse.from_report(self._service.apply_tick(tick), self._policy)
+        if self._recorder is not None:
+            self._recorder.observe("tick", response.elapsed_seconds)
+        return response
 
     def run(self, stream) -> list[TickResponse]:
         """Apply a whole :class:`~repro.monitor.UpdateStream` tick by tick."""
@@ -372,6 +378,8 @@ class Session:
         self._sharded: dict[tuple, object] = {}
         self._monitor = None
         self._monitor_key: tuple | None = None
+        self._latency = LatencyRecorder()
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -389,6 +397,78 @@ class Session:
     def policy(self) -> ExecutionPolicy:
         """The session's default execution policy."""
         return self._default_policy
+
+    @property
+    def latency(self) -> LatencyRecorder:
+        """Rolling latency percentiles per verb (``query`` / ``batch`` / ``tick``).
+
+        Always on and O(1) per call: a bounded window for the exact recent
+        percentiles plus lifetime P² tail estimates — the structure the
+        serving tier's ``/v1/metrics`` endpoint exposes.
+        """
+        return self._latency
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Tear down every cached stack deterministically (idempotent).
+
+        Closes the monitoring service (folding its counters), drops the
+        cross-query caches and result memos of every cached
+        :class:`~repro.QueryService`, and releases the cached engines,
+        sharded services and storages.  After ``close`` every execution
+        verb raises :class:`~repro.errors.QueryError` — the serving tier
+        (and tests) rely on this to never leak pooled state between cases.
+        Latency statistics survive, so a shutdown hook can still report.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        monitor, self._monitor = self._monitor, None
+        self._monitor_key = None
+        if monitor is not None:
+            monitor.close()
+        for service in self._services.values():
+            service.reset_cache()
+        self._services.clear()
+        self._sharded.clear()
+        self._engines.clear()
+        self._storages.clear()
+
+    def __enter__(self) -> "Session":
+        self._ensure_open()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def invalidate_result_caches(self) -> int:
+        """Drop every cached service's cross-query cache and result memo.
+
+        The caches memoise facility placements and whole results, so they
+        must be invalidated whenever the session's facility set mutates
+        *outside* a cached service's view — exactly what a serving-tier
+        PATCH tick does.  Returns the number of services invalidated.
+        Engines stay warm (compiled graphs refresh themselves via the
+        facility-set revision changelog).
+        """
+        self._ensure_open()
+        for service in self._services.values():
+            service.reset_cache()
+        return len(self._services)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise QueryError(
+                "this Session is closed; build a new Session (close() tears "
+                "down cached engines, services and the monitoring stack)"
+            )
 
     def storage_for(self, policy: ExecutionPolicy | None = None) -> NetworkStorage | None:
         """The disk storage the resolved policy runs against (``None`` for memory).
@@ -456,7 +536,9 @@ class Session:
         """
         resolved = self._resolve(policy)
         outcome = self._service_for(resolved).execute(request)
-        return Response.from_outcome(outcome, resolved)
+        response = Response.from_outcome(outcome, resolved)
+        self._latency.observe("query", response.elapsed_seconds)
+        return response
 
     def skyline(
         self, location: NetworkLocation, *, policy: ExecutionPolicy | None = None
@@ -509,7 +591,9 @@ class Session:
             report = self._sharded_for(resolved).run_batch(requests)
         else:
             report = self._service_for(resolved).run_batch(requests)
-        return BatchResponse.from_report(report, resolved)
+        response = BatchResponse.from_report(report, resolved)
+        self._latency.observe("batch", response.elapsed_seconds)
+        return response
 
     # ------------------------------------------------------------------ #
     # Continuous monitoring
@@ -557,7 +641,7 @@ class Session:
                 "separate Session"
             )
         subscription_ids = tuple(self._monitor.subscribe(request) for request in requests)
-        return MonitorHandle(self._monitor, subscription_ids, resolved)
+        return MonitorHandle(self._monitor, subscription_ids, resolved, self._latency)
 
     # ------------------------------------------------------------------ #
     # Policy resolution internals
@@ -574,6 +658,7 @@ class Session:
         return policy
 
     def _resolve(self, policy: ExecutionPolicy | None) -> ExecutionPolicy:
+        self._ensure_open()
         if policy is None:
             return self._default_policy
         resolved = self._coerce_policy(policy)

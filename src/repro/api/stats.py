@@ -1,0 +1,287 @@
+"""Rolling latency statistics shared by the session and the serving tier.
+
+The batch/monitor reports already account for *work* (page reads, cache
+hits, maintenance paths), but a long-running service also needs cheap,
+always-on **latency observability**: "what did the last N requests feel
+like" and "what has the tail looked like since boot".  Two structures
+cover both questions without ever storing the full history:
+
+* a bounded **rolling window** of the most recent observations, from which
+  any percentile is computed exactly (the window is small, sorting it is
+  nothing compared to a graph expansion);
+* one streaming **P² quantile estimator** (Jain & Chlamtac 1985) per
+  tracked quantile, maintaining five markers in O(1) per observation over
+  the object's whole lifetime — the classic structure for latency
+  percentiles that must never grow with traffic.
+
+:class:`LatencyRecorder` bundles one :class:`RollingLatencyStats` per
+label ("query", "batch", "tick", or a serve-tier endpoint) behind a lock,
+so the single-threaded event loop, the serve executor thread and any
+direct-session caller can all observe into the same recorder.  The
+:class:`~repro.api.Session` facade owns one; the serving tier's
+``/v1/metrics`` endpoint is a JSON view over two of them.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import insort
+from collections import deque
+from collections.abc import Iterable
+
+from repro.errors import QueryError
+
+__all__ = [
+    "DEFAULT_TRACKED_QUANTILES",
+    "LatencyRecorder",
+    "P2Quantile",
+    "RollingLatencyStats",
+]
+
+#: The tail the serving tier reports by default (P² estimators are built
+#: for exactly these; window percentiles accept any q).
+DEFAULT_TRACKED_QUANTILES = (0.5, 0.9, 0.99)
+
+
+class P2Quantile:
+    """Streaming estimate of one quantile via the P² algorithm.
+
+    Keeps five markers (min, three interior, max) whose heights are nudged
+    toward the ideal quantile positions with piecewise-parabolic
+    interpolation — O(1) memory and time per observation, no samples
+    stored.  Exact until five observations have arrived, an estimate
+    afterwards; the estimate is what a service dashboard needs, the exact
+    recent tail comes from the rolling window instead.
+    """
+
+    __slots__ = ("_q", "_heights", "_positions", "_desired", "_increments", "_count")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise QueryError(f"quantile must lie in (0, 1), got {q!r}")
+        self._q = float(q)
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+        self._count = 0
+
+    @property
+    def q(self) -> float:
+        return self._q
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        if len(self._heights) < 5:
+            insort(self._heights, value)
+            return
+        heights, positions = self._heights, self._positions
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        for index in range(5):
+            self._desired[index] += self._increments[index]
+        for index in (1, 2, 3):
+            delta = self._desired[index] - positions[index]
+            below = positions[index] - positions[index - 1]
+            above = positions[index + 1] - positions[index]
+            if (delta >= 1.0 and above > 1.0) or (delta <= -1.0 and below > 1.0):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:  # parabolic prediction left the bracket: linear fallback
+                    neighbor = index + int(step)
+                    heights[index] += step * (
+                        (heights[neighbor] - heights[index])
+                        / (positions[neighbor] - positions[index])
+                    )
+                positions[index] += step
+
+    def _parabolic(self, index: int, step: float) -> float:
+        heights, positions = self._heights, self._positions
+        return heights[index] + step / (positions[index + 1] - positions[index - 1]) * (
+            (positions[index] - positions[index - 1] + step)
+            * (heights[index + 1] - heights[index])
+            / (positions[index + 1] - positions[index])
+            + (positions[index + 1] - positions[index] - step)
+            * (heights[index] - heights[index - 1])
+            / (positions[index] - positions[index - 1])
+        )
+
+    @property
+    def value(self) -> float:
+        """The current estimate (exact below five observations; 0.0 when empty)."""
+        if not self._heights:
+            return 0.0
+        if len(self._heights) < 5:
+            rank = self._q * (len(self._heights) - 1)
+            low = int(rank)
+            high = min(low + 1, len(self._heights) - 1)
+            return self._heights[low] + (rank - low) * (
+                self._heights[high] - self._heights[low]
+            )
+        return self._heights[2]
+
+
+class RollingLatencyStats:
+    """Latency statistics of one label: bounded window + lifetime P² tail.
+
+    ``percentile(q)`` is exact over the most recent ``window`` observations;
+    ``estimate(q)`` is the lifetime P² estimate for the tracked quantiles.
+    ``observe`` is O(1) (amortised) — safe on every request of a hot
+    serving loop.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 512,
+        quantiles: Iterable[float] = DEFAULT_TRACKED_QUANTILES,
+    ):
+        if not isinstance(window, int) or isinstance(window, bool) or window < 1:
+            raise QueryError(f"window must be a positive integer, got {window!r}")
+        self._window: deque[float] = deque(maxlen=window)
+        self._estimators = {float(q): P2Quantile(q) for q in quantiles}
+        if not self._estimators:
+            raise QueryError("at least one tracked quantile is required")
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    @property
+    def count(self) -> int:
+        """Lifetime number of observations."""
+        return self._count
+
+    @property
+    def window_size(self) -> int:
+        """Number of observations currently in the rolling window."""
+        return len(self._window)
+
+    @property
+    def window_capacity(self) -> int:
+        return self._window.maxlen or 0
+
+    @property
+    def tracked_quantiles(self) -> tuple[float, ...]:
+        return tuple(sorted(self._estimators))
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    def observe(self, seconds: float) -> None:
+        seconds = float(seconds)
+        if seconds < 0.0:
+            raise QueryError(f"latency observations must be >= 0, got {seconds!r}")
+        self._count += 1
+        self._total += seconds
+        if seconds > self._max:
+            self._max = seconds
+        self._window.append(seconds)
+        for estimator in self._estimators.values():
+            estimator.observe(seconds)
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile over the rolling window (0.0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise QueryError(f"percentile must lie in [0, 1], got {q!r}")
+        if not self._window:
+            return 0.0
+        ordered = sorted(self._window)
+        rank = q * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        return ordered[low] + (rank - low) * (ordered[high] - ordered[low])
+
+    def estimate(self, q: float) -> float:
+        """Lifetime P² estimate for one *tracked* quantile."""
+        try:
+            return self._estimators[float(q)].value
+        except KeyError:
+            raise QueryError(
+                f"quantile {q!r} is not tracked; tracked: {self.tracked_quantiles} "
+                "(window percentiles via percentile() accept any q)"
+            ) from None
+
+    def summary(self) -> dict[str, object]:
+        """A plain-JSON summary (milliseconds, the dashboard unit)."""
+        payload: dict[str, object] = {
+            "count": self._count,
+            "window": len(self._window),
+            "mean_ms": round(self.mean * 1000.0, 4),
+            "max_ms": round(self._max * 1000.0, 4),
+        }
+        for q in self.tracked_quantiles:
+            key = f"p{str(q)[2:].ljust(2, '0')}"  # 0.5 -> p50, 0.99 -> p99
+            payload[f"{key}_ms"] = round(self.percentile(q) * 1000.0, 4)
+            payload[f"{key}_lifetime_ms"] = round(self.estimate(q) * 1000.0, 4)
+        return payload
+
+
+class LatencyRecorder:
+    """One :class:`RollingLatencyStats` per label, behind a lock.
+
+    Labels are created on first observation, so callers never pre-register
+    ("query" / "batch" / "tick" for the session, one label per endpoint in
+    the serving tier).
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 512,
+        quantiles: Iterable[float] = DEFAULT_TRACKED_QUANTILES,
+    ):
+        self._window = window
+        self._quantiles = tuple(float(q) for q in quantiles)
+        self._stats: dict[str, RollingLatencyStats] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, label: str, seconds: float) -> None:
+        with self._lock:
+            stats = self._stats.get(label)
+            if stats is None:
+                stats = self._stats[label] = RollingLatencyStats(
+                    window=self._window, quantiles=self._quantiles
+                )
+        stats.observe(seconds)
+
+    def labels(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._stats))
+
+    def stats_for(self, label: str) -> RollingLatencyStats:
+        with self._lock:
+            try:
+                return self._stats[label]
+            except KeyError:
+                raise QueryError(
+                    f"no latency observations recorded for {label!r}; "
+                    f"recorded labels: {sorted(self._stats)}"
+                ) from None
+
+    def summary(self) -> dict[str, dict[str, object]]:
+        """Per-label :meth:`RollingLatencyStats.summary`, JSON-ready."""
+        with self._lock:
+            stats = dict(self._stats)
+        return {label: stats[label].summary() for label in sorted(stats)}

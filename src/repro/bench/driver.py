@@ -19,10 +19,19 @@ top of batching.
 The report carries throughput, latency percentiles and total page reads of
 every run, the page-read savings, and a per-request verification that all
 runs returned identical answers.
+
+``replay_serve_workload`` is the async counterpart: the same mixed trace —
+plus facility-update ticks — fired by concurrent clients through the
+serving tier's in-process transport, then replayed sequentially in ``seq``
+order against a direct :class:`~repro.api.Session` as the oracle.  The
+report carries the tier's rolling latency percentiles per endpoint, the
+wall-clock overhead over the sequential library pass, and the
+payload-identity verdict.
 """
 
 from __future__ import annotations
 
+import asyncio
 import math
 import random
 import time
@@ -37,9 +46,18 @@ from repro.datagen.workload import Workload, WorkloadSpec, make_workload
 from repro.errors import QueryError
 from repro.monitor import FacilityInsert, QueryRelocation
 from repro.network.facilities import FacilitySet
+from repro.monitor.stream import tick_from_payload, tick_to_payload
 from repro.parallel import ParallelExecution
+from repro.serve import (
+    InProcessClient,
+    ServeApp,
+    ServeConfig,
+    query_response_to_payload,
+    tick_response_to_payload,
+)
 from repro.service import QueryRequest, SkylineRequest, TopKRequest
 from repro.service.cache import CacheStatistics
+from repro.service.requests import request_from_payload, request_to_payload
 from repro.storage.scheme import NetworkStorage
 
 __all__ = [
@@ -49,11 +67,15 @@ __all__ = [
     "MonitorReplaySpec",
     "MonitorMeasurement",
     "MonitorReplayReport",
+    "ServeReplaySpec",
+    "ServeReplayReport",
     "build_requests",
     "replay_workload",
     "replay_update_stream",
+    "replay_serve_workload",
     "format_replay_report",
     "format_monitor_report",
+    "format_serve_report",
     "percentile",
 ]
 
@@ -667,4 +689,274 @@ def format_replay_report(report: ReplayReport) -> str:
             f"{'equal' if report.counters_consistent else 'DO NOT equal'} the shard sums"
         )
     lines.append(f"results identical: {'yes' if report.identical_results else 'NO'}")
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------- #
+# Async load replay through the serving tier
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ServeReplaySpec:
+    """An async load replay through :class:`~repro.serve.ServeApp`.
+
+    ``clients`` concurrent in-process clients fire the trace: client 0 is
+    the updater lane (``ticks`` facility-update ticks, internally ordered),
+    the others race the query trace between them.  ``duplicates`` leading
+    requests run twice so the cross-query memo is exercised under racing
+    arrival orders.  The oracle is the same trace replayed sequentially, in
+    the tier's ``seq`` order, against a direct :class:`~repro.api.Session`.
+    """
+
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    mix: str = "mixed"
+    k: int = 4
+    clients: int = 8
+    duplicates: int = 6
+    ticks: int = 4
+    updates_per_tick: int = 3
+    max_in_flight: int = 8
+    timeout_seconds: float | None = 60.0
+
+    def __post_init__(self) -> None:
+        if self.mix not in _MIXES:
+            raise QueryError(f"unknown mix {self.mix!r}; expected one of {_MIXES}")
+        if self.k < 1:
+            raise QueryError("k must be a positive integer")
+        if self.clients < 2:
+            raise QueryError(
+                "the serve replay needs at least 2 clients: "
+                "one updater lane plus racing query lanes"
+            )
+        if self.duplicates < 0:
+            raise QueryError("duplicates must be non-negative")
+        if self.ticks < 0:
+            raise QueryError("ticks must be non-negative")
+        if self.ticks and self.updates_per_tick < 1:
+            raise QueryError("updates_per_tick must be positive when ticks run")
+        # ServeConfig owns the admission/timeout validation.
+        ServeConfig(
+            max_in_flight=self.max_in_flight,
+            request_timeout_seconds=self.timeout_seconds,
+        )
+
+
+@dataclass
+class ServeReplayReport:
+    """The served run against its sequential oracle.
+
+    ``identical_payloads`` is the differential verdict: every response the
+    tier produced under concurrency — result payloads, memo flags, I/O
+    counters — equals the sequential replay bit for bit once wall-clock
+    fields are stripped.  ``overhead`` is what the front door costs: served
+    wall-clock over the direct library pass doing identical work in the
+    identical order.
+    """
+
+    spec: ServeReplaySpec
+    queries: int
+    ticks: int
+    served_seconds: float
+    sequential_seconds: float
+    metrics: dict
+    identical_payloads: bool
+    mismatched_ops: list[str] = field(default_factory=list)
+
+    @property
+    def operations(self) -> int:
+        return self.queries + self.ticks
+
+    @property
+    def operations_per_second(self) -> float:
+        if self.operations == 0 or self.served_seconds <= 0:
+            return 0.0
+        return self.operations / self.served_seconds
+
+    @property
+    def overhead(self) -> float:
+        """Served wall-clock as a multiple of the sequential library pass."""
+        if self.sequential_seconds <= 0:
+            return 0.0
+        return self.served_seconds / self.sequential_seconds
+
+
+def _serve_ops(spec: ServeReplaySpec, workload: Workload) -> list[dict]:
+    """The trace as JSON payloads: queries with duplicates, then ticks."""
+    trace = ReplaySpec(workload=spec.workload, mix=spec.mix, k=spec.k)
+    requests = [
+        request_to_payload(request) for request in build_requests(workload, trace)
+    ]
+    ops: list[dict] = []
+    for index, payload in enumerate(requests + requests[: spec.duplicates]):
+        ops.append({"id": f"q{index}", "kind": "query", "request": payload})
+    stream = make_update_stream(
+        workload.graph,
+        workload.facilities,
+        UpdateStreamSpec(
+            num_ticks=spec.ticks,
+            updates_per_tick=spec.updates_per_tick,
+            insert_fraction=0.5,
+            delete_fraction=0.5,
+            relocate_fraction=0.0,
+            seed=spec.workload.seed + 53,
+        ),
+        subscription_ids=[],
+    )
+    for index, tick in enumerate(stream):
+        ops.append({"id": f"t{index}", "kind": "tick", "updates": tick_to_payload(tick)})
+    return ops
+
+
+def _strip_wallclock(payload):
+    """Drop ``elapsed_seconds`` recursively; the rest must match bit for bit."""
+    if isinstance(payload, dict):
+        return {
+            key: _strip_wallclock(value)
+            for key, value in payload.items()
+            if key != "elapsed_seconds"
+        }
+    if isinstance(payload, list):
+        return [_strip_wallclock(item) for item in payload]
+    return payload
+
+
+async def _serve_pass(
+    spec: ServeReplaySpec, workload: Workload, ops: list[dict]
+) -> tuple[dict[str, dict], dict, float]:
+    """Fire the trace through the tier under real concurrency."""
+    session = Session(workload.graph, FacilitySet(workload.graph, iter(workload.facilities)))
+    app = ServeApp(
+        session,
+        config=ServeConfig(
+            max_in_flight=spec.max_in_flight,
+            request_timeout_seconds=spec.timeout_seconds,
+        ),
+    )
+    client = InProcessClient(app)
+    results: dict[str, dict] = {}
+    lanes: list[list[dict]] = [[] for _ in range(spec.clients)]
+    racing = 0
+    for op in ops:
+        if op["kind"] == "tick":
+            lanes[0].append(op)
+        else:
+            lanes[1 + racing % (spec.clients - 1)].append(op)
+            racing += 1
+
+    async def worker(lane: list[dict]) -> None:
+        for op in lane:
+            if op["kind"] == "query":
+                response = await client.post("/v1/query", {"request": op["request"]})
+            else:
+                response = await client.patch("/v1/facilities", {"updates": op["updates"]})
+            if not response.ok:
+                raise QueryError(
+                    f"serve replay: op {op['id']} failed with {response.status}: "
+                    f"{response.payload}"
+                )
+            results[op["id"]] = response.payload
+
+    async with app:
+        start = time.perf_counter()
+        await asyncio.gather(*(worker(lane) for lane in lanes))
+        elapsed = time.perf_counter() - start
+        metrics = (await client.get("/v1/metrics")).payload
+    return results, metrics, elapsed
+
+
+def _sequential_pass(
+    workload: Workload, ops: list[dict], served: dict[str, dict]
+) -> tuple[dict[str, dict], float]:
+    """The oracle: the same ops, in ``seq`` order, on a direct Session."""
+    expected: dict[str, dict] = {}
+    ordered = sorted(ops, key=lambda op: served[op["id"]]["seq"])
+    with Session(
+        workload.graph, FacilitySet(workload.graph, iter(workload.facilities))
+    ) as session:
+        handle = None
+        start = time.perf_counter()
+        for op in ordered:
+            seq = served[op["id"]]["seq"]
+            if op["kind"] == "query":
+                response = session.query(request_from_payload(op["request"]))
+                expected[op["id"]] = {"seq": seq, **query_response_to_payload(response)}
+            else:
+                if handle is None:
+                    handle = session.monitor(())
+                response = handle.tick(tick_from_payload(op["updates"]))
+                invalidated = session.invalidate_result_caches()
+                expected[op["id"]] = {
+                    "seq": seq,
+                    "invalidated_services": invalidated,
+                    **tick_response_to_payload(response),
+                }
+        elapsed = time.perf_counter() - start
+    return expected, elapsed
+
+
+def replay_serve_workload(spec: ServeReplaySpec) -> ServeReplayReport:
+    """Replay a concurrent trace through the serving tier and verify it.
+
+    Runs the served pass first (recording the tier's ``seq`` stamps), then
+    the sequential oracle in that order, and compares every payload with
+    wall-clock fields stripped.
+    """
+    workload = make_workload(spec.workload)
+    ops = _serve_ops(spec, workload)
+    served, metrics, served_seconds = asyncio.run(_serve_pass(spec, workload, ops))
+    expected, sequential_seconds = _sequential_pass(workload, ops, served)
+    mismatched = [
+        op["id"]
+        for op in ops
+        if _strip_wallclock(served[op["id"]]) != _strip_wallclock(expected[op["id"]])
+    ]
+    return ServeReplayReport(
+        spec=spec,
+        queries=sum(1 for op in ops if op["kind"] == "query"),
+        ticks=sum(1 for op in ops if op["kind"] == "tick"),
+        served_seconds=served_seconds,
+        sequential_seconds=sequential_seconds,
+        metrics=metrics,
+        identical_payloads=not mismatched,
+        mismatched_ops=mismatched,
+    )
+
+
+def format_serve_report(report: ServeReplayReport) -> str:
+    """Human-readable table of a serve replay (used by ``serve --replay``)."""
+    spec = report.spec
+    lines = [
+        f"workload: {spec.workload.num_nodes} nodes, "
+        f"{spec.workload.num_facilities} facilities, d={spec.workload.num_cost_types}; "
+        f"{report.queries} queries ({spec.mix} mix, {spec.duplicates} duplicated) + "
+        f"{report.ticks} update ticks over {spec.clients} concurrent clients",
+        "",
+        f"{'endpoint':<14} {'count':>6} {'p50 ms':>8} {'p90 ms':>8} {'p99 ms':>8} {'max ms':>8}",
+    ]
+    endpoints = report.metrics.get("endpoints", {})
+    for label in sorted(endpoints):
+        summary = endpoints[label]
+        lines.append(
+            f"{label:<14} {summary['count']:>6} {summary['p50_ms']:>8.2f} "
+            f"{summary['p90_ms']:>8.2f} {summary['p99_ms']:>8.2f} {summary['max_ms']:>8.2f}"
+        )
+    admission = report.metrics.get("admission", {})
+    lines.append("")
+    lines.append(
+        f"throughput: {report.operations_per_second:.1f} ops/s served "
+        f"({report.served_seconds * 1000:.1f} ms wall-clock, "
+        f"{report.overhead:.2f}x the sequential library pass)"
+    )
+    lines.append(
+        f"admission: {admission.get('admitted', 0)} admitted, "
+        f"{admission.get('rejected', 0)} rejected, "
+        f"high water {admission.get('high_water', 0)}/{admission.get('capacity', 0)}"
+    )
+    lines.append(
+        f"errors: {report.metrics.get('errors', 0)}, "
+        f"timeouts: {report.metrics.get('timeouts', 0)}"
+    )
+    verdict = "yes" if report.identical_payloads else "NO"
+    lines.append(f"payloads identical to sequential replay: {verdict}")
+    if report.mismatched_ops:
+        lines.append("mismatched ops: " + ", ".join(report.mismatched_ops))
     return "\n".join(lines) + "\n"

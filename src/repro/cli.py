@@ -6,6 +6,10 @@ Sub-commands:
   both algorithms and print the results with their I/O statistics.
 * ``experiment <name>`` — run one of the Section-VI experiments (``fig8a`` ...
   ``fig12`` plus the two ablations) and print its table.
+* ``serve`` — the asyncio serving tier: listen on HTTP/1.1 over a generated
+  workload, or (``--replay``) fire a concurrent trace through the in-process
+  transport and verify it bit-identical against a sequential
+  :class:`~repro.api.Session` replay.
 * ``serve-batch`` — replay a workload trace through the batch
   :class:`~repro.service.QueryService` and compare it against one-shot
   engine calls (throughput, latency percentiles, page-read savings).
@@ -20,6 +24,7 @@ Sub-commands:
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from collections.abc import Sequence
@@ -29,8 +34,11 @@ from repro.bench.config import DEFAULT_SCALE, SMALL_SCALE, ExperimentScale
 from repro.bench.driver import (
     MonitorReplaySpec,
     ReplaySpec,
+    ServeReplaySpec,
     format_monitor_report,
     format_replay_report,
+    format_serve_report,
+    replay_serve_workload,
     replay_update_stream,
     replay_workload,
 )
@@ -47,6 +55,7 @@ from repro.bench.reporting import format_series_table, series_to_csv, summarize_
 from repro.datagen.updates import UpdateStreamSpec
 from repro.datagen.workload import WorkloadSpec, make_workload
 from repro.errors import ReproError
+from repro.serve import HttpServer, ServeApp, ServeConfig
 
 __all__ = ["main", "build_parser"]
 
@@ -112,6 +121,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast-path",
         action="store_true",
         help="also replay through the compiled-graph kernel and report it side by side",
+    )
+
+    serve_tier = commands.add_parser(
+        "serve",
+        help="the async serving tier: listen over HTTP, or run the load-replay check",
+    )
+    serve_tier.add_argument("--nodes", type=int, default=300, help="approximate number of network nodes")
+    serve_tier.add_argument("--facilities", type=int, default=80, help="number of facilities")
+    serve_tier.add_argument("--cost-types", type=int, default=3, help="number of cost types d")
+    serve_tier.add_argument("--queries", type=int, default=16, help="query locations in the workload")
+    serve_tier.add_argument(
+        "--mix",
+        choices=("skyline", "topk", "mixed"),
+        default="mixed",
+        help="query mix of the replay trace",
+    )
+    serve_tier.add_argument("--k", type=int, default=4, help="k of the top-k requests")
+    serve_tier.add_argument("--seed", type=int, default=7, help="random seed")
+    serve_tier.add_argument(
+        "--replay",
+        action="store_true",
+        help="run the async load-replay differential check instead of listening",
+    )
+    serve_tier.add_argument(
+        "--clients", type=int, default=8, help="concurrent clients of the replay"
+    )
+    serve_tier.add_argument(
+        "--ticks", type=int, default=4, help="facility-update ticks in the replay"
+    )
+    serve_tier.add_argument(
+        "--updates-per-tick", type=int, default=3, help="facility updates per tick"
+    )
+    serve_tier.add_argument(
+        "--max-in-flight", type=int, default=8, help="admission-control capacity"
+    )
+    serve_tier.add_argument(
+        "--timeout", type=float, default=60.0, help="per-request timeout in seconds"
+    )
+    serve_tier.add_argument("--host", default="127.0.0.1", help="listen address (listen mode)")
+    serve_tier.add_argument(
+        "--port", type=int, default=8737, help="listen port (listen mode; 0 = ephemeral)"
     )
 
     monitor = commands.add_parser(
@@ -318,6 +368,58 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0 if report.all_identical and report.all_io_identical and not regressed else 1
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    workload_spec = WorkloadSpec(
+        num_nodes=args.nodes,
+        num_facilities=args.facilities,
+        num_cost_types=args.cost_types,
+        num_queries=args.queries,
+        seed=args.seed,
+    )
+    if args.replay:
+        try:
+            spec = ServeReplaySpec(
+                workload=workload_spec,
+                mix=args.mix,
+                k=args.k,
+                clients=args.clients,
+                ticks=args.ticks,
+                updates_per_tick=args.updates_per_tick,
+                max_in_flight=args.max_in_flight,
+                timeout_seconds=args.timeout,
+            )
+            report = replay_serve_workload(spec)
+        except ReproError as error:
+            print(f"serve: {error}", file=sys.stderr)
+            return 2
+        print(format_serve_report(report), end="")
+        return 0 if report.identical_payloads else 1
+
+    async def listen() -> int:
+        workload = make_workload(workload_spec)
+        session = Session(workload.graph, workload.facilities)
+        app = ServeApp(
+            session,
+            config=ServeConfig(
+                max_in_flight=args.max_in_flight,
+                request_timeout_seconds=args.timeout,
+            ),
+        )
+        async with app, HttpServer(app, host=args.host, port=args.port) as server:
+            print(f"serving {workload.describe()}")
+            print(f"listening on http://{args.host}:{server.port} (Ctrl-C to stop)")
+            for route in app.describe_surface()["routes"]:
+                print(f"  {route['method']:<6} {route['path']}")
+            await asyncio.Event().wait()
+        return 0  # pragma: no cover - the wait above only ends by cancellation
+
+    try:
+        return asyncio.run(listen())
+    except KeyboardInterrupt:
+        print("stopped")
+        return 0
+
+
 def _run_monitor(args: argparse.Namespace) -> int:
     try:
         spec = MonitorReplaySpec(
@@ -367,6 +469,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_experiment(args)
     if args.command == "serve-batch":
         return _run_serve_batch(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "monitor":
         return _run_monitor(args)
     if args.command == "bench":

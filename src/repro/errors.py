@@ -41,5 +41,13 @@ class PolicyError(QueryError):
     """
 
 
+class ServeError(ReproError):
+    """A serving-tier problem (bad serve configuration, transport misuse).
+
+    Request-level failures (malformed payloads, unknown subscriptions) are
+    reported to clients as structured error envelopes, never raised across
+    the transport; this class covers server-side misconfiguration."""
+
+
 class DataGenerationError(ReproError):
     """Invalid parameters passed to one of the synthetic data generators."""

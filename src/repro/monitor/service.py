@@ -270,6 +270,7 @@ class MonitoringService:
         self._retired = MaintenanceStatistics()
         self._next_sid = 0
         self._ticks_applied = 0
+        self._closed = False
 
     @staticmethod
     def _policy_from_legacy(legacy: dict[str, object]) -> ExecutionPolicy:
@@ -373,6 +374,7 @@ class MonitoringService:
         maintained results always follow the CEA path (all algorithms return
         identical answers anyway).
         """
+        self._ensure_open()
         validate_request(self._engine, request)
         compiled = self._engine.compiled_graph
         vector = self._engine.vector_enabled
@@ -413,6 +415,35 @@ class MonitoringService:
         subscription = self._subscription(subscription_id)
         self._retired.accumulate(subscription.maintainer.statistics)
         del self._subscriptions[subscription_id]
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Drop every subscription and refuse further work (idempotent).
+
+        Folds all live maintainer counters into the lifetime
+        :attr:`statistics` first, so nothing is lost at shutdown.  After
+        ``close``, :meth:`subscribe` and :meth:`apply_tick` raise
+        :class:`~repro.errors.QueryError` — this is the deterministic
+        teardown hook :meth:`repro.api.Session.close` (and through it the
+        serving tier) relies on.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for subscription in self._subscriptions.values():
+            self._retired.accumulate(subscription.maintainer.statistics)
+        self._subscriptions.clear()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise QueryError(
+                "this MonitoringService is closed; subscriptions were dropped "
+                "at close() and no further ticks can be applied"
+            )
 
     # ------------------------------------------------------------------ #
     # Tick application
@@ -474,6 +505,7 @@ class MonitoringService:
         tick costs at most one fallback computation per subscription no
         matter how many of its updates were hard.
         """
+        self._ensure_open()
         start = time.perf_counter()
         io_before = self._accessor.statistics.snapshot()
         self.validate_tick(tick)  # may materialise distance maps: counted

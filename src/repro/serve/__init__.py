@@ -1,0 +1,70 @@
+"""The asyncio serving tier — the front door over :class:`repro.api.Session`.
+
+Layered as::
+
+    transports    repro.serve.http  (pure-asyncio HTTP/1.1, SSE)
+                  repro.serve.asgi  (optional ASGI 3 adapter)
+                  repro.serve.testing  (in-process client, no sockets)
+                        |
+    application   repro.serve.app   (routes, envelopes, seq stamping,
+                                     admission, deadlines, batch jobs)
+                        |
+    plumbing      repro.serve.limits     (ServeConfig, AdmissionController)
+                  repro.serve.streaming  (DeltaBroker, SSE backpressure)
+                  repro.serve.payloads   (response JSON codecs)
+                        |
+    engine        repro.api.Session  /  repro.monitor.MonitoringService
+
+Every transport funnels into :meth:`ServeApp.dispatch`, and every session
+call runs serialised on one executor thread with a ``seq`` stamp — the
+property the async load-replay differential harness uses to prove the
+tier returns **bit-identical** payloads to direct library calls under
+concurrency.
+"""
+
+from repro.serve.app import (
+    ERROR_CODES,
+    ServeApp,
+    ServeRequest,
+    ServeResponse,
+    StreamResponse,
+    error_envelope,
+)
+from repro.serve.asgi import create_asgi_app
+from repro.serve.http import HttpServer
+from repro.serve.limits import AdmissionController, ServeConfig
+from repro.serve.payloads import (
+    batch_response_to_payload,
+    cache_to_payload,
+    io_to_payload,
+    query_response_to_payload,
+    result_to_payload,
+    tick_response_to_payload,
+)
+from repro.serve.streaming import DeltaBroker, DeltaStream, StreamEvent, sse_encode
+from repro.serve.testing import InProcessClient, collect_events
+
+__all__ = [
+    "AdmissionController",
+    "DeltaBroker",
+    "DeltaStream",
+    "ERROR_CODES",
+    "HttpServer",
+    "InProcessClient",
+    "ServeApp",
+    "ServeConfig",
+    "ServeRequest",
+    "ServeResponse",
+    "StreamEvent",
+    "StreamResponse",
+    "batch_response_to_payload",
+    "cache_to_payload",
+    "collect_events",
+    "create_asgi_app",
+    "error_envelope",
+    "io_to_payload",
+    "query_response_to_payload",
+    "result_to_payload",
+    "sse_encode",
+    "tick_response_to_payload",
+]

@@ -1,0 +1,104 @@
+"""An optional ASGI 3 adapter over :class:`ServeApp` — zero dependencies.
+
+The container this reproduction targets ships no web framework, so the
+default transports are the pure-asyncio HTTP listener and the in-process
+test client.  For deployments that *do* have an ASGI server (uvicorn,
+hypercorn) or want to mount the tier inside a FastAPI/Starlette project,
+:func:`create_asgi_app` wraps the app as a plain ASGI 3 callable: no
+import of any framework is needed here, and any framework can mount a raw
+ASGI callable.
+
+The adapter is also exercised in-process by the test suite (an ASGI app
+is just an async callable taking ``scope``/``receive``/``send``), so this
+path is covered even though no ASGI server is installed in CI.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ServeError
+from repro.serve.app import ServeApp, ServeRequest, StreamResponse
+from repro.serve.http import REASONS
+from repro.serve.streaming import sse_encode
+
+__all__ = ["create_asgi_app"]
+
+
+def create_asgi_app(app: ServeApp):
+    """Wrap ``app`` as an ASGI 3 callable (``scope, receive, send``)."""
+    if not isinstance(app, ServeApp):
+        raise ServeError(f"expected a ServeApp, got {type(app).__name__}")
+
+    async def asgi(scope, receive, send):
+        if scope["type"] == "lifespan":
+            while True:
+                message = await receive()
+                if message["type"] == "lifespan.startup":
+                    await send({"type": "lifespan.startup.complete"})
+                elif message["type"] == "lifespan.shutdown":
+                    await app.aclose()
+                    await send({"type": "lifespan.shutdown.complete"})
+                    return
+        if scope["type"] != "http":
+            raise ServeError(f"unsupported ASGI scope type {scope['type']!r}")
+        body = b""
+        while True:
+            message = await receive()
+            if message["type"] != "http.request":
+                continue
+            body += message.get("body", b"")
+            if not message.get("more_body", False):
+                break
+            if len(body) > app.config.max_body_bytes:
+                break  # the app answers 413; stop buffering
+        request = ServeRequest(
+            method=scope["method"], path=scope["path"], body=body or None
+        )
+        response = await app.dispatch(request)
+        if isinstance(response, StreamResponse):
+            await _send_stream(send, response)
+        else:
+            payload = json.dumps(response.payload, sort_keys=True).encode("utf-8")
+            await send(
+                {
+                    "type": "http.response.start",
+                    "status": response.status,
+                    "headers": [
+                        (b"content-type", b"application/json"),
+                        (b"content-length", str(len(payload)).encode("latin-1")),
+                    ],
+                }
+            )
+            await send(
+                {"type": "http.response.body", "body": payload, "more_body": False}
+            )
+
+    async def _send_stream(send, response: StreamResponse):
+        await send(
+            {
+                "type": "http.response.start",
+                "status": response.status,
+                "headers": [
+                    (b"content-type", b"text/event-stream"),
+                    (b"cache-control", b"no-store"),
+                ],
+            }
+        )
+        stream = response.stream
+        try:
+            async for event in stream.events():
+                await send(
+                    {
+                        "type": "http.response.body",
+                        "body": sse_encode(event),
+                        "more_body": True,
+                    }
+                )
+        finally:
+            stream.close()
+            response.broker.discard(stream)
+            await send({"type": "http.response.body", "body": b"", "more_body": False})
+
+    asgi.reasons = REASONS  # handy for servers that want the phrase table
+    return asgi

@@ -1,0 +1,154 @@
+"""Robustness knobs of the serving tier: admission control and limits.
+
+A front door for heavy traffic needs three refusals more than it needs
+features: *"too busy"* (bounded in-flight work, rejected fast with a
+429-style envelope instead of queueing unboundedly), *"too slow"* (a
+per-request deadline that frees the connection even when the engine is
+mid-expansion) and *"too big"* (a body-size cap so a malformed client
+cannot balloon memory).  :class:`ServeConfig` declares the bounds;
+:class:`AdmissionController` enforces the first one and keeps the
+counters the ``/v1/metrics`` endpoint reports.
+
+Everything here runs on the event loop thread — plain integers are all
+the synchronisation admission needs, which is exactly why rejection is
+*fast*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServeError
+
+__all__ = ["AdmissionController", "ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Declarative limits of one :class:`~repro.serve.ServeApp`.
+
+    Parameters
+    ----------
+    max_in_flight:
+        Work-class requests (query / batch submit / PATCH / subscribe)
+        admitted concurrently; request number ``max_in_flight + 1`` is
+        rejected immediately with a ``saturated`` envelope.
+    max_queued_jobs:
+        Batch jobs allowed in ``queued``/``running`` state at once;
+        submissions beyond that are rejected (poll endpoints stay free).
+    request_timeout_seconds:
+        Per-request deadline.  On expiry the client gets a ``timeout``
+        envelope and the connection is freed; the engine finishes (and
+        discards) the orphaned computation without wedging the executor.
+        ``None`` disables deadlines.
+    stream_buffer:
+        Per-subscriber delta-event queue capacity.  A consumer that falls
+        further behind is disconnected with a terminal ``lagged`` event —
+        backpressure never blocks the tick path.
+    latency_window:
+        Rolling-window size of the per-endpoint latency percentiles.
+    max_body_bytes:
+        Request bodies above this are rejected with a
+        ``payload-too-large`` envelope before JSON decoding.
+    """
+
+    max_in_flight: int = 8
+    max_queued_jobs: int = 32
+    request_timeout_seconds: float | None = 10.0
+    stream_buffer: int = 64
+    latency_window: int = 512
+    max_body_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        for name in ("max_in_flight", "max_queued_jobs", "stream_buffer", "latency_window"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ServeError(f"{name} must be a positive integer, got {value!r}")
+        if not isinstance(self.max_body_bytes, int) or isinstance(self.max_body_bytes, bool) or self.max_body_bytes < 1024:
+            raise ServeError(
+                f"max_body_bytes must be an integer of at least 1024, got "
+                f"{self.max_body_bytes!r}"
+            )
+        if self.request_timeout_seconds is not None:
+            try:
+                timeout = float(self.request_timeout_seconds)
+            except (TypeError, ValueError):
+                raise ServeError(
+                    "request_timeout_seconds must be a positive number or None, "
+                    f"got {self.request_timeout_seconds!r}"
+                ) from None
+            if not timeout > 0.0:
+                raise ServeError(
+                    "request_timeout_seconds must be a positive number or None, "
+                    f"got {self.request_timeout_seconds!r}"
+                )
+            object.__setattr__(self, "request_timeout_seconds", timeout)
+
+
+class AdmissionController:
+    """Bounded in-flight admission with fast rejection and counters.
+
+    Not a lock: :meth:`try_acquire` never waits.  The serving tier calls
+    it on the event loop before handing work to the session executor and
+    :meth:`release` in a ``finally`` — a timed-out request therefore still
+    holds its slot until the orphaned engine call completes, which is the
+    honest accounting (the executor *is* busy).
+    """
+
+    def __init__(self, max_in_flight: int):
+        if not isinstance(max_in_flight, int) or isinstance(max_in_flight, bool) or max_in_flight < 1:
+            raise ServeError(
+                f"max_in_flight must be a positive integer, got {max_in_flight!r}"
+            )
+        self._capacity = max_in_flight
+        self._in_flight = 0
+        self._high_water = 0
+        self._admitted = 0
+        self._rejected = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def high_water(self) -> int:
+        """The most work-class requests ever concurrently admitted."""
+        return self._high_water
+
+    @property
+    def admitted(self) -> int:
+        return self._admitted
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected
+
+    def try_acquire(self) -> bool:
+        """Admit one request, or refuse instantly when saturated."""
+        if self._in_flight >= self._capacity:
+            self._rejected += 1
+            return False
+        self._in_flight += 1
+        self._admitted += 1
+        if self._in_flight > self._high_water:
+            self._high_water = self._in_flight
+        return True
+
+    def release(self) -> None:
+        if self._in_flight <= 0:
+            raise ServeError("release() without a matching try_acquire()")
+        self._in_flight -= 1
+
+    def snapshot(self) -> dict[str, int]:
+        """The counters the ``/v1/metrics`` endpoint reports."""
+        return {
+            "capacity": self._capacity,
+            "in_flight": self._in_flight,
+            "high_water": self._high_water,
+            "admitted": self._admitted,
+            "rejected": self._rejected,
+        }

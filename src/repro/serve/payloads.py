@@ -1,0 +1,119 @@
+"""JSON payload codecs of the serving tier's response bodies.
+
+The request side already round-trips through plain JSON
+(:func:`repro.service.requests.request_from_payload`,
+:func:`repro.api.policy.policy_from_payload`,
+:func:`repro.monitor.stream.tick_from_payload`); this module adds the
+*response* direction: results, I/O counters, cache counters and the
+session envelopes, all as flat JSON-ready dictionaries.
+
+Fidelity matters more than prettiness here: the async load-replay
+differential harness asserts that a payload served over the wire is
+**bit-identical** to one built from a direct :class:`~repro.api.Session`
+call, so floats are passed through untouched (Python's JSON round-trips
+them exactly) and nothing is rounded.
+"""
+
+from __future__ import annotations
+
+from repro.api.session import BatchResponse, Response, TickResponse
+from repro.core.results import SkylineResult, TopKResult
+from repro.errors import QueryError
+from repro.monitor.service import tick_report_to_payload
+from repro.network.accessor import AccessStatistics
+from repro.service.cache import CacheStatistics
+
+__all__ = [
+    "batch_response_to_payload",
+    "cache_to_payload",
+    "io_to_payload",
+    "query_response_to_payload",
+    "result_to_payload",
+    "tick_response_to_payload",
+]
+
+
+def io_to_payload(io: AccessStatistics) -> dict[str, int]:
+    """The five accessor counters, JSON-ready."""
+    return {
+        "adjacency_requests": io.adjacency_requests,
+        "facility_requests": io.facility_requests,
+        "facility_tree_requests": io.facility_tree_requests,
+        "page_reads": io.page_reads,
+        "buffer_hits": io.buffer_hits,
+    }
+
+
+def cache_to_payload(cache: CacheStatistics) -> dict[str, int]:
+    """The cross-query cache counters, JSON-ready."""
+    return {name: value for name, value in sorted(vars(cache).items())}
+
+
+def result_to_payload(result: SkylineResult | TopKResult) -> dict[str, object]:
+    """One query answer as JSON: kind plus the facilities in report order.
+
+    Skyline cost components the search never materialised are ``null``
+    (the first-NN shortcut can report a facility before its full vector is
+    known) — the client sees exactly what the engine knows.
+    """
+    if isinstance(result, SkylineResult):
+        return {
+            "type": "skyline",
+            "facilities": [
+                {
+                    "facility": facility.facility_id,
+                    "costs": list(facility.costs),
+                    "pinned": facility.pinned,
+                }
+                for facility in result
+            ],
+        }
+    if isinstance(result, TopKResult):
+        return {
+            "type": "topk",
+            "ranking": [
+                {"facility": item.facility_id, "score": item.score} for item in result
+            ],
+        }
+    raise QueryError(
+        f"expected a SkylineResult or TopKResult, got {type(result).__name__}"
+    )
+
+
+def query_response_to_payload(response: Response) -> dict[str, object]:
+    """The body of one ``POST /v1/query`` answer (without the ``seq`` stamp)."""
+    return {
+        "kind": response.kind,
+        "ticket": response.ticket,
+        "served_from_memo": response.served_from_memo,
+        "result": result_to_payload(response.result),
+        "io": io_to_payload(response.io),
+        "elapsed_seconds": response.elapsed_seconds,
+    }
+
+
+def batch_response_to_payload(batch: BatchResponse) -> dict[str, object]:
+    """The terminal body of one batch job (without the ``seq`` stamp)."""
+    payload: dict[str, object] = {
+        "queries": len(batch),
+        "responses": [query_response_to_payload(response) for response in batch],
+        "io": io_to_payload(batch.io),
+        "cache": cache_to_payload(batch.cache),
+        "elapsed_seconds": batch.elapsed_seconds,
+        "sharded": batch.sharded,
+    }
+    if batch.sharded:
+        payload["shard_sizes"] = list(batch.shard_sizes)
+    return payload
+
+
+def tick_response_to_payload(response: TickResponse) -> dict[str, object]:
+    """The body of one applied ``PATCH /v1/facilities`` tick.
+
+    Reuses the golden-fixture tick-report payload (deltas + maintenance
+    counters) and adds the serving-relevant I/O and latency fields.
+    """
+    payload = tick_report_to_payload(response)
+    payload["io"] = io_to_payload(response.io)
+    payload["elapsed_seconds"] = response.elapsed_seconds
+    return payload

@@ -1,0 +1,228 @@
+"""Per-subscription delta streaming with slow-consumer backpressure.
+
+Every applied ``PATCH /v1/facilities`` tick emits one
+:class:`~repro.monitor.DeltaReport` per subscription; subscribers follow
+them live over Server-Sent Events.  The broker fans each tick out to the
+open streams **without ever blocking the tick path**: events are enqueued
+with ``put_nowait`` into one bounded queue per stream, and a consumer
+whose queue is full is marked *lagged* — it drains what it already
+buffered, receives one terminal ``lagged`` event and is disconnected.
+Reconnecting (and re-reading the subscription's current state) is the
+client's recovery path; silently dropping intermediate deltas is not
+offered, because a delta stream with holes is worse than a closed one.
+
+The broker lives on the event loop thread; only ``publish``/``open``/
+``close`` touch its state, so no locks are needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections.abc import AsyncIterator
+
+from repro.errors import ServeError
+
+__all__ = ["DeltaBroker", "DeltaStream", "StreamEvent", "sse_encode"]
+
+
+class StreamEvent:
+    """One server-sent event: a name plus a JSON-serialisable payload."""
+
+    __slots__ = ("event", "data")
+
+    def __init__(self, event: str, data: object):
+        self.event = event
+        self.data = data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StreamEvent({self.event!r}, {self.data!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, StreamEvent)
+            and other.event == self.event
+            and other.data == self.data
+        )
+
+
+def sse_encode(event: StreamEvent) -> bytes:
+    """One event in ``text/event-stream`` wire format (sorted keys, one line)."""
+    data = json.dumps(event.data, sort_keys=True, separators=(",", ":"))
+    return f"event: {event.event}\ndata: {data}\n\n".encode("utf-8")
+
+
+class DeltaStream:
+    """One subscriber's bounded view of a subscription's delta feed.
+
+    ``events()`` yields :class:`StreamEvent` objects until the stream is
+    closed; a terminal event (``lagged`` / ``closed`` / ``unsubscribed``)
+    is always delivered last, *outside* the bounded queue, so it cannot
+    itself be dropped by backpressure.
+    """
+
+    def __init__(self, subscription_id: int, buffer: int):
+        self.subscription_id = subscription_id
+        self._queue: asyncio.Queue[StreamEvent] = asyncio.Queue(maxsize=buffer)
+        self._closed = asyncio.Event()
+        self._terminal: StreamEvent | None = None
+        self.delivered = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    @property
+    def lagged(self) -> bool:
+        return self._terminal is not None and self._terminal.event == "lagged"
+
+    @property
+    def buffered(self) -> int:
+        return self._queue.qsize()
+
+    def offer(self, event: StreamEvent) -> bool:
+        """Enqueue without blocking; a full queue lags the stream out."""
+        if self.closed:
+            return False
+        try:
+            self._queue.put_nowait(event)
+            return True
+        except asyncio.QueueFull:
+            self.close(
+                StreamEvent(
+                    "lagged",
+                    {
+                        "subscription": self.subscription_id,
+                        "buffered": self._queue.qsize(),
+                        "message": "consumer fell behind; resubscribe to resync",
+                    },
+                )
+            )
+            return False
+
+    def close(self, terminal: StreamEvent | None = None) -> None:
+        """Close the stream (idempotent); ``terminal`` is delivered last."""
+        if self.closed:
+            return
+        self._terminal = terminal
+        self._closed.set()
+
+    async def events(self) -> AsyncIterator[StreamEvent]:
+        """Buffered events in order, then the terminal event, then stop."""
+        closed_wait: asyncio.Task | None = None
+        try:
+            while True:
+                if not self._queue.empty():
+                    event = self._queue.get_nowait()
+                elif self.closed:
+                    break
+                else:
+                    getter = asyncio.ensure_future(self._queue.get())
+                    closed_wait = asyncio.ensure_future(self._closed.wait())
+                    done, _pending = await asyncio.wait(
+                        (getter, closed_wait), return_when=asyncio.FIRST_COMPLETED
+                    )
+                    closed_wait.cancel()
+                    if getter in done:
+                        event = getter.result()
+                    else:
+                        getter.cancel()
+                        continue  # drain whatever arrived before the close
+                self.delivered += 1
+                yield event
+        finally:
+            if closed_wait is not None:
+                closed_wait.cancel()
+        if self._terminal is not None:
+            self.delivered += 1
+            yield self._terminal
+
+
+class DeltaBroker:
+    """Fans applied ticks out to every open per-subscription stream."""
+
+    def __init__(self, buffer: int):
+        if not isinstance(buffer, int) or isinstance(buffer, bool) or buffer < 1:
+            raise ServeError(f"stream buffer must be a positive integer, got {buffer!r}")
+        self._buffer = buffer
+        self._streams: dict[int, list[DeltaStream]] = {}
+        self.opened = 0
+        self.lagged = 0
+        self.published = 0
+
+    @property
+    def open_streams(self) -> int:
+        return sum(len(streams) for streams in self._streams.values())
+
+    def open(self, subscription_id: int) -> DeltaStream:
+        stream = DeltaStream(subscription_id, self._buffer)
+        self._streams.setdefault(subscription_id, []).append(stream)
+        self.opened += 1
+        return stream
+
+    def publish(self, tick_index: int, deltas: list[dict[str, object]]) -> int:
+        """Offer one applied tick's deltas to the matching streams.
+
+        ``deltas`` are the JSON delta payloads of the tick (every
+        subscription, changed or not — a subscriber sees every tick, so
+        silence is distinguishable from disconnection).  Returns how many
+        events were delivered into queues; lagged streams are closed as a
+        side effect and counted.
+        """
+        delivered = 0
+        for delta in deltas:
+            subscription_id = delta["subscription"]
+            streams = self._streams.get(subscription_id)
+            if not streams:
+                continue
+            event = StreamEvent("delta", {"tick": tick_index, **delta})
+            for stream in list(streams):
+                if stream.offer(event):
+                    delivered += 1
+                elif stream.lagged:
+                    self.lagged += 1
+            self._prune(subscription_id)
+        self.published += 1
+        return delivered
+
+    def close_subscription(self, subscription_id: int) -> int:
+        """Close every stream of one subscription (on DELETE), terminally."""
+        streams = self._streams.pop(subscription_id, [])
+        for stream in streams:
+            stream.close(
+                StreamEvent("unsubscribed", {"subscription": subscription_id})
+            )
+        return len(streams)
+
+    def close_all(self) -> int:
+        """Close every stream (server shutdown), terminally."""
+        closed = 0
+        for subscription_id in list(self._streams):
+            streams = self._streams.pop(subscription_id)
+            for stream in streams:
+                stream.close(StreamEvent("closed", {"subscription": subscription_id}))
+                closed += 1
+        return closed
+
+    def discard(self, stream: DeltaStream) -> None:
+        """Forget one stream (consumer disconnected on its own)."""
+        streams = self._streams.get(stream.subscription_id)
+        if streams and stream in streams:
+            streams.remove(stream)
+        self._prune(stream.subscription_id)
+
+    def _prune(self, subscription_id: int) -> None:
+        streams = self._streams.get(subscription_id)
+        if streams is not None:
+            streams[:] = [stream for stream in streams if not stream.closed]
+            if not streams:
+                del self._streams[subscription_id]
+
+    def snapshot(self) -> dict[str, int]:
+        """The counters the ``/v1/metrics`` endpoint reports."""
+        return {
+            "open": self.open_streams,
+            "opened": self.opened,
+            "lagged": self.lagged,
+            "ticks_published": self.published,
+        }

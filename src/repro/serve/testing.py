@@ -1,0 +1,93 @@
+"""The in-process transport: drive a :class:`ServeApp` without sockets.
+
+:class:`InProcessClient` speaks the exact transport interface
+(:class:`~repro.serve.ServeRequest` in, :class:`~repro.serve.ServeResponse`
+or :class:`~repro.serve.StreamResponse` out) that the HTTP listener
+speaks, minus the byte framing.  The async load-replay differential
+harness runs whole concurrent workloads through it: real event-loop
+interleaving, real admission control, real executor serialisation — and
+bit-comparable JSON payloads at the end, with no port allocation or
+socket flakiness in CI.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ServeError
+from repro.serve.app import ServeApp, ServeRequest, ServeResponse, StreamResponse
+from repro.serve.streaming import StreamEvent
+
+__all__ = ["InProcessClient", "collect_events"]
+
+
+class InProcessClient:
+    """A tiny async client bound to one :class:`ServeApp`."""
+
+    def __init__(self, app: ServeApp):
+        if not isinstance(app, ServeApp):
+            raise ServeError(f"expected a ServeApp, got {type(app).__name__}")
+        self._app = app
+
+    @property
+    def app(self) -> ServeApp:
+        return self._app
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: object | None = None,
+        *,
+        raw_body: bytes | str | None = None,
+    ) -> ServeResponse | StreamResponse:
+        """One request; ``payload`` is JSON-encoded, ``raw_body`` wins raw."""
+        if raw_body is not None:
+            body: bytes | str | None = raw_body
+        elif payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        else:
+            body = None
+        return await self._app.dispatch(ServeRequest(method, path, body))
+
+    async def get(self, path: str) -> ServeResponse | StreamResponse:
+        return await self.request("GET", path)
+
+    async def post(self, path: str, payload: object) -> ServeResponse | StreamResponse:
+        return await self.request("POST", path, payload)
+
+    async def patch(self, path: str, payload: object) -> ServeResponse | StreamResponse:
+        return await self.request("PATCH", path, payload)
+
+    async def delete(self, path: str) -> ServeResponse | StreamResponse:
+        return await self.request("DELETE", path)
+
+    async def stream(self, subscription_id: int) -> StreamResponse:
+        """Open one SSE delta stream (raises on an error answer)."""
+        response = await self.get(f"/v1/subscriptions/{subscription_id}/stream")
+        if not isinstance(response, StreamResponse):
+            raise ServeError(
+                f"expected a StreamResponse, got status {response.status}: "
+                f"{response.payload}"
+            )
+        return response
+
+
+async def collect_events(
+    response: StreamResponse, *, limit: int | None = None
+) -> list[StreamEvent]:
+    """Drain a stream into a list (up to ``limit`` events), then detach it.
+
+    With ``limit`` the stream is closed after the limit is hit — the
+    terminal event, if one is already pending, is *not* awaited, so tests
+    never hang on a stream that stays open.
+    """
+    events: list[StreamEvent] = []
+    stream = response.stream
+    async for event in stream.events():
+        events.append(event)
+        if limit is not None and len(events) >= limit:
+            break
+    stream.close()
+    response.broker.discard(stream)
+    return events

@@ -201,6 +201,28 @@ def regenerate_monitor_case(name: str, case: dict) -> Path:
     return path
 
 
+def regenerate_serve_surface() -> Path:
+    """Pin the serving tier's wire surface (routes, schemas, error shape).
+
+    The fixture is transport-independent data from
+    :meth:`repro.serve.ServeApp.describe_surface`; a route/schema change
+    must regenerate it in the same commit, so the diff is reviewable.
+    """
+    from repro.api import Session
+    from repro.serve import ServeApp
+
+    workload = make_workload(
+        WorkloadSpec(
+            num_nodes=20, num_facilities=5, num_cost_types=2, num_queries=1, seed=1
+        )
+    )
+    with Session(workload.graph, workload.facilities) as session:
+        surface = ServeApp(session).describe_surface()
+    path = FIXTURES_DIR / "serve_surface.json"
+    path.write_text(json.dumps(surface, indent=1, sort_keys=True) + "\n")
+    return path
+
+
 def main() -> None:
     for name, case in CASES.items():
         path = regenerate_case(name, case)
@@ -208,6 +230,7 @@ def main() -> None:
     for name, case in MONITOR_CASES.items():
         path = regenerate_monitor_case(name, case)
         print(f"wrote {path}")
+    print(f"wrote {regenerate_serve_surface()}")
 
 
 if __name__ == "__main__":

@@ -507,3 +507,119 @@ class TestDeprecationShims:
             _signature(o) for o in modern_report.outcomes
         ]
         assert legacy_report.io == modern_report.io
+
+
+class TestSessionLifecycle:
+    """Deterministic teardown: the contract the serving tier shuts down on."""
+
+    def _session(self):
+        return Session(
+            _WORKLOAD.graph, FacilitySet(_WORKLOAD.graph, iter(_WORKLOAD.facilities))
+        )
+
+    def test_close_is_idempotent(self):
+        session = self._session()
+        assert not session.closed
+        session.close()
+        assert session.closed
+        session.close()  # a second close is a no-op, not an error
+        assert session.closed
+
+    @pytest.mark.parametrize(
+        "verb",
+        ["query", "run_batch", "monitor", "skyline", "top_k", "engine_for"],
+    )
+    def test_every_verb_refuses_after_close(self, verb):
+        session = self._session()
+        session.close()
+        request = _requests()[0]
+        calls = {
+            "query": lambda: session.query(request),
+            "run_batch": lambda: session.run_batch([request]),
+            "monitor": lambda: session.monitor([request]),
+            "skyline": lambda: session.skyline(_WORKLOAD.queries[0]),
+            "top_k": lambda: session.top_k(
+                _WORKLOAD.queries[0], 3, weights=(0.5, 0.3, 0.2)
+            ),
+            "engine_for": lambda: session.engine_for(),
+        }
+        with pytest.raises(QueryError, match="closed"):
+            calls[verb]()
+
+    def test_context_manager_closes_and_rejects_reentry(self):
+        with self._session() as session:
+            session.query(_requests()[0])
+        assert session.closed
+        with pytest.raises(QueryError, match="closed"):
+            with session:
+                pass  # pragma: no cover - __enter__ refuses
+
+    def test_close_tears_down_the_monitoring_service(self):
+        session = self._session()
+        handle = session.monitor(_requests()[:2])
+        service = handle.service
+        session.close()
+        assert service.closed
+        with pytest.raises(QueryError, match="closed"):
+            service.subscribe(_requests()[2])
+
+    def test_monitoring_close_preserves_lifetime_statistics(self):
+        session = self._session()
+        handle = session.monitor(_requests()[:2])
+        for tick in make_update_stream(
+            _WORKLOAD.graph,
+            _WORKLOAD.facilities,
+            UpdateStreamSpec(num_ticks=2, updates_per_tick=3, seed=5),
+            subscription_ids=list(handle.subscription_ids),
+        ):
+            handle.tick(tick)
+        before = handle.service.statistics
+        session.close()
+        after = handle.service.statistics
+        assert vars(after) == vars(before)
+
+    def test_close_drops_cached_stacks(self):
+        session = self._session()
+        session.query(_requests()[0])
+        assert session.invalidate_result_caches() == 1
+        session.close()
+        assert session._services == {} and session._engines == {}
+        with pytest.raises(QueryError, match="closed"):
+            session.invalidate_result_caches()
+
+    def test_invalidate_result_caches_forces_memo_misses(self):
+        session = self._session()
+        request = _requests()[0]
+        first = session.query(request)
+        second = session.query(request)
+        assert not first.served_from_memo and second.served_from_memo
+        assert session.invalidate_result_caches() == 1
+        third = session.query(request)
+        assert not third.served_from_memo
+        assert _signature(third) == _signature(first)
+
+    def test_latency_recorder_tracks_the_verbs(self):
+        session = self._session()
+        session.query(_requests()[0])
+        session.run_batch(_requests()[:2])
+        handle = session.monitor(_requests()[:1])
+        for tick in make_update_stream(
+            _WORKLOAD.graph,
+            _WORKLOAD.facilities,
+            UpdateStreamSpec(num_ticks=1, updates_per_tick=2, seed=5),
+            subscription_ids=list(handle.subscription_ids),
+        ):
+            handle.tick(tick)
+        assert session.latency.labels() == ("batch", "query", "tick")
+        # run_batch observes once per batch plus once per member query.
+        assert session.latency.stats_for("query").count == 1
+        assert session.latency.stats_for("batch").count == 1
+        assert session.latency.stats_for("tick").count == 1
+        summary = session.latency.summary()
+        assert set(summary) == {"batch", "query", "tick"}
+
+    def test_latency_statistics_survive_close(self):
+        session = self._session()
+        session.query(_requests()[0])
+        session.close()
+        assert session.latency.stats_for("query").count == 1

@@ -23,12 +23,16 @@ API_ALL = [
     "COMPILED_ENV_VAR",
     "COMPILED_MODES",
     "DEFAULT_POLICY",
+    "DEFAULT_TRACKED_QUANTILES",
     "EXECUTORS",
     "ExecutionPolicy",
+    "LatencyRecorder",
     "MonitorHandle",
+    "P2Quantile",
     "RESIDENCIES",
     "ROUTINGS",
     "Response",
+    "RollingLatencyStats",
     "Session",
     "TickResponse",
     "VECTOR_ENV_VAR",
@@ -71,6 +75,8 @@ SESSION_SIGNATURES = {
         "(self, requests: 'Sequence[QueryRequest]', *, "
         "policy: 'ExecutionPolicy | None' = None) -> 'MonitorHandle'"
     ),
+    "close": "(self) -> 'None'",
+    "invalidate_result_caches": "(self) -> 'int'",
     "engine_for": "(self, policy: 'ExecutionPolicy | None' = None) -> 'MCNQueryEngine'",
     "storage_for": (
         "(self, policy: 'ExecutionPolicy | None' = None) -> 'NetworkStorage | None'"

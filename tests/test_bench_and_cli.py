@@ -5,6 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.config import DEFAULT_SCALE, PAPER_SCALE, SMALL_SCALE, ExperimentConfig
+from repro.bench.driver import (
+    ServeReplaySpec,
+    format_serve_report,
+    replay_serve_workload,
+)
 from repro.bench.experiments import (
     EXPERIMENTS,
     ablation_probing_policy,
@@ -16,7 +21,8 @@ from repro.bench.reporting import format_series_table, series_to_csv, summarize_
 from repro.bench.runner import build_environment, run_skyline_trial, run_topk_trial
 from repro.cli import build_parser, main
 from repro.datagen.cost_models import CostDistribution
-from repro.errors import QueryError
+from repro.datagen.workload import WorkloadSpec
+from repro.errors import QueryError, ReproError
 
 #: A deliberately tiny configuration so harness tests stay fast.
 TINY = ExperimentConfig(
@@ -223,3 +229,82 @@ class TestCLI:
     def test_unknown_experiment_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestServeReplay:
+    """The async load-replay bench mode behind ``repro-mcn serve --replay``."""
+
+    SPEC = ServeReplaySpec(
+        workload=WorkloadSpec(
+            num_nodes=120, num_facilities=30, num_cost_types=2, num_queries=6, seed=11
+        ),
+        duplicates=3,
+        ticks=2,
+        updates_per_tick=2,
+        clients=4,
+    )
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return replay_serve_workload(self.SPEC)
+
+    def test_served_concurrency_matches_the_sequential_oracle(self, report):
+        assert report.identical_payloads
+        assert report.mismatched_ops == []
+
+    def test_trace_shape(self, report):
+        assert report.queries == 6 + 3
+        assert report.ticks == 2
+        assert report.operations == 11
+
+    def test_metrics_cover_the_trace(self, report):
+        assert report.metrics["errors"] == 0 and report.metrics["timeouts"] == 0
+        assert report.metrics["endpoints"]["query"]["count"] == report.queries
+        assert report.metrics["endpoints"]["patch"]["count"] == report.ticks
+        assert report.operations_per_second > 0
+        assert report.overhead > 0
+
+    def test_format_serve_report(self, report):
+        text = format_serve_report(report)
+        assert "payloads identical to sequential replay: yes" in text
+        assert "query" in text and "patch" in text
+        assert "admission:" in text
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mix": "everything"},
+            {"k": 0},
+            {"clients": 1},
+            {"duplicates": -1},
+            {"ticks": -2},
+            {"max_in_flight": 0},
+            {"timeout_seconds": -1.0},
+        ],
+    )
+    def test_invalid_spec_rejected(self, kwargs):
+        with pytest.raises(ReproError):
+            ServeReplaySpec(**kwargs)
+
+    def test_serve_replay_command(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--replay",
+                "--nodes", "120",
+                "--facilities", "30",
+                "--cost-types", "2",
+                "--queries", "4",
+                "--ticks", "1",
+                "--clients", "4",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0, output
+        assert "payloads identical to sequential replay: yes" in output
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert not args.replay
+        assert (args.clients, args.max_in_flight) == (8, 8)
+        assert args.port == 8737

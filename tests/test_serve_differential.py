@@ -1,0 +1,376 @@
+"""Async load-replay differential harness: the serving tier vs the library.
+
+The serving tier promises more than "responses look right": because every
+session call is serialised on one executor thread and stamped with a
+``seq``, a concurrent workload served through the tier must be
+**bit-identical** — result payloads, memo hits, per-request I/O counters —
+to the same operations replayed *sequentially*, in ``seq`` order, against
+a direct :class:`~repro.api.Session` / :class:`~repro.MonitoringService`
+stack.  That is a much stronger property under the cross-query cache,
+whose memo hits and I/O are order-dependent: it proves the tier adds
+exactly zero semantic noise on top of the library.
+
+The workload here runs ≥8 concurrent clients over the in-process
+transport: mixed skyline/top-k queries (with duplicates, so memoization
+order matters), facility insert/delete ticks through PATCH, batch jobs
+with polling, and live subscriptions.  One client plays the updater so
+ticks stay internally ordered; everything else races.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.datagen import UpdateStreamSpec, WorkloadSpec, make_update_stream, make_workload
+from repro.monitor.stream import tick_from_payload, tick_to_payload
+from repro.network.facilities import FacilitySet
+from repro.serve import (
+    InProcessClient,
+    ServeApp,
+    ServeConfig,
+    batch_response_to_payload,
+    collect_events,
+    query_response_to_payload,
+    tick_response_to_payload,
+)
+from repro.service.requests import (
+    SkylineRequest,
+    TopKRequest,
+    request_from_payload,
+    request_to_payload,
+)
+
+NUM_CLIENTS = 8
+
+_WORKLOAD = make_workload(
+    WorkloadSpec(
+        num_nodes=150,
+        num_facilities=50,
+        num_cost_types=2,
+        num_queries=10,
+        seed=77,
+    )
+)
+
+_TICKS = [
+    tick_to_payload(tick)
+    for tick in make_update_stream(
+        _WORKLOAD.graph,
+        _WORKLOAD.facilities,
+        UpdateStreamSpec(
+            num_ticks=4,
+            updates_per_tick=3,
+            insert_fraction=0.5,
+            delete_fraction=0.5,
+            relocate_fraction=0.0,
+            seed=78,
+        ),
+        subscription_ids=[],
+    )
+]
+
+
+def _fresh_facilities() -> FacilitySet:
+    return FacilitySet(_WORKLOAD.graph, iter(_WORKLOAD.facilities))
+
+
+def _request_payloads():
+    payloads = []
+    for index, query in enumerate(_WORKLOAD.queries):
+        if index % 2 == 0:
+            payloads.append(request_to_payload(SkylineRequest(query)))
+        else:
+            payloads.append(
+                request_to_payload(TopKRequest(query, 3, weights=(0.6, 0.4)))
+            )
+    return payloads
+
+
+def _build_ops():
+    """The mixed workload, as JSON payloads both sides decode identically."""
+    requests = _request_payloads()
+    ops = []
+    # 16 queries: every request once, the first six twice (memo pressure).
+    for index, payload in enumerate(requests + requests[:6]):
+        ops.append({"id": f"q{index}", "kind": "query", "request": payload})
+    for index, updates in enumerate(_TICKS):
+        ops.append({"id": f"t{index}", "kind": "tick", "updates": updates})
+    ops.append({"id": "b0", "kind": "batch", "requests": requests[:3]})
+    ops.append({"id": "b1", "kind": "batch", "requests": requests[3:6]})
+    ops.append({"id": "s0", "kind": "subscribe", "request": requests[0]})
+    ops.append({"id": "s1", "kind": "subscribe", "request": requests[1]})
+    return ops
+
+
+def _strip_timing(payload):
+    """Drop wall-clock fields; everything else must match bit-for-bit."""
+    if isinstance(payload, dict):
+        return {
+            key: _strip_timing(value)
+            for key, value in payload.items()
+            if key != "elapsed_seconds"
+        }
+    if isinstance(payload, list):
+        return [_strip_timing(item) for item in payload]
+    return payload
+
+
+async def _run_op(client: InProcessClient, op, results):
+    if op["kind"] == "query":
+        response = await client.post("/v1/query", {"request": op["request"]})
+        assert response.status == 200, response.payload
+        results[op["id"]] = response.payload
+    elif op["kind"] == "tick":
+        response = await client.patch("/v1/facilities", {"updates": op["updates"]})
+        assert response.status == 200, response.payload
+        results[op["id"]] = response.payload
+    elif op["kind"] == "batch":
+        response = await client.post("/v1/batch", {"requests": op["requests"]})
+        assert response.status == 202, response.payload
+        job = response.payload["job"]
+        while True:
+            poll = await client.get(f"/v1/batch/{job}")
+            if poll.payload["state"] in ("done", "failed"):
+                break
+            await asyncio.sleep(0.002)
+        assert poll.payload["state"] == "done", poll.payload
+        results[op["id"]] = poll.payload["result"]
+    elif op["kind"] == "subscribe":
+        response = await client.post("/v1/subscriptions", {"request": op["request"]})
+        assert response.status == 201, response.payload
+        results[op["id"]] = response.payload
+    else:  # pragma: no cover - workload construction bug
+        raise AssertionError(op)
+
+
+async def _serve_workload(ops):
+    """Run ``ops`` through the tier under real concurrency; return payloads."""
+    session = Session(_WORKLOAD.graph, _fresh_facilities())
+    app = ServeApp(session, config=ServeConfig(request_timeout_seconds=60.0))
+    client = InProcessClient(app)
+    results: dict[str, dict] = {}
+    # Client 0 is the updater (ticks stay internally ordered); the other
+    # NUM_CLIENTS - 1 clients race the rest of the workload between them.
+    lanes = [[] for _ in range(NUM_CLIENTS)]
+    other = 0
+    for op in ops:
+        if op["kind"] == "tick":
+            lanes[0].append(op)
+        else:
+            lanes[1 + other % (NUM_CLIENTS - 1)].append(op)
+            other += 1
+
+    async def worker(lane):
+        for op in lane:
+            await _run_op(client, op, results)
+
+    async with app:
+        await asyncio.gather(*(worker(lane) for lane in lanes))
+        metrics = (await client.get("/v1/metrics")).payload
+    return results, metrics
+
+
+def _replay_workload(ops, serve_results):
+    """Replay the same ops in ``seq`` order against the direct library stack."""
+    session = Session(_WORKLOAD.graph, _fresh_facilities())
+    handle = None
+    expected: dict[str, dict] = {}
+    ordered = sorted(ops, key=lambda op: serve_results[op["id"]]["seq"])
+    for op in ordered:
+        seq = serve_results[op["id"]]["seq"]
+        if op["kind"] == "query":
+            response = session.query(request_from_payload(op["request"]))
+            expected[op["id"]] = {"seq": seq, **query_response_to_payload(response)}
+        elif op["kind"] == "tick":
+            if handle is None:
+                handle = session.monitor(())
+            response = handle.tick(tick_from_payload(op["updates"]))
+            invalidated = session.invalidate_result_caches()
+            expected[op["id"]] = {
+                "seq": seq,
+                "invalidated_services": invalidated,
+                **tick_response_to_payload(response),
+            }
+        elif op["kind"] == "batch":
+            report = session.run_batch(
+                [request_from_payload(entry) for entry in op["requests"]]
+            )
+            expected[op["id"]] = {"seq": seq, **batch_response_to_payload(report)}
+        elif op["kind"] == "subscribe":
+            sub = session.monitor([request_from_payload(op["request"])])
+            sid = sub.subscription_ids[0]
+            signature = sub.service.result_signature(sid)
+            request = sub.service.request_of(sid)
+            facilities = [
+                [fid, list(value) if isinstance(value, tuple) else value]
+                for fid, value in sorted(signature.items())
+            ]
+            expected[op["id"]] = {
+                "seq": seq,
+                "subscription": sid,
+                "kind": "skyline" if isinstance(request, SkylineRequest) else "topk",
+                "size": len(facilities),
+                "result": facilities,
+            }
+    session.close()
+    return expected
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    ops = _build_ops()
+    served, metrics = asyncio.run(_serve_workload(ops))
+    expected = _replay_workload(ops, served)
+    return ops, served, expected, metrics
+
+
+class TestLoadReplayDifferential:
+    def test_every_op_answered(self, outcome):
+        ops, served, expected, _metrics = outcome
+        assert set(served) == {op["id"] for op in ops} == set(expected)
+
+    def test_seq_stamps_are_a_dense_total_order(self, outcome):
+        ops, served, _expected, _metrics = outcome
+        seqs = sorted(payload["seq"] for payload in served.values())
+        assert seqs == list(range(len(ops)))
+
+    @pytest.mark.parametrize("kind", ["query", "tick", "batch", "subscribe"])
+    def test_payloads_bit_identical_to_sequential_replay(self, outcome, kind):
+        ops, served, expected, _metrics = outcome
+        compared = 0
+        for op in ops:
+            if op["kind"] != kind:
+                continue
+            assert _strip_timing(served[op["id"]]) == _strip_timing(
+                expected[op["id"]]
+            ), op["id"]
+            compared += 1
+        assert compared > 0
+
+    def test_payloads_survive_json_round_trip(self, outcome):
+        _ops, served, _expected, _metrics = outcome
+        for op_id, payload in served.items():
+            assert json.loads(json.dumps(payload)) == payload, op_id
+
+    def test_memoization_order_was_exercised_and_reproduced(self):
+        # Tick-free workload: with no cache invalidation, the second run of
+        # each duplicated request — whichever lane gets there second — must
+        # be a memo hit, and the replay must reproduce the exact hit set.
+        requests = _request_payloads()[:3]
+        ops = [
+            {"id": f"m{index}", "kind": "query", "request": payload}
+            for index, payload in enumerate(requests + requests)
+        ]
+        served, _metrics = asyncio.run(_serve_workload(ops))
+        expected = _replay_workload(ops, served)
+        memo_hits = [
+            op["id"] for op in ops if served[op["id"]]["served_from_memo"]
+        ]
+        assert len(memo_hits) == 3  # one hit per duplicated request
+        for op in ops:
+            assert (
+                served[op["id"]]["served_from_memo"]
+                == expected[op["id"]]["served_from_memo"]
+            ), op["id"]
+
+    def test_io_counters_bit_identical(self, outcome):
+        ops, served, expected, _metrics = outcome
+        for op in ops:
+            assert served[op["id"]].get("io") == expected[op["id"]].get("io"), op["id"]
+
+    def test_ticks_reported_every_subscription_delta(self, outcome):
+        ops, served, _expected, _metrics = outcome
+        tick_ids = [op["id"] for op in ops if op["kind"] == "tick"]
+        indices = sorted(served[op_id]["index"] for op_id in tick_ids)
+        assert indices == list(range(len(tick_ids)))
+
+    def test_metrics_counts_cover_the_workload(self, outcome):
+        ops, _served, _expected, metrics = outcome
+        assert metrics["requests"] > len(ops)  # polls and /metrics add more
+        assert metrics["errors"] == 0 and metrics["timeouts"] == 0
+        assert metrics["jobs"] == {"queued": 0, "running": 0, "done": 2, "failed": 0}
+        assert metrics["admission"]["rejected"] == 0
+        num_queries = sum(1 for op in ops if op["kind"] == "query")
+        assert metrics["endpoints"]["query"]["count"] == num_queries
+
+    def test_latency_percentiles_sane(self, outcome):
+        _ops, _served, _expected, metrics = outcome
+        for label, summary in metrics["endpoints"].items():
+            assert summary["p50_ms"] <= summary["p90_ms"] <= summary["p99_ms"], label
+            assert summary["max_ms"] >= summary["p99_ms"] * (1 - 1e-9), label
+            assert summary["count"] > 0, label
+        assert metrics["session"]["query"]["count"] > 0
+
+    def test_workload_used_at_least_eight_clients(self, outcome):
+        # Structural: the harness is only honest if the lane split really
+        # fans out.  NUM_CLIENTS lanes, all non-empty.
+        ops = _build_ops()
+        kinds = {"tick": 0, "other": 0}
+        for op in ops:
+            kinds["tick" if op["kind"] == "tick" else "other"] += 1
+        assert NUM_CLIENTS >= 8
+        assert kinds["other"] >= NUM_CLIENTS - 1  # every racing lane gets work
+
+
+class TestStreamingDifferential:
+    def test_sse_deltas_match_the_tick_reports(self):
+        async def scenario():
+            session = Session(_WORKLOAD.graph, _fresh_facilities())
+            app = ServeApp(session, config=ServeConfig(request_timeout_seconds=60.0))
+            client = InProcessClient(app)
+            async with app:
+                subscribe = await client.post(
+                    "/v1/subscriptions", {"request": _request_payloads()[0]}
+                )
+                sid = subscribe.payload["subscription"]
+                stream = await client.stream(sid)
+                tick_payloads = []
+                for updates in _TICKS:
+                    response = await client.patch(
+                        "/v1/facilities", {"updates": updates}
+                    )
+                    assert response.status == 200
+                    tick_payloads.append(response.payload)
+                events = await collect_events(stream, limit=1 + len(_TICKS))
+                return subscribe.payload, tick_payloads, events
+
+        subscribe_payload, tick_payloads, events = asyncio.run(scenario())
+        assert events[0].event == "init"
+        assert events[0].data["subscription"] == subscribe_payload["subscription"]
+        assert events[0].data["facilities"] == subscribe_payload["result"]
+        deltas = events[1:]
+        assert [event.event for event in deltas] == ["delta"] * len(_TICKS)
+        for tick_payload, event in zip(tick_payloads, deltas):
+            mine = [
+                delta
+                for delta in tick_payload["deltas"]
+                if delta["subscription"] == subscribe_payload["subscription"]
+            ]
+            assert len(mine) == 1
+            assert event.data == {"tick": tick_payload["index"], **mine[0]}
+
+    def test_two_streams_of_one_subscription_see_identical_events(self):
+        async def scenario():
+            session = Session(_WORKLOAD.graph, _fresh_facilities())
+            app = ServeApp(session, config=ServeConfig(request_timeout_seconds=60.0))
+            client = InProcessClient(app)
+            async with app:
+                subscribe = await client.post(
+                    "/v1/subscriptions", {"request": _request_payloads()[1]}
+                )
+                sid = subscribe.payload["subscription"]
+                first = await client.stream(sid)
+                second = await client.stream(sid)
+                await client.patch("/v1/facilities", {"updates": _TICKS[0]})
+                events = await asyncio.gather(
+                    collect_events(first, limit=2), collect_events(second, limit=2)
+                )
+                return events
+
+        first_events, second_events = asyncio.run(scenario())
+        assert first_events == second_events
+        assert [event.event for event in first_events] == ["init", "delta"]

@@ -1,0 +1,150 @@
+"""Latency statistics: P² estimator, rolling window, recorder."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.api import (
+    DEFAULT_TRACKED_QUANTILES,
+    LatencyRecorder,
+    P2Quantile,
+    RollingLatencyStats,
+)
+from repro.errors import QueryError
+
+
+class TestP2Quantile:
+    def test_exact_below_five_observations(self):
+        estimator = P2Quantile(0.5)
+        for value in (3.0, 1.0, 2.0):
+            estimator.observe(value)
+        assert estimator.value == 2.0
+        assert estimator.count == 3
+
+    def test_empty_estimator_reports_zero(self):
+        assert P2Quantile(0.9).value == 0.0
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    def test_converges_on_uniform_stream(self, q):
+        rng = random.Random(17)
+        values = [rng.random() for _ in range(5000)]
+        estimator = P2Quantile(q)
+        for value in values:
+            estimator.observe(value)
+        exact = statistics.quantiles(values, n=10_000)[int(q * 10_000) - 1]
+        assert abs(estimator.value - exact) < 0.03
+
+    def test_converges_on_skewed_stream(self):
+        # Latency-like: exponential, long right tail.
+        rng = random.Random(5)
+        estimator = P2Quantile(0.99)
+        values = [rng.expovariate(100.0) for _ in range(8000)]
+        for value in values:
+            estimator.observe(value)
+        exact = sorted(values)[int(0.99 * len(values))]
+        assert estimator.value == pytest.approx(exact, rel=0.2)
+
+    @pytest.mark.parametrize("q", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_quantiles_outside_open_interval(self, q):
+        with pytest.raises(QueryError, match="quantile"):
+            P2Quantile(q)
+
+
+class TestRollingLatencyStats:
+    def test_window_percentile_is_exact(self):
+        stats = RollingLatencyStats(window=100)
+        for value in range(1, 101):
+            stats.observe(float(value))
+        assert stats.percentile(0.5) == pytest.approx(50.5)
+        assert stats.percentile(0.0) == 1.0
+        assert stats.percentile(1.0) == 100.0
+
+    def test_window_evicts_oldest(self):
+        stats = RollingLatencyStats(window=10)
+        for value in range(1, 101):
+            stats.observe(float(value))
+        assert stats.window_size == 10
+        assert stats.percentile(0.0) == 91.0  # the first 90 left the window
+        assert stats.count == 100  # lifetime count keeps the whole history
+
+    def test_mean_and_max_are_lifetime(self):
+        stats = RollingLatencyStats(window=4)
+        for value in (1.0, 2.0, 3.0, 10.0):
+            stats.observe(value)
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.max == 10.0
+
+    def test_untracked_lifetime_quantile_raises(self):
+        stats = RollingLatencyStats()
+        stats.observe(1.0)
+        assert stats.tracked_quantiles == DEFAULT_TRACKED_QUANTILES
+        with pytest.raises(QueryError, match="not tracked"):
+            stats.estimate(0.75)
+        assert stats.percentile(0.75) == 1.0  # window percentiles accept any q
+
+    def test_summary_shape(self):
+        stats = RollingLatencyStats(window=8)
+        for value in (0.001, 0.002, 0.004):
+            stats.observe(value)
+        summary = stats.summary()
+        assert sorted(summary) == [
+            "count", "max_ms", "mean_ms", "p50_lifetime_ms", "p50_ms",
+            "p90_lifetime_ms", "p90_ms", "p99_lifetime_ms", "p99_ms", "window",
+        ]
+        assert summary["count"] == 3 and summary["window"] == 3
+        assert summary["max_ms"] == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 2.5, "big"])
+    def test_invalid_window_rejected(self, bad):
+        with pytest.raises(QueryError, match="window"):
+            RollingLatencyStats(window=bad)
+
+    def test_negative_observation_rejected(self):
+        stats = RollingLatencyStats()
+        with pytest.raises(QueryError, match=">= 0"):
+            stats.observe(-0.001)
+
+    def test_percentile_outside_unit_interval_rejected(self):
+        stats = RollingLatencyStats()
+        with pytest.raises(QueryError, match="percentile"):
+            stats.percentile(1.2)
+
+    def test_no_tracked_quantiles_rejected(self):
+        with pytest.raises(QueryError, match="at least one"):
+            RollingLatencyStats(quantiles=())
+
+
+class TestLatencyRecorder:
+    def test_labels_created_on_first_observation(self):
+        recorder = LatencyRecorder()
+        assert recorder.labels() == ()
+        recorder.observe("query", 0.01)
+        recorder.observe("batch", 0.02)
+        recorder.observe("query", 0.03)
+        assert recorder.labels() == ("batch", "query")
+        assert recorder.stats_for("query").count == 2
+
+    def test_unknown_label_raises(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(QueryError, match="no latency observations"):
+            recorder.stats_for("nope")
+
+    def test_summary_is_json_ready(self):
+        import json
+
+        recorder = LatencyRecorder(window=16)
+        recorder.observe("tick", 0.005)
+        payload = recorder.summary()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["tick"]["count"] == 1
+
+    def test_recorder_respects_window_configuration(self):
+        recorder = LatencyRecorder(window=2)
+        for value in (1.0, 2.0, 3.0):
+            recorder.observe("q", value)
+        stats = recorder.stats_for("q")
+        assert stats.window_size == 2
+        assert stats.percentile(0.0) == 2.0

@@ -1,0 +1,136 @@
+"""Golden pin of the serving tier's wire surface + limits plumbing.
+
+``tests/fixtures/serve_surface.json`` holds the full route table, the
+request/response schemas and the error-envelope shape.  Any drift —
+renaming a route, adding a response key, changing an error code — fails
+here and must be acknowledged by regenerating the fixture in the same
+commit (``PYTHONPATH=src python tests/fixtures/regenerate.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.datagen import WorkloadSpec, make_workload
+from repro.api import Session
+from repro.errors import ServeError
+import repro.serve as serve
+from repro.serve import (
+    ERROR_CODES,
+    AdmissionController,
+    ServeApp,
+    ServeConfig,
+    error_envelope,
+)
+
+FIXTURE = Path(__file__).parent / "fixtures" / "serve_surface.json"
+
+
+@pytest.fixture(scope="module")
+def surface():
+    workload = make_workload(
+        WorkloadSpec(num_nodes=20, num_facilities=5, num_cost_types=2, num_queries=1, seed=1)
+    )
+    with Session(workload.graph, workload.facilities) as session:
+        yield ServeApp(session).describe_surface()
+
+
+class TestGoldenSurface:
+    def test_surface_matches_the_golden_fixture(self, surface):
+        pinned = json.loads(FIXTURE.read_text())
+        assert surface == pinned, (
+            "serve wire surface drifted; if intentional, regenerate with "
+            "PYTHONPATH=src python tests/fixtures/regenerate.py"
+        )
+
+    def test_surface_is_json_round_trippable(self, surface):
+        assert json.loads(json.dumps(surface)) == surface
+
+    def test_every_route_has_a_schema(self, surface):
+        routes = {f"{r['method']} {r['path']}" for r in surface["routes"]}
+        assert routes == set(surface["schemas"])
+
+    def test_error_codes_sorted_and_pinned(self, surface):
+        assert surface["error_codes"] == sorted(ERROR_CODES)
+        assert list(ERROR_CODES) == sorted(ERROR_CODES)
+
+    def test_envelope_shape(self):
+        envelope = error_envelope("saturated", "busy")
+        assert envelope == {"error": {"code": "saturated", "message": "busy"}}
+
+    def test_unknown_error_code_refused(self):
+        with pytest.raises(ServeError, match="unknown error code"):
+            error_envelope("teapot", "I'm a teapot")
+
+    def test_module_exports_pinned(self):
+        assert list(serve.__all__) == sorted(serve.__all__)
+        for name in serve.__all__:
+            assert getattr(serve, name) is not None
+
+
+class TestServeConfig:
+    def test_defaults(self):
+        config = ServeConfig()
+        assert (config.max_in_flight, config.max_queued_jobs) == (8, 32)
+        assert config.request_timeout_seconds == 10.0
+        assert (config.stream_buffer, config.latency_window) == (64, 512)
+        assert config.max_body_bytes == 1 << 20
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_in_flight": 0},
+            {"max_in_flight": True},
+            {"max_queued_jobs": -1},
+            {"stream_buffer": 0},
+            {"latency_window": "big"},
+            {"max_body_bytes": 100},
+            {"request_timeout_seconds": 0.0},
+            {"request_timeout_seconds": -1},
+            {"request_timeout_seconds": "fast"},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ServeError):
+            ServeConfig(**kwargs)
+
+    def test_timeout_none_disables_deadlines(self):
+        assert ServeConfig(request_timeout_seconds=None).request_timeout_seconds is None
+
+    def test_timeout_coerced_to_float(self):
+        assert ServeConfig(request_timeout_seconds=2).request_timeout_seconds == 2.0
+
+
+class TestAdmissionController:
+    def test_acquire_release_accounting(self):
+        admission = AdmissionController(2)
+        assert admission.try_acquire() and admission.try_acquire()
+        assert not admission.try_acquire()  # saturated: instant refusal
+        assert (admission.in_flight, admission.rejected) == (2, 1)
+        admission.release()
+        assert admission.try_acquire()
+        assert (admission.admitted, admission.high_water) == (3, 2)
+
+    def test_unbalanced_release_raises(self):
+        admission = AdmissionController(1)
+        with pytest.raises(ServeError, match="release"):
+            admission.release()
+
+    def test_snapshot_shape(self):
+        admission = AdmissionController(4)
+        admission.try_acquire()
+        assert admission.snapshot() == {
+            "capacity": 4,
+            "in_flight": 1,
+            "high_water": 1,
+            "admitted": 1,
+            "rejected": 0,
+        }
+
+    @pytest.mark.parametrize("bad", [0, -3, True, 1.5])
+    def test_invalid_capacity_rejected(self, bad):
+        with pytest.raises(ServeError, match="max_in_flight"):
+            AdmissionController(bad)
