@@ -51,6 +51,14 @@ execute, and every call returns a uniform response envelope::
         [SkylineRequest(query)], policy=session.policy.replace(compiled="on")
     )
 
+Datasets can also live on disk as single checksummed *pack* files
+(:mod:`repro.storage.persist` / :mod:`repro.storage.catalog`): build once
+with ``repro-mcn build-dataset`` (streamed, bounded RSS even at millions of
+nodes), then query straight off an ``mmap`` — standalone via
+``Session.from_dataset(path)`` or as a residency
+(``ExecutionPolicy(residency="dataset", dataset_path=path)``), with answers
+and I/O counters bit-identical to the in-RAM simulated disk.
+
 The :mod:`repro.serve` tier puts the session behind a wire: a
 dependency-free asyncio serving layer (pure HTTP/1.1 + SSE transport, an
 in-process test transport and an optional ASGI adapter) with admission
@@ -128,7 +136,7 @@ from repro.service import (
 )
 from repro.storage.scheme import NetworkStorage, StorageSnapshotView
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "BatchReport",

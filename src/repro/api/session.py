@@ -73,6 +73,7 @@ from repro.service.requests import (
     TopKRequest,
 )
 from repro.service.service import QueryService
+from repro.storage.catalog import PackedDataset, PackedNetworkStorage, open_dataset
 from repro.storage.scheme import NetworkStorage
 
 __all__ = [
@@ -348,24 +349,63 @@ class Session:
     policy:
         The session's default :class:`~repro.api.policy.ExecutionPolicy`;
         every call accepts a per-call override.
+    dataset_path:
+        Open the session directly over a file-backed dataset pack (mutually
+        exclusive with ``graph``/``facilities``/``storage``/``accessor``).
+        The graph and facility set are then read-only ``mmap``-backed views
+        of the pack: every query runs through the packed accessor, the
+        compiled fast path is off (it needs the in-memory topology) and
+        :meth:`monitor` is rejected.  To keep the fast path, build the
+        workload in memory and attach the pack via
+        ``ExecutionPolicy(residency="dataset", dataset_path=...)`` instead.
+    verify_checksum:
+        Whether opening ``dataset_path`` verifies the pack's SHA-256
+        (default ``True``).
     """
 
     def __init__(
         self,
-        graph: MultiCostGraph,
-        facilities: FacilitySet,
+        graph: MultiCostGraph | None = None,
+        facilities: FacilitySet | None = None,
         *,
         storage: NetworkStorage | None = None,
         accessor: GraphAccessor | None = None,
         policy: ExecutionPolicy | None = None,
+        dataset_path: str | None = None,
+        verify_checksum: bool = True,
     ):
-        if facilities.graph is not graph:
-            raise QueryError("facility set was built for a different graph")
         if storage is not None and accessor is not None:
             raise PolicyError(
                 "pass either a pre-built storage or an explicit accessor, not "
                 "both — they each fix the session's data layer"
             )
+        self._datasets: dict[str, PackedDataset] = {}
+        self._dataset_storages: dict[tuple[str, float], PackedNetworkStorage] = {}
+        self._dataset_path: str | None = None
+        if dataset_path is not None:
+            if graph is not None or facilities is not None or storage is not None or accessor is not None:
+                raise PolicyError(
+                    "dataset_path fixes the session's data layer; do not also "
+                    "pass graph/facilities/storage/accessor — either open the "
+                    "pack alone, or keep the in-memory workload and attach the "
+                    "pack via ExecutionPolicy(residency='dataset', "
+                    "dataset_path=...)"
+                )
+            coerced = self._coerce_policy(policy)
+            dataset = self._open_dataset(dataset_path, verify_checksum=verify_checksum)
+            packed = dataset.storage(buffer_fraction=coerced.buffer_fraction)
+            self._dataset_storages[(dataset_path, float(coerced.buffer_fraction))] = packed
+            self._dataset_path = dataset_path
+            graph = packed.graph
+            facilities = packed.facilities
+            accessor = packed
+        elif graph is None or facilities is None:
+            raise QueryError(
+                "a Session needs either a graph and its facility set, or a "
+                "dataset_path naming a dataset pack"
+            )
+        if facilities.graph is not graph:
+            raise QueryError("facility set was built for a different graph")
         self._graph = graph
         self._facilities = facilities
         self._explicit_storage = storage
@@ -380,6 +420,17 @@ class Session:
         self._monitor_key: tuple | None = None
         self._latency = LatencyRecorder()
         self._closed = False
+
+    @classmethod
+    def from_dataset(
+        cls,
+        path: str,
+        *,
+        policy: ExecutionPolicy | None = None,
+        verify_checksum: bool = True,
+    ) -> "Session":
+        """Open a read-only session over a dataset pack (see ``dataset_path``)."""
+        return cls(dataset_path=path, policy=policy, verify_checksum=verify_checksum)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -440,6 +491,10 @@ class Session:
         self._sharded.clear()
         self._engines.clear()
         self._storages.clear()
+        self._dataset_storages.clear()
+        datasets, self._datasets = self._datasets, {}
+        for dataset in datasets.values():
+            dataset.close()
 
     def __enter__(self) -> "Session":
         self._ensure_open()
@@ -494,14 +549,72 @@ class Session:
             )
         return self._storages[key]
 
+    def _open_dataset(self, path: str, *, verify_checksum: bool = True) -> PackedDataset:
+        if path not in self._datasets:
+            self._datasets[path] = open_dataset(path, verify_checksum=verify_checksum)
+        return self._datasets[path]
+
+    def dataset_storage_for(
+        self, policy: ExecutionPolicy | None = None
+    ) -> PackedNetworkStorage | None:
+        """The packed accessor a ``residency="dataset"`` policy runs against.
+
+        ``None`` for other residencies.  For a graph-backed session the pack
+        is opened lazily (and cached per path/buffer size) with the session's
+        live graph and facility set attached, after checking that the pack's
+        shape matches them — so answers stay validated against the in-memory
+        structures and the compiled fast path keeps working, while every page
+        fetch goes through the ``mmap``-backed file.
+        """
+        resolved = self._resolve(policy)
+        if resolved.residency != "dataset":
+            return None
+        if self._dataset_path is not None:
+            return self._explicit_accessor  # the session-owning pack accessor
+        key = (resolved.dataset_path, float(resolved.buffer_fraction))
+        if key not in self._dataset_storages:
+            dataset = self._open_dataset(resolved.dataset_path)
+            catalog = dataset.catalog
+            mismatches = [
+                f"{name}: pack has {packed}, session has {live}"
+                for name, packed, live in (
+                    ("num_nodes", catalog.num_nodes, self._graph.num_nodes),
+                    ("num_edges", catalog.num_edges, self._graph.num_edges),
+                    ("num_cost_types", catalog.num_cost_types, self._graph.num_cost_types),
+                    ("num_facilities", catalog.num_facilities, len(self._facilities)),
+                )
+                if packed != live
+            ]
+            if mismatches:
+                raise PolicyError(
+                    f"dataset pack {resolved.dataset_path!r} does not match "
+                    "the session's workload (" + "; ".join(mismatches) + "); "
+                    "rebuild the pack from this graph or open it standalone "
+                    "with Session(dataset_path=...)"
+                )
+            self._dataset_storages[key] = dataset.storage(
+                buffer_fraction=resolved.buffer_fraction,
+                graph=self._graph,
+                facilities=self._facilities,
+            )
+        return self._dataset_storages[key]
+
     def engine_for(self, policy: ExecutionPolicy | None = None) -> MCNQueryEngine:
         """The (cached) engine the resolved policy executes on."""
         resolved = self._resolve(policy)
         key = self._engine_key(resolved)
         if key not in self._engines:
-            compiled = resolved.resolved_compiled()
+            compiled = self._resolved_compiled(resolved)
             vector = resolved.resolved_vector()
-            if self._explicit_accessor is not None:
+            if resolved.residency == "dataset" and self._dataset_path is None:
+                engine = MCNQueryEngine(
+                    self._graph,
+                    self._facilities,
+                    accessor=self.dataset_storage_for(resolved),
+                    compiled=compiled,
+                    vector=vector,
+                )
+            elif self._explicit_accessor is not None:
                 engine = MCNQueryEngine(
                     self._graph,
                     self._facilities,
@@ -615,6 +728,13 @@ class Session:
         a conflicting override raises :class:`~repro.errors.PolicyError`.
         """
         resolved = self._resolve(policy)
+        if self._dataset_path is not None:
+            raise PolicyError(
+                "a dataset-backed session is read-only: monitoring mutates the "
+                "facility set in place, and a pack's facility view cannot be "
+                "mutated; rebuild the workload in memory (a graph-backed "
+                "Session) to monitor it"
+            )
         key = (
             resolved.resolved_compiled(),
             resolved.resolved_vector(),
@@ -666,8 +786,35 @@ class Session:
             self._check_policy(resolved)
         return resolved
 
+    def _resolved_compiled(self, policy: ExecutionPolicy) -> bool:
+        """The effective fast-path decision for *this* session's data layer.
+
+        A session opened straight over a pack has no in-memory topology to
+        compile, so the fast path is forced off there regardless of the
+        policy mode or the ``REPRO_COMPILED`` toggle.
+        """
+        if self._dataset_path is not None:
+            return False
+        return policy.resolved_compiled()
+
     def _check_policy(self, policy: ExecutionPolicy) -> None:
         """Reject policy/dataset conflicts before any execution starts."""
+        if policy.residency == "dataset":
+            if self._dataset_path is not None:
+                if policy.dataset_path != self._dataset_path:
+                    raise PolicyError(
+                        f"this session is already backed by the dataset pack "
+                        f"{self._dataset_path!r}; a policy naming "
+                        f"{policy.dataset_path!r} cannot retarget it — open a "
+                        "separate Session for the other pack"
+                    )
+                return
+            if self._explicit_storage is not None or self._explicit_accessor is not None:
+                raise PolicyError(
+                    "residency='dataset' conflicts with the session's explicit "
+                    "data layer; drop the storage/accessor argument or use "
+                    "Session(dataset_path=...)"
+                )
         accessor = self._explicit_accessor
         if accessor is None:
             return
@@ -687,8 +834,16 @@ class Session:
             )
 
     def _engine_key(self, policy: ExecutionPolicy) -> tuple:
-        compiled = policy.resolved_compiled()
+        compiled = self._resolved_compiled(policy)
         vector = policy.resolved_vector()
+        if policy.residency == "dataset" and self._dataset_path is None:
+            return (
+                "dataset",
+                policy.dataset_path,
+                float(policy.buffer_fraction),
+                compiled,
+                vector,
+            )
         if self._explicit_accessor is not None:
             return ("accessor", compiled, vector)
         if policy.residency == "disk":

@@ -110,6 +110,14 @@ class P2Quantile:
                         (heights[neighbor] - heights[index])
                         / (positions[neighbor] - positions[index])
                     )
+                # Both updates stay inside the bracket mathematically, but
+                # float rounding (and all-equal streams, where the bracket
+                # is empty) can nudge a marker past its neighbour; clamping
+                # keeps the five heights monotone by construction.
+                if heights[index] < heights[index - 1]:
+                    heights[index] = heights[index - 1]
+                elif heights[index] > heights[index + 1]:
+                    heights[index] = heights[index + 1]
                 positions[index] += step
 
     def _parabolic(self, index: int, step: float) -> float:
@@ -125,10 +133,17 @@ class P2Quantile:
 
     @property
     def value(self) -> float:
-        """The current estimate (exact below five observations; 0.0 when empty)."""
+        """The current estimate (exact through five observations; 0.0 when empty).
+
+        The five cells hold the sorted sample itself until a *sixth*
+        observation arrives, so through ``count == 5`` the exact quantile is
+        interpolated from them — returning the middle marker already at five
+        would hand every ``q`` the sample median and put a discontinuity at
+        the exact→estimate handoff.
+        """
         if not self._heights:
             return 0.0
-        if len(self._heights) < 5:
+        if self._count <= 5:
             rank = self._q * (len(self._heights) - 1)
             low = int(rank)
             high = min(low + 1, len(self._heights) - 1)

@@ -744,12 +744,15 @@ class ServeReplaySpec:
 class ServeReplayReport:
     """The served run against its sequential oracle.
 
-    ``identical_payloads`` is the differential verdict: every response the
-    tier produced under concurrency — result payloads, memo flags, I/O
-    counters — equals the sequential replay bit for bit once wall-clock
-    fields are stripped.  ``overhead`` is what the front door costs: served
-    wall-clock over the direct library pass doing identical work in the
-    identical order.
+    The differential verdict is split along the two things the paper cares
+    about: ``identical_payloads`` says every response the tier produced
+    under concurrency — result payloads, memo flags — equals the sequential
+    replay bit for bit once wall-clock *and I/O-counter* fields are
+    stripped; ``identical_io`` says the stripped I/O counters themselves
+    match.  A clean run needs both (the CLI exits non-zero when either
+    fails).  ``overhead`` is what the front door costs: served wall-clock
+    over the direct library pass doing identical work in the identical
+    order.
     """
 
     spec: ServeReplaySpec
@@ -760,6 +763,13 @@ class ServeReplayReport:
     metrics: dict
     identical_payloads: bool
     mismatched_ops: list[str] = field(default_factory=list)
+    identical_io: bool = True
+    mismatched_io_ops: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """The overall differential verdict: payloads *and* I/O identical."""
+        return self.identical_payloads and self.identical_io
 
     @property
     def operations(self) -> int:
@@ -817,6 +827,31 @@ def _strip_wallclock(payload):
     if isinstance(payload, list):
         return [_strip_wallclock(item) for item in payload]
     return payload
+
+
+def _strip_io(payload):
+    """Drop ``io`` counter blocks recursively (the payload-only view)."""
+    if isinstance(payload, dict):
+        return {
+            key: _strip_io(value) for key, value in payload.items() if key != "io"
+        }
+    if isinstance(payload, list):
+        return [_strip_io(item) for item in payload]
+    return payload
+
+
+def _collect_io(payload, out: list) -> list:
+    """Every ``io`` counter block in the payload, in document order."""
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            if key == "io":
+                out.append(value)
+            else:
+                _collect_io(value, out)
+    elif isinstance(payload, list):
+        for item in payload:
+            _collect_io(item, out)
+    return out
 
 
 async def _serve_pass(
@@ -904,11 +939,15 @@ def replay_serve_workload(spec: ServeReplaySpec) -> ServeReplayReport:
     ops = _serve_ops(spec, workload)
     served, metrics, served_seconds = asyncio.run(_serve_pass(spec, workload, ops))
     expected, sequential_seconds = _sequential_pass(workload, ops, served)
-    mismatched = [
-        op["id"]
-        for op in ops
-        if _strip_wallclock(served[op["id"]]) != _strip_wallclock(expected[op["id"]])
-    ]
+    mismatched: list[str] = []
+    mismatched_io: list[str] = []
+    for op in ops:
+        got = _strip_wallclock(served[op["id"]])
+        want = _strip_wallclock(expected[op["id"]])
+        if _strip_io(got) != _strip_io(want):
+            mismatched.append(op["id"])
+        if _collect_io(got, []) != _collect_io(want, []):
+            mismatched_io.append(op["id"])
     return ServeReplayReport(
         spec=spec,
         queries=sum(1 for op in ops if op["kind"] == "query"),
@@ -918,6 +957,8 @@ def replay_serve_workload(spec: ServeReplaySpec) -> ServeReplayReport:
         metrics=metrics,
         identical_payloads=not mismatched,
         mismatched_ops=mismatched,
+        identical_io=not mismatched_io,
+        mismatched_io_ops=mismatched_io,
     )
 
 
@@ -959,4 +1000,8 @@ def format_serve_report(report: ServeReplayReport) -> str:
     lines.append(f"payloads identical to sequential replay: {verdict}")
     if report.mismatched_ops:
         lines.append("mismatched ops: " + ", ".join(report.mismatched_ops))
+    io_verdict = "yes" if report.identical_io else "NO"
+    lines.append(f"I/O counters identical to sequential replay: {io_verdict}")
+    if report.mismatched_io_ops:
+        lines.append("I/O-mismatched ops: " + ", ".join(report.mismatched_io_ops))
     return "\n".join(lines) + "\n"

@@ -18,6 +18,10 @@ Sub-commands:
   maintenance against recompute-every-tick.
 * ``bench perf`` — run the pinned perf-baseline suite (accessor path vs the
   compiled-graph kernel, side by side) and write ``BENCH_4.json``.
+* ``build-dataset`` — stream a grid/small-world workload straight into an
+  on-disk dataset pack (never materialising the graph in RAM), ready for
+  ``Session(dataset_path=...)``.
+* ``inspect-dataset`` — print a pack's catalog and verify its SHA-256.
 * ``list`` — list the available experiments.
 """
 
@@ -52,10 +56,12 @@ from repro.bench.perf import (
     write_perf_report,
 )
 from repro.bench.reporting import format_series_table, series_to_csv, summarize_speedups
+from repro.datagen.road_network import PackedDatasetSpec, build_packed_dataset
 from repro.datagen.updates import UpdateStreamSpec
 from repro.datagen.workload import WorkloadSpec, make_workload
 from repro.errors import ReproError
 from repro.serve import HttpServer, ServeApp, ServeConfig
+from repro.storage import DEFAULT_PAGE_SIZE, open_dataset
 
 __all__ = ["main", "build_parser"]
 
@@ -251,6 +257,80 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0.10; smoke-scale medians jitter far more than full-scale "
         "ones, so CI self-baselines compare with a loose tolerance)",
     )
+    cold = bench_commands.add_parser(
+        "cold-cache",
+        help="stream a pack to disk, re-open cold, and measure FileDisk vs "
+        "SimulatedDisk wall-clock and page-read parity",
+    )
+    cold.add_argument("--rows", type=int, default=64, help="grid rows")
+    cold.add_argument("--cols", type=int, default=64, help="grid columns")
+    cold.add_argument("--cost-types", type=int, default=2, help="number of cost types d")
+    cold.add_argument("--facilities", type=int, default=256, help="number of facilities")
+    cold.add_argument("--seed", type=int, default=7, help="random seed")
+    cold.add_argument(
+        "--page-size", type=int, default=DEFAULT_PAGE_SIZE, help="disk page size in bytes"
+    )
+    cold.add_argument(
+        "--buffer-fraction",
+        type=float,
+        default=0.01,
+        help="LRU buffer capacity as a fraction of the MCN page count",
+    )
+    cold.add_argument("--queries", type=int, default=16, help="cold skyline queries to run")
+    cold.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="skip the materialised SimulatedDisk parity leg (required for "
+        "datasets too large to hold in RAM)",
+    )
+    cold.add_argument(
+        "--pack",
+        default=None,
+        metavar="PATH",
+        help="write (and keep) the pack here instead of a deleted temp file",
+    )
+    cold.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the report payload as JSON",
+    )
+
+    build_ds = commands.add_parser(
+        "build-dataset",
+        help="stream a grid/small-world dataset straight into an on-disk pack",
+    )
+    build_ds.add_argument("output", help="path of the pack file to write")
+    build_ds.add_argument("--rows", type=int, default=64, help="grid rows")
+    build_ds.add_argument("--cols", type=int, default=64, help="grid columns")
+    build_ds.add_argument("--cost-types", type=int, default=2, help="number of cost types d")
+    build_ds.add_argument("--facilities", type=int, default=256, help="number of facilities")
+    build_ds.add_argument(
+        "--street-density",
+        type=float,
+        default=0.3,
+        help="probability a horizontal street exists (row 0 is always complete)",
+    )
+    build_ds.add_argument(
+        "--shortcut-fraction",
+        type=float,
+        default=0.005,
+        help="long-range shortcut edges as a fraction of the node count",
+    )
+    build_ds.add_argument("--seed", type=int, default=7, help="random seed")
+    build_ds.add_argument(
+        "--page-size", type=int, default=DEFAULT_PAGE_SIZE, help="disk page size in bytes"
+    )
+
+    inspect_ds = commands.add_parser(
+        "inspect-dataset", help="print a dataset pack's catalog and verify its checksum"
+    )
+    inspect_ds.add_argument("path", help="path of the pack file to read")
+    inspect_ds.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the SHA-256 content verification (headers are still validated)",
+    )
 
     commands.add_parser("list", help="list the available experiments")
     return parser
@@ -341,6 +421,8 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
 
 
 def _run_bench(args: argparse.Namespace) -> int:
+    if args.bench_command == "cold-cache":
+        return _run_bench_cold_cache(args)
     try:
         report = run_perf_suite(smoke=args.smoke, repeats=args.repeats)
     except ReproError as error:
@@ -368,6 +450,44 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0 if report.all_identical and report.all_io_identical and not regressed else 1
 
 
+def _run_bench_cold_cache(args: argparse.Namespace) -> int:
+    from repro.bench.coldcache import (
+        ColdCacheSpec,
+        format_cold_cache_report,
+        run_cold_cache_bench,
+    )
+
+    try:
+        spec = ColdCacheSpec(
+            dataset=PackedDatasetSpec(
+                rows=args.rows,
+                cols=args.cols,
+                num_cost_types=args.cost_types,
+                num_facilities=args.facilities,
+                seed=args.seed,
+                page_size=args.page_size,
+            ),
+            buffer_fraction=args.buffer_fraction,
+            num_queries=args.queries,
+            compare_simulated=not args.no_compare,
+        )
+        report = run_cold_cache_bench(
+            spec, pack_path=args.pack, keep_pack=args.pack is not None
+        )
+    except (ReproError, OSError) as error:
+        print(f"bench cold-cache: {error}", file=sys.stderr)
+        return 2
+    print(format_cold_cache_report(report), end="")
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if report.io_identical is False or report.results_identical is False:
+        return 1
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     workload_spec = WorkloadSpec(
         num_nodes=args.nodes,
@@ -393,7 +513,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             print(f"serve: {error}", file=sys.stderr)
             return 2
         print(format_serve_report(report), end="")
-        return 0 if report.identical_payloads else 1
+        return 0 if report.clean else 1
 
     async def listen() -> int:
         workload = make_workload(workload_spec)
@@ -451,6 +571,43 @@ def _run_monitor(args: argparse.Namespace) -> int:
     return 0 if report.identical_results else 1
 
 
+def _run_build_dataset(args: argparse.Namespace) -> int:
+    try:
+        spec = PackedDatasetSpec(
+            rows=args.rows,
+            cols=args.cols,
+            num_cost_types=args.cost_types,
+            num_facilities=args.facilities,
+            street_density=args.street_density,
+            shortcut_fraction=args.shortcut_fraction,
+            seed=args.seed,
+            page_size=args.page_size,
+        )
+        catalog = build_packed_dataset(spec, args.output)
+    except (ReproError, OSError) as error:
+        print(f"build-dataset: {error}", file=sys.stderr)
+        return 2
+    print(f"wrote {args.output}")
+    for key, value in catalog.describe().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _run_inspect_dataset(args: argparse.Namespace) -> int:
+    try:
+        with open_dataset(args.path, verify_checksum=not args.no_verify) as dataset:
+            description = dataset.catalog.describe()
+    except (ReproError, OSError) as error:
+        print(f"inspect-dataset: {error}", file=sys.stderr)
+        return 2
+    print(args.path)
+    for key, value in description.items():
+        print(f"  {key}: {value}")
+    verified = "skipped" if args.no_verify else "verified"
+    print(f"  sha256: {verified}")
+    return 0
+
+
 def _run_list() -> int:
     width = max(len(name) for name in EXPERIMENTS)
     for name in sorted(EXPERIMENTS):
@@ -475,6 +632,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_monitor(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "build-dataset":
+        return _run_build_dataset(args)
+    if args.command == "inspect-dataset":
+        return _run_inspect_dataset(args)
     return _run_list()
 
 

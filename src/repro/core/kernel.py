@@ -48,6 +48,7 @@ from repro.network.accessor import FacilityRecord, GraphAccessor, InMemoryAccess
 from repro.network.compiled import CompiledGraph
 from repro.network.facilities import FacilityId
 from repro.network.graph import EdgeId, NodeId
+from repro.storage.catalog import PackedNetworkStorage
 from repro.storage.scheme import NetworkStorage, StorageSnapshotView
 
 __all__ = [
@@ -111,7 +112,7 @@ def _check_charge_pairing(compiled: CompiledGraph, target: GraphAccessor) -> Non
     of it), and a plan-free snapshot must charge an in-memory accessor.
     """
     base = target.base if isinstance(target, StorageSnapshotView) else target
-    if isinstance(base, NetworkStorage):
+    if isinstance(base, (NetworkStorage, PackedNetworkStorage)):
         if compiled.storage is not base:
             raise QueryError(
                 "the compiled graph's page plans were built over a different "

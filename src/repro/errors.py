@@ -28,6 +28,19 @@ class StorageError(ReproError):
     """A problem in the simulated disk storage layer."""
 
 
+class PackFormatError(StorageError):
+    """A dataset pack file is structurally invalid (bad magic, wrong
+    endianness, truncation, undecodable slot or catalog)."""
+
+
+class PackVersionError(PackFormatError):
+    """A dataset pack was written by an incompatible format version."""
+
+
+class PackChecksumError(PackFormatError):
+    """A dataset pack's content does not match its recorded SHA-256."""
+
+
 class QueryError(ReproError):
     """An invalid preference-query specification (bad k, bad weights...)."""
 

@@ -88,17 +88,31 @@ class CompiledGraph:
         """
         # Imported lazily: repro.storage depends on repro.network.
         from repro.network.accessor import InMemoryAccessor
+        from repro.storage.catalog import PackedNetworkStorage
         from repro.storage.scheme import NetworkStorage, StorageSnapshotView
 
         if isinstance(accessor, StorageSnapshotView):
             accessor = accessor.base
         if isinstance(accessor, NetworkStorage):
             return cls(accessor.graph, accessor.facilities, storage=accessor)
+        if isinstance(accessor, PackedNetworkStorage):
+            # Compilation walks the full in-memory topology, so a pack can
+            # only feed the fast path when opened with its source graph
+            # attached; the standalone bisect-backed views cannot be compiled.
+            if not isinstance(accessor.graph, MultiCostGraph) or not isinstance(
+                accessor.facilities, FacilitySet
+            ):
+                raise QueryError(
+                    "cannot compile a packed dataset opened standalone; reopen it "
+                    "with its source graph and facility set attached"
+                )
+            return cls(accessor.graph, accessor.facilities, storage=accessor)
         if isinstance(accessor, InMemoryAccessor):
             return cls(accessor.graph, accessor.facilities)
         raise QueryError(
             f"cannot compile a graph from a {type(accessor).__name__}; expected "
-            "an InMemoryAccessor, a NetworkStorage or a StorageSnapshotView"
+            "an InMemoryAccessor, a NetworkStorage, a PackedNetworkStorage or "
+            "a StorageSnapshotView"
         )
 
     def _build_topology(self) -> None:

@@ -46,19 +46,56 @@ class StaticBPlusTree:
         entries: Iterable[tuple[int, object]],
         *,
         record_sizes: RecordSizes | None = None,
+        presorted: bool = False,
     ):
+        """Bulk-load the tree from ``entries``.
+
+        With ``presorted=True`` the entries are consumed as a stream that
+        must already be in strictly increasing key order; nothing is
+        materialised, so million-entry trees can be loaded with bounded
+        memory (the streaming pack builder relies on this).  The resulting
+        pages are identical to the sorted-list path for the same entries.
+        """
         self._disk = disk
         self._kind = kind
         sizes = record_sizes or RecordSizes()
         fanout = max(disk.page_size // sizes.index_entry(), 2)
         self._fanout = fanout
-        sorted_entries = sorted(entries, key=lambda pair: pair[0])
-        keys = [key for key, _ in sorted_entries]
-        if len(set(keys)) != len(keys):
-            raise StorageError("B+ tree keys must be unique")
-        self._num_entries = len(sorted_entries)
+        if not presorted:
+            entries = sorted(entries, key=lambda pair: pair[0])
+            keys = [key for key, _ in entries]
+            if len(set(keys)) != len(keys):
+                raise StorageError("B+ tree keys must be unique")
+        self._num_entries = 0
         self._height = 0
-        self._root_page_id = self._bulk_load(sorted_entries)
+        self._root_page_id = self._bulk_load(iter(entries))
+
+    @classmethod
+    def from_built(
+        cls,
+        disk,
+        kind: PageKind,
+        *,
+        root_page_id: int | None,
+        height: int,
+        num_entries: int,
+        record_sizes: RecordSizes | None = None,
+    ) -> "StaticBPlusTree":
+        """Adopt a tree whose pages already live on ``disk`` (no bulk load).
+
+        Used when a dataset pack is opened: the leaf and internal pages were
+        serialised at build time, so only the root pointer and shape
+        metadata need restoring.
+        """
+        tree = object.__new__(cls)
+        tree._disk = disk
+        tree._kind = kind
+        sizes = record_sizes or RecordSizes()
+        tree._fanout = max(disk.page_size // sizes.index_entry(), 2)
+        tree._num_entries = num_entries
+        tree._height = height
+        tree._root_page_id = root_page_id
+        return tree
 
     @property
     def height(self) -> int:
@@ -77,21 +114,34 @@ class StaticBPlusTree:
         """Number of pages the tree occupies."""
         return self._disk.pages_of_kind(self._kind)
 
-    def _bulk_load(self, sorted_entries: list[tuple[int, object]]) -> int | None:
-        if not sorted_entries:
-            return None
-        # Leaf level.
+    def _flush_leaf(self, keys: list[int], values: list[object]) -> tuple[int, int]:
+        page = self._disk.allocate(self._kind)
+        page.records.append(_LeafRecord(keys=tuple(keys), values=tuple(values)))
+        page.used_bytes = len(keys) * RecordSizes().index_entry()
+        return keys[0], page.page_id
+
+    def _bulk_load(self, sorted_entries) -> int | None:
+        # Leaf level, streamed: entries are consumed in key order and each
+        # full fanout-chunk becomes one leaf page immediately.
         level: list[tuple[int, int]] = []  # (smallest key, page id)
-        for start in range(0, len(sorted_entries), self._fanout):
-            chunk = sorted_entries[start : start + self._fanout]
-            page = self._disk.allocate(self._kind)
-            record = _LeafRecord(
-                keys=tuple(key for key, _ in chunk),
-                values=tuple(value for _, value in chunk),
-            )
-            page.records.append(record)
-            page.used_bytes = len(chunk) * RecordSizes().index_entry()
-            level.append((chunk[0][0], page.page_id))
+        chunk_keys: list[int] = []
+        chunk_values: list[object] = []
+        previous_key: int | None = None
+        for key, value in sorted_entries:
+            if previous_key is not None and key <= previous_key:
+                raise StorageError("B+ tree keys must be unique and in increasing order")
+            previous_key = key
+            chunk_keys.append(key)
+            chunk_values.append(value)
+            self._num_entries += 1
+            if len(chunk_keys) == self._fanout:
+                level.append(self._flush_leaf(chunk_keys, chunk_values))
+                chunk_keys = []
+                chunk_values = []
+        if chunk_keys:
+            level.append(self._flush_leaf(chunk_keys, chunk_values))
+        if not level:
+            return None
         self._height = 1
         # Internal levels.
         while len(level) > 1:

@@ -31,6 +31,7 @@ __all__ = [
     "FacilityLayout",
     "build_facility_file",
     "build_adjacency_file",
+    "pack_record_groups",
 ]
 
 
@@ -58,6 +59,46 @@ class FacilityLayout:
     page_count: int
 
 
+def pack_record_groups(
+    disk,
+    kind: PageKind,
+    groups,
+    sink,
+    *,
+    entry_size: int,
+    header_size: int,
+) -> int:
+    """Pack fixed-size record groups onto pages of ``kind``; returns the page count.
+
+    ``groups`` yields ``(key, records)`` pairs; every group's first record on
+    a page also pays the per-group header.  ``sink(key, pages)`` is called
+    once per group with the tuple of page ids the group landed on.  This is
+    the single packing core behind both flat files — the in-memory builders
+    below and the streaming pack builder consume it with different group
+    sources, so the resulting page layout can never diverge between them.
+    """
+    current = disk.allocate(kind)
+    page_count = 1
+    for key, records in groups:
+        pages_for_key: list[int] = []
+        pending_header = True
+        for record in records:
+            size = entry_size + (header_size if pending_header else 0)
+            if not current.add(record, size, disk.page_size):
+                current = disk.allocate(kind)
+                page_count += 1
+                size = entry_size + header_size
+                current.add(record, size, disk.page_size)
+                pages_for_key.append(current.page_id)
+                pending_header = False
+                continue
+            pending_header = False
+            if current.page_id not in pages_for_key:
+                pages_for_key.append(current.page_id)
+        sink(key, tuple(pages_for_key))
+    return page_count
+
+
 def build_facility_file(
     disk: SimulatedDisk,
     facilities: FacilitySet,
@@ -67,30 +108,24 @@ def build_facility_file(
     """Pack all facilities into facility-file pages, grouped by edge."""
     sizes = record_sizes or RecordSizes()
     edge_pages: dict[EdgeId, tuple[int, ...]] = {}
-    current = disk.allocate(PageKind.FACILITY)
-    page_count = 1
-    for edge_id in sorted(facilities.edges_with_facilities()):
-        records = [
-            FacilityRecord(facility.facility_id, facility.edge_id, facility.offset)
-            for facility in facilities.on_edge(edge_id)
-        ]
-        pages_for_edge: list[int] = []
-        header_size = sizes.facility_header()
-        pending_header = True
-        for record in records:
-            size = sizes.facility_entry() + (header_size if pending_header else 0)
-            if not current.add(record, size, disk.page_size):
-                current = disk.allocate(PageKind.FACILITY)
-                page_count += 1
-                size = sizes.facility_entry() + header_size
-                current.add(record, size, disk.page_size)
-                pages_for_edge.append(current.page_id)
-                pending_header = False
-                continue
-            pending_header = False
-            if current.page_id not in pages_for_edge:
-                pages_for_edge.append(current.page_id)
-        edge_pages[edge_id] = tuple(pages_for_edge)
+    groups = (
+        (
+            edge_id,
+            [
+                FacilityRecord(facility.facility_id, facility.edge_id, facility.offset)
+                for facility in facilities.on_edge(edge_id)
+            ],
+        )
+        for edge_id in sorted(facilities.edges_with_facilities())
+    )
+    page_count = pack_record_groups(
+        disk,
+        PageKind.FACILITY,
+        groups,
+        edge_pages.__setitem__,
+        entry_size=sizes.facility_entry(),
+        header_size=sizes.facility_header(),
+    )
     return FacilityLayout(edge_pages=edge_pages, page_count=page_count)
 
 
@@ -105,42 +140,33 @@ def build_adjacency_file(
     """Pack every node's adjacency list into adjacency-file pages."""
     sizes = record_sizes or RecordSizes()
     node_pages: dict[NodeId, tuple[int, ...]] = {}
-    current = disk.allocate(PageKind.ADJACENCY)
-    page_count = 1
-    entry_size = sizes.adjacency_entry(graph.num_cost_types)
-    header_size = sizes.adjacency_header()
-    for node_id in sorted(node.node_id for node in graph.nodes()):
-        pages_for_node: list[int] = []
-        pending_header = True
-        neighbors = graph.neighbors(node_id)
-        if not neighbors:
-            node_pages[node_id] = ()
-            continue
-        for neighbor, edge in neighbors:
-            facility_count = len(facilities.on_edge(edge.edge_id))
-            record = StoredAdjacencyEntry(
-                node=node_id,
-                record=AdjacencyRecord(
-                    neighbor=neighbor,
-                    edge_id=edge.edge_id,
-                    costs=edge.costs.values,
-                    length=edge.length,
-                    first_node=edge.u,
-                    facility_count=facility_count,
-                ),
-                facility_pages=facility_layout.edge_pages.get(edge.edge_id, ()),
-            )
-            size = entry_size + (header_size if pending_header else 0)
-            if not current.add(record, size, disk.page_size):
-                current = disk.allocate(PageKind.ADJACENCY)
-                page_count += 1
-                size = entry_size + header_size
-                current.add(record, size, disk.page_size)
-                pages_for_node.append(current.page_id)
-                pending_header = False
-                continue
-            pending_header = False
-            if current.page_id not in pages_for_node:
-                pages_for_node.append(current.page_id)
-        node_pages[node_id] = tuple(pages_for_node)
+
+    def groups():
+        for node_id in sorted(node.node_id for node in graph.nodes()):
+            records = []
+            for neighbor, edge in graph.neighbors(node_id):
+                records.append(
+                    StoredAdjacencyEntry(
+                        node=node_id,
+                        record=AdjacencyRecord(
+                            neighbor=neighbor,
+                            edge_id=edge.edge_id,
+                            costs=edge.costs.values,
+                            length=edge.length,
+                            first_node=edge.u,
+                            facility_count=len(facilities.on_edge(edge.edge_id)),
+                        ),
+                        facility_pages=facility_layout.edge_pages.get(edge.edge_id, ()),
+                    )
+                )
+            yield node_id, records
+
+    page_count = pack_record_groups(
+        disk,
+        PageKind.ADJACENCY,
+        groups(),
+        node_pages.__setitem__,
+        entry_size=sizes.adjacency_entry(graph.num_cost_types),
+        header_size=sizes.adjacency_header(),
+    )
     return AdjacencyLayout(node_pages=node_pages, page_count=page_count)

@@ -175,6 +175,7 @@ GOLDEN_POLICY = ExecutionPolicy(
 GOLDEN_PAYLOAD = {
     "algorithm": "lsa",
     "residency": "disk",
+    "dataset_path": None,
     "compiled": "on",
     "vector": "off",
     "page_size": 1024,

@@ -48,10 +48,13 @@ API_ALL = [
 
 SESSION_SIGNATURES = {
     "__init__": (
-        "(self, graph: 'MultiCostGraph', facilities: 'FacilitySet', *, "
+        "(self, graph: 'MultiCostGraph | None' = None, "
+        "facilities: 'FacilitySet | None' = None, *, "
         "storage: 'NetworkStorage | None' = None, "
         "accessor: 'GraphAccessor | None' = None, "
-        "policy: 'ExecutionPolicy | None' = None)"
+        "policy: 'ExecutionPolicy | None' = None, "
+        "dataset_path: 'str | None' = None, "
+        "verify_checksum: 'bool' = True)"
     ),
     "query": (
         "(self, request: 'QueryRequest', *, policy: 'ExecutionPolicy | None' = None)"
@@ -86,6 +89,7 @@ SESSION_SIGNATURES = {
 POLICY_SCHEMA = [
     ("algorithm", "cea"),
     ("residency", "memory"),
+    ("dataset_path", None),
     ("compiled", "auto"),
     ("vector", "auto"),
     ("page_size", 4096),

@@ -6,6 +6,7 @@ import pytest
 
 from repro.bench.config import DEFAULT_SCALE, PAPER_SCALE, SMALL_SCALE, ExperimentConfig
 from repro.bench.driver import (
+    ServeReplayReport,
     ServeReplaySpec,
     format_serve_report,
     replay_serve_workload,
@@ -252,6 +253,11 @@ class TestServeReplay:
         assert report.identical_payloads
         assert report.mismatched_ops == []
 
+    def test_io_counters_match_the_sequential_oracle(self, report):
+        assert report.identical_io
+        assert report.mismatched_io_ops == []
+        assert report.clean
+
     def test_trace_shape(self, report):
         assert report.queries == 6 + 3
         assert report.ticks == 2
@@ -267,6 +273,7 @@ class TestServeReplay:
     def test_format_serve_report(self, report):
         text = format_serve_report(report)
         assert "payloads identical to sequential replay: yes" in text
+        assert "I/O counters identical to sequential replay: yes" in text
         assert "query" in text and "patch" in text
         assert "admission:" in text
 
@@ -302,9 +309,121 @@ class TestServeReplay:
         output = capsys.readouterr().out
         assert code == 0, output
         assert "payloads identical to sequential replay: yes" in output
+        assert "I/O counters identical to sequential replay: yes" in output
+
+    @pytest.mark.parametrize(
+        "payloads_ok, io_ok",
+        [(False, True), (True, False), (False, False)],
+    )
+    def test_serve_replay_exits_nonzero_on_any_mismatch(
+        self, monkeypatch, capsys, payloads_ok, io_ok
+    ):
+        # The CLI's exit code is the differential verdict: a payload mismatch
+        # OR an I/O-counter mismatch must fail the run, not just print "NO".
+        import repro.cli as cli
+
+        def fake_replay(spec):
+            return ServeReplayReport(
+                spec=spec,
+                queries=1,
+                ticks=0,
+                served_seconds=0.01,
+                sequential_seconds=0.01,
+                metrics={},
+                identical_payloads=payloads_ok,
+                mismatched_ops=[] if payloads_ok else ["query[0]"],
+                identical_io=io_ok,
+                mismatched_io_ops=[] if io_ok else ["query[0]"],
+            )
+
+        monkeypatch.setattr(cli, "replay_serve_workload", fake_replay)
+        code = cli.main(["serve", "--replay", "--nodes", "120", "--facilities", "30"])
+        output = capsys.readouterr().out
+        assert code == 1, output
+        if not payloads_ok:
+            assert "payloads identical to sequential replay: NO" in output
+            assert "mismatched ops: query[0]" in output
+        if not io_ok:
+            assert "I/O counters identical to sequential replay: NO" in output
+            assert "I/O-mismatched ops: query[0]" in output
 
     def test_serve_parser_defaults(self):
         args = build_parser().parse_args(["serve"])
         assert not args.replay
         assert (args.clients, args.max_in_flight) == (8, 8)
         assert args.port == 8737
+
+
+class TestColdCacheBench:
+    """CI-scale smoke over the cold-cache family: tiny grid, full parity."""
+
+    def test_bad_specs_rejected(self):
+        from repro.bench.coldcache import ColdCacheSpec
+
+        with pytest.raises(QueryError, match="buffer fraction"):
+            ColdCacheSpec(buffer_fraction=0.0)
+        with pytest.raises(QueryError, match="at least one query"):
+            ColdCacheSpec(num_queries=0)
+
+    def test_tiny_grid_has_full_parity(self, tmp_path):
+        from repro.bench.coldcache import ColdCacheSpec, run_cold_cache_bench
+        from repro.datagen.road_network import PackedDatasetSpec
+
+        spec = ColdCacheSpec(
+            dataset=PackedDatasetSpec(rows=8, cols=8, num_facilities=12, page_size=512),
+            buffer_fraction=0.05,
+            num_queries=4,
+        )
+        pack = tmp_path / "cold.mcnpack"
+        report = run_cold_cache_bench(spec, pack_path=str(pack), keep_pack=True)
+        assert pack.exists()
+        assert report.io_identical is True
+        assert report.results_identical is True
+        assert report.page_reads > 0
+        assert report.buffer_capacity >= 1
+        assert len(report.skyline_sizes) == len(spec.query_nodes())
+        payload = report.to_payload()
+        assert payload["simulated"]["io_identical"] is True
+        assert payload["checksum"] == report.checksum
+
+    def test_no_compare_leaves_parity_unknown(self):
+        from repro.bench.coldcache import ColdCacheSpec, run_cold_cache_bench
+        from repro.datagen.road_network import PackedDatasetSpec
+
+        spec = ColdCacheSpec(
+            dataset=PackedDatasetSpec(rows=6, cols=6, num_facilities=8),
+            num_queries=3,
+            compare_simulated=False,
+        )
+        report = run_cold_cache_bench(spec)
+        assert report.io_identical is None
+        assert report.results_identical is None
+        assert "simulated" not in report.to_payload()
+
+    def test_cli_parser_defaults(self):
+        args = build_parser().parse_args(["bench", "cold-cache"])
+        assert args.bench_command == "cold-cache"
+        assert args.buffer_fraction == 0.01
+        assert args.queries == 16
+        assert not args.no_compare
+        assert args.pack is None
+
+    def test_cli_smoke_reports_parity(self, tmp_path, capsys):
+        output_path = tmp_path / "cold.json"
+        code = main(
+            [
+                "bench", "cold-cache",
+                "--rows", "8",
+                "--cols", "8",
+                "--facilities", "12",
+                "--page-size", "512",
+                "--queries", "4",
+                "--buffer-fraction", "0.05",
+                "--output", str(output_path),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0, output
+        assert "page-read parity with SimulatedDisk: yes" in output
+        assert "results identical to SimulatedDisk: yes" in output
+        assert output_path.exists()

@@ -8,20 +8,34 @@ performs, and the charge-layer factory rejects mismatched pairings.
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
+from repro.api import ExecutionPolicy
+from repro.core.engine import MCNQueryEngine
 from repro.core.kernel import (
     DirectChargeLayer,
     FetchOnceChargeLayer,
     ForwardingLayer,
     make_kernel_data_layer,
 )
-from repro.datagen import WorkloadSpec, make_workload
+from repro.datagen import (
+    UpdateStreamSpec,
+    WorkloadSpec,
+    make_update_stream,
+    make_workload,
+)
 from repro.errors import QueryError
+from repro.monitor import MonitoringService
 from repro.network.accessor import InMemoryAccessor
 from repro.network.compiled import CompiledGraph
 from repro.network.facilities import FacilitySet
-from repro.service import CrossQueryExpansionCache, SharedCacheChargeLayer
+from repro.service import (
+    CrossQueryExpansionCache,
+    SharedCacheChargeLayer,
+    SkylineRequest,
+)
 from repro.storage.scheme import NetworkStorage
 
 
@@ -169,8 +183,6 @@ class TestLayerFactory:
             CompiledGraph.from_accessor(cache)
 
     def test_engine_rejects_foreign_snapshot(self, workload, compiled):
-        from repro.core.engine import MCNQueryEngine
-
         other_facilities = FacilitySet(workload.graph, iter(workload.facilities))
         with pytest.raises(QueryError):
             MCNQueryEngine(workload.graph, other_facilities, compiled=compiled)
@@ -207,3 +219,88 @@ class TestFreshnessGuards:
         rebuilt = CompiledGraph(workload.graph, facilities)
         assert compiled.facility_edge_of == rebuilt.facility_edge_of
         assert compiled.hot_facilities(0) == rebuilt.hot_facilities(0)
+
+    def test_overflow_rebuild_refreshes_every_stale_edge_bucket(self):
+        # Regression: the bounded changelog can overflow while mutations are
+        # scattered over MANY edges.  The full-refresh fallback must then
+        # leave every edge bucket (and both hot tables) identical to a
+        # from-scratch build — not just the buckets a partial log would have
+        # named — and queries over the refreshed snapshot must match a fresh
+        # one in both answers and I/O counters.
+        workload = make_workload(
+            WorkloadSpec(
+                num_nodes=120, num_facilities=40, num_cost_types=2, num_queries=3, seed=9
+            )
+        )
+        facilities = FacilitySet(workload.graph, iter(workload.facilities))
+        compiled = CompiledGraph(workload.graph, facilities)
+        rng = random.Random(9)
+        edge_ids = [edge.edge_id for edge in workload.graph.edges()]
+        live: list[int] = []
+        next_id = 50_000
+        for _ in range(1100):
+            if live and rng.random() < 0.45:
+                facilities.remove(live.pop(rng.randrange(len(live))))
+            else:
+                edge = workload.graph.edge(rng.choice(edge_ids))
+                facilities.add_on_edge(next_id, edge.edge_id, offset=0.5 * edge.length)
+                live.append(next_id)
+                next_id += 1
+        assert facilities.changed_facilities_since(compiled.facilities_revision) is None
+        compiled.ensure_fresh()
+        fresh = CompiledGraph(workload.graph, facilities)
+        assert compiled._edge_records == fresh._edge_records
+        assert compiled.facility_edge_of == fresh.facility_edge_of
+        for cost_index in range(workload.graph.num_cost_types):
+            assert compiled.hot_facilities(cost_index) == fresh.hot_facilities(cost_index)
+        assert compiled.hot_facility_node_flags() == fresh.hot_facility_node_flags()
+        stale_engine = MCNQueryEngine(workload.graph, facilities, compiled=compiled)
+        fresh_engine = MCNQueryEngine(workload.graph, facilities, compiled=fresh)
+        for query in workload.queries:
+            got = stale_engine.skyline(query)
+            want = fresh_engine.skyline(query)
+            assert got.facility_ids() == want.facility_ids()
+            assert got.statistics.io == want.statistics.io
+
+    def test_overflow_mid_monitor_tick_matches_uncompiled_service(self):
+        # A single monitoring tick larger than the changelog bound drives the
+        # compiled path through the overflow fallback mid-tick.  Results must
+        # stay identical to the uncompiled service, and the snapshot left
+        # behind must equal a from-scratch compile of the mutated set.
+        workload = make_workload(
+            WorkloadSpec(
+                num_nodes=150, num_facilities=50, num_cost_types=2, num_queries=4, seed=11
+            )
+        )
+        stream = make_update_stream(
+            workload.graph,
+            workload.facilities,
+            UpdateStreamSpec(num_ticks=1, updates_per_tick=1300, seed=5),
+        )
+        signatures = {}
+        compiled_state = {}
+        for mode in (True, False):
+            facilities = FacilitySet(workload.graph, iter(workload.facilities))
+            service = MonitoringService(
+                workload.graph,
+                facilities,
+                policy=ExecutionPolicy(compiled="on" if mode else "off"),
+            )
+            revision_before = facilities.revision
+            sids = [service.subscribe(SkylineRequest(query)) for query in workload.queries]
+            for tick in stream:
+                service.apply_tick(tick)
+            # The tick genuinely overflowed the bounded changelog.
+            assert facilities.changed_facilities_since(revision_before) is None
+            signatures[mode] = [service.result_signature(sid) for sid in sids]
+            if mode:
+                compiled_state[mode] = (service._engine.compiled_graph, facilities)
+        assert signatures[True] == signatures[False]
+        compiled, facilities = compiled_state[True]
+        assert compiled is not None
+        compiled.ensure_fresh()
+        fresh = CompiledGraph(workload.graph, facilities)
+        assert compiled._edge_records == fresh._edge_records
+        assert compiled.facility_edge_of == fresh.facility_edge_of
+        for cost_index in range(workload.graph.num_cost_types):
+            assert compiled.hot_facilities(cost_index) == fresh.hot_facilities(cost_index)

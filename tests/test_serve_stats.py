@@ -6,6 +6,7 @@ import random
 import statistics
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.api import (
     DEFAULT_TRACKED_QUANTILES,
@@ -51,6 +52,73 @@ class TestP2Quantile:
     def test_rejects_quantiles_outside_open_interval(self, q):
         with pytest.raises(QueryError, match="quantile"):
             P2Quantile(q)
+
+
+class TestP2QuantileProperties:
+    """Regression armour for the two historical P² bugs: the exact→estimate
+    handoff at five observations and marker-height inversion on all-equal
+    (or heavily tied) streams."""
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            min_size=1,
+            max_size=5,
+        ),
+        q=st.sampled_from([0.1, 0.25, 0.5, 0.9, 0.99]),
+    )
+    def test_exact_percentile_on_small_streams(self, values, q):
+        # Through five observations the estimator holds the sorted sample,
+        # so its value must equal the exact interpolated percentile — for
+        # every q, not just the median.
+        estimator = P2Quantile(q)
+        for value in values:
+            estimator.observe(value)
+        ordered = sorted(values)
+        rank = q * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        exact = ordered[low] + (rank - low) * (ordered[high] - ordered[low])
+        assert estimator.value == pytest.approx(exact)
+
+    @pytest.mark.parametrize("q", DEFAULT_TRACKED_QUANTILES)
+    def test_all_equal_stream_is_a_fixed_point(self, q):
+        estimator = P2Quantile(q)
+        for _ in range(500):
+            estimator.observe(7.5)
+        assert estimator.value == 7.5
+        heights = estimator._heights
+        assert heights == sorted(heights)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        q=st.sampled_from([0.5, 0.9, 0.99]),
+    )
+    def test_markers_stay_monotone_under_ties(self, seed, q):
+        # Streams with heavy ties drove the parabolic update past its
+        # neighbours before the clamp; the five heights must stay sorted
+        # after every observation.
+        rng = random.Random(seed)
+        estimator = P2Quantile(q)
+        for _ in range(200):
+            estimator.observe(rng.choice((0.0, 1.0, 1.0, 2.0, 5.0)))
+            heights = estimator._heights
+            assert heights == sorted(heights)
+            assert heights[0] <= estimator.value <= heights[-1]
+
+    def test_exact_to_estimate_handoff_has_no_inversion(self):
+        # The historical bug: at exactly five observations, value returned
+        # the middle marker — the sample median — so q=0.99 over
+        # (1, 2, 3, 95, 96) reported 3.0 and then jumped on the sixth
+        # observation.  Pin the exact tail at n=5 and a sane value at n=6.
+        estimator = P2Quantile(0.99)
+        for value in (1.0, 2.0, 3.0, 95.0, 96.0):
+            estimator.observe(value)
+        assert estimator.count == 5
+        assert estimator.value == pytest.approx(95.96)
+        estimator.observe(50.0)
+        assert 3.0 <= estimator.value <= 96.0
+        assert estimator._heights == sorted(estimator._heights)
 
 
 class TestRollingLatencyStats:
