@@ -51,8 +51,10 @@ True
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.api.policy import DEFAULT_POLICY, ExecutionPolicy
 from repro.api.stats import LatencyRecorder
@@ -420,6 +422,15 @@ class Session:
         self._monitor_key: tuple | None = None
         self._latency = LatencyRecorder()
         self._closed = False
+        #: Optional callable invoked with the verb name (``"query"`` /
+        #: ``"batch"`` / ``"monitor"``) at every verb entry.  The serving
+        #: tier's fault plane uses it to make a session verb fail on demand;
+        #: it is ``None`` (and free) in normal operation.
+        self.fault_hook: Callable[[str], None] | None = None
+        # Computed eagerly: ticks mutate the facility set in place, and the
+        # fingerprint must describe the *pristine* workload a journal was
+        # opened against.
+        self._fingerprint = self._compute_fingerprint()
 
     @classmethod
     def from_dataset(
@@ -448,6 +459,25 @@ class Session:
     def policy(self) -> ExecutionPolicy:
         """The session's default execution policy."""
         return self._default_policy
+
+    def dataset_fingerprint(self) -> str:
+        """A stable identifier of the workload this session serves.
+
+        Dataset-backed sessions use the pack checksum; in-memory sessions
+        hash the pristine workload shape.  The serving tier's batch-job
+        journal records this at open time and refuses to recover against a
+        different dataset (:class:`~repro.errors.JournalMismatchError`).
+        """
+        return self._fingerprint
+
+    def _compute_fingerprint(self) -> str:
+        if self._dataset_path is not None:
+            return "pack:" + self._datasets[self._dataset_path].catalog.checksum
+        shape = (
+            f"{self._graph.num_nodes}:{self._graph.num_edges}:"
+            f"{self._graph.num_cost_types}:{len(self._facilities)}"
+        )
+        return "shape:" + hashlib.sha256(shape.encode("ascii")).hexdigest()
 
     @property
     def latency(self) -> LatencyRecorder:
@@ -647,6 +677,8 @@ class Session:
         repeated sessions calls share the cross-query expansion cache and —
         when the policy enables it — the result memo.
         """
+        if self.fault_hook is not None:
+            self.fault_hook("query")
         resolved = self._resolve(policy)
         outcome = self._service_for(resolved).execute(request)
         response = Response.from_outcome(outcome, resolved)
@@ -699,6 +731,8 @@ class Session:
         the answers, their order and the summed counters are identical to
         the corresponding direct-service run.
         """
+        if self.fault_hook is not None:
+            self.fault_hook("batch")
         resolved = self._resolve(policy)
         if resolved.workers > 1:
             report = self._sharded_for(resolved).run_batch(requests)
@@ -727,6 +761,8 @@ class Session:
         of a session must resolve to the same monitoring configuration —
         a conflicting override raises :class:`~repro.errors.PolicyError`.
         """
+        if self.fault_hook is not None:
+            self.fault_hook("monitor")
         resolved = self._resolve(policy)
         if self._dataset_path is not None:
             raise PolicyError(

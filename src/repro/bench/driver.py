@@ -50,6 +50,9 @@ from repro.monitor.stream import tick_from_payload, tick_to_payload
 from repro.parallel import ParallelExecution
 from repro.serve import (
     InProcessClient,
+    JobJournal,
+    RetryPolicy,
+    RetryingClient,
     ServeApp,
     ServeConfig,
     query_response_to_payload,
@@ -716,8 +719,20 @@ class ServeReplaySpec:
     updates_per_tick: int = 3
     max_in_flight: int = 8
     timeout_seconds: float | None = 60.0
+    #: After this many served operations, ``app.drain()`` is initiated *while
+    #: the load is still running*: lanes that hit the 503 ``draining`` answer
+    #: stop, in-flight work completes, and the report carries the drain
+    #: verdict.  ``None`` (the default) replays the whole trace undisturbed.
+    drain_after: int | None = None
+    #: Optional batch-job journal path; when set the app journals acks and
+    #: ticks, and a clean drain records the journal's close marker.
+    journal_path: str | None = None
+    #: Seed for the retrying client's jitter and idempotency-key stream.
+    retry_seed: int = 0
 
     def __post_init__(self) -> None:
+        if self.drain_after is not None and self.drain_after < 1:
+            raise QueryError("drain_after must be a positive operation count")
         if self.mix not in _MIXES:
             raise QueryError(f"unknown mix {self.mix!r}; expected one of {_MIXES}")
         if self.k < 1:
@@ -765,11 +780,20 @@ class ServeReplayReport:
     mismatched_ops: list[str] = field(default_factory=list)
     identical_io: bool = True
     mismatched_io_ops: list[str] = field(default_factory=list)
+    #: :meth:`~repro.serve.DrainReport.to_payload` of the mid-load drain,
+    #: or ``None`` when the spec did not request one.
+    drain: dict | None = None
+    #: Operations the drain turned away (never acknowledged, so excluded
+    #: from — not failing — the differential).
+    unserved_ops: int = 0
+    #: Retry-client counters: total attempts and how many were retries.
+    retry: dict | None = None
 
     @property
     def clean(self) -> bool:
-        """The overall differential verdict: payloads *and* I/O identical."""
-        return self.identical_payloads and self.identical_io
+        """Payloads *and* I/O identical — and the drain, if one ran, graceful."""
+        drained_clean = self.drain is None or bool(self.drain.get("clean"))
+        return self.identical_payloads and self.identical_io and drained_clean
 
     @property
     def operations(self) -> int:
@@ -856,17 +880,35 @@ def _collect_io(payload, out: list) -> list:
 
 async def _serve_pass(
     spec: ServeReplaySpec, workload: Workload, ops: list[dict]
-) -> tuple[dict[str, dict], dict, float]:
-    """Fire the trace through the tier under real concurrency."""
+) -> tuple[dict[str, dict], dict, float, dict | None, dict | None]:
+    """Fire the trace through the tier under real concurrency.
+
+    Every lane speaks through a :class:`~repro.serve.RetryingClient`, so
+    429/503/504 answers are retried with backoff (and every POST/PATCH
+    carries an ``Idempotency-Key``, making those retries safe).  With
+    ``drain_after`` set, a drain starts mid-load: the 503 ``draining``
+    answer is treated as conclusive and ends the lane instead of failing
+    the replay.
+    """
     session = Session(workload.graph, FacilitySet(workload.graph, iter(workload.facilities)))
+    journal = (
+        None
+        if spec.journal_path is None
+        else JobJournal(spec.journal_path, fingerprint=session.dataset_fingerprint())
+    )
     app = ServeApp(
         session,
         config=ServeConfig(
             max_in_flight=spec.max_in_flight,
             request_timeout_seconds=spec.timeout_seconds,
         ),
+        journal=journal,
     )
-    client = InProcessClient(app)
+    client = RetryingClient(
+        InProcessClient(app),
+        policy=RetryPolicy(fatal_codes=("closed", "draining")),
+        seed=spec.retry_seed,
+    )
     results: dict[str, dict] = {}
     lanes: list[list[dict]] = [[] for _ in range(spec.clients)]
     racing = 0
@@ -877,33 +919,58 @@ async def _serve_pass(
             lanes[1 + racing % (spec.clients - 1)].append(op)
             racing += 1
 
+    served = 0
+    drain_gate = asyncio.Event()
+    drain_payload: dict | None = None
+
     async def worker(lane: list[dict]) -> None:
+        nonlocal served
         for op in lane:
             if op["kind"] == "query":
                 response = await client.post("/v1/query", {"request": op["request"]})
             else:
                 response = await client.patch("/v1/facilities", {"updates": op["updates"]})
             if not response.ok:
+                code = response.payload.get("error", {}).get("code")
+                if code in ("draining", "closed"):
+                    return  # the tier is going away; the lane ends here
                 raise QueryError(
                     f"serve replay: op {op['id']} failed with {response.status}: "
                     f"{response.payload}"
                 )
             results[op["id"]] = response.payload
+            served += 1
+            if spec.drain_after is not None and served >= spec.drain_after:
+                drain_gate.set()
+
+    async def drainer() -> None:
+        nonlocal drain_payload
+        await drain_gate.wait()
+        report = await app.drain()
+        drain_payload = report.to_payload()
 
     async with app:
+        drain_task = (
+            asyncio.create_task(drainer()) if spec.drain_after is not None else None
+        )
         start = time.perf_counter()
         await asyncio.gather(*(worker(lane) for lane in lanes))
         elapsed = time.perf_counter() - start
-        metrics = (await client.get("/v1/metrics")).payload
-    return results, metrics, elapsed
+        if drain_task is not None:
+            drain_gate.set()  # the trace may be shorter than the threshold
+            await drain_task
+        metrics = app.metrics()
+    retry_stats = {"attempts": client.attempts, "retries": client.retries}
+    return results, metrics, elapsed, drain_payload, retry_stats
 
 
 def _sequential_pass(
     workload: Workload, ops: list[dict], served: dict[str, dict]
 ) -> tuple[dict[str, dict], float]:
-    """The oracle: the same ops, in ``seq`` order, on a direct Session."""
+    """The oracle: the acknowledged ops, in ``seq`` order, on a direct Session."""
     expected: dict[str, dict] = {}
-    ordered = sorted(ops, key=lambda op: served[op["id"]]["seq"])
+    acknowledged = [op for op in ops if op["id"] in served]
+    ordered = sorted(acknowledged, key=lambda op: served[op["id"]]["seq"])
     with Session(
         workload.graph, FacilitySet(workload.graph, iter(workload.facilities))
     ) as session:
@@ -937,11 +1004,14 @@ def replay_serve_workload(spec: ServeReplaySpec) -> ServeReplayReport:
     """
     workload = make_workload(spec.workload)
     ops = _serve_ops(spec, workload)
-    served, metrics, served_seconds = asyncio.run(_serve_pass(spec, workload, ops))
+    served, metrics, served_seconds, drain, retry = asyncio.run(
+        _serve_pass(spec, workload, ops)
+    )
     expected, sequential_seconds = _sequential_pass(workload, ops, served)
     mismatched: list[str] = []
     mismatched_io: list[str] = []
-    for op in ops:
+    acknowledged = [op for op in ops if op["id"] in served]
+    for op in acknowledged:
         got = _strip_wallclock(served[op["id"]])
         want = _strip_wallclock(expected[op["id"]])
         if _strip_io(got) != _strip_io(want):
@@ -950,8 +1020,8 @@ def replay_serve_workload(spec: ServeReplaySpec) -> ServeReplayReport:
             mismatched_io.append(op["id"])
     return ServeReplayReport(
         spec=spec,
-        queries=sum(1 for op in ops if op["kind"] == "query"),
-        ticks=sum(1 for op in ops if op["kind"] == "tick"),
+        queries=sum(1 for op in acknowledged if op["kind"] == "query"),
+        ticks=sum(1 for op in acknowledged if op["kind"] == "tick"),
         served_seconds=served_seconds,
         sequential_seconds=sequential_seconds,
         metrics=metrics,
@@ -959,6 +1029,9 @@ def replay_serve_workload(spec: ServeReplaySpec) -> ServeReplayReport:
         mismatched_ops=mismatched,
         identical_io=not mismatched_io,
         mismatched_io_ops=mismatched_io,
+        drain=drain,
+        unserved_ops=len(ops) - len(acknowledged),
+        retry=retry,
     )
 
 
@@ -996,6 +1069,17 @@ def format_serve_report(report: ServeReplayReport) -> str:
         f"errors: {report.metrics.get('errors', 0)}, "
         f"timeouts: {report.metrics.get('timeouts', 0)}"
     )
+    if report.retry is not None and report.retry.get("retries"):
+        lines.append(
+            f"retries: {report.retry['retries']} of {report.retry['attempts']} attempts"
+        )
+    if report.drain is not None:
+        drain_verdict = "clean" if report.drain.get("clean") else "FORCED"
+        lines.append(
+            f"drain: {drain_verdict} after {report.operations} acknowledged ops "
+            f"({report.unserved_ops} turned away, "
+            f"{report.drain.get('waited_seconds', 0.0) * 1000:.1f} ms drain wait)"
+        )
     verdict = "yes" if report.identical_payloads else "NO"
     lines.append(f"payloads identical to sequential replay: {verdict}")
     if report.mismatched_ops:

@@ -30,6 +30,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import signal
 import sys
 from collections.abc import Sequence
 
@@ -60,7 +61,7 @@ from repro.datagen.road_network import PackedDatasetSpec, build_packed_dataset
 from repro.datagen.updates import UpdateStreamSpec
 from repro.datagen.workload import WorkloadSpec, make_workload
 from repro.errors import ReproError
-from repro.serve import HttpServer, ServeApp, ServeConfig
+from repro.serve import HttpServer, JobJournal, ServeApp, ServeConfig
 from repro.storage import DEFAULT_PAGE_SIZE, open_dataset
 
 __all__ = ["main", "build_parser"]
@@ -168,6 +169,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve_tier.add_argument("--host", default="127.0.0.1", help="listen address (listen mode)")
     serve_tier.add_argument(
         "--port", type=int, default=8737, help="listen port (listen mode; 0 = ephemeral)"
+    )
+    serve_tier.add_argument(
+        "--drain-deadline",
+        type=float,
+        default=5.0,
+        help="seconds a SIGTERM/SIGINT drain waits for in-flight work",
+    )
+    serve_tier.add_argument(
+        "--drain-after",
+        type=int,
+        default=None,
+        help="replay mode: start draining after this many acknowledged ops",
+    )
+    serve_tier.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="journal batch acknowledgements and ticks to this JSONL file "
+        "(recovered on restart)",
     )
 
     monitor = commands.add_parser(
@@ -507,6 +527,8 @@ def _run_serve(args: argparse.Namespace) -> int:
                 updates_per_tick=args.updates_per_tick,
                 max_in_flight=args.max_in_flight,
                 timeout_seconds=args.timeout,
+                drain_after=args.drain_after,
+                journal_path=args.journal,
             )
             report = replay_serve_workload(spec)
         except ReproError as error:
@@ -518,24 +540,50 @@ def _run_serve(args: argparse.Namespace) -> int:
     async def listen() -> int:
         workload = make_workload(workload_spec)
         session = Session(workload.graph, workload.facilities)
+        journal = (
+            None
+            if args.journal is None
+            else JobJournal(args.journal, fingerprint=session.dataset_fingerprint())
+        )
         app = ServeApp(
             session,
             config=ServeConfig(
                 max_in_flight=args.max_in_flight,
                 request_timeout_seconds=args.timeout,
+                drain_deadline_seconds=args.drain_deadline,
             ),
+            journal=journal,
         )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
         async with app, HttpServer(app, host=args.host, port=args.port) as server:
+            recovered = app.last_recovery
+            if recovered and (recovered["jobs"] or recovered["ticks_reapplied"]):
+                print(
+                    f"recovered journal: {recovered['jobs']} jobs "
+                    f"({recovered['reexecuted_jobs']} re-executed), "
+                    f"{recovered['ticks_reapplied']} ticks re-applied"
+                )
             print(f"serving {workload.describe()}")
-            print(f"listening on http://{args.host}:{server.port} (Ctrl-C to stop)")
+            print(
+                f"listening on http://{args.host}:{server.port} "
+                "(SIGTERM/Ctrl-C drains, then stops)"
+            )
             for route in app.describe_surface()["routes"]:
                 print(f"  {route['method']:<6} {route['path']}")
-            await asyncio.Event().wait()
-        return 0  # pragma: no cover - the wait above only ends by cancellation
+            await stop.wait()
+            # Stop accepting sockets, then drain the app: in-flight requests
+            # and queued jobs finish (or the deadline forces the close).
+            report = await app.drain()
+        verdict = "drained clean" if report.clean else "drain deadline forced the close"
+        print(f"stopped: {verdict} ({report.waited_seconds * 1000:.1f} ms)")
+        return 0 if report.clean else 3
 
     try:
         return asyncio.run(listen())
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - signal handler beats this
         print("stopped")
         return 0
 

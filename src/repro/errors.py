@@ -62,5 +62,26 @@ class ServeError(ReproError):
     the transport; this class covers server-side misconfiguration."""
 
 
+class JournalError(ServeError):
+    """A batch-job journal is structurally corrupt (bad framing or checksum
+    anywhere before the final record — a torn *tail* is tolerated and
+    truncated, earlier corruption is not)."""
+
+
+class JournalMismatchError(JournalError):
+    """A journal was recorded against a different dataset (catalog/workload
+    fingerprint mismatch); replaying it would serve stale results."""
+
+
+class RetryBudgetExceededError(ServeError):
+    """A client-side retry policy ran out of attempts or wall-clock budget
+    before the request succeeded; carries the last response's status."""
+
+    def __init__(self, message: str, *, status: int | None = None, attempts: int = 0):
+        super().__init__(message)
+        self.status = status
+        self.attempts = attempts
+
+
 class DataGenerationError(ReproError):
     """Invalid parameters passed to one of the synthetic data generators."""

@@ -40,6 +40,8 @@ import threading
 import time
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.api.policy import (
@@ -63,6 +65,8 @@ __all__ = [
     "ShardedBatchReport",
     "ShardedQueryService",
     "merge_shard_reports",
+    "set_shard_timeout",
+    "set_worker_fault_hook",
 ]
 
 @dataclass(frozen=True)
@@ -119,6 +123,9 @@ class ShardedBatchReport(BatchReport):
     executor: str = "serial"
     workers: int = 1
     shards: list[ShardReport] = field(default_factory=list)
+    #: Shard indices whose pool worker died (or hung past the deadline) and
+    #: that were re-executed serially in the parent.  Empty on a clean run.
+    retried_shards: tuple[int, ...] = ()
 
     def describe(self) -> dict[str, object]:
         summary = super().describe()
@@ -127,6 +134,7 @@ class ShardedBatchReport(BatchReport):
             routing=self.routing,
             executor=self.executor,
             shards=[shard.size for shard in self.shards],
+            retried_shards=list(self.retried_shards),
         )
         return summary
 
@@ -138,6 +146,7 @@ def merge_shard_reports(
     routing: str,
     executor: str,
     workers: int,
+    retried_shards: Sequence[int] = (),
 ) -> ShardedBatchReport:
     """Merge per-shard reports into one submission-ordered aggregate report.
 
@@ -165,6 +174,7 @@ def merge_shard_reports(
         executor=executor,
         workers=workers,
         shards=list(shard_reports),
+        retried_shards=tuple(retried_shards),
     )
 
 
@@ -225,6 +235,27 @@ _FORK_CONTEXT: tuple[MCNQueryEngine, ExecutionPolicy] | None = None
 _FORK_SERVICE: QueryService | None = None
 _FORK_LOCK = threading.Lock()
 
+# Chaos seams (set in the parent, inherited copy-on-write by fork workers).
+# The hook runs inside the worker with the shard index right before the shard
+# executes — the fault plane's ``worker_fault_hook`` uses it to kill
+# (``os._exit``) or hang a specific worker.  The timeout bounds how long the
+# parent waits for any one shard before writing the worker off as hung and
+# retrying the shard itself.  Both are ``None`` (and free) in normal runs.
+_WORKER_FAULT_HOOK = None
+_SHARD_TIMEOUT: float | None = None
+
+
+def set_worker_fault_hook(hook) -> None:
+    """Install (or with ``None`` clear) the per-shard worker fault hook."""
+    global _WORKER_FAULT_HOOK
+    _WORKER_FAULT_HOOK = hook
+
+
+def set_shard_timeout(seconds: float | None) -> None:
+    """Bound the parent's wait per process shard (``None`` = wait forever)."""
+    global _SHARD_TIMEOUT
+    _SHARD_TIMEOUT = None if seconds is None else float(seconds)
+
 
 def _init_fork_worker() -> None:
     global _FORK_SERVICE
@@ -237,6 +268,8 @@ def _init_fork_worker() -> None:
 def _run_shard_in_fork(shard: Shard) -> ShardReport:
     if _FORK_SERVICE is None:  # pragma: no cover - initializer always ran first
         raise QueryError("fork worker has no service")
+    if _WORKER_FAULT_HOOK is not None:
+        _WORKER_FAULT_HOOK(shard.index)
     return _execute_shard(_FORK_SERVICE, shard)
 
 
@@ -399,10 +432,11 @@ class ShardedQueryService:
             self._engine.compiled_graph.ensure_fresh()
         start = time.perf_counter()
         plan = self.plan(requests)
+        retried: tuple[int, ...] = ()
         if not plan.shards:
             shard_reports: list[ShardReport] = []
         elif self._policy.executor == "process" and len(plan.shards) > 1:
-            shard_reports = self._run_process(plan)
+            shard_reports, retried = self._run_process(plan)
         elif self._policy.executor == "thread" and len(plan.shards) > 1:
             shard_reports = self._run_thread(plan)
         else:
@@ -413,6 +447,7 @@ class ShardedQueryService:
             routing=self._policy.routing,
             executor=self._policy.executor,
             workers=self._policy.workers,
+            retried_shards=retried,
         )
 
     # ------------------------------------------------------------------ #
@@ -429,10 +464,14 @@ class ShardedQueryService:
         with ThreadPoolExecutor(max_workers=len(plan.shards)) as pool:
             return list(pool.map(_execute_shard, services, plan.shards))
 
-    def _run_process(self, plan: ShardPlan) -> list[ShardReport]:
+    def _run_process(
+        self, plan: ShardPlan
+    ) -> tuple[list[ShardReport], tuple[int, ...]]:
         global _FORK_CONTEXT
         self._check_picklable(plan)
         context = multiprocessing.get_context("fork")
+        reports: dict[int, ShardReport] = {}
+        failed: list[Shard] = []
         with _FORK_LOCK:
             _FORK_CONTEXT = (self._engine, self._policy)
             try:
@@ -441,9 +480,29 @@ class ShardedQueryService:
                     mp_context=context,
                     initializer=_init_fork_worker,
                 ) as pool:
-                    return list(pool.map(_run_shard_in_fork, plan.shards))
+                    futures = [
+                        (shard, pool.submit(_run_shard_in_fork, shard))
+                        for shard in plan.shards
+                    ]
+                    for shard, future in futures:
+                        try:
+                            reports[shard.index] = future.result(timeout=_SHARD_TIMEOUT)
+                        except (BrokenProcessPool, _FuturesTimeoutError, TimeoutError):
+                            # A worker died (BrokenProcessPool poisons every
+                            # pending future of the pool) or hung past the
+                            # deadline.  The shard's *work* is not lost: it is
+                            # re-executed below, in the parent, once the pool
+                            # is out of the way.
+                            failed.append(shard)
             finally:
                 _FORK_CONTEXT = None
+        retried: list[int] = []
+        for shard in failed:
+            reports[shard.index] = _execute_shard(
+                _make_worker_service(self._engine, self._policy), shard
+            )
+            retried.append(shard.index)
+        return [reports[shard.index] for shard in plan.shards], tuple(retried)
 
     @staticmethod
     def _check_picklable(plan: ShardPlan) -> None:

@@ -9,7 +9,13 @@ Layered as::
     application   repro.serve.app   (routes, envelopes, seq stamping,
                                      admission, deadlines, batch jobs)
                         |
-    plumbing      repro.serve.limits     (ServeConfig, AdmissionController)
+    resilience    repro.serve.lifecycle  (drain state machine)
+                  repro.serve.journal    (crash-safe batch-job journal)
+                  repro.serve.retry      (client backoff + idempotency keys)
+                  repro.serve.faults     (seeded fault-injection plane)
+                        |
+    plumbing      repro.serve.limits     (ServeConfig, AdmissionController,
+                                          IdempotencyCache)
                   repro.serve.streaming  (DeltaBroker, SSE backpressure)
                   repro.serve.payloads   (response JSON codecs)
                         |
@@ -19,7 +25,10 @@ Every transport funnels into :meth:`ServeApp.dispatch`, and every session
 call runs serialised on one executor thread with a ``seq`` stamp — the
 property the async load-replay differential harness uses to prove the
 tier returns **bit-identical** payloads to direct library calls under
-concurrency.
+concurrency.  The resilience layer extends that guarantee across
+failures: a drain finishes acknowledged work before closing, the journal
+makes batch acks and applied ticks survive a crash, idempotency keys make
+retries safe, and the fault plane proves all of it under seeded chaos.
 """
 
 from repro.serve.app import (
@@ -31,8 +40,18 @@ from repro.serve.app import (
     error_envelope,
 )
 from repro.serve.asgi import create_asgi_app
+from repro.serve.faults import (
+    FaultPlane,
+    InjectedFault,
+    execute_fault_hook,
+    faulty_disk,
+    session_fault_hook,
+    worker_fault_hook,
+)
 from repro.serve.http import HttpServer
-from repro.serve.limits import AdmissionController, ServeConfig
+from repro.serve.journal import JobJournal, JournalRecovery, RecoveredJob
+from repro.serve.lifecycle import DrainReport, ServerLifecycle
+from repro.serve.limits import AdmissionController, IdempotencyCache, ServeConfig
 from repro.serve.payloads import (
     batch_response_to_payload,
     cache_to_payload,
@@ -41,6 +60,7 @@ from repro.serve.payloads import (
     result_to_payload,
     tick_response_to_payload,
 )
+from repro.serve.retry import RetryPolicy, RetryingClient, send_with_retry
 from repro.serve.streaming import DeltaBroker, DeltaStream, StreamEvent, sse_encode
 from repro.serve.testing import InProcessClient, collect_events
 
@@ -48,13 +68,23 @@ __all__ = [
     "AdmissionController",
     "DeltaBroker",
     "DeltaStream",
+    "DrainReport",
     "ERROR_CODES",
+    "FaultPlane",
     "HttpServer",
+    "IdempotencyCache",
     "InProcessClient",
+    "InjectedFault",
+    "JobJournal",
+    "JournalRecovery",
+    "RecoveredJob",
+    "RetryPolicy",
+    "RetryingClient",
     "ServeApp",
     "ServeConfig",
     "ServeRequest",
     "ServeResponse",
+    "ServerLifecycle",
     "StreamEvent",
     "StreamResponse",
     "batch_response_to_payload",
@@ -62,9 +92,14 @@ __all__ = [
     "collect_events",
     "create_asgi_app",
     "error_envelope",
+    "execute_fault_hook",
+    "faulty_disk",
     "io_to_payload",
     "query_response_to_payload",
     "result_to_payload",
+    "send_with_retry",
+    "session_fault_hook",
     "sse_encode",
     "tick_response_to_payload",
+    "worker_fault_hook",
 ]

@@ -44,6 +44,7 @@ traceback.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import itertools
 import json
 import re
@@ -63,9 +64,12 @@ from repro.errors import (
     QueryError,
     ReproError,
     ServeError,
+    StorageError,
 )
 from repro.monitor.stream import tick_from_payload
-from repro.serve.limits import AdmissionController, ServeConfig
+from repro.serve.journal import JobJournal
+from repro.serve.lifecycle import DrainReport, ServerLifecycle
+from repro.serve.limits import AdmissionController, IdempotencyCache, ServeConfig
 from repro.serve.payloads import (
     batch_response_to_payload,
     query_response_to_payload,
@@ -85,6 +89,9 @@ __all__ = [
 #: Every error code a client can receive, pinned by the surface fixture.
 ERROR_CODES = (
     "closed",
+    "conflict",
+    "dataset-unavailable",
+    "draining",
     "internal",
     "invalid-policy",
     "invalid-request",
@@ -95,6 +102,15 @@ ERROR_CODES = (
     "saturated",
     "timeout",
 )
+
+#: Routes whose answers may be deduplicated via the ``Idempotency-Key``
+#: header (the mutating / work-submitting endpoints).
+IDEMPOTENT_ROUTES = frozenset({"query", "batch-submit", "patch"})
+
+#: Routes still answered while the server drains: health and metrics (so
+#: orchestrators can watch the drain) and batch polling (so clients can
+#: collect results the server is finishing on their behalf).
+DRAIN_ALLOWED_ROUTES = frozenset({"health", "metrics", "batch-poll"})
 
 #: Request-body shapes per endpoint (``?`` marks an optional key) and the
 #: top-level response keys — the serving tier's wire schema, pinned by the
@@ -137,23 +153,41 @@ SURFACE_SCHEMAS: dict[str, dict[str, object]] = {
     },
     "GET /v1/health": {
         "request": None,
-        "response": ["status", "version"],
+        "response": ["status", "state", "version"],
     },
     "GET /v1/metrics": {
         "request": None,
-        "response": ["requests", "errors", "timeouts", "admission", "jobs",
-                     "streams", "endpoints", "session"],
+        "response": ["requests", "errors", "timeouts", "severed", "served",
+                     "admission", "jobs", "streams", "endpoints", "session",
+                     "lifecycle", "idempotency", "journal"],
     },
 }
 
 
 @dataclass(frozen=True)
 class ServeRequest:
-    """One transport-level request: method, path, raw (undecoded) body."""
+    """One transport-level request: method, path, raw (undecoded) body.
+
+    ``headers`` carries the transport's request headers (names
+    case-insensitive; the HTTP listener lowercases them).  The app only
+    reads ``Idempotency-Key`` — everything else about a request lives in
+    the method, path and body.
+    """
 
     method: str
     path: str
     body: bytes | str | None = None
+    headers: dict | None = None
+
+    def header(self, name: str) -> str | None:
+        """One header value, case-insensitively (``None`` when absent)."""
+        if not self.headers:
+            return None
+        lowered = name.lower()
+        for key, value in self.headers.items():
+            if key.lower() == lowered:
+                return value
+        return None
 
 
 @dataclass
@@ -180,11 +214,35 @@ class StreamResponse:
     status: int = 200
 
 
-def error_envelope(code: str, message: str) -> dict[str, object]:
-    """The uniform error body: ``{"error": {"code": ..., "message": ...}}``."""
+def error_envelope(
+    code: str, message: str, *, retry_after: float | None = None
+) -> dict[str, object]:
+    """The uniform error body: ``{"error": {"code": ..., "message": ...}}``.
+
+    ``retry_after`` adds the optional backoff hint transient refusals
+    (``draining`` / ``conflict`` / ``dataset-unavailable``) carry; the
+    HTTP transport mirrors it into a ``Retry-After`` header.
+    """
     if code not in ERROR_CODES:
         raise ServeError(f"unknown error code {code!r}; expected one of {ERROR_CODES}")
-    return {"error": {"code": code, "message": message}}
+    error: dict[str, object] = {"code": code, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    return {"error": error}
+
+
+def _request_fingerprint(route_name: str, body: object) -> str:
+    """A stable digest of (route, canonical body) binding an Idempotency-Key."""
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(f"{route_name}\n{canonical}".encode("utf-8")).hexdigest()
+
+
+@dataclass
+class _RequestContext:
+    """Per-dispatch idempotency state threaded into the handlers."""
+
+    key: str | None = None
+    fingerprint: str | None = None
 
 
 class _HandlerError(Exception):
@@ -263,7 +321,13 @@ class ServeApp:
         The session to serve.  The app owns it: :meth:`aclose` closes it.
     config:
         The :class:`~repro.serve.ServeConfig` limits (admission bound,
-        request deadline, stream buffers, body cap).
+        request deadline, stream buffers, body cap, drain deadline,
+        idempotency capacity).
+    journal:
+        An optional :class:`~repro.serve.JobJournal` making batch-job
+        acknowledgements and applied ticks crash-safe.  Call
+        :meth:`recover` (or enter the app as an async context manager)
+        before serving so the previous process's promises are replayed.
 
     Notes
     -----
@@ -271,10 +335,17 @@ class ServeApp:
     is invoked on the session executor thread with the endpoint label
     *before* the session call.  The robustness suite uses it to hold the
     executor mid-request (timeouts, saturation) without monkey-patching
-    engine internals.
+    engine internals; :func:`repro.serve.execute_fault_hook` schedules
+    failures through it.
     """
 
-    def __init__(self, session: Session, *, config: ServeConfig | None = None):
+    def __init__(
+        self,
+        session: Session,
+        *,
+        config: ServeConfig | None = None,
+        journal: JobJournal | None = None,
+    ):
         if not isinstance(session, Session):
             raise ServeError(
                 f"expected a repro.api.Session, got {type(session).__name__}"
@@ -285,6 +356,10 @@ class ServeApp:
             raise ServeError(
                 f"expected a ServeConfig, got {type(self._config).__name__}"
             )
+        if journal is not None and not isinstance(journal, JobJournal):
+            raise ServeError(
+                f"expected a JobJournal, got {type(journal).__name__}"
+            )
         self._admission = AdmissionController(self._config.max_in_flight)
         self._broker = DeltaBroker(self._config.stream_buffer)
         self._latency = LatencyRecorder(window=self._config.latency_window)
@@ -292,12 +367,22 @@ class ServeApp:
             max_workers=1, thread_name_prefix="repro-serve"
         )
         self._jobs: dict[str, _Job] = {}
-        self._job_ids = itertools.count(1)
+        self._journal = journal
+        next_job = 1 if journal is None else journal.recovery.max_job_number + 1
+        self._job_ids = itertools.count(next_job)
         self._next_seq = 0  # incremented only on the executor thread
         self._requests = 0
         self._errors = 0
         self._timeouts = 0
+        self._severed = 0
+        self._severed_ok = 0
         self._closed = False
+        self._lifecycle = ServerLifecycle()
+        self._idempotency = IdempotencyCache(self._config.idempotency_capacity)
+        self._pending_keys: dict[str, str] = {}
+        self._recovered = False
+        #: Summary of the last :meth:`recover` replay (``None`` until one ran).
+        self.last_recovery: dict[str, object] | None = None
         self._monitor_base = None  # lazily: session.monitor(())
         self.before_execute: Callable[[str], None] | None = None
         self._routes = (
@@ -359,6 +444,32 @@ class ServeApp:
         """Per-endpoint rolling latency percentiles (``/v1/metrics`` view)."""
         return self._latency
 
+    @property
+    def lifecycle(self) -> ServerLifecycle:
+        """The server's lifecycle state machine."""
+        return self._lifecycle
+
+    @property
+    def journal(self) -> JobJournal | None:
+        """The batch-job journal (``None`` when durability is off)."""
+        return self._journal
+
+    @property
+    def idempotency(self) -> IdempotencyCache:
+        """The ``Idempotency-Key`` dedup cache."""
+        return self._idempotency
+
+    def note_severed(self, *, ok: bool = True) -> None:
+        """Record a response that was computed but never delivered.
+
+        Transports call this when the client vanished before the body was
+        written; ``ok`` says whether the undelivered answer was a success
+        (those are subtracted from the ``served`` metric — a severed ack
+        was *not* served, even though the work happened)."""
+        self._severed += 1
+        if ok:
+            self._severed_ok += 1
+
     def describe_surface(self) -> dict[str, object]:
         """The wire surface as data: routes, schemas, error envelope.
 
@@ -390,30 +501,173 @@ class ServeApp:
             "requests": self._requests,
             "errors": self._errors,
             "timeouts": self._timeouts,
+            "severed": self._severed,
+            "served": max(0, self._requests - self._errors - self._severed_ok),
             "admission": self._admission.snapshot(),
             "jobs": jobs,
             "streams": self._broker.snapshot(),
             "endpoints": self._latency.summary(),
             "session": self._session.latency.summary(),
+            "lifecycle": self._lifecycle.snapshot(),
+            "idempotency": self._idempotency.snapshot(),
+            "journal": self._journal.snapshot() if self._journal is not None else None,
         }
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     async def aclose(self) -> None:
-        """Deterministic shutdown: jobs, streams, executor, session (idempotent)."""
+        """Deterministic shutdown: jobs, streams, executor, session (idempotent).
+
+        This is the *hard* stop — in-flight jobs are cancelled, streams get
+        a terminal ``closed`` event, and no clean-close journal record is
+        written (so a restart re-executes whatever was still running).  A
+        graceful shutdown goes through :meth:`drain` instead.
+        """
         if self._closed:
             return
         self._closed = True
+        self._lifecycle.mark_closed()
         for job in self._jobs.values():
             if job.task is not None and not job.task.done():
                 job.task.cancel()
         self._broker.close_all()
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, partial(self._executor.shutdown, wait=True))
+        if self._journal is not None:
+            self._journal.close()
         self._session.close()
 
+    async def recover(self) -> dict[str, object] | None:
+        """Replay the journal's promises, then mark the server serving.
+
+        Idempotent; a no-op (beyond the serving transition) without a
+        journal.  Three passes, in causal order:
+
+        1. finished jobs are re-registered with their journaled result or
+           error, so polls answer from the journal instead of recomputing;
+        2. acknowledged ticks are re-applied to the fresh session *in
+           order* (directly on the executor — no new ``seq`` is consumed)
+           and their journaled responses re-seed the idempotency cache, so
+           a client retrying a tick it never saw acknowledged gets the
+           original answer instead of double-applying the update;
+        3. acknowledged-but-unfinished jobs are re-executed.
+        """
+        if self._closed or self._journal is None or self._recovered:
+            if not self._closed:
+                self._lifecycle.mark_serving()
+            return None
+        self._recovered = True
+        recovery = self._journal.recovery
+        for recovered in recovery.jobs.values():
+            job = _Job(job_id=recovered.job_id)
+            if recovered.state == "done":
+                job.state, job.result = "done", recovered.result
+            elif recovered.state == "failed":
+                job.state, job.error = "failed", recovered.error
+            self._jobs[job.job_id] = job
+        loop = asyncio.get_running_loop()
+        for record in recovery.ticks:
+            body = record.get("body") or {}
+            tick = tick_from_payload(body.get("updates", []))
+
+            def reapply(tick=tick):
+                self._monitor_handle().tick(tick)
+                self._session.invalidate_result_caches()
+
+            await loop.run_in_executor(self._executor, reapply)
+            key, payload = record.get("key"), record.get("payload")
+            if key and isinstance(payload, dict):
+                self._idempotency.store(
+                    key, _request_fingerprint("patch", body), 200, payload
+                )
+        reexecuted = 0
+        for recovered in recovery.unfinished_jobs:
+            job = self._jobs[recovered.job_id]
+            try:
+                requests = [
+                    request_from_payload(entry) for entry in recovered.requests
+                ]
+                policy = (
+                    policy_from_payload(recovered.policy)
+                    if recovered.policy is not None
+                    else None
+                )
+            except Exception as error:  # noqa: BLE001 - a bad record fails one job
+                job.state = "failed"
+                job.error = error_envelope(
+                    "invalid-request", f"unrecoverable journaled job: {error}"
+                )["error"]
+                self._journal.record_job_failed(job.job_id, job.error)
+                continue
+            job.state = "queued"
+            job.task = asyncio.create_task(self._run_job(job, requests, policy))
+            reexecuted += 1
+        self._lifecycle.mark_serving()
+        self.last_recovery = {
+            "jobs": len(recovery.jobs),
+            "reexecuted_jobs": reexecuted,
+            "ticks_reapplied": len(recovery.ticks),
+            "truncated_bytes": recovery.truncated_bytes,
+            "clean_close": recovery.clean_close,
+        }
+        return self.last_recovery
+
+    async def drain(self, *, deadline: float | None = None) -> DrainReport:
+        """Graceful drain-then-close; returns what happened.
+
+        New work-class requests are refused with a ``draining`` envelope
+        (plus a ``Retry-After`` hint) the moment this is called, while
+        in-flight requests and active batch jobs run to completion.  When
+        everything finishes inside the deadline (``config.drain_deadline_seconds``
+        unless overridden) the drain is *clean*: open SSE streams get a
+        terminal ``server-closing`` event and the journal receives its
+        clean-close record.  Past the deadline the remaining jobs are
+        cancelled and the journal is left open-ended so the next process
+        re-executes them.
+        """
+        if self._closed:
+            return DrainReport(
+                clean=True, waited_seconds=0.0, jobs_cancelled=0,
+                streams_closed=0, journal_closed=False,
+            )
+        if deadline is None:
+            deadline = self._config.drain_deadline_seconds
+        self._lifecycle.begin_drain()
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        forced = False
+        while True:
+            active_jobs = any(job.active for job in self._jobs.values())
+            if self._admission.in_flight == 0 and not active_jobs:
+                break
+            if deadline is not None and loop.time() - started >= deadline:
+                forced = True
+                break
+            await asyncio.sleep(0.005)
+        cancelled = 0
+        if forced:
+            for job in self._jobs.values():
+                if job.task is not None and not job.task.done():
+                    job.task.cancel()
+                    cancelled += 1
+        streams_closed = self._broker.close_all("server-closing")
+        journal_closed = False
+        if self._journal is not None and not forced:
+            self._journal.record_close()
+            journal_closed = True
+        waited = loop.time() - started
+        await self.aclose()
+        return DrainReport(
+            clean=not forced,
+            waited_seconds=waited,
+            jobs_cancelled=cancelled,
+            streams_closed=streams_closed,
+            journal_closed=journal_closed,
+        )
+
     async def __aenter__(self) -> "ServeApp":
+        await self.recover()
         return self
 
     async def __aexit__(self, exc_type, exc_value, traceback) -> None:
@@ -427,6 +681,8 @@ class ServeApp:
         self._requests += 1
         if self._closed:
             return self._error(503, "closed", "the server is shutting down")
+        if self._lifecycle.state == "starting":
+            self._lifecycle.mark_serving()
         route, params, seen_path = self._match(request)
         if route is None:
             if seen_path:
@@ -435,12 +691,54 @@ class ServeApp:
                     f"{request.method} is not supported on {request.path}",
                 )
             return self._error(404, "not-found", f"no route matches {request.path}")
+        if self._lifecycle.draining and route.name not in DRAIN_ALLOWED_ROUTES:
+            return self._error(
+                503, "draining",
+                "the server is draining for shutdown; retry against another "
+                "replica or after the restart",
+                retry_after=self._config.retry_after_seconds,
+            )
         body, body_error = self._decode_body(request)
         if body_error is not None:
             return body_error
+        ctx = _RequestContext()
+        key = request.header("idempotency-key")
+        if key is not None and route.name in IDEMPOTENT_ROUTES:
+            fingerprint = _request_fingerprint(route.name, body)
+            entry = self._idempotency.lookup(key)
+            if entry is not None:
+                if entry.fingerprint != fingerprint:
+                    self._idempotency.conflicts += 1
+                    return self._error(
+                        409, "conflict",
+                        f"Idempotency-Key {key!r} was already used for a "
+                        "different request; keys must be unique per logical "
+                        "operation",
+                    )
+                return ServeResponse(entry.status, entry.payload)
+            pending = self._pending_keys.get(key)
+            if pending is not None:
+                self._idempotency.conflicts += 1
+                if pending != fingerprint:
+                    return self._error(
+                        409, "conflict",
+                        f"Idempotency-Key {key!r} is in flight for a "
+                        "different request; keys must be unique per logical "
+                        "operation",
+                    )
+                return self._error(
+                    409, "conflict",
+                    f"a request with Idempotency-Key {key!r} is still in "
+                    "flight; retry after it completes",
+                    retry_after=self._config.retry_after_seconds,
+                )
+            self._pending_keys[key] = fingerprint
+            ctx = _RequestContext(key=key, fingerprint=fingerprint)
         slot = _AdmissionSlot()
         if route.admission:
             if not self._admission.try_acquire():
+                if ctx.key is not None:
+                    self._pending_keys.pop(ctx.key, None)
                 return self._error(
                     429, "saturated",
                     f"{self._admission.capacity} requests already in flight; "
@@ -450,7 +748,15 @@ class ServeApp:
         started = time.perf_counter()
         try:
             handler = self._handlers[route.name]
-            return await handler(params, body, slot)
+            response = await handler(params, body, slot, ctx)
+            if isinstance(response, ServeResponse) and response.ok:
+                if route.admission and self._lifecycle.state == "degraded":
+                    self._lifecycle.recover()
+                if ctx.key is not None:
+                    self._idempotency.store(
+                        ctx.key, ctx.fingerprint, response.status, response.payload
+                    )
+            return response
         except _HandlerError as refusal:
             self._errors += 1
             return refusal.response
@@ -466,6 +772,17 @@ class ServeApp:
             return self._error(400, "invalid-policy", str(error))
         except FacilityError as error:
             return self._error(400, "invalid-update", str(error))
+        except StorageError as error:
+            # The dataset behind the session failed a read (torn pack,
+            # checksum mismatch, lost mmap): transient from the client's
+            # point of view, structural from the operator's — 503 plus a
+            # degraded health state, never a generic 500.
+            self._lifecycle.degrade(f"{type(error).__name__}: {error}")
+            return self._error(
+                503, "dataset-unavailable",
+                f"the dataset backing this server failed a read: {error}",
+                retry_after=self._config.retry_after_seconds,
+            )
         except ReproError as error:
             return self._error(400, "invalid-request", str(error))
         except Exception as error:  # noqa: BLE001 - the envelope IS the contract
@@ -473,6 +790,8 @@ class ServeApp:
                 500, "internal", f"{type(error).__name__}: {error}"
             )
         finally:
+            if ctx.key is not None:
+                self._pending_keys.pop(ctx.key, None)
             slot.release()  # no-op when the executor callback owns it
             if route.kind == "json":
                 self._latency.observe(route.name, time.perf_counter() - started)
@@ -480,13 +799,17 @@ class ServeApp:
     # ------------------------------------------------------------------ #
     # Handlers
     # ------------------------------------------------------------------ #
-    async def _handle_health(self, params, body, slot) -> ServeResponse:
-        return ServeResponse(200, {"status": "ok", "version": __version__})
+    async def _handle_health(self, params, body, slot, ctx) -> ServeResponse:
+        state = self._lifecycle.state
+        status = "ok" if state in ("starting", "serving") else state
+        return ServeResponse(
+            200, {"status": status, "state": state, "version": __version__}
+        )
 
-    async def _handle_metrics(self, params, body, slot) -> ServeResponse:
+    async def _handle_metrics(self, params, body, slot, ctx) -> ServeResponse:
         return ServeResponse(200, self.metrics())
 
-    async def _handle_query(self, params, body, slot) -> ServeResponse:
+    async def _handle_query(self, params, body, slot, ctx) -> ServeResponse:
         payload = self._require_object(body)
         request = self._decode(
             "invalid-request", request_from_payload, self._require_key(payload, "request")
@@ -497,7 +820,7 @@ class ServeApp:
         )
         return ServeResponse(200, {"seq": seq, **query_response_to_payload(response)})
 
-    async def _handle_batch_submit(self, params, body, slot) -> ServeResponse:
+    async def _handle_batch_submit(self, params, body, slot, ctx) -> ServeResponse:
         payload = self._require_object(body)
         raw_requests = self._require_key(payload, "requests")
         if not isinstance(raw_requests, list) or not raw_requests:
@@ -519,6 +842,12 @@ class ServeApp:
             )
         job = _Job(job_id=f"job-{next(self._job_ids)}")
         self._jobs[job.job_id] = job
+        if self._journal is not None:
+            # Journal the promise *before* acknowledging it: once the 202
+            # leaves this process, a crash must not lose the job.
+            self._journal.record_job_submitted(
+                job.job_id, raw_requests, payload.get("policy")
+            )
         job.task = asyncio.create_task(self._run_job(job, requests, policy))
         return ServeResponse(202, {"job": job.job_id, "state": job.state})
 
@@ -536,7 +865,10 @@ class ServeApp:
             seq, batch = await self._execute("batch", work, _AdmissionSlot())
             job.result = {"seq": seq, **batch_response_to_payload(batch)}
             job.state = "done"
+            self._journal_job(job)
         except asyncio.CancelledError:
+            # Shutdown/forced-drain cancellation: deliberately NOT journaled
+            # as failed, so a restarted process re-executes the job.
             job.state = "failed"
             job.error = error_envelope("closed", "job cancelled at shutdown")["error"]
             raise
@@ -546,19 +878,40 @@ class ServeApp:
             job.error = error_envelope(
                 "timeout", "batch exceeded the per-request deadline"
             )["error"]
+            self._journal_job(job)
         except PolicyError as error:
             job.state = "failed"
             job.error = error_envelope("invalid-policy", str(error))["error"]
+            self._journal_job(job)
+        except StorageError as error:
+            self._lifecycle.degrade(f"{type(error).__name__}: {error}")
+            job.state = "failed"
+            job.error = error_envelope(
+                "dataset-unavailable",
+                f"the dataset backing this server failed a read: {error}",
+            )["error"]
+            self._journal_job(job)
         except ReproError as error:
             job.state = "failed"
             job.error = error_envelope("invalid-request", str(error))["error"]
+            self._journal_job(job)
         except Exception as error:  # noqa: BLE001 - jobs must never crash the loop
             job.state = "failed"
             job.error = error_envelope(
                 "internal", f"{type(error).__name__}: {error}"
             )["error"]
+            self._journal_job(job)
 
-    async def _handle_batch_poll(self, params, body, slot) -> ServeResponse:
+    def _journal_job(self, job: _Job) -> None:
+        """Journal a job's terminal state (no-op without an open journal)."""
+        if self._journal is None or self._journal.closed:
+            return
+        if job.state == "done":
+            self._journal.record_job_done(job.job_id, job.result)
+        elif job.state == "failed":
+            self._journal.record_job_failed(job.job_id, job.error)
+
+    async def _handle_batch_poll(self, params, body, slot, ctx) -> ServeResponse:
         job = self._jobs.get(params["job"])
         if job is None:
             raise _HandlerError(404, "not-found", f"unknown job {params['job']!r}")
@@ -569,7 +922,7 @@ class ServeApp:
             payload["error"] = job.error
         return ServeResponse(200, payload)
 
-    async def _handle_patch(self, params, body, slot) -> ServeResponse:
+    async def _handle_patch(self, params, body, slot, ctx) -> ServeResponse:
         payload = self._require_object(body)
         updates = self._require_key(payload, "updates")
         if not isinstance(updates, list):
@@ -586,12 +939,16 @@ class ServeApp:
 
         seq, (tick_response, invalidated) = await self._execute("patch", apply, slot)
         payload_out = tick_response_to_payload(tick_response)
+        answer = {"seq": seq, "invalidated_services": invalidated, **payload_out}
+        if self._journal is not None and not self._journal.closed:
+            # The tick is applied and about to be acknowledged: journal it
+            # (with its idempotency key) so a restarted process re-applies
+            # it exactly once and a retrying client replays this answer.
+            self._journal.record_tick(ctx.key, payload, answer)
         self._broker.publish(payload_out["index"], payload_out["deltas"])
-        return ServeResponse(
-            200, {"seq": seq, "invalidated_services": invalidated, **payload_out}
-        )
+        return ServeResponse(200, answer)
 
-    async def _handle_subscribe(self, params, body, slot) -> ServeResponse:
+    async def _handle_subscribe(self, params, body, slot, ctx) -> ServeResponse:
         payload = self._require_object(body)
         request = self._decode(
             "invalid-request", request_from_payload, self._require_key(payload, "request")
@@ -614,7 +971,7 @@ class ServeApp:
             },
         )
 
-    async def _handle_unsubscribe(self, params, body, slot) -> ServeResponse:
+    async def _handle_unsubscribe(self, params, body, slot, ctx) -> ServeResponse:
         sid = self._subscription_id(params)
 
         def drop():
@@ -629,7 +986,7 @@ class ServeApp:
             200, {"subscription": sid, "unsubscribed": True, "streams_closed": closed}
         )
 
-    async def _handle_stream(self, params, body, slot) -> StreamResponse:
+    async def _handle_stream(self, params, body, slot, ctx) -> StreamResponse:
         sid = self._subscription_id(params)
 
         def snapshot():
@@ -803,7 +1160,11 @@ class ServeApp:
                 f"subscription id must be an integer, got {params['sid']!r}",
             ) from None
 
-    def _error(self, status: int, code: str, message: str) -> ServeResponse:
+    def _error(
+        self, status: int, code: str, message: str, *, retry_after: float | None = None
+    ) -> ServeResponse:
         """One counted error answer; every refusal path funnels through here."""
         self._errors += 1
-        return ServeResponse(status, error_envelope(code, message))
+        return ServeResponse(
+            status, error_envelope(code, message, retry_after=retry_after)
+        )

@@ -1,0 +1,228 @@
+"""A seeded, schedulable fault-injection plane for the serving stack.
+
+The robustness suite used to poke failures in ad hoc — a
+``before_execute`` callback here, a monkey-patched method there.
+:class:`FaultPlane` centralises the practice: one seeded object holds a
+*schedule* (which invocation of which injection point fails), the stack
+exposes named injection points, and adapters in this module wire the
+plane into each layer.  Because the schedule is data and the randomness
+is seeded, an entire chaos run — disk faults, worker kills, severed
+connections, a mid-replay restart — replays bit-identically from one
+integer seed.
+
+Injection points (the convention, not a closed set)::
+
+    disk.read           SimulatedDisk / FileDisk page reads -> StorageError
+    session.<verb>      Session verb entry (query / batch / monitor)
+    execute.<label>     ServeApp executor work (the before_execute seam)
+    connection.send     transport response write -> severed connection
+    worker.kill         sharded fork worker (by shard *index*) -> os._exit
+    worker.hang         sharded fork worker (by shard *index*) -> sleep
+
+``schedule(point, at=...)`` fires on exact invocation indices (0-based,
+counted per point); ``schedule(point, probability=...)`` draws from the
+plane's seeded RNG.  ``worker.*`` points are checked by shard index, not
+invocation count, because fork children each inherit a copy-on-write
+plane whose counters do not propagate back.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from typing import Callable
+
+from repro.errors import ServeError, StorageError
+
+__all__ = [
+    "FaultPlane",
+    "InjectedFault",
+    "execute_fault_hook",
+    "faulty_disk",
+    "session_fault_hook",
+    "worker_fault_hook",
+]
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected failure (never raised by real code paths).
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: an injected
+    crash must surface exactly like an unforeseen one (a 500 ``internal``
+    envelope at the serving tier), otherwise the chaos tests would be
+    exercising a gentler failure mode than production would see.
+    """
+
+
+class _Schedule:
+    __slots__ = ("at", "probability", "remaining")
+
+    def __init__(self, at: frozenset[int], probability: float | None, times: int | None):
+        self.at = at
+        self.probability = probability
+        self.remaining = times
+
+
+class FaultPlane:
+    """One seeded fault schedule shared by every injection adapter.
+
+    Parameters
+    ----------
+    seed:
+        Fixes the RNG used by probabilistic schedules — the whole chaos
+        run replays from this one integer.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._schedules: dict[str, _Schedule] = {}
+        self._invocations: dict[str, int] = {}
+        self.fired: dict[str, int] = {}
+
+    def schedule(
+        self,
+        point: str,
+        *,
+        at: int | tuple | list | set | frozenset | None = None,
+        probability: float | None = None,
+        times: int | None = None,
+    ) -> "FaultPlane":
+        """Arm one injection point; returns ``self`` for chaining.
+
+        ``at`` fires on those exact 0-based invocation indices (or shard
+        indices for ``worker.*`` points); ``probability`` fires on a
+        seeded coin flip per invocation, at most ``times`` times in total.
+        """
+        if (at is None) == (probability is None):
+            raise ServeError("schedule one of at=... or probability=..., exactly")
+        if probability is not None and not 0.0 <= probability <= 1.0:
+            raise ServeError(f"probability must be in [0, 1], got {probability!r}")
+        indices: frozenset[int]
+        if at is None:
+            indices = frozenset()
+        elif isinstance(at, int) and not isinstance(at, bool):
+            indices = frozenset({at})
+        else:
+            indices = frozenset(int(index) for index in at)
+        self._schedules[point] = _Schedule(indices, probability, times)
+        return self
+
+    def should_fire(self, point: str, *, index: int | None = None) -> bool:
+        """Whether this invocation of ``point`` fails.
+
+        Without ``index`` the plane counts invocations per point; with it
+        (the fork-worker case) the explicit index is matched statelessly.
+        """
+        schedule = self._schedules.get(point)
+        if index is None:
+            index = self._invocations.get(point, 0)
+            self._invocations[point] = index + 1
+        if schedule is None:
+            return False
+        if schedule.probability is not None:
+            if schedule.remaining is not None and schedule.remaining <= 0:
+                return False
+            fire = self._rng.random() < schedule.probability
+        else:
+            fire = index in schedule.at
+        if fire:
+            if schedule.remaining is not None:
+                schedule.remaining -= 1
+            self.fired[point] = self.fired.get(point, 0) + 1
+        return fire
+
+    def invocations(self, point: str) -> int:
+        return self._invocations.get(point, 0)
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "seed": self.seed,
+            "fired": dict(self.fired),
+            "invocations": dict(self._invocations),
+        }
+
+
+# ---------------------------------------------------------------------- #
+# Layer adapters
+# ---------------------------------------------------------------------- #
+class _FaultyDisk:
+    """A delegating disk proxy whose ``read`` can fail on schedule.
+
+    Wraps :class:`~repro.storage.SimulatedDisk` or
+    :class:`~repro.storage.persist.FileDisk` — anything with a
+    ``read(page_id)`` method — and raises :class:`StorageError` when the
+    plane fires, which the serving tier surfaces as a 503
+    ``dataset-unavailable`` envelope plus a ``degraded`` health state.
+    """
+
+    def __init__(self, disk, plane: FaultPlane, point: str):
+        self._disk = disk
+        self._plane = plane
+        self._point = point
+
+    def read(self, *args, **kwargs):
+        if self._plane.should_fire(self._point):
+            raise StorageError(
+                f"injected disk fault at {self._point} "
+                f"invocation {self._plane.invocations(self._point) - 1}"
+            )
+        return self._disk.read(*args, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._disk, name)
+
+
+def faulty_disk(disk, plane: FaultPlane, *, point: str = "disk.read"):
+    """Wrap a disk so scheduled ``read`` calls raise :class:`StorageError`."""
+    return _FaultyDisk(disk, plane, point)
+
+
+def session_fault_hook(plane: FaultPlane, *, prefix: str = "session") -> Callable[[str], None]:
+    """A :attr:`repro.api.Session.fault_hook` failing scheduled verb entries.
+
+    Checks the verb-specific point (``session.query``) first, then the
+    generic ``session`` point, so a schedule can target one verb or all.
+    """
+
+    def hook(verb: str) -> None:
+        if plane.should_fire(f"{prefix}.{verb}") or plane.should_fire(prefix):
+            raise InjectedFault(f"injected session fault at {prefix}.{verb}")
+
+    return hook
+
+
+def execute_fault_hook(plane: FaultPlane, *, prefix: str = "execute") -> Callable[[str], None]:
+    """A :attr:`repro.serve.ServeApp.before_execute` seam on the plane."""
+
+    def hook(label: str) -> None:
+        if plane.should_fire(f"{prefix}.{label}") or plane.should_fire(prefix):
+            raise InjectedFault(f"injected executor fault at {prefix}.{label}")
+
+    return hook
+
+
+def worker_fault_hook(
+    plane: FaultPlane,
+    *,
+    kill_point: str = "worker.kill",
+    hang_point: str = "worker.hang",
+    hang_seconds: float = 30.0,
+    exit_code: int = 17,
+) -> Callable[[int], None]:
+    """A :func:`repro.parallel.service.set_worker_fault_hook` hook.
+
+    Runs inside forked shard workers with the shard *index*; a scheduled
+    kill exits the child hard (``os._exit`` — no cleanup, exactly like an
+    OOM kill), a scheduled hang sleeps past any reasonable deadline.  The
+    parent detects the broken pool and re-runs the shard on a survivor.
+    """
+
+    def hook(shard_index: int) -> None:
+        if plane.should_fire(kill_point, index=shard_index):
+            os._exit(exit_code)
+        if plane.should_fire(hang_point, index=shard_index):
+            time.sleep(hang_seconds)
+
+    return hook

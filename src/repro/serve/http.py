@@ -35,6 +35,7 @@ REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -59,7 +60,9 @@ class HttpServer:
     one app can be drained and re-exposed.
     """
 
-    def __init__(self, app: ServeApp, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self, app: ServeApp, host: str = "127.0.0.1", port: int = 0, *, fault_plane=None
+    ):
         if not isinstance(app, ServeApp):
             raise ServeError(f"expected a ServeApp, got {type(app).__name__}")
         self._app = app
@@ -67,6 +70,10 @@ class HttpServer:
         self._port = port
         self._server: asyncio.AbstractServer | None = None
         self.connections = 0
+        #: Optional :class:`~repro.serve.FaultPlane`; a scheduled
+        #: ``connection.send`` aborts the connection *after* dispatch and
+        #: before the body is written — the computed-but-undelivered case.
+        self.fault_plane = fault_plane
 
     @property
     def app(self) -> ServeApp:
@@ -127,8 +134,10 @@ class HttpServer:
                 await self._write_stream(writer, response)
             else:
                 await self._write_json(writer, response)
-        except (ConnectionResetError, BrokenPipeError):
-            pass  # the client went away; nothing to answer
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            # The client went away (IncompleteReadError: mid-body, before
+            # dispatch — no admission slot was ever held); nothing to answer.
+            pass
         finally:
             writer.close()
             try:
@@ -174,34 +183,51 @@ class HttpServer:
             # answered 413 without ever being buffered in full.
             limit = min(length, self._app.config.max_body_bytes + 1)
             body = await reader.readexactly(limit) if limit else b""
-        return ServeRequest(method=method, path=path, body=body)
+        return ServeRequest(method=method, path=path, body=body, headers=headers)
 
     async def _write_json(
         self, writer: asyncio.StreamWriter, response: ServeResponse
     ) -> None:
+        if self.fault_plane is not None and self.fault_plane.should_fire(
+            "connection.send"
+        ):
+            # Injected sever: the work is done, the answer never leaves.
+            self._app.note_severed(ok=response.ok)
+            writer.transport.abort()
+            return
         body = json.dumps(response.payload, sort_keys=True).encode("utf-8")
-        writer.write(self._head(response.status, "application/json", len(body)))
-        writer.write(body)
-        await writer.drain()
+        try:
+            writer.write(
+                self._head(response.status, "application/json", len(body), response)
+            )
+            writer.write(body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            # A real sever: same accounting, then swallow — there is no one
+            # left to answer.
+            self._app.note_severed(ok=response.ok)
 
     async def _write_stream(
         self, writer: asyncio.StreamWriter, response: StreamResponse
     ) -> None:
         stream = response.stream
-        writer.write(self._head(response.status, "text/event-stream", None))
+        writer.write(self._head(response.status, "text/event-stream", None, response))
         try:
             await writer.drain()
             async for event in stream.events():
                 writer.write(sse_encode(event))
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
-            pass  # slow or vanished consumer; the broker forgets the stream
+            # slow or vanished consumer; the broker forgets the stream
+            self._app.note_severed(ok=False)
         finally:
             stream.close()
             response.broker.discard(stream)
 
     @staticmethod
-    def _head(status: int, content_type: str, length: int | None) -> bytes:
+    def _head(
+        status: int, content_type: str, length: int | None, response=None
+    ) -> bytes:
         reason = REASONS.get(status, "Unknown")
         lines = [
             f"HTTP/1.1 {status} {reason}",
@@ -210,6 +236,22 @@ class HttpServer:
         ]
         if length is not None:
             lines.append(f"Content-Length: {length}")
+        retry_after = _retry_after_of(response)
+        if retry_after is not None:
+            # Whole seconds, rounded up — the header grammar wants an integer.
+            lines.append(f"Retry-After: {max(1, int(-(-retry_after // 1)))}")
         if content_type == "text/event-stream":
             lines.append("Cache-Control: no-store")
         return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def _retry_after_of(response) -> float | None:
+    """The ``retry_after`` hint of an error envelope, if the answer has one."""
+    payload = getattr(response, "payload", None)
+    if not isinstance(payload, dict):
+        return None
+    error = payload.get("error")
+    if not isinstance(error, dict):
+        return None
+    value = error.get("retry_after")
+    return float(value) if isinstance(value, (int, float)) else None

@@ -1,0 +1,355 @@
+"""A crash-safe, append-only journal for acknowledged serving-tier work.
+
+The serving tier acknowledges two kinds of work before it is durable
+anywhere: a ``POST /v1/batch`` answers ``202`` the moment the job is
+queued, and a ``PATCH /v1/facilities`` tick mutates the live facility set
+in a way a restarted process cannot reconstruct.  :class:`JobJournal`
+makes both survive a crash: every acknowledgement appends one framed
+record, and on reopen the journal replays what the previous process
+promised — completed job results are served from the journal instead of
+recomputed, acknowledged-but-unfinished jobs are re-executed, applied
+ticks are re-applied (exactly once) and their responses re-seed the
+idempotency cache so a retrying client never double-applies an update.
+
+Record framing — one record per line::
+
+    <length:08x><crc32:08x><canonical JSON>\\n
+
+``length`` is the byte length of the JSON portion and ``crc32`` its
+checksum, so a torn tail (the crash happened mid-append) is detected and
+truncated on reopen, while corruption *before* the final record — which a
+crash cannot produce on an append-only file — raises a typed
+:class:`~repro.errors.JournalError` instead of being silently skipped.
+
+Record types::
+
+    {"type": "open",  "version": 1, "fingerprint": "<dataset sha>"}
+    {"type": "job",        "job": "job-3", "requests": [...], "policy": ...}
+    {"type": "job-done",   "job": "job-3", "result": {...}}
+    {"type": "job-failed", "job": "job-3", "error": {...}}
+    {"type": "tick", "key": "...", "body": {...}, "payload": {...}}
+    {"type": "close"}
+
+The ``open`` header binds the journal to one dataset: reopening it
+against a session whose :meth:`~repro.api.Session.dataset_fingerprint`
+differs raises :class:`~repro.errors.JournalMismatchError` — replaying a
+journal onto the wrong dataset would serve stale (wrong) results, which
+is strictly worse than refusing to start.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import JournalError, JournalMismatchError
+
+__all__ = ["JobJournal", "JournalRecovery", "RecoveredJob"]
+
+_HEADER_LEN = 16  # 8 hex chars of length + 8 hex chars of crc32
+FORMAT_VERSION = 1
+
+
+@dataclass
+class RecoveredJob:
+    """One batch job reconstructed from the journal.
+
+    ``state`` is ``"acknowledged"`` (submitted, never finished — must be
+    re-executed), ``"done"`` (result replayable from the journal) or
+    ``"failed"`` (error envelope replayable).
+    """
+
+    job_id: str
+    requests: list
+    policy: object | None
+    state: str = "acknowledged"
+    result: dict | None = None
+    error: dict | None = None
+
+
+@dataclass
+class JournalRecovery:
+    """Everything a reopened journal knows about the previous process."""
+
+    jobs: dict[str, RecoveredJob] = field(default_factory=dict)
+    ticks: list[dict] = field(default_factory=list)
+    truncated_bytes: int = 0
+    clean_close: bool = False
+    max_job_number: int = 0
+    records: int = 0
+
+    @property
+    def unfinished_jobs(self) -> list[RecoveredJob]:
+        """Acknowledged jobs the previous process never finished."""
+        return [job for job in self.jobs.values() if job.state == "acknowledged"]
+
+    def to_payload(self) -> dict[str, object]:
+        return {
+            "records": self.records,
+            "jobs": len(self.jobs),
+            "unfinished_jobs": len(self.unfinished_jobs),
+            "ticks": len(self.ticks),
+            "truncated_bytes": self.truncated_bytes,
+            "clean_close": self.clean_close,
+        }
+
+
+def _frame(record: dict) -> bytes:
+    data = json.dumps(record, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    header = f"{len(data):08x}{zlib.crc32(data) & 0xFFFFFFFF:08x}".encode("ascii")
+    return header + data + b"\n"
+
+
+def _parse_line(line: bytes) -> dict | None:
+    """One framed record, or ``None`` when the line fails validation."""
+    if len(line) < _HEADER_LEN:
+        return None
+    try:
+        length = int(line[:8], 16)
+        crc = int(line[8:_HEADER_LEN], 16)
+    except ValueError:
+        return None
+    data = line[_HEADER_LEN:]
+    if len(data) != length or (zlib.crc32(data) & 0xFFFFFFFF) != crc:
+        return None
+    try:
+        record = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+class JobJournal:
+    """Append-only journal bound to one journal file and one dataset.
+
+    Opening the journal *is* recovery: the constructor scans the file,
+    truncates a torn tail, validates the dataset binding and exposes the
+    reconstructed state as :attr:`recovery`.  The file is then held open
+    in append mode until :meth:`close`.
+
+    Parameters
+    ----------
+    path:
+        The journal file; created (with its ``open`` header) when absent.
+    fingerprint:
+        The serving dataset's fingerprint
+        (:meth:`repro.api.Session.dataset_fingerprint`).  A journal
+        recorded under a different fingerprint refuses to open with
+        :class:`~repro.errors.JournalMismatchError`.
+    sync:
+        Whether every append is ``fsync``\\ ed (default).  Tests that
+        simulate crashes by reopening the file may disable it for speed.
+    """
+
+    def __init__(self, path: str, *, fingerprint: str, sync: bool = True):
+        self._path = os.fspath(path)
+        self._fingerprint = str(fingerprint)
+        self._sync = bool(sync)
+        self._appended = 0
+        self._close_recorded = False
+        self._closed = False
+        self.recovery = self._load()
+        fresh = self.recovery.records == 0
+        self._file = open(self._path, "ab")
+        if fresh:
+            self._append({
+                "type": "open",
+                "version": FORMAT_VERSION,
+                "fingerprint": self._fingerprint,
+            })
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def fingerprint(self) -> str:
+        return self._fingerprint
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def close_recorded(self) -> bool:
+        """Whether this process wrote a clean-close record."""
+        return self._close_recorded
+
+    def snapshot(self) -> dict[str, object]:
+        """The journal view the ``/v1/metrics`` endpoint reports."""
+        return {
+            "path": self._path,
+            "recovered_records": self.recovery.records,
+            "appended_records": self._appended,
+            "clean_close_recorded": self._close_recorded,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+    def record_job_submitted(self, job_id: str, requests: list, policy: object | None) -> None:
+        """One acknowledged ``POST /v1/batch`` (the 202 promise)."""
+        self._append({"type": "job", "job": job_id, "requests": requests, "policy": policy})
+
+    def record_job_done(self, job_id: str, result: dict) -> None:
+        self._append({"type": "job-done", "job": job_id, "result": result})
+
+    def record_job_failed(self, job_id: str, error: dict) -> None:
+        self._append({"type": "job-failed", "job": job_id, "error": error})
+
+    def record_tick(self, key: str | None, body: dict, payload: dict) -> None:
+        """One applied facility tick: the decoded request body plus the
+        response payload (replayed into the idempotency cache on recovery)."""
+        self._append({"type": "tick", "key": key, "body": body, "payload": payload})
+
+    def record_close(self) -> None:
+        """The clean-close marker a graceful drain writes last."""
+        self._append({"type": "close"})
+        self._close_recorded = True
+
+    def close(self) -> None:
+        """Release the file handle (no record written; idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._file.close()
+
+    def _append(self, record: dict) -> None:
+        if self._closed:
+            raise JournalError(f"journal {self._path!r} is closed")
+        try:
+            frame = _frame(record)
+        except (TypeError, ValueError) as error:
+            raise JournalError(
+                f"journal record is not JSON-serialisable: {error}"
+            ) from None
+        self._file.write(frame)
+        self._file.flush()
+        if self._sync:
+            os.fsync(self._file.fileno())
+        self._appended += 1
+
+    # ------------------------------------------------------------------ #
+    # Recovery scan
+    # ------------------------------------------------------------------ #
+    def _load(self) -> JournalRecovery:
+        try:
+            with open(self._path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return JournalRecovery()
+        records, valid_length, truncated = self._scan(raw)
+        recovery = self._replay(records)
+        recovery.truncated_bytes = truncated
+        if truncated:
+            with open(self._path, "r+b") as handle:
+                handle.truncate(valid_length)
+        return recovery
+
+    def _scan(self, raw: bytes) -> tuple[list[dict], int, int]:
+        """All valid records, the valid prefix length, and the torn-tail size."""
+        records: list[dict] = []
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            line = raw[offset : newline if newline != -1 else len(raw)]
+            record = _parse_line(line)
+            if record is None:
+                # A crash can only tear the *final* append on an append-only
+                # file: tolerate (and truncate) an invalid region that runs
+                # to EOF, refuse anything with further content behind it.
+                if newline != -1 and newline + 1 < len(raw):
+                    raise JournalError(
+                        f"journal {self._path!r} is corrupt at byte {offset} "
+                        "(invalid record before the final one); refusing to "
+                        "recover from a journal with a damaged interior"
+                    )
+                return records, offset, len(raw) - offset
+            records.append(record)
+            if newline == -1:  # valid record but the trailing newline was torn
+                return records[:-1], offset, len(raw) - offset
+            offset = newline + 1
+        return records, offset, 0
+
+    def _replay(self, records: list[dict]) -> JournalRecovery:
+        recovery = JournalRecovery(records=len(records))
+        if not records:
+            return recovery
+        header = records[0]
+        if header.get("type") != "open":
+            raise JournalError(
+                f"journal {self._path!r} does not start with an open header"
+            )
+        if header.get("version") != FORMAT_VERSION:
+            raise JournalError(
+                f"journal {self._path!r} was written by format version "
+                f"{header.get('version')!r}; this build reads version {FORMAT_VERSION}"
+            )
+        recorded = header.get("fingerprint")
+        if recorded != self._fingerprint:
+            raise JournalMismatchError(
+                f"journal {self._path!r} was recorded against dataset "
+                f"fingerprint {recorded!r} but the session serves "
+                f"{self._fingerprint!r}; replaying it would serve stale "
+                "results — point the server at the original dataset or "
+                "start a fresh journal"
+            )
+        for record in records[1:]:
+            kind = record.get("type")
+            if kind == "open":
+                continue  # a reopened journal may carry repeated headers
+            if kind == "close":
+                recovery.clean_close = True
+                continue
+            recovery.clean_close = False
+            if kind == "job":
+                job_id = str(record.get("job"))
+                # Duplicate submissions of one id (a re-executed recovery
+                # that crashed again) collapse onto the newest record.
+                recovery.jobs[job_id] = RecoveredJob(
+                    job_id=job_id,
+                    requests=list(record.get("requests") or []),
+                    policy=record.get("policy"),
+                )
+                recovery.max_job_number = max(
+                    recovery.max_job_number, _job_number(job_id)
+                )
+            elif kind == "job-done":
+                job = recovery.jobs.get(str(record.get("job")))
+                if job is not None:
+                    job.state = "done"
+                    job.result = record.get("result")
+                    job.error = None
+            elif kind == "job-failed":
+                job = recovery.jobs.get(str(record.get("job")))
+                if job is not None:
+                    job.state = "failed"
+                    job.error = record.get("error")
+                    job.result = None
+            elif kind == "tick":
+                recovery.ticks.append(
+                    {
+                        "key": record.get("key"),
+                        "body": record.get("body"),
+                        "payload": record.get("payload"),
+                    }
+                )
+            else:
+                raise JournalError(
+                    f"journal {self._path!r} holds an unknown record type {kind!r}"
+                )
+        return recovery
+
+
+def _job_number(job_id: str) -> int:
+    """The numeric suffix of ``job-<n>`` ids (0 for foreign id shapes)."""
+    _prefix, _sep, suffix = job_id.rpartition("-")
+    try:
+        return int(suffix)
+    except ValueError:
+        return 0

@@ -1,0 +1,175 @@
+"""The serving tier's lifecycle state machine and drain reporting.
+
+A server that can only be *on* or *off* loses work at every restart.
+:class:`ServerLifecycle` names the states in between and polices the legal
+transitions::
+
+    starting ──▶ serving ◀──▶ degraded
+                    │             │
+                    ▼             ▼
+                 draining ──▶  closed
+
+* ``starting`` — constructed, journal recovery may still be replaying;
+  the first successful dispatch (or an explicit :meth:`mark_serving`)
+  advances it.
+* ``serving`` — the steady state.
+* ``degraded`` — still answering, but a dependency is failing (e.g. the
+  dataset pack returned a checksum error); ``/v1/health`` reports it and
+  the next successful work-class request recovers back to ``serving``.
+* ``draining`` — shutdown has begun: new work-class requests are refused
+  with a ``draining`` envelope and a ``Retry-After`` hint while in-flight
+  requests and queued batch jobs run to completion under a deadline.
+* ``closed`` — terminal.
+
+The machine lives on the event loop thread (like the admission
+controller), so plain attributes are all the synchronisation it needs.
+Illegal transitions raise :class:`~repro.errors.ServeError` — a lifecycle
+bug should fail loudly in tests, never silently skip a state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServeError
+
+__all__ = ["DrainReport", "ServerLifecycle", "STATES"]
+
+#: Every lifecycle state, in canonical progression order.
+STATES = ("starting", "serving", "degraded", "draining", "closed")
+
+_TRANSITIONS: dict[str, frozenset[str]] = {
+    "starting": frozenset({"serving", "draining", "closed"}),
+    "serving": frozenset({"degraded", "draining", "closed"}),
+    "degraded": frozenset({"serving", "draining", "closed"}),
+    "draining": frozenset({"closed"}),
+    "closed": frozenset(),
+}
+
+
+@dataclass(frozen=True)
+class DrainReport:
+    """What one :meth:`~repro.serve.ServeApp.drain` call accomplished.
+
+    ``clean`` means every in-flight request and active batch job finished
+    before the deadline; ``forced`` means the deadline expired and the
+    remaining jobs were cancelled.  ``journal_closed`` records whether a
+    clean-close record was written (only on a clean drain — a forced close
+    leaves the journal open-ended so the next start re-executes the
+    survivors).
+    """
+
+    clean: bool
+    waited_seconds: float
+    jobs_cancelled: int
+    streams_closed: int
+    journal_closed: bool
+
+    @property
+    def forced(self) -> bool:
+        return not self.clean
+
+    def to_payload(self) -> dict[str, object]:
+        return {
+            "clean": self.clean,
+            "waited_seconds": round(self.waited_seconds, 6),
+            "jobs_cancelled": self.jobs_cancelled,
+            "streams_closed": self.streams_closed,
+            "journal_closed": self.journal_closed,
+        }
+
+
+class ServerLifecycle:
+    """The five-state lifecycle of one serving process.
+
+    Tracks the current state, the reason for a degradation, and a
+    transition count for the ``/v1/metrics`` payload.
+    """
+
+    def __init__(self) -> None:
+        self._state = "starting"
+        self._degraded_reason: str | None = None
+        self._transitions = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def degraded_reason(self) -> str | None:
+        """Why the server degraded (``None`` outside ``degraded``)."""
+        return self._degraded_reason
+
+    @property
+    def accepting(self) -> bool:
+        """Whether new work-class requests are admitted at all."""
+        return self._state in ("starting", "serving", "degraded")
+
+    @property
+    def draining(self) -> bool:
+        return self._state == "draining"
+
+    @property
+    def closed(self) -> bool:
+        return self._state == "closed"
+
+    def snapshot(self) -> dict[str, object]:
+        """The lifecycle view the ``/v1/metrics`` endpoint reports."""
+        return {
+            "state": self._state,
+            "degraded_reason": self._degraded_reason,
+            "transitions": self._transitions,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Transitions
+    # ------------------------------------------------------------------ #
+    def advance(self, state: str, *, reason: str | None = None) -> None:
+        """Move to ``state``; an illegal transition raises :class:`ServeError`."""
+        if state not in _TRANSITIONS:
+            raise ServeError(f"unknown lifecycle state {state!r}; expected one of {STATES}")
+        if state == self._state:
+            return  # idempotent self-transition (e.g. repeated degrade)
+        if state not in _TRANSITIONS[self._state]:
+            raise ServeError(
+                f"illegal lifecycle transition {self._state!r} -> {state!r}"
+            )
+        self._state = state
+        self._degraded_reason = reason if state == "degraded" else None
+        self._transitions += 1
+
+    def mark_serving(self) -> None:
+        """``starting``/``degraded`` -> ``serving`` (no-op when already serving)."""
+        if self._state in ("starting", "degraded"):
+            self.advance("serving")
+
+    def degrade(self, reason: str) -> None:
+        """``serving`` -> ``degraded`` with a reason (refreshes the reason
+        when already degraded; ignored once draining or closed)."""
+        if self._state == "degraded":
+            self._degraded_reason = reason
+            return
+        if self._state == "starting":
+            self.advance("serving")
+        if self._state == "serving":
+            self.advance("degraded", reason=reason)
+
+    def recover(self) -> None:
+        """``degraded`` -> ``serving`` (no-op otherwise)."""
+        if self._state == "degraded":
+            self.advance("serving")
+
+    def begin_drain(self) -> None:
+        """Enter ``draining`` from any pre-drain state (idempotent)."""
+        if self._state in ("starting", "serving", "degraded"):
+            self.advance("draining")
+
+    def mark_closed(self) -> None:
+        """Terminal transition (legal from every state, idempotent)."""
+        if self._state != "closed":
+            self._state = "closed"
+            self._degraded_reason = None
+            self._transitions += 1

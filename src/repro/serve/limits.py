@@ -16,11 +16,12 @@ the synchronisation admission needs, which is exactly why rejection is
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import ServeError
 
-__all__ = ["AdmissionController", "ServeConfig"]
+__all__ = ["AdmissionController", "IdempotencyCache", "ServeConfig"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,18 @@ class ServeConfig:
     max_body_bytes:
         Request bodies above this are rejected with a
         ``payload-too-large`` envelope before JSON decoding.
+    drain_deadline_seconds:
+        How long :meth:`~repro.serve.ServeApp.drain` waits for in-flight
+        requests and active batch jobs before force-cancelling the
+        stragglers.  ``None`` waits forever (drain cannot be forced).
+    retry_after_seconds:
+        The ``retry_after`` hint attached to ``draining`` / ``conflict`` /
+        ``dataset-unavailable`` refusals (and the ``Retry-After`` header
+        the HTTP transport emits for them).
+    idempotency_capacity:
+        Bound of the ``Idempotency-Key`` dedup cache (LRU-evicted).  An
+        evicted key retried later re-executes, so size this above the
+        plausible retry horizon of the traffic.
     """
 
     max_in_flight: int = 8
@@ -58,9 +71,12 @@ class ServeConfig:
     stream_buffer: int = 64
     latency_window: int = 512
     max_body_bytes: int = 1 << 20
+    drain_deadline_seconds: float | None = 5.0
+    retry_after_seconds: float = 1.0
+    idempotency_capacity: int = 1024
 
     def __post_init__(self) -> None:
-        for name in ("max_in_flight", "max_queued_jobs", "stream_buffer", "latency_window"):
+        for name in ("max_in_flight", "max_queued_jobs", "stream_buffer", "latency_window", "idempotency_capacity"):
             value = getattr(self, name)
             if not isinstance(value, int) or isinstance(value, bool) or value < 1:
                 raise ServeError(f"{name} must be a positive integer, got {value!r}")
@@ -83,6 +99,33 @@ class ServeConfig:
                     f"got {self.request_timeout_seconds!r}"
                 )
             object.__setattr__(self, "request_timeout_seconds", timeout)
+        if self.drain_deadline_seconds is not None:
+            try:
+                deadline = float(self.drain_deadline_seconds)
+            except (TypeError, ValueError):
+                raise ServeError(
+                    "drain_deadline_seconds must be a positive number or None, "
+                    f"got {self.drain_deadline_seconds!r}"
+                ) from None
+            if not deadline > 0.0:
+                raise ServeError(
+                    "drain_deadline_seconds must be a positive number or None, "
+                    f"got {self.drain_deadline_seconds!r}"
+                )
+            object.__setattr__(self, "drain_deadline_seconds", deadline)
+        try:
+            retry_after = float(self.retry_after_seconds)
+        except (TypeError, ValueError):
+            raise ServeError(
+                "retry_after_seconds must be a non-negative number, got "
+                f"{self.retry_after_seconds!r}"
+            ) from None
+        if retry_after < 0.0:
+            raise ServeError(
+                "retry_after_seconds must be a non-negative number, got "
+                f"{self.retry_after_seconds!r}"
+            )
+        object.__setattr__(self, "retry_after_seconds", retry_after)
 
 
 class AdmissionController:
@@ -151,4 +194,75 @@ class AdmissionController:
             "high_water": self._high_water,
             "admitted": self._admitted,
             "rejected": self._rejected,
+        }
+
+
+@dataclass
+class IdempotencyEntry:
+    """One cached answer: the request it belongs to and what was served."""
+
+    fingerprint: str
+    status: int
+    payload: dict
+
+
+class IdempotencyCache:
+    """A bounded LRU of ``Idempotency-Key`` -> served response.
+
+    A retried mutation whose first attempt completed server-side (even if
+    the acknowledgement was severed in flight) is answered from here —
+    same status, same payload, no second execution.  Each entry also pins
+    the *request fingerprint* (route + canonical body), so a key reused
+    for a different request is refused instead of silently served someone
+    else's answer.
+
+    Event-loop-thread only, like the admission controller: plain dict
+    operations, no locks.
+    """
+
+    def __init__(self, capacity: int):
+        if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity < 1:
+            raise ServeError(
+                f"idempotency capacity must be a positive integer, got {capacity!r}"
+            )
+        self._capacity = capacity
+        self._entries: OrderedDict[str, IdempotencyEntry] = OrderedDict()
+        self.hits = 0
+        self.stored = 0
+        self.evicted = 0
+        self.conflicts = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str) -> IdempotencyEntry | None:
+        """The cached entry for ``key`` (refreshing its LRU position)."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+        return entry
+
+    def store(self, key: str, fingerprint: str, status: int, payload: dict) -> None:
+        """Cache one served answer, evicting the least-recent past capacity."""
+        self._entries[key] = IdempotencyEntry(fingerprint, status, payload)
+        self._entries.move_to_end(key)
+        self.stored += 1
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.evicted += 1
+
+    def snapshot(self) -> dict[str, int]:
+        """The counters the ``/v1/metrics`` endpoint reports."""
+        return {
+            "capacity": self._capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "stored": self.stored,
+            "evicted": self.evicted,
+            "conflicts": self.conflicts,
         }

@@ -1,0 +1,252 @@
+"""Client-side retry with capped exponential backoff and full jitter.
+
+The serving tier refuses loudly — ``429 saturated``, ``503 draining``,
+``503 dataset-unavailable``, ``504 timeout``, ``409 conflict`` — because
+every one of those refusals is *transient* by design: capacity frees up,
+a drain finishes on another replica, an in-flight duplicate completes.
+:class:`RetryPolicy` is the sanctioned way to ride them out:
+
+* **capped exponential backoff with full jitter** — attempt ``n`` sleeps
+  ``uniform(0, min(max_delay, base * 2**n))``, the schedule that avoids
+  the synchronized thundering herd a fixed backoff recreates;
+* **Retry-After as a floor** — when the refusal carries a server hint
+  (the ``retry_after`` field of the error envelope), the client never
+  retries sooner than the server asked;
+* **budget-bounded** — a wall-clock budget caps the total time spent
+  retrying, so a dead server fails the call instead of hanging it.
+
+Retrying a mutation is only safe when the server deduplicates it, which
+is why :class:`RetryingClient` stamps every POST/PATCH with an
+``Idempotency-Key`` header: a retried tick whose first attempt actually
+applied (the ack was severed in flight) is answered from the server's
+idempotency cache instead of being applied twice.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+import time
+from dataclasses import dataclass
+from typing import Awaitable, Callable
+
+from repro.errors import RetryBudgetExceededError, ServeError
+
+__all__ = ["RetryPolicy", "RetryingClient", "send_with_retry"]
+
+#: Transport-level failures that mean "the answer never arrived" — safe to
+#: retry when the request is idempotent or carries an Idempotency-Key.
+_CONNECTION_ERRORS = (
+    ConnectionResetError,
+    BrokenPipeError,
+    ConnectionAbortedError,
+    asyncio.IncompleteReadError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Declarative retry behaviour for one client.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts including the first (so ``1`` disables retrying).
+    base_delay_seconds / max_delay_seconds:
+        The exponential schedule: attempt ``n`` (0-based) backs off by a
+        uniform draw from ``[0, min(max_delay, base * 2**n)]``.
+    budget_seconds:
+        Wall-clock cap across all attempts and sleeps (``None`` = no cap).
+    retryable_statuses:
+        HTTP statuses worth retrying.  ``409`` (an in-flight duplicate of
+        our own idempotent request) is included by default because the
+        original attempt completing is exactly what a retry waits for.
+    fatal_codes:
+        Error-envelope codes that are *never* retried regardless of
+        status — ``closed`` means the process is gone for good.
+    """
+
+    max_attempts: int = 5
+    base_delay_seconds: float = 0.05
+    max_delay_seconds: float = 2.0
+    budget_seconds: float | None = 30.0
+    retryable_statuses: tuple[int, ...] = (409, 429, 503, 504)
+    fatal_codes: tuple[str, ...] = ("closed",)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_attempts, int) or isinstance(self.max_attempts, bool) or self.max_attempts < 1:
+            raise ServeError(
+                f"max_attempts must be a positive integer, got {self.max_attempts!r}"
+            )
+        for name in ("base_delay_seconds", "max_delay_seconds"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                raise ServeError(f"{name} must be a non-negative number, got {value!r}")
+        if self.budget_seconds is not None and not self.budget_seconds > 0:
+            raise ServeError(
+                f"budget_seconds must be positive or None, got {self.budget_seconds!r}"
+            )
+
+    def delay_for(
+        self,
+        attempt: int,
+        *,
+        rng: random.Random,
+        retry_after: float | None = None,
+    ) -> float:
+        """The sleep before retry number ``attempt`` (0-based), jittered."""
+        cap = min(self.max_delay_seconds, self.base_delay_seconds * (2 ** attempt))
+        delay = rng.uniform(0.0, cap)
+        if retry_after is not None:
+            delay = max(delay, float(retry_after))
+        return delay
+
+    def is_retryable(self, status: int, code: str | None) -> bool:
+        if code is not None and code in self.fatal_codes:
+            return False
+        return status in self.retryable_statuses
+
+
+def _classify(response) -> tuple[bool, str | None, float | None]:
+    """``(is_json_error, code, retry_after)`` of one dispatch answer."""
+    payload = getattr(response, "payload", None)
+    if not isinstance(payload, dict):
+        return False, None, None
+    error = payload.get("error")
+    if not isinstance(error, dict):
+        return False, None, None
+    retry_after = error.get("retry_after")
+    return True, error.get("code"), (
+        float(retry_after) if isinstance(retry_after, (int, float)) else None
+    )
+
+
+async def send_with_retry(
+    send: Callable[[], Awaitable],
+    *,
+    policy: RetryPolicy | None = None,
+    rng: random.Random | None = None,
+    sleep: Callable[[float], Awaitable] = asyncio.sleep,
+    clock: Callable[[], float] = time.monotonic,
+    on_retry: Callable[[int, int | None, float], None] | None = None,
+):
+    """Run ``send()`` under ``policy``; returns the first conclusive answer.
+
+    Conclusive means: any non-error answer, any error the policy does not
+    retry, or a stream.  Severed connections (``ConnectionResetError`` and
+    friends raised by ``send``) count as retryable attempts.  When the
+    attempt or wall-clock budget runs out mid-retry, raises
+    :class:`~repro.errors.RetryBudgetExceededError` carrying the last
+    observed status.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    rng = rng if rng is not None else random.Random()
+    start = clock()
+    last_status: int | None = None
+    last_error: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            response = await send()
+        except _CONNECTION_ERRORS as error:
+            last_status, last_error = None, error
+            retry_after: float | None = None
+        else:
+            status = getattr(response, "status", 200)
+            is_error, code, retry_after = _classify(response)
+            if not is_error or not policy.is_retryable(status, code):
+                return response
+            last_status, last_error = status, None
+        if attempt + 1 >= policy.max_attempts:
+            break
+        delay = policy.delay_for(attempt, rng=rng, retry_after=retry_after)
+        if (
+            policy.budget_seconds is not None
+            and (clock() - start) + delay > policy.budget_seconds
+        ):
+            break
+        if on_retry is not None:
+            on_retry(attempt, last_status, delay)
+        await sleep(delay)
+    raise RetryBudgetExceededError(
+        f"request still failing after {attempt + 1} attempts"
+        + (f" (last status {last_status})" if last_status is not None else " (connection severed)"),
+        status=last_status,
+        attempts=attempt + 1,
+    ) from last_error
+
+
+class RetryingClient:
+    """A retrying, idempotency-keyed wrapper over any serve client.
+
+    ``client`` is anything with the :class:`~repro.serve.InProcessClient`
+    ``request(method, path, payload, headers=...)`` signature.  Every
+    POST/PATCH is stamped with a generated ``Idempotency-Key`` (stable
+    across that call's retries), so retried mutations deduplicate
+    server-side; GET/DELETE retries are naturally safe.
+
+    The ``seed`` fixes the jitter schedule — chaos tests stay reproducible.
+    """
+
+    def __init__(
+        self,
+        client,
+        *,
+        policy: RetryPolicy | None = None,
+        seed: int | None = None,
+        key_prefix: str = "retry",
+    ):
+        self._client = client
+        self._policy = policy if policy is not None else RetryPolicy()
+        self._rng = random.Random(seed)
+        self._key_prefix = key_prefix
+        self._key_counter = itertools.count(1)
+        self.attempts = 0
+        self.retries = 0
+
+    @property
+    def policy(self) -> RetryPolicy:
+        return self._policy
+
+    def _next_key(self) -> str:
+        return f"{self._key_prefix}-{next(self._key_counter)}"
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: object | None = None,
+        *,
+        idempotency_key: str | None = None,
+        headers: dict | None = None,
+    ):
+        method = method.upper()
+        merged = dict(headers or {})
+        if method in ("POST", "PATCH") and "idempotency-key" not in merged:
+            merged["idempotency-key"] = (
+                idempotency_key if idempotency_key is not None else self._next_key()
+            )
+        self.attempts += 1
+
+        async def send():
+            return await self._client.request(method, path, payload, headers=merged)
+
+        def note_retry(_attempt: int, _status: int | None, _delay: float) -> None:
+            self.attempts += 1
+            self.retries += 1
+
+        return await send_with_retry(
+            send, policy=self._policy, rng=self._rng, on_retry=note_retry
+        )
+
+    async def get(self, path: str):
+        return await self.request("GET", path)
+
+    async def post(self, path: str, payload: object, *, idempotency_key: str | None = None):
+        return await self.request("POST", path, payload, idempotency_key=idempotency_key)
+
+    async def patch(self, path: str, payload: object, *, idempotency_key: str | None = None):
+        return await self.request("PATCH", path, payload, idempotency_key=idempotency_key)
+
+    async def delete(self, path: str):
+        return await self.request("DELETE", path)

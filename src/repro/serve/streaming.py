@@ -194,13 +194,18 @@ class DeltaBroker:
             )
         return len(streams)
 
-    def close_all(self) -> int:
-        """Close every stream (server shutdown), terminally."""
+    def close_all(self, event: str = "closed") -> int:
+        """Close every stream terminally (server shutdown).
+
+        ``event`` names the terminal event: ``"closed"`` for a hard stop,
+        ``"server-closing"`` when a graceful drain announces the shutdown
+        so consumers reconnect elsewhere instead of retrying here.
+        """
         closed = 0
         for subscription_id in list(self._streams):
             streams = self._streams.pop(subscription_id)
             for stream in streams:
-                stream.close(StreamEvent("closed", {"subscription": subscription_id}))
+                stream.close(StreamEvent(event, {"subscription": subscription_id}))
                 closed += 1
         return closed
 

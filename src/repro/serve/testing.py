@@ -22,12 +22,20 @@ __all__ = ["InProcessClient", "collect_events"]
 
 
 class InProcessClient:
-    """A tiny async client bound to one :class:`ServeApp`."""
+    """A tiny async client bound to one :class:`ServeApp`.
 
-    def __init__(self, app: ServeApp):
+    ``fault_plane`` (a :class:`~repro.serve.FaultPlane`) makes the client
+    a chaos transport: a scheduled ``connection.send`` raises
+    :class:`ConnectionResetError` *after* the dispatch completed — the
+    server did the work and the acknowledgement was lost in flight, which
+    is exactly the case idempotency keys exist for.
+    """
+
+    def __init__(self, app: ServeApp, *, fault_plane=None):
         if not isinstance(app, ServeApp):
             raise ServeError(f"expected a ServeApp, got {type(app).__name__}")
         self._app = app
+        self.fault_plane = fault_plane
 
     @property
     def app(self) -> ServeApp:
@@ -40,6 +48,7 @@ class InProcessClient:
         payload: object | None = None,
         *,
         raw_body: bytes | str | None = None,
+        headers: dict | None = None,
     ) -> ServeResponse | StreamResponse:
         """One request; ``payload`` is JSON-encoded, ``raw_body`` wins raw."""
         if raw_body is not None:
@@ -48,16 +57,31 @@ class InProcessClient:
             body = json.dumps(payload).encode("utf-8")
         else:
             body = None
-        return await self._app.dispatch(ServeRequest(method, path, body))
+        response = await self._app.dispatch(ServeRequest(method, path, body, headers))
+        if (
+            self.fault_plane is not None
+            and not isinstance(response, StreamResponse)
+            and self.fault_plane.should_fire("connection.send")
+        ):
+            self._app.note_severed(ok=response.ok)
+            raise ConnectionResetError(
+                "injected connection sever: the answer was computed but never "
+                "delivered"
+            )
+        return response
 
     async def get(self, path: str) -> ServeResponse | StreamResponse:
         return await self.request("GET", path)
 
-    async def post(self, path: str, payload: object) -> ServeResponse | StreamResponse:
-        return await self.request("POST", path, payload)
+    async def post(
+        self, path: str, payload: object, *, headers: dict | None = None
+    ) -> ServeResponse | StreamResponse:
+        return await self.request("POST", path, payload, headers=headers)
 
-    async def patch(self, path: str, payload: object) -> ServeResponse | StreamResponse:
-        return await self.request("PATCH", path, payload)
+    async def patch(
+        self, path: str, payload: object, *, headers: dict | None = None
+    ) -> ServeResponse | StreamResponse:
+        return await self.request("PATCH", path, payload, headers=headers)
 
     async def delete(self, path: str) -> ServeResponse | StreamResponse:
         return await self.request("DELETE", path)

@@ -70,7 +70,8 @@ def _run(coro):
 def _assert_envelope(response, status, code):
     assert response.status == status, response.payload
     assert sorted(response.payload) == ["error"]
-    assert sorted(response.payload["error"]) == ["code", "message"]
+    keys = sorted(response.payload["error"])
+    assert keys in (["code", "message"], ["code", "message", "retry_after"])
     assert response.payload["error"]["code"] == code
     assert "Traceback" not in response.payload["error"]["message"]
 
