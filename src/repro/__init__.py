@@ -108,6 +108,7 @@ from repro.errors import (
 )
 from repro.monitor import (
     DeltaReport,
+    EdgeCostUpdate,
     FacilityDelete,
     FacilityInsert,
     MonitoringService,
@@ -135,8 +136,15 @@ from repro.service import (
     TopKRequest,
 )
 from repro.storage.scheme import NetworkStorage, StorageSnapshotView
+from repro.temporal import (
+    SkylineSweepRequest,
+    SweepResponse,
+    TemporalExecutor,
+    TopKSweepRequest,
+)
+from repro.timedep import TimeVaryingMCN, peak_profile, stable_intervals
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "BatchReport",
@@ -146,6 +154,7 @@ __all__ = [
     "CrossQueryExpansionCache",
     "DataGenerationError",
     "DeltaReport",
+    "EdgeCostUpdate",
     "ExecutionPolicy",
     "ExpansionKernel",
     "Facility",
@@ -181,15 +190,22 @@ __all__ = [
     "SkylineMaintainer",
     "SkylineRequest",
     "SkylineResult",
+    "SkylineSweepRequest",
     "StorageError",
     "StorageSnapshotView",
+    "SweepResponse",
+    "TemporalExecutor",
     "TickReport",
     "TickResponse",
+    "TimeVaryingMCN",
     "TopKRequest",
     "TopKMaintainer",
     "TopKResult",
+    "TopKSweepRequest",
     "UpdateStream",
     "UpdateTick",
+    "peak_profile",
+    "stable_intervals",
     "WeightedLpNorm",
     "WeightedSum",
     "__version__",

@@ -52,6 +52,7 @@ __all__ = [
     "ExecutionPolicy",
     "RESIDENCIES",
     "ROUTINGS",
+    "TEMPORAL_MODES",
     "VECTOR_ENV_VAR",
     "VECTOR_MODES",
     "compiled_env_default",
@@ -81,6 +82,7 @@ ALGORITHMS = ("cea", "lsa", "baseline")
 RESIDENCIES = ("memory", "disk", "dataset")
 COMPILED_MODES = ("auto", "on", "off")
 VECTOR_MODES = ("auto", "on", "off")
+TEMPORAL_MODES = ("off", "profiles")
 
 #: Lazily probed numpy availability (the selection layer's import-time fact).
 _NUMPY_AVAILABLE: bool | None = None
@@ -232,6 +234,17 @@ class ExecutionPolicy:
     shard_fallback_threshold:
         Monitoring only: minimum number of stale subscriptions in one tick
         before the end-of-tick recompute pass is sharded across workers.
+    temporal / profile_source:
+        The temporal subsystem's knobs.  ``temporal="profiles"`` lets the
+        session answer departure-time-parameterised requests by evaluating
+        the named time-profile set (``profile_source`` must then name one of
+        the profile sets registered on the session) into per-time graph
+        snapshots; ``"off"`` (the default) keeps the classic static
+        semantics and rejects any ``departure_time``.
+    temporal_quantum / temporal_cache_size:
+        Snapshot reuse: departure times are quantised to multiples of
+        ``temporal_quantum`` (in the profiles' time unit) before keying the
+        snapshot LRU, which holds at most ``temporal_cache_size`` stacks.
     """
 
     algorithm: str = "cea"
@@ -248,6 +261,10 @@ class ExecutionPolicy:
     harvest_settled: bool = True
     max_cached_entries: int | None = None
     shard_fallback_threshold: int = 4
+    temporal: str = "off"
+    profile_source: str | None = None
+    temporal_quantum: float = 0.25
+    temporal_cache_size: int = 8
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -338,6 +355,49 @@ class ExecutionPolicy:
                 f"shard_fallback_threshold must be a positive integer, got "
                 f"{self.shard_fallback_threshold!r}"
             )
+        if self.temporal not in TEMPORAL_MODES:
+            raise PolicyError(
+                f"unknown temporal mode {self.temporal!r}; expected one of "
+                f"{TEMPORAL_MODES} ('profiles' evaluates a registered "
+                "time-profile set into per-departure-time snapshots)"
+            )
+        if self.profile_source is not None and not isinstance(self.profile_source, str):
+            raise PolicyError(
+                f"profile_source must be a string name or None, got "
+                f"{type(self.profile_source).__name__}"
+            )
+        if self.temporal == "profiles" and not self.profile_source:
+            raise PolicyError(
+                "temporal='profiles' requires profile_source to name a "
+                "profile set registered on the Session (profiles={name: ...})"
+            )
+        if self.temporal == "off" and self.profile_source is not None:
+            raise PolicyError(
+                "profile_source is set but temporal='off'; enable "
+                "temporal='profiles' or drop the source"
+            )
+        if isinstance(self.temporal_quantum, bool) or not isinstance(
+            self.temporal_quantum, (int, float)
+        ):
+            raise PolicyError(
+                f"temporal_quantum must be a positive number, got "
+                f"{self.temporal_quantum!r}"
+            )
+        object.__setattr__(self, "temporal_quantum", float(self.temporal_quantum))
+        if not self.temporal_quantum > 0.0:
+            raise PolicyError(
+                f"temporal_quantum must be a positive number, got "
+                f"{self.temporal_quantum!r}"
+            )
+        if (
+            not isinstance(self.temporal_cache_size, int)
+            or isinstance(self.temporal_cache_size, bool)
+            or self.temporal_cache_size < 1
+        ):
+            raise PolicyError(
+                f"temporal_cache_size must be a positive integer, got "
+                f"{self.temporal_cache_size!r}"
+            )
 
     # ------------------------------------------------------------------ #
     # Derived views
@@ -424,17 +484,18 @@ def policy_from_payload(payload: dict[str, object]) -> ExecutionPolicy:
         kwargs["max_cached_entries"] = _integer_field(
             "max_cached_entries", kwargs["max_cached_entries"]
         )
-    for name in ("page_size", "workers", "shard_fallback_threshold"):
+    for name in ("page_size", "workers", "shard_fallback_threshold", "temporal_cache_size"):
         if name in kwargs:
             kwargs[name] = _integer_field(name, kwargs[name])
-    if "buffer_fraction" in kwargs:
-        value = kwargs["buffer_fraction"]
-        try:
-            kwargs["buffer_fraction"] = float(value)  # type: ignore[arg-type]
-        except (TypeError, ValueError):
-            raise PolicyError(
-                f"policy field buffer_fraction must be a number, got {value!r}"
-            ) from None
+    for name in ("buffer_fraction", "temporal_quantum"):
+        if name in kwargs:
+            value = kwargs[name]
+            try:
+                kwargs[name] = float(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise PolicyError(
+                    f"policy field {name} must be a number, got {value!r}"
+                ) from None
     return ExecutionPolicy(**kwargs)  # type: ignore[arg-type]
 
 

@@ -51,10 +51,11 @@ True
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.api.policy import DEFAULT_POLICY, ExecutionPolicy
 from repro.api.stats import LatencyRecorder
@@ -77,6 +78,10 @@ from repro.service.requests import (
 from repro.service.service import QueryService
 from repro.storage.catalog import PackedDataset, PackedNetworkStorage, open_dataset
 from repro.storage.scheme import NetworkStorage
+
+if TYPE_CHECKING:  # pragma: no cover - the executor is imported lazily
+    from repro.temporal.executor import SweepResponse
+    from repro.temporal.requests import SweepRequest
 
 __all__ = [
     "BatchResponse",
@@ -363,6 +368,13 @@ class Session:
     verify_checksum:
         Whether opening ``dataset_path`` verifies the pack's SHA-256
         (default ``True``).
+    profiles:
+        Named time-profile sets (``{name: TimeVaryingMCN}``) the temporal
+        subsystem can evaluate.  A policy with ``temporal="profiles"``
+        names one of them via ``profile_source``; the session then answers
+        ``departure_time``-bearing requests (and :meth:`sweep` calls) over
+        profile-evaluated snapshots.  Every set must be built over this
+        session's graph.
     """
 
     def __init__(
@@ -375,6 +387,7 @@ class Session:
         policy: ExecutionPolicy | None = None,
         dataset_path: str | None = None,
         verify_checksum: bool = True,
+        profiles: dict[str, object] | None = None,
     ):
         if storage is not None and accessor is not None:
             raise PolicyError(
@@ -412,6 +425,8 @@ class Session:
         self._facilities = facilities
         self._explicit_storage = storage
         self._explicit_accessor = accessor
+        self._profiles = self._coerce_profiles(graph, profiles)
+        self._temporal: dict[tuple, object] = {}
         self._default_policy = self._coerce_policy(policy)
         self._check_policy(self._default_policy)
         self._storages: dict[tuple[int, float], NetworkStorage] = {}
@@ -443,6 +458,31 @@ class Session:
         """Open a read-only session over a dataset pack (see ``dataset_path``)."""
         return cls(dataset_path=path, policy=policy, verify_checksum=verify_checksum)
 
+    @staticmethod
+    def _coerce_profiles(graph: MultiCostGraph, profiles: dict[str, object] | None) -> dict:
+        if not profiles:
+            return {}
+        from repro.timedep.network import TimeVaryingMCN
+
+        coerced = {}
+        for name, network in profiles.items():
+            if not isinstance(name, str) or not name:
+                raise PolicyError(
+                    f"profile-set names must be non-empty strings, got {name!r}"
+                )
+            if not isinstance(network, TimeVaryingMCN):
+                raise PolicyError(
+                    f"profile set {name!r} must be a TimeVaryingMCN, got "
+                    f"{type(network).__name__}"
+                )
+            if network.base_graph is not graph:
+                raise PolicyError(
+                    f"profile set {name!r} was built over a different base "
+                    "graph than the session's"
+                )
+            coerced[name] = network
+        return coerced
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
@@ -459,6 +499,11 @@ class Session:
     def policy(self) -> ExecutionPolicy:
         """The session's default execution policy."""
         return self._default_policy
+
+    @property
+    def profile_names(self) -> tuple[str, ...]:
+        """The registered time-profile sets a temporal policy may name."""
+        return tuple(sorted(self._profiles))
 
     def dataset_fingerprint(self) -> str:
         """A stable identifier of the workload this session serves.
@@ -515,6 +560,9 @@ class Session:
         self._monitor_key = None
         if monitor is not None:
             monitor.close()
+        temporal, self._temporal = self._temporal, {}
+        for executor in temporal.values():
+            executor.close()
         for service in self._services.values():
             service.reset_cache()
         self._services.clear()
@@ -675,11 +723,28 @@ class Session:
 
         The request runs through the policy's (cached) batch service, so
         repeated sessions calls share the cross-query expansion cache and —
-        when the policy enables it — the result memo.
+        when the policy enables it — the result memo.  A request carrying a
+        ``departure_time`` requires ``temporal="profiles"`` and runs on the
+        (cached) snapshot stack of that time instead.
         """
         if self.fault_hook is not None:
             self.fault_hook("query")
         resolved = self._resolve(policy)
+        departure_time = getattr(request, "departure_time", None)
+        if departure_time is not None:
+            executor = self._temporal_for(resolved)
+            response = executor.query(request, self._static_policy(resolved))
+            response = Response(
+                request=response.request,
+                result=response.result,
+                io=response.io,
+                elapsed_seconds=response.elapsed_seconds,
+                policy=resolved,
+                served_from_memo=response.served_from_memo,
+                ticket=response.ticket,
+            )
+            self._latency.observe("query", response.elapsed_seconds)
+            return response
         outcome = self._service_for(resolved).execute(request)
         response = Response.from_outcome(outcome, resolved)
         self._latency.observe("query", response.elapsed_seconds)
@@ -730,10 +795,20 @@ class Session:
         across a (cached) :class:`~repro.ShardedQueryService`.  Either way
         the answers, their order and the summed counters are identical to
         the corresponding direct-service run.
+
+        Requests carrying a ``departure_time`` (requires
+        ``temporal="profiles"``) run on their snapshot stacks; a mixed batch
+        is split into maximal same-stack runs executed in submission order,
+        and the envelope sums their counters (shard accounting is then
+        omitted).
         """
         if self.fault_hook is not None:
             self.fault_hook("batch")
         resolved = self._resolve(policy)
+        if any(getattr(request, "departure_time", None) is not None for request in requests):
+            response = self._run_temporal_batch(list(requests), resolved)
+            self._latency.observe("batch", response.elapsed_seconds)
+            return response
         if resolved.workers > 1:
             report = self._sharded_for(resolved).run_batch(requests)
         else:
@@ -741,6 +816,67 @@ class Session:
         response = BatchResponse.from_report(report, resolved)
         self._latency.observe("batch", response.elapsed_seconds)
         return response
+
+    def _run_temporal_batch(
+        self, requests: list[QueryRequest], resolved: ExecutionPolicy
+    ) -> BatchResponse:
+        """Split a (possibly mixed) temporal batch into same-stack runs."""
+        import time as time_module
+
+        executor = self._temporal_for(resolved)
+        static_policy = self._static_policy(resolved)
+        start = time_module.perf_counter()
+        responses: list[Response] = []
+        io = AccessStatistics()
+        cache = CacheStatistics()
+        index = 0
+        while index < len(requests):
+            temporal_run = getattr(requests[index], "departure_time", None) is not None
+            end = index + 1
+            while end < len(requests) and (
+                (getattr(requests[end], "departure_time", None) is not None) == temporal_run
+            ):
+                end += 1
+            run = requests[index:end]
+            if temporal_run:
+                batch = executor.run_batch(run, static_policy)
+            else:
+                batch = BatchResponse.from_report(
+                    self._service_for(resolved).run_batch(run), resolved
+                )
+            responses.extend(batch.responses)
+            io.accumulate(batch.io)
+            cache.accumulate(batch.cache)
+            index = end
+        return BatchResponse(
+            responses=tuple(responses),
+            elapsed_seconds=time_module.perf_counter() - start,
+            io=io,
+            cache=cache,
+            policy=resolved,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Period sweeps (temporal subsystem)
+    # ------------------------------------------------------------------ #
+    def sweep(
+        self, request: SweepRequest, *, policy: ExecutionPolicy | None = None
+    ) -> SweepResponse:
+        """Execute one period sweep and return its :class:`~repro.temporal.SweepResponse`.
+
+        ``request`` is a :class:`~repro.temporal.SkylineSweepRequest` or
+        :class:`~repro.temporal.TopKSweepRequest`; the resolved policy must
+        enable ``temporal="profiles"``.  Every sampled instant is answered
+        over its (cached) snapshot stack, and the per-instant answers are
+        grouped into the paper's stable intervals.
+        """
+        if self.fault_hook is not None:
+            self.fault_hook("query")
+        resolved = self._resolve(policy)
+        executor = self._temporal_for(resolved)
+        response = executor.sweep(request, self._static_policy(resolved))
+        self._latency.observe("query", response.elapsed_seconds)
+        return dataclasses.replace(response, policy=resolved)
 
     # ------------------------------------------------------------------ #
     # Continuous monitoring
@@ -835,6 +971,27 @@ class Session:
 
     def _check_policy(self, policy: ExecutionPolicy) -> None:
         """Reject policy/dataset conflicts before any execution starts."""
+        if policy.temporal == "profiles":
+            if self._dataset_path is not None:
+                raise PolicyError(
+                    "temporal='profiles' needs an in-memory base graph to "
+                    "evaluate profiles over; a pack-backed session is "
+                    "read-only — open the workload as a graph-backed Session"
+                )
+            if policy.residency == "dataset":
+                raise PolicyError(
+                    "temporal='profiles' conflicts with residency='dataset': "
+                    "snapshots are materialised per departure time and cannot "
+                    "be served from a static pack; use residency='memory' or "
+                    "'disk'"
+                )
+            if policy.profile_source not in self._profiles:
+                registered = ", ".join(sorted(self._profiles)) or "none registered"
+                raise PolicyError(
+                    f"unknown profile_source {policy.profile_source!r}; this "
+                    f"session's profile sets: {registered} (register them via "
+                    "Session(profiles={name: TimeVaryingMCN(...)}))"
+                )
         if policy.residency == "dataset":
             if self._dataset_path is not None:
                 if policy.dataset_path != self._dataset_path:
@@ -893,6 +1050,38 @@ class Session:
                 vector,
             )
         return ("memory", compiled, vector)
+
+    @staticmethod
+    def _static_policy(policy: ExecutionPolicy) -> ExecutionPolicy:
+        """The equivalent static policy a snapshot stack executes under."""
+        return policy.replace(temporal="off", profile_source=None)
+
+    def _temporal_for(self, policy: ExecutionPolicy):
+        """The (cached) temporal executor the resolved policy routes through."""
+        if policy.temporal != "profiles":
+            raise PolicyError(
+                "this request needs the temporal subsystem (it carries a "
+                "departure_time or is a period sweep), but the resolved "
+                "policy has temporal='off'; use "
+                "ExecutionPolicy(temporal='profiles', profile_source=<name>) "
+                "with a profile set registered on the Session"
+            )
+        key = (
+            policy.profile_source,
+            float(policy.temporal_quantum),
+            policy.temporal_cache_size,
+        )
+        if key not in self._temporal:
+            from repro.temporal.executor import TemporalExecutor
+
+            self._temporal[key] = TemporalExecutor(
+                self._graph,
+                self._facilities,
+                self._profiles[policy.profile_source],
+                quantum=policy.temporal_quantum,
+                cache_size=policy.temporal_cache_size,
+            )
+        return self._temporal[key]
 
     def _service_for(self, policy: ExecutionPolicy) -> QueryService:
         key = self._engine_key(policy) + (

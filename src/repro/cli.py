@@ -315,6 +315,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the report payload as JSON",
     )
+    timedep = bench_commands.add_parser(
+        "timedep",
+        help="replay a rush-hour edge-cost stream: incremental re-profiling "
+        "vs rebuild-every-tick, with a departure-time snapshot probe",
+    )
+    timedep.add_argument("--nodes", type=int, default=300, help="graph nodes")
+    timedep.add_argument("--facilities", type=int, default=60, help="number of facilities")
+    timedep.add_argument("--cost-types", type=int, default=2, help="number of cost types d")
+    timedep.add_argument(
+        "--subscriptions", type=int, default=6,
+        help="live subscriptions (alternating skyline / top-k)",
+    )
+    timedep.add_argument("--seed", type=int, default=7, help="random seed")
+    timedep.add_argument("--ticks", type=int, default=24, help="stream ticks to replay")
+    timedep.add_argument(
+        "--start-time", type=float, default=6.0, help="first tick instant"
+    )
+    timedep.add_argument(
+        "--time-step", type=float, default=0.5, help="time between ticks"
+    )
+    timedep.add_argument(
+        "--affected-fraction",
+        type=float,
+        default=0.25,
+        help="fraction of edges with a rush-hour profile",
+    )
+    timedep.add_argument(
+        "--no-probe",
+        action="store_true",
+        help="skip the departure-time snapshot-LRU probe leg",
+    )
+    timedep.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="also write the report payload as JSON",
+    )
 
     build_ds = commands.add_parser(
         "build-dataset",
@@ -443,6 +480,8 @@ def _run_serve_batch(args: argparse.Namespace) -> int:
 def _run_bench(args: argparse.Namespace) -> int:
     if args.bench_command == "cold-cache":
         return _run_bench_cold_cache(args)
+    if args.bench_command == "timedep":
+        return _run_bench_timedep(args)
     try:
         report = run_perf_suite(smoke=args.smoke, repeats=args.repeats)
     except ReproError as error:
@@ -506,6 +545,45 @@ def _run_bench_cold_cache(args: argparse.Namespace) -> int:
     if report.io_identical is False or report.results_identical is False:
         return 1
     return 0
+
+
+def _run_bench_timedep(args: argparse.Namespace) -> int:
+    from repro.bench.timedep import (
+        TimedepBenchSpec,
+        format_timedep_report,
+        run_timedep_bench,
+    )
+    from repro.datagen.updates import EdgeCostStreamSpec
+
+    try:
+        spec = TimedepBenchSpec(
+            workload=WorkloadSpec(
+                num_nodes=args.nodes,
+                num_facilities=args.facilities,
+                num_cost_types=args.cost_types,
+                num_queries=args.subscriptions,
+                seed=args.seed,
+            ),
+            stream=EdgeCostStreamSpec(
+                num_ticks=args.ticks,
+                start_time=args.start_time,
+                time_step=args.time_step,
+                affected_fraction=args.affected_fraction,
+                seed=args.seed,
+            ),
+            probe_snapshots=not args.no_probe,
+        )
+        report = run_timedep_bench(spec)
+    except ReproError as error:
+        print(f"bench timedep: {error}", file=sys.stderr)
+        return 2
+    print(format_timedep_report(report), end="")
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0 if report.results_identical else 1
 
 
 def _run_serve(args: argparse.Namespace) -> int:

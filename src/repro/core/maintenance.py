@@ -69,6 +69,7 @@ class MaintenanceStatistics:
     incremental_updates: int = 0
     recomputations: int = 0
     query_moves: int = 0
+    edge_cost_refreshes: int = 0
 
     def snapshot(self) -> "MaintenanceStatistics":
         """A copy of the current counters (used to diff before/after a tick)."""
@@ -78,6 +79,7 @@ class MaintenanceStatistics:
             incremental_updates=self.incremental_updates,
             recomputations=self.recomputations,
             query_moves=self.query_moves,
+            edge_cost_refreshes=self.edge_cost_refreshes,
         )
 
     def since(self, earlier: "MaintenanceStatistics") -> "MaintenanceStatistics":
@@ -88,6 +90,7 @@ class MaintenanceStatistics:
             incremental_updates=self.incremental_updates - earlier.incremental_updates,
             recomputations=self.recomputations - earlier.recomputations,
             query_moves=self.query_moves - earlier.query_moves,
+            edge_cost_refreshes=self.edge_cost_refreshes - earlier.edge_cost_refreshes,
         )
 
     def accumulate(self, other: "MaintenanceStatistics") -> None:
@@ -97,6 +100,7 @@ class MaintenanceStatistics:
         self.incremental_updates += other.incremental_updates
         self.recomputations += other.recomputations
         self.query_moves += other.query_moves
+        self.edge_cost_refreshes += other.edge_cost_refreshes
 
 
 class _QueryDistanceMaps:
@@ -139,13 +143,16 @@ class _QueryDistanceMaps:
                 # The kernel fast path: candidate mode with no candidates
                 # drains the node heap over the CSR columns.  The charge
                 # layer mirrors the FetchOnceCache the legacy path uses, so
-                # the accessor counters move identically.  Deliberately no
-                # ensure_fresh(): settled distances depend only on the static
-                # arc columns, and the query-edge facility slots a possibly
-                # stale snapshot seeds are all discarded by the empty
-                # candidate set — skipping the refresh keeps per-update
-                # insertion pricing from rebuilding facility columns on
-                # every monitoring tick.
+                # the accessor counters move identically.  No blanket
+                # ensure_fresh(): settled distances never read the facility
+                # columns (the query-edge facility slots a possibly stale
+                # snapshot seeds are all discarded by the empty candidate
+                # set), so skipping the refresh keeps per-update insertion
+                # pricing from rebuilding facility columns on every
+                # monitoring tick.  Arc columns *are* cost-dependent, so a
+                # cost-revision drift alone forces the refresh.
+                if self._compiled.costs_revision != self._graph.costs_revision:
+                    self._compiled.ensure_fresh()
                 layer = make_kernel_data_layer(
                     self._compiled, target=self._accessor, fetch_once=True
                 )
@@ -348,8 +355,28 @@ class _MaintainerBase:
         """Relocate the query point (always a fallback recomputation)."""
         query.validate(self._graph)
         self._query = query
-        self._distances = _QueryDistanceMaps(self._accessor, self._graph, query, self._compiled)
+        self._distances = _QueryDistanceMaps(
+            self._accessor, self._graph, query, self._compiled, self._vector
+        )
         self._statistics.query_moves += 1
+        if defer_recompute:
+            self._stale = True
+        else:
+            self._recompute()
+
+    def note_edge_costs_changed(self, *, defer_recompute: bool = False) -> None:
+        """React to edge cost-vector changes (always a fallback recomputation).
+
+        Settled distance maps embed the edge costs they were expanded over,
+        so any re-profiled edge invalidates them wholesale — there is no
+        cheap incremental patch analogous to the facility cases.  The maps
+        are rebuilt lazily (nothing is expanded until the next read) and the
+        result is recomputed, immediately or deferred like the other hooks.
+        """
+        self._distances = _QueryDistanceMaps(
+            self._accessor, self._graph, self._query, self._compiled, self._vector
+        )
+        self._statistics.edge_cost_refreshes += 1
         if defer_recompute:
             self._stale = True
         else:

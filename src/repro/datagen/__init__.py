@@ -12,7 +12,12 @@ from repro.datagen.road_network import (
     generate_road_network,
 )
 from repro.datagen.updates import (
+    EdgeCostStreamSpec,
     UpdateStreamSpec,
+    edge_cost_stream_spec_from_payload,
+    edge_cost_stream_spec_to_payload,
+    make_edge_cost_stream,
+    make_profile_network,
     make_update_stream,
     update_stream_spec_from_payload,
     update_stream_spec_to_payload,
@@ -27,6 +32,7 @@ from repro.datagen.workload import (
 
 __all__ = [
     "CostDistribution",
+    "EdgeCostStreamSpec",
     "RoadNetworkSpec",
     "UpdateStreamSpec",
     "Workload",
@@ -38,6 +44,10 @@ __all__ = [
     "generate_query_locations",
     "generate_road_network",
     "generate_uniform_facilities",
+    "edge_cost_stream_spec_from_payload",
+    "edge_cost_stream_spec_to_payload",
+    "make_edge_cost_stream",
+    "make_profile_network",
     "make_update_stream",
     "make_workload",
     "update_stream_spec_from_payload",

@@ -14,6 +14,15 @@ facility ids and subscription ids), so a spec payload pins a stream forever
 — the same fixture contract as :func:`repro.datagen.workload.make_workload`.
 The input facility set is only *read*; the stream simulates its own view of
 which ids are live.
+
+:class:`EdgeCostStreamSpec` / :func:`make_edge_cost_stream` are the
+temporal subsystem's counterpart: a rush-hour ramp (a triangular
+:func:`~repro.timedep.peak_profile` over a deterministic subset of edges)
+sampled at regular instants, emitting one tick of
+:class:`~repro.monitor.EdgeCostUpdate` re-profilings per instant — the
+continuous edge-cost stream a periodic re-profiler would push at the
+monitoring service.  Base costs are captured eagerly at generation time, so
+the stream is replayable even while the target graph mutates.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from collections.abc import Sequence
 from repro.datagen.queries import generate_query_locations
 from repro.errors import DataGenerationError
 from repro.monitor.stream import (
+    EdgeCostUpdate,
     FacilityDelete,
     FacilityInsert,
     FacilityUpdate,
@@ -34,10 +44,17 @@ from repro.monitor.stream import (
 )
 from repro.network.facilities import FacilitySet
 from repro.network.graph import EdgeId, MultiCostGraph
+from repro.timedep.network import TimeVaryingMCN
+from repro.timedep.profiles import CostProfile, peak_profile
 
 __all__ = [
+    "EdgeCostStreamSpec",
     "UpdateStreamSpec",
+    "make_edge_cost_stream",
+    "make_profile_network",
     "make_update_stream",
+    "edge_cost_stream_spec_to_payload",
+    "edge_cost_stream_spec_from_payload",
     "update_stream_spec_to_payload",
     "update_stream_spec_from_payload",
 ]
@@ -198,5 +215,158 @@ def make_update_stream(
                 updates.append(draw_insert())
             else:
                 updates.append(draw_delete())
+        ticks.append(UpdateTick(tuple(updates)))
+    return UpdateStream(tuple(ticks))
+
+
+# --------------------------------------------------------------------- #
+# Edge-cost streams (temporal re-profiling)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class EdgeCostStreamSpec:
+    """All generation parameters of one rush-hour edge-cost stream.
+
+    A deterministic fraction of edges is declared *congestible*; each gets
+    a triangular peak (multiplier ``1 → peak_multiplier → 1`` over
+    ``2 * peak_width`` time units around ``peak_time``, jittered per edge)
+    on every cost type.  The window ``[start_time, start_time +
+    num_ticks * time_step)`` is sampled one tick per instant, and a tick
+    carries an :class:`~repro.monitor.EdgeCostUpdate` for every congestible
+    edge whose (rounded) cost vector moved since the previous instant —
+    quiet edges emit nothing, so off-peak ticks are cheap or empty.
+    """
+
+    num_ticks: int = 16
+    start_time: float = 6.0
+    time_step: float = 0.25
+    affected_fraction: float = 0.25
+    peak_time: float = 8.0
+    peak_multiplier: float = 3.0
+    peak_width: float = 1.5
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_ticks < 0:
+            raise DataGenerationError("the number of ticks cannot be negative")
+        if self.time_step <= 0:
+            raise DataGenerationError("time_step must be positive")
+        if not 0.0 < self.affected_fraction <= 1.0:
+            raise DataGenerationError("affected_fraction must lie in (0, 1]")
+        if self.peak_multiplier <= 0:
+            raise DataGenerationError("peak_multiplier must be positive")
+        if self.peak_width <= 0:
+            raise DataGenerationError("peak_width must be positive")
+
+
+def edge_cost_stream_spec_to_payload(spec: EdgeCostStreamSpec) -> dict[str, object]:
+    """A plain-JSON dictionary describing ``spec`` (the fixture contract)."""
+    return {
+        "num_ticks": spec.num_ticks,
+        "start_time": spec.start_time,
+        "time_step": spec.time_step,
+        "affected_fraction": spec.affected_fraction,
+        "peak_time": spec.peak_time,
+        "peak_multiplier": spec.peak_multiplier,
+        "peak_width": spec.peak_width,
+        "seed": spec.seed,
+    }
+
+
+def edge_cost_stream_spec_from_payload(payload: dict[str, object]) -> EdgeCostStreamSpec:
+    """Rebuild an :class:`EdgeCostStreamSpec` from its payload dictionary."""
+    try:
+        return EdgeCostStreamSpec(
+            num_ticks=int(payload["num_ticks"]),  # type: ignore[arg-type]
+            start_time=float(payload["start_time"]),  # type: ignore[arg-type]
+            time_step=float(payload["time_step"]),  # type: ignore[arg-type]
+            affected_fraction=float(payload["affected_fraction"]),  # type: ignore[arg-type]
+            peak_time=float(payload["peak_time"]),  # type: ignore[arg-type]
+            peak_multiplier=float(payload["peak_multiplier"]),  # type: ignore[arg-type]
+            peak_width=float(payload["peak_width"]),  # type: ignore[arg-type]
+            seed=int(payload["seed"]),  # type: ignore[arg-type]
+        )
+    except KeyError as missing:
+        raise DataGenerationError(f"edge-cost stream payload missing {missing}") from None
+
+
+#: Decimal places an edge cost is rounded to when deciding "moved since the
+#: previous instant" — and in the emitted costs themselves, so replaying the
+#: stream is bit-stable across platforms.
+_EDGE_COST_ROUND = 9
+
+
+def _congestion_profiles(
+    graph: MultiCostGraph, spec: EdgeCostStreamSpec
+) -> dict[EdgeId, CostProfile]:
+    """The spec's deterministic congestible-edge → peak-profile assignment."""
+    rng = random.Random(spec.seed)
+    edges = sorted(graph.edges(), key=lambda edge: edge.edge_id)
+    if not edges:
+        raise DataGenerationError("the graph has no edges to re-profile")
+    num_affected = max(1, round(spec.affected_fraction * len(edges)))
+    affected = sorted(
+        rng.sample(edges, min(num_affected, len(edges))), key=lambda edge: edge.edge_id
+    )
+    profiles: dict[EdgeId, CostProfile] = {}
+    for edge in affected:
+        jitter = rng.uniform(-spec.peak_width / 4.0, spec.peak_width / 4.0)
+        profiles[edge.edge_id] = peak_profile(
+            peak_time=spec.peak_time + jitter,
+            peak_multiplier=spec.peak_multiplier,
+            width=spec.peak_width,
+        )
+    return profiles
+
+
+def make_profile_network(graph: MultiCostGraph, spec: EdgeCostStreamSpec) -> TimeVaryingMCN:
+    """The :class:`~repro.timedep.TimeVaryingMCN` behind ``spec``'s stream.
+
+    Built from the same seeded edge → peak-profile assignment as
+    :func:`make_edge_cost_stream` (the profile applies to every cost type of
+    a congestible edge), so sampling this network's costs at the stream's
+    tick instants — rounded like the stream — reproduces the stream's cost
+    vectors exactly.  Register it as a :class:`~repro.api.Session` profile
+    set to ask departure-time questions about the same rush hour the stream
+    replays tick by tick.
+    """
+    profiles = _congestion_profiles(graph, spec)
+    return TimeVaryingMCN(
+        graph,
+        profiles={
+            edge_id: [profile] * graph.num_cost_types
+            for edge_id, profile in profiles.items()
+        },
+    )
+
+
+def make_edge_cost_stream(graph: MultiCostGraph, spec: EdgeCostStreamSpec) -> UpdateStream:
+    """Generate a deterministic rush-hour edge-cost stream against ``graph``.
+
+    The graph is only *read* (base cost vectors are captured eagerly), so
+    the stream can be replayed against the live graph it was generated from
+    even as applying it mutates that graph's costs.
+    """
+    profiles = _congestion_profiles(graph, spec)
+    affected = [graph.edge(edge_id) for edge_id in sorted(profiles)]
+    base_costs = {
+        edge.edge_id: tuple(edge.costs.values) for edge in affected
+    }
+
+    def costs_at(edge_id: EdgeId, time: float) -> tuple[float, ...]:
+        multiplier = profiles[edge_id].value_at(time)
+        return tuple(
+            round(base * multiplier, _EDGE_COST_ROUND) for base in base_costs[edge_id]
+        )
+
+    current = {edge.edge_id: base_costs[edge.edge_id] for edge in affected}
+    ticks = []
+    for tick_index in range(spec.num_ticks):
+        time = spec.start_time + tick_index * spec.time_step
+        updates: list[FacilityUpdate] = []
+        for edge in affected:
+            costs = costs_at(edge.edge_id, time)
+            if costs != current[edge.edge_id]:
+                current[edge.edge_id] = costs
+                updates.append(EdgeCostUpdate(edge.edge_id, costs))
         ticks.append(UpdateTick(tuple(updates)))
     return UpdateStream(tuple(ticks))

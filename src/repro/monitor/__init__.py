@@ -5,10 +5,11 @@ query updates as the key open extension; :mod:`repro.core.maintenance`
 implements the per-query maintainers, and this package turns them into a
 *service*: :class:`MonitoringService` registers long-lived skyline / top-k
 subscriptions, consumes an :class:`UpdateStream` of facility inserts,
-deletes and query relocations one :class:`UpdateTick` at a time, routes
-every update through the cheap incremental maintenance paths, falls back to
-one batched — optionally sharded — CEA pass per tick for the hard cases,
-and emits a :class:`DeltaReport` per subscription per tick.
+deletes, query relocations and edge cost re-profilings one
+:class:`UpdateTick` at a time, routes every update through the cheap
+incremental maintenance paths, falls back to one batched — optionally
+sharded — CEA pass per tick for the hard cases, and emits a
+:class:`DeltaReport` per subscription per tick.
 """
 
 from repro.monitor.service import (
@@ -19,6 +20,7 @@ from repro.monitor.service import (
     tick_report_to_payload,
 )
 from repro.monitor.stream import (
+    EdgeCostUpdate,
     FacilityDelete,
     FacilityInsert,
     FacilityUpdate,
@@ -35,6 +37,7 @@ from repro.monitor.stream import (
 
 __all__ = [
     "DeltaReport",
+    "EdgeCostUpdate",
     "FacilityDelete",
     "FacilityInsert",
     "FacilityUpdate",

@@ -56,8 +56,9 @@ from dataclasses import dataclass, field
 from repro.api.policy import DEFAULT_POLICY, ExecutionPolicy, legacy_kwargs_warning
 from repro.core.engine import MCNQueryEngine
 from repro.core.maintenance import MaintenanceStatistics, SkylineMaintainer, TopKMaintainer
-from repro.errors import FacilityError, PolicyError, QueryError
+from repro.errors import FacilityError, GraphError, PolicyError, QueryError
 from repro.network.accessor import AccessStatistics
+from repro.network.costs import CostVector
 from repro.network.facilities import Facility, FacilityId, FacilitySet
 from repro.network.graph import MultiCostGraph
 from repro.parallel import ParallelExecution
@@ -65,6 +66,7 @@ from repro.service import QueryService, SkylineRequest, TopKRequest
 from repro.service.requests import QueryRequest
 from repro.service.service import validate_request
 from repro.monitor.stream import (
+    EdgeCostUpdate,
     FacilityDelete,
     FacilityInsert,
     QueryRelocation,
@@ -156,17 +158,23 @@ def delta_report_to_payload(delta: DeltaReport) -> dict[str, object]:
 
 def tick_report_to_payload(report: TickReport) -> dict[str, object]:
     """A plain-JSON dictionary pinning one tick's deltas and path counters."""
+    counters: dict[str, int] = {
+        "insertions": report.counters.insertions,
+        "deletions": report.counters.deletions,
+        "incremental_updates": report.counters.incremental_updates,
+        "recomputations": report.counters.recomputations,
+        "query_moves": report.counters.query_moves,
+    }
+    if report.counters.edge_cost_refreshes:
+        # Emitted only when an edge-cost tick actually fired, so the facility
+        # delta-stream fixtures recorded before the temporal subsystem stay
+        # byte-identical.
+        counters["edge_cost_refreshes"] = report.counters.edge_cost_refreshes
     return {
         "index": report.index,
         "updates": report.updates,
         "deltas": [delta_report_to_payload(delta) for delta in report.deltas],
-        "counters": {
-            "insertions": report.counters.insertions,
-            "deletions": report.counters.deletions,
-            "incremental_updates": report.counters.incremental_updates,
-            "recomputations": report.counters.recomputations,
-            "query_moves": report.counters.query_moves,
-        },
+        "counters": counters,
         "fallback_subscriptions": list(report.fallback_subscriptions),
         "sharded": report.sharded,
     }
@@ -489,6 +497,21 @@ class MonitoringService:
                         f"update {position}: unknown subscription {update.subscription_id}"
                     )
                 update.location.validate(self._graph)
+            elif isinstance(update, EdgeCostUpdate):
+                if not self._graph.has_edge(update.edge_id):
+                    raise QueryError(
+                        f"update {position}: unknown edge {update.edge_id}"
+                    )
+                try:
+                    vector = CostVector(update.costs)
+                except GraphError as error:
+                    raise QueryError(f"update {position}: {error}") from None
+                if vector.dimensions != self._graph.num_cost_types:
+                    raise QueryError(
+                        f"update {position}: edge cost vector has "
+                        f"{vector.dimensions} components, expected "
+                        f"{self._graph.num_cost_types}"
+                    )
             else:
                 raise QueryError(
                     f"update {position}: expected a facility update, "
@@ -535,9 +558,15 @@ class MonitoringService:
                 self._facilities.remove(update.facility_id)
                 for sub in subscriptions:
                     sub.maintainer.note_delete(update.facility_id, defer_recompute=True)
-            else:  # QueryRelocation
+            elif isinstance(update, QueryRelocation):
                 maintainer = self._subscriptions[update.subscription_id].maintainer
                 maintainer.move_query(update.location, defer_recompute=True)
+            else:  # EdgeCostUpdate
+                self._graph.update_edge_costs(update.edge_id, update.costs)
+                # A re-profiled edge invalidates every subscription's settled
+                # distance maps; all of them defer to the batched pass below.
+                for sub in subscriptions:
+                    sub.maintainer.note_edge_costs_changed(defer_recompute=True)
 
         stale = [sub for sub in subscriptions if sub.maintainer.stale]
         sharded, sharded_io = self._refresh(stale)

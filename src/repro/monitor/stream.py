@@ -1,12 +1,14 @@
 """The facility-update stream model consumed by the monitoring service.
 
 A stream is a sequence of *ticks*; a tick is an ordered batch of updates
-applied atomically between two result emissions.  Three update kinds cover
-the paper's Section-VII maintenance setting:
+applied atomically between two result emissions.  Four update kinds cover
+the paper's Section-VII maintenance setting and its temporal extension:
 
 * :class:`FacilityInsert` — a new facility appears on an edge;
 * :class:`FacilityDelete` — an existing facility disappears;
-* :class:`QueryRelocation` — one subscription's query location moves.
+* :class:`QueryRelocation` — one subscription's query location moves;
+* :class:`EdgeCostUpdate` — an edge's cost vector is re-profiled (the
+  temporal subsystem's rush-hour ramps emit these continuously).
 
 All types are small frozen dataclasses, so updates are hashable, picklable
 (the sharded fallback can ship work to pool workers) and round-trip through
@@ -29,6 +31,7 @@ from repro.network.location import NetworkLocation
 from repro.service.requests import location_from_payload, location_to_payload
 
 __all__ = [
+    "EdgeCostUpdate",
     "FacilityInsert",
     "FacilityDelete",
     "QueryRelocation",
@@ -71,9 +74,22 @@ class QueryRelocation:
     location: NetworkLocation
 
 
-FacilityUpdate = Union[FacilityInsert, FacilityDelete, QueryRelocation]
+@dataclass(frozen=True)
+class EdgeCostUpdate:
+    """Edge ``edge_id``'s cost vector is replaced by ``costs`` (re-profiling)."""
 
-_UPDATE_KINDS = (FacilityInsert, FacilityDelete, QueryRelocation)
+    edge_id: EdgeId
+    costs: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "costs", tuple(float(value) for value in self.costs)
+        )
+
+
+FacilityUpdate = Union[FacilityInsert, FacilityDelete, QueryRelocation, EdgeCostUpdate]
+
+_UPDATE_KINDS = (FacilityInsert, FacilityDelete, QueryRelocation, EdgeCostUpdate)
 
 
 @dataclass(frozen=True)
@@ -115,14 +131,16 @@ class UpdateStream:
         return sum(len(tick) for tick in self.ticks)
 
     def counts_by_kind(self) -> dict[str, int]:
-        """How many inserts / deletes / relocations the stream carries."""
-        counts = {"insert": 0, "delete": 0, "relocate": 0}
+        """How many inserts / deletes / relocations / edge re-costs the stream carries."""
+        counts = {"insert": 0, "delete": 0, "relocate": 0, "edge-cost": 0}
         for tick in self.ticks:
             for update in tick:
                 if isinstance(update, FacilityInsert):
                     counts["insert"] += 1
                 elif isinstance(update, FacilityDelete):
                     counts["delete"] += 1
+                elif isinstance(update, EdgeCostUpdate):
+                    counts["edge-cost"] += 1
                 else:
                     counts["relocate"] += 1
         return counts
@@ -154,6 +172,12 @@ def update_to_payload(update: FacilityUpdate) -> dict[str, object]:
             "subscription": update.subscription_id,
             "location": location_to_payload(update.location),
         }
+    if isinstance(update, EdgeCostUpdate):
+        return {
+            "type": "edge-cost",
+            "edge": update.edge_id,
+            "costs": list(update.costs),
+        }
     raise QueryError(f"expected a facility update, got {type(update).__name__}")
 
 
@@ -174,10 +198,16 @@ def update_from_payload(payload: dict[str, object]) -> FacilityUpdate:
                 subscription_id=int(payload["subscription"]),  # type: ignore[arg-type]
                 location=location_from_payload(payload["location"]),  # type: ignore[arg-type]
             )
+        if kind == "edge-cost":
+            return EdgeCostUpdate(
+                edge_id=int(payload["edge"]),  # type: ignore[arg-type]
+                costs=tuple(float(v) for v in payload["costs"]),  # type: ignore[union-attr]
+            )
     except KeyError as missing:
         raise QueryError(f"{kind} update payload missing {missing}") from None
     raise QueryError(
-        f"unknown update type {kind!r}; expected 'insert', 'delete' or 'relocate'"
+        f"unknown update type {kind!r}; expected 'insert', 'delete', "
+        "'relocate' or 'edge-cost'"
     )
 
 

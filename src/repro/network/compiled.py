@@ -164,7 +164,9 @@ class CompiledGraph:
         self.arc_edge = arc_edge
         self.arc_forward = bytes(arc_forward)
         self.arc_costs = arc_costs
-        # Per-cost hot arc structures (topology-only, never invalidated).
+        self._costs_revision = graph.costs_revision
+        # Per-cost hot arc structures (cost-dependent: patched per edge by
+        # ensure_fresh when edge costs are re-profiled).
         self._hot_arcs: dict[int, list[tuple]] = {}
         # Dense edge -> incident dense nodes (topology-only, built lazily by
         # hot_facility_node_flags' maintenance).
@@ -270,6 +272,56 @@ class CompiledGraph:
                 self._adj_records.pop(node_idx, None)
         self._facilities_revision = facilities.revision
         self._adj_records_revision = facilities.revision
+
+    def _refresh_edge_costs(self, dense_edges: set[int]) -> None:
+        """Patch every cost-dependent structure of the given edges, in place.
+
+        The CSR arc-cost columns, the per-cost hot arc tuples of the incident
+        nodes, the hot facility cells (their key deltas embed
+        ``edge_cost * fraction``) and the reconstructed adjacency records all
+        depend on edge costs; everything else — topology, facility store,
+        page-plan machinery — is untouched.  Patching mutates the existing
+        lists/arrays so kernels and layers that already bound them observe
+        the new costs, exactly as facility patches behave.
+        """
+        graph = self._graph
+        num_costs = self.num_cost_types
+        edge_nodes = self._edge_endpoint_nodes()
+        touched_nodes: set[int] = set()
+        for dense_edge in dense_edges:
+            edge = graph.edge(self.edge_ids[dense_edge])
+            for cost_index, value in enumerate(edge.costs.values):
+                self._edge_costs[cost_index][dense_edge] = value
+            touched_nodes.update(edge_nodes[dense_edge])
+        arc_edge = self.arc_edge
+        arc_neighbor = self.arc_neighbor
+        arc_forward = self.arc_forward
+        indptr = self.arc_indptr
+        for node_idx in touched_nodes:
+            for arc in range(indptr[node_idx], indptr[node_idx + 1]):
+                edge_idx = arc_edge[arc]
+                if edge_idx in dense_edges:
+                    for cost_index in range(num_costs):
+                        self.arc_costs[cost_index][arc] = self._edge_costs[
+                            cost_index
+                        ][edge_idx]
+            for cost_index, hot in self._hot_arcs.items():
+                arc_cost = self.arc_costs[cost_index]
+                hot[node_idx] = tuple(
+                    (
+                        arc_cost[arc],
+                        arc_neighbor[arc],
+                        arc_edge[arc] * 2 + arc_forward[arc],
+                    )
+                    for arc in range(indptr[node_idx], indptr[node_idx + 1])
+                )
+            self._adj_records.pop(node_idx, None)
+        for dense_edge in dense_edges:
+            for cost_index, table in self._hot_facilities.items():
+                backward, forward = self._facility_cells(dense_edge, cost_index)
+                table[dense_edge * 2] = backward
+                table[dense_edge * 2 + 1] = forward
+        self._costs_revision = graph.costs_revision
 
     def _edge_endpoint_nodes(self) -> list[tuple[int, ...]]:
         """Dense edge -> the dense nodes whose arc lists traverse it."""
@@ -391,6 +443,11 @@ class CompiledGraph:
         """The facility-set revision the facility columns were derived from."""
         return self._facilities_revision
 
+    @property
+    def costs_revision(self) -> int:
+        """The graph costs revision the cost columns were derived from."""
+        return self._costs_revision
+
     def memoryview_columns(self) -> dict[str, memoryview]:
         """Zero-copy ``memoryview``\\ s over the core numeric columns.
 
@@ -502,6 +559,23 @@ class CompiledGraph:
                 "the graph gained nodes or edges after it was compiled; "
                 "rebuild the CompiledGraph (topology must be static)"
             )
+        if self._graph.costs_revision != self._costs_revision:
+            if self._storage is not None:
+                raise QueryError(
+                    "edge costs mutated under a compiled graph with page plans; "
+                    "the disk-resident network file is bulk-loaded and static, "
+                    "so rebuild the storage and recompile"
+                )
+            changed_edges = self._graph.changed_edges_since(self._costs_revision)
+            if changed_edges is None:
+                # Too far behind the graph's bounded changelog: every edge
+                # is suspect, so patch all of them (still in place).
+                self._refresh_edge_costs(set(range(self.num_edges)))
+            else:
+                edge_index = self.edge_index
+                self._refresh_edge_costs(
+                    {edge_index[edge_id] for edge_id in changed_edges}
+                )
         if self._facilities.revision == self._facilities_revision:
             return self
         if self._storage is not None:

@@ -9,6 +9,7 @@ notes the extension is trivial.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 
@@ -16,6 +17,10 @@ from repro.errors import GraphError
 from repro.network.costs import CostVector
 
 __all__ = ["Node", "Edge", "MultiCostGraph"]
+
+#: How many cost-changed edge ids the graph remembers; consumers that fall
+#: further behind than this must rebuild instead of patching.
+_CHANGELOG_LIMIT = 1024
 
 NodeId = int
 EdgeId = int
@@ -103,6 +108,8 @@ class MultiCostGraph:
         self._edges: dict[EdgeId, Edge] = {}
         self._adjacency: dict[NodeId, list[_AdjacencyEntry]] = {}
         self._next_edge_id = 0
+        self._costs_revision = 0
+        self._cost_log: deque[EdgeId] = deque(maxlen=_CHANGELOG_LIMIT)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -159,6 +166,56 @@ class MultiCostGraph:
         if not self._directed:
             self._adjacency[v].append(_AdjacencyEntry(u, edge_id))
         return edge
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def update_edge_costs(self, edge_id: EdgeId, costs: Sequence[float] | CostVector) -> Edge:
+        """Replace an edge's cost vector in place (topology and length keep).
+
+        This is the primitive behind time-varying re-profiling: the edge's
+        end-nodes, id and physical ``length`` are untouched (so facility
+        offsets stay valid), only the d-dimensional cost vector changes.
+        Every call bumps :attr:`costs_revision` and records the edge id in a
+        bounded changelog consumed by :meth:`changed_edges_since` (the
+        compiled snapshot patches exactly the touched edges).
+        """
+        old = self.edge(edge_id)
+        vector = costs if isinstance(costs, CostVector) else CostVector(costs)
+        if vector.dimensions != self._num_cost_types:
+            raise GraphError(
+                f"edge cost vector has {vector.dimensions} components, "
+                f"expected {self._num_cost_types}"
+            )
+        edge = Edge(edge_id, old.u, old.v, vector, old.length)
+        self._edges[edge_id] = edge
+        self._costs_revision += 1
+        self._cost_log.append(edge_id)
+        return edge
+
+    @property
+    def costs_revision(self) -> int:
+        """A counter bumped by every :meth:`update_edge_costs` call."""
+        return self._costs_revision
+
+    def changed_edges_since(self, revision: int) -> list[EdgeId] | None:
+        """The edge ids whose costs changed after ``revision`` (oldest first).
+
+        Returns ``[]`` when the caller is current, the (possibly repeating)
+        edge ids when the bounded changelog still covers the gap, and
+        ``None`` when it overflowed — the caller must rebuild from scratch.
+        A revision *ahead* of the graph's is a caller bug and raises.
+        """
+        if revision > self._costs_revision:
+            raise GraphError(
+                f"revision {revision} is ahead of the graph's revision {self._costs_revision}"
+            )
+        needed = self._costs_revision - revision
+        if needed == 0:
+            return []
+        if needed > len(self._cost_log):
+            return None
+        return list(self._cost_log)[-needed:]
 
     # ------------------------------------------------------------------ #
     # Inspection

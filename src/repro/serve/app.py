@@ -17,8 +17,10 @@ Endpoints (all JSON)::
     POST   /v1/query                       one skyline / top-k request
     POST   /v1/batch                       submit a batch job (202 + job id)
     GET    /v1/batch/{job}                 poll a batch job
-    PATCH  /v1/facilities                  apply one update tick (insert /
+    PATCH  /v1/facilities                  apply one facility tick (insert /
                                            delete / relocate) + invalidate
+    PATCH  /v1/edges                       apply one edge-cost tick
+                                           (re-profiled edge vectors)
     POST   /v1/subscriptions               register a long-lived subscription
     DELETE /v1/subscriptions/{sid}         drop a subscription
     GET    /v1/subscriptions/{sid}/stream  live DeltaReports over SSE
@@ -66,7 +68,7 @@ from repro.errors import (
     ServeError,
     StorageError,
 )
-from repro.monitor.stream import tick_from_payload
+from repro.monitor.stream import EdgeCostUpdate, tick_from_payload
 from repro.serve.journal import JobJournal
 from repro.serve.lifecycle import DrainReport, ServerLifecycle
 from repro.serve.limits import AdmissionController, IdempotencyCache, ServeConfig
@@ -105,7 +107,7 @@ ERROR_CODES = (
 
 #: Routes whose answers may be deduplicated via the ``Idempotency-Key``
 #: header (the mutating / work-submitting endpoints).
-IDEMPOTENT_ROUTES = frozenset({"query", "batch-submit", "patch"})
+IDEMPOTENT_ROUTES = frozenset({"query", "batch-submit", "patch", "patch-edges"})
 
 #: Routes still answered while the server drains: health and metrics (so
 #: orchestrators can watch the drain) and batch polling (so clients can
@@ -132,7 +134,15 @@ SURFACE_SCHEMAS: dict[str, dict[str, object]] = {
         "response": ["job", "state", "result?", "error?"],
     },
     "PATCH /v1/facilities": {
-        "request": {"updates": "[<update payload>...]"},
+        "request": {"updates": "[<facility update payload>...]"},
+        "response": [
+            "seq", "index", "updates", "deltas", "counters",
+            "fallback_subscriptions", "sharded", "io", "elapsed_seconds",
+            "invalidated_services",
+        ],
+    },
+    "PATCH /v1/edges": {
+        "request": {"updates": "[<edge-cost update payload>...]"},
         "response": [
             "seq", "index", "updates", "deltas", "counters",
             "fallback_subscriptions", "sharded", "io", "elapsed_seconds",
@@ -392,6 +402,7 @@ class ServeApp:
             _Route.compile("POST", "/v1/batch", "batch-submit", admission=False),
             _Route.compile("GET", "/v1/batch/{job}", "batch-poll", admission=False),
             _Route.compile("PATCH", "/v1/facilities", "patch", admission=True),
+            _Route.compile("PATCH", "/v1/edges", "patch-edges", admission=True),
             _Route.compile("POST", "/v1/subscriptions", "subscribe", admission=True),
             _Route.compile(
                 "DELETE", "/v1/subscriptions/{sid}", "unsubscribe", admission=False
@@ -411,6 +422,7 @@ class ServeApp:
             "batch-submit": self._handle_batch_submit,
             "batch-poll": self._handle_batch_poll,
             "patch": self._handle_patch,
+            "patch-edges": self._handle_patch_edges,
             "subscribe": self._handle_subscribe,
             "unsubscribe": self._handle_unsubscribe,
             "stream": self._handle_stream,
@@ -578,8 +590,9 @@ class ServeApp:
             await loop.run_in_executor(self._executor, reapply)
             key, payload = record.get("key"), record.get("payload")
             if key and isinstance(payload, dict):
+                route_name = record.get("route") or "patch"
                 self._idempotency.store(
-                    key, _request_fingerprint("patch", body), 200, payload
+                    key, _request_fingerprint(route_name, body), 200, payload
                 )
         reexecuted = 0
         for recovered in recovery.unfinished_jobs:
@@ -923,6 +936,19 @@ class ServeApp:
         return ServeResponse(200, payload)
 
     async def _handle_patch(self, params, body, slot, ctx) -> ServeResponse:
+        return await self._apply_tick("patch", body, slot, ctx)
+
+    async def _handle_patch_edges(self, params, body, slot, ctx) -> ServeResponse:
+        return await self._apply_tick("patch-edges", body, slot, ctx)
+
+    async def _apply_tick(self, route: str, body, slot, ctx) -> ServeResponse:
+        """The shared tick path behind both PATCH routes.
+
+        ``PATCH /v1/facilities`` carries facility kinds only and
+        ``PATCH /v1/edges`` edge-cost kinds only — the split keeps each
+        route's name honest and lets a recovered journal re-seed the exact
+        idempotency fingerprint a retrying client will present.
+        """
         payload = self._require_object(body)
         updates = self._require_key(payload, "updates")
         if not isinstance(updates, list):
@@ -930,6 +956,20 @@ class ServeApp:
                 400, "invalid-update", "'updates' must be a list of update payloads"
             )
         tick = self._decode("invalid-update", tick_from_payload, updates)
+        for position, update in enumerate(tick.updates):
+            is_edge = isinstance(update, EdgeCostUpdate)
+            if route == "patch" and is_edge:
+                raise _HandlerError(
+                    400, "invalid-update",
+                    f"update {position}: edge-cost updates go through "
+                    "PATCH /v1/edges",
+                )
+            if route == "patch-edges" and not is_edge:
+                raise _HandlerError(
+                    400, "invalid-update",
+                    f"update {position}: facility updates go through "
+                    "PATCH /v1/facilities",
+                )
 
         def apply():
             handle = self._monitor_handle()
@@ -937,14 +977,14 @@ class ServeApp:
             invalidated = self._session.invalidate_result_caches()
             return response, invalidated
 
-        seq, (tick_response, invalidated) = await self._execute("patch", apply, slot)
+        seq, (tick_response, invalidated) = await self._execute(route, apply, slot)
         payload_out = tick_response_to_payload(tick_response)
         answer = {"seq": seq, "invalidated_services": invalidated, **payload_out}
         if self._journal is not None and not self._journal.closed:
             # The tick is applied and about to be acknowledged: journal it
             # (with its idempotency key) so a restarted process re-applies
             # it exactly once and a retrying client replays this answer.
-            self._journal.record_tick(ctx.key, payload, answer)
+            self._journal.record_tick(ctx.key, payload, answer, route=route)
         self._broker.publish(payload_out["index"], payload_out["deltas"])
         return ServeResponse(200, answer)
 

@@ -27,7 +27,8 @@ Record types::
     {"type": "job",        "job": "job-3", "requests": [...], "policy": ...}
     {"type": "job-done",   "job": "job-3", "result": {...}}
     {"type": "job-failed", "job": "job-3", "error": {...}}
-    {"type": "tick", "key": "...", "body": {...}, "payload": {...}}
+    {"type": "tick", "key": "...", "body": {...}, "payload": {...},
+     "route": "patch"|"patch-edges"}
     {"type": "close"}
 
 The ``open`` header binds the journal to one dataset: reopening it
@@ -202,10 +203,17 @@ class JobJournal:
     def record_job_failed(self, job_id: str, error: dict) -> None:
         self._append({"type": "job-failed", "job": job_id, "error": error})
 
-    def record_tick(self, key: str | None, body: dict, payload: dict) -> None:
-        """One applied facility tick: the decoded request body plus the
-        response payload (replayed into the idempotency cache on recovery)."""
-        self._append({"type": "tick", "key": key, "body": body, "payload": payload})
+    def record_tick(
+        self, key: str | None, body: dict, payload: dict, *, route: str = "patch"
+    ) -> None:
+        """One applied update tick: the decoded request body plus the
+        response payload (replayed into the idempotency cache on recovery).
+        ``route`` names the serving route that acknowledged it (``"patch"``
+        for facility ticks, ``"patch-edges"`` for edge-cost ticks) so the
+        recovered idempotency fingerprint matches a client's retry."""
+        self._append(
+            {"type": "tick", "key": key, "body": body, "payload": payload, "route": route}
+        )
 
     def record_close(self) -> None:
         """The clean-close marker a graceful drain writes last."""
@@ -337,6 +345,9 @@ class JobJournal:
                         "key": record.get("key"),
                         "body": record.get("body"),
                         "payload": record.get("payload"),
+                        # Journals from before the edges route carry no
+                        # route field; those ticks were all facility ticks.
+                        "route": record.get("route") or "patch",
                     }
                 )
             else:

@@ -50,6 +50,23 @@ def _check_algorithm(algorithm: str) -> None:
         raise QueryError(f"unknown algorithm {algorithm!r}; expected one of {_ALGORITHMS}")
 
 
+def _check_departure_time(departure_time: object) -> float | None:
+    """Normalise a request's departure time (``None`` means "static graph")."""
+    if departure_time is None:
+        return None
+    try:
+        value = float(departure_time)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise QueryError(
+            f"departure_time must be a number, got {departure_time!r}"
+        ) from None
+    if value != value or value in (float("inf"), float("-inf")):
+        raise QueryError("departure_time must be finite")
+    if value < 0:
+        raise QueryError(f"departure_time must be non-negative, got {value}")
+    return value
+
+
 @dataclass(frozen=True)
 class SkylineRequest:
     """One MCN skyline query to be executed by the service.
@@ -58,15 +75,23 @@ class SkylineRequest:
     inside the service LSA and CEA share the batch-wide cache either way, so
     they return identical results with identical I/O (the flag is kept for
     parity with :meth:`repro.MCNQueryEngine.skyline`).
+
+    ``departure_time`` parameterises the query on the temporal axis: a
+    session whose policy enables ``temporal="profiles"`` answers it over the
+    profile-evaluated snapshot at that time.  ``None`` (the default) keeps
+    the classic static-graph semantics; a static session rejects any other
+    value at submission.
     """
 
     location: NetworkLocation
     algorithm: str = "cea"
     probing: ProbingPolicy = ProbingPolicy.ROUND_ROBIN
     first_nn_shortcut: bool = True
+    departure_time: float | None = None
 
     def __post_init__(self) -> None:
         _check_algorithm(self.algorithm)
+        object.__setattr__(self, "departure_time", _check_departure_time(self.departure_time))
 
 
 @dataclass(frozen=True)
@@ -77,6 +102,7 @@ class TopKRequest:
     ``aggregate`` (any increasingly monotone function) may be given; with
     neither, a uniform weighted sum is used.  A non-hashable ``aggregate``
     simply disables result memoisation for this request.
+    ``departure_time`` behaves as on :class:`SkylineRequest`.
     """
 
     location: NetworkLocation
@@ -84,6 +110,7 @@ class TopKRequest:
     weights: tuple[float, ...] | None = None
     aggregate: AggregateFunction | None = None
     algorithm: str = "cea"
+    departure_time: float | None = None
 
     def __post_init__(self) -> None:
         _check_algorithm(self.algorithm)
@@ -93,6 +120,7 @@ class TopKRequest:
             raise QueryError("pass either weights or an aggregate function, not both")
         if self.weights is not None and not isinstance(self.weights, tuple):
             object.__setattr__(self, "weights", tuple(float(w) for w in self.weights))
+        object.__setattr__(self, "departure_time", _check_departure_time(self.departure_time))
 
 
 QueryRequest = Union[SkylineRequest, TopKRequest]
@@ -155,15 +183,18 @@ def _aggregate_from_payload(payload: dict[str, object]) -> AggregateFunction:
 def request_to_payload(request: QueryRequest) -> dict[str, object]:
     """A plain-JSON dictionary describing ``request`` (see :func:`request_from_payload`)."""
     if isinstance(request, SkylineRequest):
-        return {
+        payload = {
             "type": "skyline",
             "location": _location_to_payload(request.location),
             "algorithm": request.algorithm,
             "probing": request.probing.value,
             "first_nn_shortcut": request.first_nn_shortcut,
         }
+        if request.departure_time is not None:
+            payload["departure_time"] = request.departure_time
+        return payload
     if isinstance(request, TopKRequest):
-        payload: dict[str, object] = {
+        payload = {
             "type": "topk",
             "location": _location_to_payload(request.location),
             "algorithm": request.algorithm,
@@ -173,6 +204,8 @@ def request_to_payload(request: QueryRequest) -> dict[str, object]:
             payload["weights"] = list(request.weights)
         if request.aggregate is not None:
             payload["aggregate"] = _aggregate_to_payload(request.aggregate)
+        if request.departure_time is not None:
+            payload["departure_time"] = request.departure_time
         return payload
     raise QueryError(f"expected a SkylineRequest or TopKRequest, got {type(request).__name__}")
 
@@ -187,6 +220,7 @@ def request_from_payload(payload: dict[str, object]) -> QueryRequest:
                 algorithm=str(payload.get("algorithm", "cea")),
                 probing=ProbingPolicy(payload.get("probing", ProbingPolicy.ROUND_ROBIN.value)),
                 first_nn_shortcut=bool(payload.get("first_nn_shortcut", True)),
+                departure_time=payload.get("departure_time"),  # type: ignore[arg-type]
             )
         if kind == "topk":
             weights = payload.get("weights")
@@ -197,6 +231,7 @@ def request_from_payload(payload: dict[str, object]) -> QueryRequest:
                 weights=tuple(float(w) for w in weights) if weights is not None else None,  # type: ignore[union-attr]
                 aggregate=_aggregate_from_payload(aggregate) if aggregate is not None else None,  # type: ignore[arg-type]
                 algorithm=str(payload.get("algorithm", "cea")),
+                departure_time=payload.get("departure_time"),  # type: ignore[arg-type]
             )
     except KeyError as missing:
         raise QueryError(f"{kind} request payload missing {missing}") from None

@@ -1,0 +1,50 @@
+"""The temporal subsystem: departure-time execution through the whole stack.
+
+The source paper closes on preference queries in networks "where the costs
+of the edges are functions of time".  The :mod:`repro.timedep` package has
+long carried the building blocks — :class:`~repro.timedep.CostProfile`
+multipliers, the :class:`~repro.timedep.TimeVaryingMCN` snapshot
+materialiser and the sampled period queries — but nothing upstream could
+reach them.  This package is the wiring:
+
+* :class:`~repro.temporal.requests.SkylineSweepRequest` /
+  :class:`~repro.temporal.requests.TopKSweepRequest` — period sweeps with
+  the time-sequence validation moved to request construction;
+* :class:`~repro.temporal.executor.TemporalExecutor` — the LRU of static
+  snapshot stacks keyed by quantised departure time that answers
+  ``departure_time``-bearing :class:`~repro.service.SkylineRequest` /
+  :class:`~repro.service.TopKRequest` objects under
+  ``ExecutionPolicy(temporal="profiles", profile_source=...)``;
+* :class:`~repro.temporal.executor.SweepResponse` — per-instant answers
+  plus the paper's stable intervals.
+
+:class:`repro.api.Session` owns the executors (one per registered profile
+set and temporal configuration) and routes requests here when its resolved
+policy enables the subsystem; edge-cost re-profiling ticks
+(:class:`~repro.monitor.EdgeCostUpdate`) invalidate cached snapshots
+through the base graph's cost revision.
+"""
+
+from repro.temporal.executor import SnapshotStatistics, SweepResponse, TemporalExecutor
+from repro.temporal.requests import (
+    SkylineSweepRequest,
+    SweepRequest,
+    TopKSweepRequest,
+    stable_interval_to_payload,
+    sweep_request_from_payload,
+    sweep_request_to_payload,
+    timed_result_to_payload,
+)
+
+__all__ = [
+    "SkylineSweepRequest",
+    "SnapshotStatistics",
+    "SweepRequest",
+    "SweepResponse",
+    "TemporalExecutor",
+    "TopKSweepRequest",
+    "stable_interval_to_payload",
+    "sweep_request_from_payload",
+    "sweep_request_to_payload",
+    "timed_result_to_payload",
+]

@@ -1,0 +1,164 @@
+"""Period-sweep request types of the temporal subsystem.
+
+A sweep is the paper's future-work query verbatim: the preferred (skyline
+or top-k) facilities *for every time instance within a given period*.  The
+period is sampled at an explicit, increasing sequence of instants — the
+shape :func:`repro.timedep.queries._check_times` has always demanded — and
+the validation now happens here, at request construction (and therefore at
+payload decode), instead of surfacing mid-query.
+
+Like the static request types of :mod:`repro.service.requests`, sweeps are
+frozen, hashable and round-trip through plain-JSON payloads, so sweep
+answers can be pinned as golden fixtures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.aggregates import AggregateFunction
+from repro.errors import QueryError
+from repro.network.location import NetworkLocation
+from repro.service.requests import (
+    _aggregate_from_payload,
+    _aggregate_to_payload,
+    _check_algorithm,
+    location_from_payload,
+    location_to_payload,
+)
+from repro.timedep.queries import StableInterval, TimedResult, _check_times
+
+__all__ = [
+    "SkylineSweepRequest",
+    "TopKSweepRequest",
+    "SweepRequest",
+    "sweep_request_to_payload",
+    "sweep_request_from_payload",
+    "timed_result_to_payload",
+    "stable_interval_to_payload",
+]
+
+
+def _coerce_times(times: object) -> tuple[float, ...]:
+    """Validate a sweep's sampled instants exactly as the period queries do."""
+    if isinstance(times, (str, bytes)) or not hasattr(times, "__iter__"):
+        raise QueryError(f"times must be a sequence of instants, got {times!r}")
+    try:
+        ordered = [float(time) for time in times]  # type: ignore[union-attr]
+    except (TypeError, ValueError):
+        raise QueryError(f"times must be numbers, got {times!r}") from None
+    for time in ordered:
+        if time != time or time in (float("inf"), float("-inf")):
+            raise QueryError("sweep instants must be finite")
+    return tuple(_check_times(ordered))
+
+
+@dataclass(frozen=True)
+class SkylineSweepRequest:
+    """The MCN skyline at every sampled instant of a period."""
+
+    location: NetworkLocation
+    times: tuple[float, ...]
+    algorithm: str = "cea"
+
+    def __post_init__(self) -> None:
+        _check_algorithm(self.algorithm)
+        object.__setattr__(self, "times", _coerce_times(self.times))
+
+
+@dataclass(frozen=True)
+class TopKSweepRequest:
+    """The MCN top-k at every sampled instant of a period."""
+
+    location: NetworkLocation
+    k: int
+    times: tuple[float, ...]
+    weights: tuple[float, ...] | None = None
+    aggregate: AggregateFunction | None = None
+    algorithm: str = "cea"
+
+    def __post_init__(self) -> None:
+        _check_algorithm(self.algorithm)
+        if self.k < 1:
+            raise QueryError("k must be a positive integer")
+        if self.weights is not None and self.aggregate is not None:
+            raise QueryError("pass either weights or an aggregate function, not both")
+        if self.weights is not None and not isinstance(self.weights, tuple):
+            object.__setattr__(self, "weights", tuple(float(w) for w in self.weights))
+        object.__setattr__(self, "times", _coerce_times(self.times))
+
+
+SweepRequest = Union[SkylineSweepRequest, TopKSweepRequest]
+
+
+# --------------------------------------------------------------------- #
+# JSON-payload serialization (golden fixtures, serve-tier exposure)
+# --------------------------------------------------------------------- #
+def sweep_request_to_payload(request: SweepRequest) -> dict[str, object]:
+    """A plain-JSON dictionary describing ``request``."""
+    if isinstance(request, SkylineSweepRequest):
+        return {
+            "type": "skyline-sweep",
+            "location": location_to_payload(request.location),
+            "times": list(request.times),
+            "algorithm": request.algorithm,
+        }
+    if isinstance(request, TopKSweepRequest):
+        payload: dict[str, object] = {
+            "type": "topk-sweep",
+            "location": location_to_payload(request.location),
+            "times": list(request.times),
+            "algorithm": request.algorithm,
+            "k": request.k,
+        }
+        if request.weights is not None:
+            payload["weights"] = list(request.weights)
+        if request.aggregate is not None:
+            payload["aggregate"] = _aggregate_to_payload(request.aggregate)
+        return payload
+    raise QueryError(
+        f"expected a SkylineSweepRequest or TopKSweepRequest, got {type(request).__name__}"
+    )
+
+
+def sweep_request_from_payload(payload: dict[str, object]) -> SweepRequest:
+    """Rebuild a sweep request from a :func:`sweep_request_to_payload` dictionary."""
+    kind = payload.get("type")
+    try:
+        if kind == "skyline-sweep":
+            return SkylineSweepRequest(
+                location=location_from_payload(payload["location"]),  # type: ignore[arg-type]
+                times=payload["times"],  # type: ignore[arg-type]
+                algorithm=str(payload.get("algorithm", "cea")),
+            )
+        if kind == "topk-sweep":
+            weights = payload.get("weights")
+            aggregate = payload.get("aggregate")
+            return TopKSweepRequest(
+                location=location_from_payload(payload["location"]),  # type: ignore[arg-type]
+                k=int(payload["k"]),  # type: ignore[arg-type]
+                times=payload["times"],  # type: ignore[arg-type]
+                weights=tuple(float(w) for w in weights) if weights is not None else None,  # type: ignore[union-attr]
+                aggregate=_aggregate_from_payload(aggregate) if aggregate is not None else None,  # type: ignore[arg-type]
+                algorithm=str(payload.get("algorithm", "cea")),
+            )
+    except KeyError as missing:
+        raise QueryError(f"{kind} sweep payload missing {missing}") from None
+    raise QueryError(
+        f"unknown sweep request type {kind!r}; expected 'skyline-sweep' or 'topk-sweep'"
+    )
+
+
+def timed_result_to_payload(result: TimedResult) -> dict[str, object]:
+    """A plain-JSON dictionary pinning one sampled instant's answer."""
+    return {"time": result.time, "facilities": list(result.facility_ids)}
+
+
+def stable_interval_to_payload(interval: StableInterval) -> dict[str, object]:
+    """A plain-JSON dictionary pinning one stable interval."""
+    return {
+        "start": interval.start,
+        "end": interval.end,
+        "facilities": list(interval.facility_ids),
+    }

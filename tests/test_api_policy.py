@@ -187,6 +187,10 @@ GOLDEN_PAYLOAD = {
     "harvest_settled": False,
     "max_cached_entries": 64,
     "shard_fallback_threshold": 2,
+    "temporal": "off",
+    "profile_source": None,
+    "temporal_quantum": 0.25,
+    "temporal_cache_size": 8,
 }
 
 

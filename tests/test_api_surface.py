@@ -54,7 +54,8 @@ SESSION_SIGNATURES = {
         "accessor: 'GraphAccessor | None' = None, "
         "policy: 'ExecutionPolicy | None' = None, "
         "dataset_path: 'str | None' = None, "
-        "verify_checksum: 'bool' = True)"
+        "verify_checksum: 'bool' = True, "
+        "profiles: 'dict[str, object] | None' = None)"
     ),
     "query": (
         "(self, request: 'QueryRequest', *, policy: 'ExecutionPolicy | None' = None)"
@@ -77,6 +78,10 @@ SESSION_SIGNATURES = {
     "monitor": (
         "(self, requests: 'Sequence[QueryRequest]', *, "
         "policy: 'ExecutionPolicy | None' = None) -> 'MonitorHandle'"
+    ),
+    "sweep": (
+        "(self, request: 'SweepRequest', *, policy: 'ExecutionPolicy | None' = None)"
+        " -> 'SweepResponse'"
     ),
     "close": "(self) -> 'None'",
     "invalidate_result_caches": "(self) -> 'int'",
@@ -101,6 +106,10 @@ POLICY_SCHEMA = [
     ("harvest_settled", True),
     ("max_cached_entries", None),
     ("shard_fallback_threshold", 4),
+    ("temporal", "off"),
+    ("profile_source", None),
+    ("temporal_quantum", 0.25),
+    ("temporal_cache_size", 8),
 ]
 
 RESPONSE_FIELDS = [

@@ -427,3 +427,95 @@ class TestColdCacheBench:
         assert "page-read parity with SimulatedDisk: yes" in output
         assert "results identical to SimulatedDisk: yes" in output
         assert output_path.exists()
+
+
+class TestTimedepBench:
+    """CI-scale smoke over the timedep replay family."""
+
+    #: Tiny rush hour with an off-peak tail: ticks past the peak re-profile
+    #: nothing, which is where incremental maintenance pulls ahead.
+    def _spec(self, **overrides):
+        from repro.bench.timedep import TimedepBenchSpec
+        from repro.datagen.updates import EdgeCostStreamSpec
+
+        settings = {
+            "workload": WorkloadSpec(
+                num_nodes=100, num_facilities=24, num_cost_types=2,
+                num_queries=4, seed=13,
+            ),
+            "stream": EdgeCostStreamSpec(
+                num_ticks=10, start_time=6.0, time_step=0.5,
+                affected_fraction=0.25, seed=14,
+            ),
+        }
+        settings.update(overrides)
+        return TimedepBenchSpec(**settings)
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(QueryError, match="at least one subscription"):
+            self._spec(
+                workload=WorkloadSpec(
+                    num_nodes=100, num_facilities=24, num_cost_types=2,
+                    num_queries=0, seed=13,
+                )
+            )
+        with pytest.raises(QueryError, match="k must be"):
+            self._spec(k=0)
+
+    def test_incremental_replay_beats_rebuild_every_tick(self):
+        from repro.bench.timedep import format_timedep_report, run_timedep_bench
+
+        report = run_timedep_bench(self._spec())
+        # The bench is its own differential oracle...
+        assert report.results_identical is True
+        # ...and the acceptance criterion: the incremental path does
+        # measurably less logical work than rebuilding every tick.
+        assert report.empty_ticks > 0
+        assert report.rebuild.total_requests > report.incremental.total_requests
+        assert report.work_ratio is not None and report.work_ratio > 1.0
+        assert report.incremental.services_built == 1
+        assert report.rebuild.services_built == report.spec.stream.num_ticks
+        assert report.incremental.edge_cost_refreshes > 0
+        assert report.probe is not None
+        assert report.probe.builds + report.probe.hits == report.probe.queries
+        assert report.probe.hits > 0
+        output = format_timedep_report(report)
+        assert "final answers identical across legs: yes" in output
+        assert "snapshot probe" in output
+        payload = report.to_payload()
+        assert payload["results_identical"] is True
+        assert payload["work_ratio"] > 1.0
+
+    def test_no_probe_skips_the_snapshot_leg(self):
+        from repro.bench.timedep import format_timedep_report, run_timedep_bench
+
+        report = run_timedep_bench(self._spec(probe_snapshots=False))
+        assert report.probe is None
+        assert "snapshot_probe" not in report.to_payload()
+        assert "snapshot probe" not in format_timedep_report(report)
+
+    def test_cli_parser_defaults(self):
+        args = build_parser().parse_args(["bench", "timedep"])
+        assert args.bench_command == "timedep"
+        assert (args.nodes, args.facilities, args.subscriptions) == (300, 60, 6)
+        assert (args.ticks, args.start_time, args.time_step) == (24, 6.0, 0.5)
+        assert not args.no_probe
+
+    def test_cli_smoke_reports_the_work_ratio(self, tmp_path, capsys):
+        output_path = tmp_path / "timedep.json"
+        code = main(
+            [
+                "bench", "timedep",
+                "--nodes", "100",
+                "--facilities", "24",
+                "--subscriptions", "4",
+                "--ticks", "10",
+                "--seed", "13",
+                "--output", str(output_path),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert code == 0, output
+        assert "final answers identical across legs: yes" in output
+        assert "the accessor requests of the incremental path" in output
+        assert output_path.exists()

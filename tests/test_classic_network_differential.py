@@ -1,0 +1,82 @@
+"""Classic algorithms as a tier-1 differential oracle for the network stack.
+
+The classic (Section II) algorithms — BNL / SFS / D&C skylines and the
+TA / NRA top-k — operate on plain cost-vector tables with none of the
+network machinery: no expansion, no compiled arcs, no caches.  Feeding them
+the ground-truth facility cost vectors (independent Dijkstra runs) and
+comparing against the full network stack's answers cross-checks the two
+halves of the codebase against each other on every run, in every CI mode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Session
+from repro.classic.skyline import bnl_skyline, dc_skyline, sfs_skyline
+from repro.classic.topk import (
+    SortedCostLists,
+    no_random_access_algorithm,
+    threshold_algorithm,
+)
+from repro.core.aggregates import WeightedSum
+from repro.datagen import WorkloadSpec, make_workload
+from repro.service.requests import SkylineRequest, TopKRequest
+from tests.helpers import facility_vectors
+
+CASES = [
+    WorkloadSpec(
+        num_nodes=60, num_facilities=18, num_cost_types=2, clustered=True,
+        num_queries=3, seed=91,
+    ),
+    WorkloadSpec(
+        num_nodes=80, num_facilities=22, num_cost_types=3, clustered=False,
+        num_queries=3, seed=92,
+    ),
+]
+
+
+@pytest.mark.parametrize("spec", CASES, ids=lambda s: f"d{s.num_cost_types}-s{s.seed}")
+class TestClassicNetworkDifferential:
+    def test_network_skyline_matches_every_classic_skyline(self, spec):
+        workload = make_workload(spec)
+        with Session(workload.graph, workload.facilities) as session:
+            for query in workload.queries:
+                vectors = facility_vectors(
+                    workload.graph, session.facilities, query
+                )
+                network_ids = set(
+                    session.query(SkylineRequest(query)).result.facility_ids()
+                )
+                assert network_ids == bnl_skyline(vectors)
+                assert network_ids == sfs_skyline(vectors)
+                assert network_ids == dc_skyline(vectors)
+
+    def test_network_topk_matches_ta_and_nra(self, spec):
+        workload = make_workload(spec)
+        dims = spec.num_cost_types
+        weights = tuple(round(1.0 / dims, 9) for _ in range(dims))
+        aggregate = WeightedSum(weights)
+        with Session(workload.graph, workload.facilities) as session:
+            for query in workload.queries:
+                vectors = facility_vectors(
+                    workload.graph, session.facilities, query
+                )
+                lists = SortedCostLists.from_cost_vectors(vectors)
+                response = session.query(TopKRequest(query, 4, weights=weights))
+                network = [
+                    (entry.facility_id, entry.score) for entry in response.result
+                ]
+                for classic in (
+                    threshold_algorithm(lists, aggregate, 4),
+                    no_random_access_algorithm(lists, aggregate, 4),
+                ):
+                    assert [key for key, _score in classic] == [
+                        key for key, _score in network
+                    ]
+                    for (_k1, classic_score), (_k2, network_score) in zip(
+                        classic, network
+                    ):
+                        assert classic_score == pytest.approx(
+                            network_score, abs=1e-9
+                        )

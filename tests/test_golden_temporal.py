@@ -1,0 +1,152 @@
+"""Golden temporal fixtures: departure-time answers and edge-tick deltas pinned.
+
+Each ``tests/fixtures/temporal_rush_*.json`` file pins one temporal run twice
+over.  Half one replays the *execution* side: a profile-registered
+:class:`~repro.api.Session` under ``temporal="profiles"`` must keep producing
+the exact per-departure-time answers (results **and** I/O counters) and the
+exact sweep stable intervals the fixture stores.  Half two replays the
+*maintenance* side: the matching rush-hour edge-cost stream pushed through a
+:class:`~repro.monitor.MonitoringService` must keep emitting the pinned
+per-tick delta reports and path counters.  An intentional change must re-run
+``tests/fixtures/regenerate.py`` and commit the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.api import ExecutionPolicy, Session
+from repro.datagen import (
+    edge_cost_stream_spec_from_payload,
+    make_edge_cost_stream,
+    make_profile_network,
+    make_workload,
+    workload_spec_from_payload,
+)
+from repro.monitor import (
+    MonitoringService,
+    stream_from_payload,
+    stream_to_payload,
+    tick_report_to_payload,
+)
+from repro.network.facilities import FacilitySet
+from repro.serve.payloads import io_to_payload
+from repro.service.requests import SkylineRequest, decode_requests
+from repro.temporal import (
+    SkylineSweepRequest,
+    TopKSweepRequest,
+    stable_interval_to_payload,
+    timed_result_to_payload,
+)
+
+FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures"
+FIXTURE_PATHS = sorted(FIXTURES_DIR.glob("temporal_rush_*.json"))
+
+
+def load_fixture(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def result_payload(request, result) -> dict:
+    if isinstance(request, SkylineRequest):
+        return {
+            "type": "skyline",
+            "facilities": [[f.facility_id, list(f.costs)] for f in result],
+        }
+    return {
+        "type": "topk",
+        "facilities": [[f.facility_id, f.score] for f in result],
+    }
+
+
+def test_temporal_fixtures_are_checked_in():
+    assert FIXTURE_PATHS, "temporal fixtures missing; run tests/fixtures/regenerate.py"
+
+
+@pytest.mark.parametrize("path", FIXTURE_PATHS, ids=lambda p: p.stem)
+class TestGoldenTemporal:
+    def test_departure_time_answers_are_pinned(self, path):
+        """Answers AND I/O per (request, departure time) must match exactly."""
+        fixture = load_fixture(path)
+        workload = make_workload(workload_spec_from_payload(fixture["workload"]))
+        network = make_profile_network(
+            workload.graph,
+            edge_cost_stream_spec_from_payload(fixture["stream_spec"]),
+        )
+        policy = ExecutionPolicy(temporal="profiles", profile_source="rush")
+        requests = decode_requests(fixture["requests"])
+        expected = iter(fixture["expected"]["answers"])
+        with Session(
+            workload.graph, workload.facilities, profiles={"rush": network}
+        ) as session:
+            for request in requests:
+                for departure_time in fixture["departure_times"]:
+                    response = session.query(
+                        replace(request, departure_time=departure_time), policy=policy
+                    )
+                    pinned = next(expected)
+                    assert pinned["departure_time"] == departure_time
+                    assert result_payload(request, response.result) == pinned["result"]
+                    assert io_to_payload(response.io) == pinned["io"]
+
+    def test_sweep_results_and_intervals_are_pinned(self, path):
+        fixture = load_fixture(path)
+        workload = make_workload(workload_spec_from_payload(fixture["workload"]))
+        network = make_profile_network(
+            workload.graph,
+            edge_cost_stream_spec_from_payload(fixture["stream_spec"]),
+        )
+        policy = ExecutionPolicy(temporal="profiles", profile_source="rush")
+        requests = decode_requests(fixture["requests"])
+        times = tuple(fixture["sweep_times"])
+        with Session(
+            workload.graph, workload.facilities, profiles={"rush": network}
+        ) as session:
+            for request, pinned in zip(requests, fixture["expected"]["sweeps"]):
+                if isinstance(request, SkylineRequest):
+                    sweep_request = SkylineSweepRequest(request.location, times)
+                else:
+                    sweep_request = TopKSweepRequest(
+                        request.location,
+                        request.k,
+                        times,
+                        weights=request.weights,
+                        aggregate=request.aggregate,
+                    )
+                response = session.sweep(sweep_request, policy=policy)
+                assert [
+                    timed_result_to_payload(result) for result in response.results
+                ] == pinned["results"]
+                assert [
+                    stable_interval_to_payload(interval)
+                    for interval in response.intervals
+                ] == pinned["intervals"]
+
+    def test_stream_generation_is_pinned(self, path):
+        fixture = load_fixture(path)
+        workload = make_workload(workload_spec_from_payload(fixture["workload"]))
+        stream = make_edge_cost_stream(
+            workload.graph, edge_cost_stream_spec_from_payload(fixture["stream_spec"])
+        )
+        assert stream_to_payload(stream) == fixture["stream"]
+
+    def test_edge_tick_replay_emits_pinned_deltas_and_counters(self, path):
+        fixture = load_fixture(path)
+        workload = make_workload(workload_spec_from_payload(fixture["workload"]))
+        facilities = FacilitySet(workload.graph, iter(workload.facilities))
+        service = MonitoringService(workload.graph, facilities)
+        for request in decode_requests(fixture["requests"]):
+            service.subscribe(request)
+        reports = service.run(stream_from_payload(fixture["stream"]))
+        expected_ticks = fixture["expected"]["ticks"]
+        assert len(reports) == len(expected_ticks)
+        for report, pinned in zip(reports, expected_ticks):
+            assert tick_report_to_payload(report) == pinned
+        counters = service.statistics
+        pinned_counters = fixture["expected"]["final_counters"]
+        assert counters.recomputations == pinned_counters["recomputations"]
+        assert counters.edge_cost_refreshes == pinned_counters["edge_cost_refreshes"]

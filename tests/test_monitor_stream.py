@@ -61,7 +61,9 @@ class TestStreamModel:
         )
         assert len(stream) == 2
         assert stream.num_updates == 5
-        assert stream.counts_by_kind() == {"insert": 2, "delete": 1, "relocate": 2}
+        assert stream.counts_by_kind() == {
+            "insert": 2, "delete": 1, "relocate": 2, "edge-cost": 0,
+        }
 
     def test_updates_are_hashable_and_picklable(self):
         stream = UpdateStream((UpdateTick(sample_updates()),))

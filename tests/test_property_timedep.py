@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) for cost profiles and stable intervals.
+
+These pin the *algebra* of the temporal building blocks: a piecewise-linear
+profile interpolates within its breakpoint hull and clamps outside it, a
+flat ramp is indistinguishable from a :class:`ConstantProfile`, a
+``peak_profile`` is a symmetric triangle, and ``stable_intervals`` is a
+partition of the sampled period — no gaps, no overlaps, answers constant
+within each interval.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.timedep import (
+    ConstantProfile,
+    PiecewiseLinearProfile,
+    TimedResult,
+    peak_profile,
+    stable_intervals,
+)
+
+times = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+multipliers = st.floats(
+    min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+def breakpoint_lists(min_size: int = 1):
+    return st.lists(
+        st.tuples(times, multipliers),
+        min_size=min_size,
+        max_size=8,
+        unique_by=lambda pair: pair[0],
+    )
+
+
+class TestPiecewiseLinearProperties:
+    @given(breakpoint_lists())
+    def test_breakpoints_are_interpolation_fixed_points(self, points):
+        profile = PiecewiseLinearProfile(points)
+        for t, v in points:
+            assert profile.value_at(t) == v
+
+    @given(breakpoint_lists(), times)
+    def test_values_stay_inside_the_multiplier_hull(self, points, t):
+        profile = PiecewiseLinearProfile(points)
+        values = [v for _t, v in points]
+        assert min(values) - 1e-12 <= profile.value_at(t) <= max(values) + 1e-12
+
+    @given(breakpoint_lists(), times)
+    def test_clamped_outside_the_breakpoint_range(self, points, t):
+        profile = PiecewiseLinearProfile(points)
+        ordered = sorted(points)
+        if t <= ordered[0][0]:
+            assert profile.value_at(t) == ordered[0][1]
+        if t >= ordered[-1][0]:
+            assert profile.value_at(t) == ordered[-1][1]
+
+    @given(
+        st.lists(times, min_size=1, max_size=8, unique=True),
+        multipliers,
+        times,
+    )
+    def test_flat_ramps_equal_a_constant_profile(self, instants, value, probe):
+        """A profile whose breakpoints all share one value IS the constant."""
+        flat = PiecewiseLinearProfile([(t, value) for t in instants])
+        constant = ConstantProfile(value)
+        assert flat.value_at(probe) == constant.value_at(probe)
+
+    @given(
+        st.lists(
+            st.tuples(
+                times.map(lambda t: round(t, 2)),  # grid keeps gaps >= 0.01
+                multipliers,
+            ),
+            min_size=2,
+            max_size=8,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    def test_interpolation_is_continuous_at_breakpoints(self, points):
+        """Approaching a breakpoint from either side converges to its value."""
+        profile = PiecewiseLinearProfile(points)
+        epsilon = 1e-7
+        spread = max(v for _t, v in points) - min(v for _t, v in points)
+        tolerance = 1e-4 * max(1.0, spread)
+        for t, v in sorted(points):
+            below = profile.value_at(t - epsilon)
+            above = profile.value_at(t + epsilon)
+            assert abs(below - v) <= tolerance
+            assert abs(above - v) <= tolerance
+
+
+class TestPeakProfileProperties:
+    peaks = st.floats(min_value=0.0, max_value=24.0, allow_nan=False)
+    heights = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+    widths = st.floats(min_value=0.1, max_value=6.0, allow_nan=False)
+
+    @given(peaks, heights, widths)
+    def test_peak_value_and_symmetry(self, peak_time, peak_multiplier, width):
+        profile = peak_profile(
+            peak_time=peak_time, peak_multiplier=peak_multiplier, width=width
+        )
+        assert profile.value_at(peak_time) == peak_multiplier
+        for fraction in (0.25, 0.5, 0.75, 1.0):
+            offset = fraction * width
+            left = profile.value_at(peak_time - offset)
+            right = profile.value_at(peak_time + offset)
+            assert abs(left - right) <= 1e-9 * max(1.0, peak_multiplier)
+
+    @given(peaks, heights, widths, times)
+    def test_base_multiplier_outside_the_peak(self, peak_time, peak_multiplier, width, t):
+        profile = peak_profile(
+            peak_time=peak_time, peak_multiplier=peak_multiplier, width=width
+        )
+        # abs(t - peak_time) can round *onto* the ramp boundary (a half-ulp
+        # tie resolves to exactly `width` while t sits inside the ramp), so
+        # the base value is asserted with a ulp-scale tolerance.
+        if abs(t - peak_time) >= width:
+            assert abs(profile.value_at(t) - 1.0) <= 1e-9
+
+
+class TestStableIntervalProperties:
+    @given(
+        st.lists(times, min_size=1, max_size=12, unique=True),
+        st.data(),
+    )
+    @settings(max_examples=200)
+    def test_intervals_partition_the_sampled_period(self, instants, data):
+        instants = sorted(instants)
+        answers = [
+            tuple(
+                sorted(
+                    data.draw(
+                        st.sets(st.integers(min_value=0, max_value=3), max_size=3)
+                    )
+                )
+            )
+            for _ in instants
+        ]
+        results = [TimedResult(t, ids) for t, ids in zip(instants, answers)]
+        intervals = stable_intervals(results)
+
+        # Coverage: the intervals span exactly the sampled period, in order.
+        assert intervals[0].start == instants[0]
+        assert intervals[-1].end == instants[-1]
+        for earlier, later in zip(intervals, intervals[1:]):
+            assert earlier.end < later.start  # no overlap, increasing
+
+        # Every sampled instant falls inside exactly one interval, and the
+        # interval's answer is that instant's answer.
+        for result in results:
+            homes = [
+                interval
+                for interval in intervals
+                if interval.start <= result.time <= interval.end
+            ]
+            assert len(homes) == 1
+            assert homes[0].facility_ids == result.facility_ids
+
+        # Maximality: consecutive intervals carry different answers.
+        for earlier, later in zip(intervals, intervals[1:]):
+            assert earlier.facility_ids != later.facility_ids
